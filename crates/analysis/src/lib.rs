@@ -1,0 +1,33 @@
+//! # excovery-analysis
+//!
+//! Extraction and analysis of event- and packet-based metrics from stored
+//! experiments (paper §IV-F, §VI).
+//!
+//! * [`runs`] — reconstruction of per-run discovery episodes from the
+//!   level-3 `Events` table (search start, per-service `t_R`, deadline
+//!   verdicts).
+//! * [`responsiveness`] — the paper's headline metric: "the probability
+//!   that a number of SMs is found within a deadline, as required by the
+//!   application calling SD", estimated over replicated runs with
+//!   confidence intervals, per treatment.
+//! * [`stats`] — summary statistics (mean/median/percentiles) and series
+//!   helpers used by the benchmark harnesses.
+//! * [`packetstats`] — packet-level loss/delay derived from captures, the
+//!   analysis the 16-bit tagger enables.
+//! * [`timeline`] — the Fig. 11 visualization: per-actor timelines of
+//!   actions (white circles) and events (black circles), rendered as ASCII
+//!   and SVG.
+
+pub mod model;
+pub mod packetstats;
+pub mod report;
+pub mod responsiveness;
+pub mod runs;
+pub mod stats;
+pub mod timeline;
+pub mod treatments;
+pub mod verify;
+
+pub use responsiveness::{responsiveness_curve, ResponsivenessPoint};
+pub use runs::{DiscoveryEpisode, RunView};
+pub use stats::Summary;

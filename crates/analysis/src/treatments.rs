@@ -1,0 +1,104 @@
+//! Treatment reconstruction from stored packages.
+//!
+//! A level-3 package is self-contained: `ExperimentInfo.ExpXML` carries the
+//! complete abstract description, so "the complete experiment plan with the
+//! exact sequence of treatments" (§IV) can be regenerated offline. This
+//! module rebuilds the run→treatment mapping, letting analyses group
+//! episodes by factor levels without side-channel information from the
+//! execution.
+
+use excovery_desc::xmlio::from_xml;
+use excovery_store::records::ExperimentInfo;
+use excovery_store::{Database, StoreError};
+use std::collections::HashMap;
+
+/// Rebuilds the run-id → treatment-key mapping from the stored description.
+pub fn treatments_from_database(db: &Database) -> Result<HashMap<u64, String>, StoreError> {
+    let info = ExperimentInfo::read(db)?;
+    let desc = from_xml(&info.exp_xml)
+        .map_err(|e| StoreError(format!("stored ExpXML unparsable: {e}")))?;
+    let plan = desc.plan();
+    Ok(plan.runs.into_iter().map(|r| (r.run_id, r.treatment.key())).collect())
+}
+
+/// Groups all discovery episodes of a package by treatment key.
+pub fn episodes_by_treatment(
+    db: &Database,
+) -> Result<HashMap<String, Vec<crate::runs::DiscoveryEpisode>>, StoreError> {
+    let mapping = treatments_from_database(db)?;
+    let mut grouped: HashMap<String, Vec<crate::runs::DiscoveryEpisode>> = HashMap::new();
+    for run_id in crate::runs::RunView::run_ids(db)? {
+        let eps = crate::runs::RunView::load(db, run_id)?.episodes();
+        let key = mapping.get(&run_id).cloned().unwrap_or_else(|| "unknown".into());
+        grouped.entry(key).or_default().extend(eps);
+    }
+    Ok(grouped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use excovery_desc::ExperimentDescription;
+    use excovery_store::records::EventRow;
+    use excovery_store::schema::{create_level3_database, EE_VERSION};
+
+    fn db_with_description() -> Database {
+        let desc = ExperimentDescription::paper_two_party_sd(2);
+        let mut db = create_level3_database();
+        ExperimentInfo {
+            exp_xml: excovery_desc::xmlio::to_xml(&desc),
+            ee_version: EE_VERSION.into(),
+            name: desc.name.clone(),
+            comment: String::new(),
+        }
+        .insert(&mut db)
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn mapping_matches_regenerated_plan() {
+        let db = db_with_description();
+        let mapping = treatments_from_database(&db).unwrap();
+        // 6 treatments × 2 replications.
+        assert_eq!(mapping.len(), 12);
+        assert!(mapping[&0].contains("fact_bw=10"));
+        assert!(mapping[&0].contains("fact_pairs="));
+        // Runs 0 and 1 are replicates of the same treatment.
+        assert_eq!(mapping[&0], mapping[&1]);
+        assert_ne!(mapping[&0], mapping[&2]);
+    }
+
+    #[test]
+    fn grouping_assigns_episodes() {
+        let mut db = db_with_description();
+        for (run, node) in [(0u64, "t9-105"), (2, "t9-105")] {
+            EventRow {
+                run_id: run,
+                node_id: node.into(),
+                common_time_ns: 10,
+                event_type: "sd_start_search".into(),
+                parameter: String::new(),
+            }
+            .insert(&mut db)
+            .unwrap();
+        }
+        let grouped = episodes_by_treatment(&db).unwrap();
+        assert_eq!(grouped.len(), 2, "two distinct treatments seen");
+        assert!(grouped.values().all(|eps| eps.len() == 1));
+    }
+
+    #[test]
+    fn corrupt_xml_is_an_error() {
+        let mut db = create_level3_database();
+        ExperimentInfo {
+            exp_xml: "not xml".into(),
+            ee_version: EE_VERSION.into(),
+            name: "x".into(),
+            comment: String::new(),
+        }
+        .insert(&mut db)
+        .unwrap();
+        assert!(treatments_from_database(&db).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion bench: a complete experiment run through the engine —
+//! description → execution → collection → conditioning → level-3 package
+//! (the Fig. 3 workflow end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use excovery_core::scenarios::loss_sweep;
+use excovery_core::{EngineConfig, ExperiMaster};
+use excovery_netsim::topology::Topology;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    let mut seed = 0u64;
+    g.bench_function("one_run_end_to_end", |b| {
+        b.iter(|| {
+            seed += 1;
+            let desc = loss_sweep(&[0.0], 1, seed);
+            let mut cfg = EngineConfig::grid_default();
+            cfg.topology = Topology::chain(2);
+            let mut master = ExperiMaster::new(desc, cfg).unwrap();
+            master.execute().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

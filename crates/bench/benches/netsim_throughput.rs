@@ -1,0 +1,37 @@
+//! Criterion bench: the simulated platform — unicast routing and mesh
+//! multicast flooding throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use excovery_netsim::sim::{Simulator, SimulatorConfig};
+use excovery_netsim::topology::Topology;
+use excovery_netsim::{Destination, NodeId, Payload};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim");
+    let n_packets = 1_000u64;
+    g.throughput(Throughput::Elements(n_packets));
+    g.bench_function("unicast_4hops_1000pkts", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulator::new(Topology::chain(5), SimulatorConfig::perfect_clocks(1));
+            for _ in 0..n_packets {
+                sim.send_from(NodeId(0), 9, Destination::Unicast(NodeId(4)), Payload::from("x"));
+            }
+            sim.run_until_idle(1_000_000)
+        })
+    });
+    g.bench_function("flood_grid5x5_1000pkts", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulator::new(Topology::grid(5, 5), SimulatorConfig::perfect_clocks(2));
+            for _ in 0..n_packets {
+                sim.send_from(NodeId(0), 9, Destination::Multicast, Payload::from("x"));
+            }
+            sim.run_until_idle(10_000_000)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench: treatment-plan generation (Fig. 5 arithmetic) in OFAT
+//! and completely randomized designs — the ablation of §IV-C1's ordering
+//! choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use excovery_desc::plan::{Design, PlanOptions, TreatmentPlan};
+use excovery_desc::FactorList;
+
+fn bench(c: &mut Criterion) {
+    let factors = FactorList::paper_fig5(); // 6 treatments × 1000 reps
+    let mut g = c.benchmark_group("plan");
+    g.bench_function("ofat_6000_runs", |b| {
+        b.iter(|| {
+            TreatmentPlan::generate(
+                std::hint::black_box(&factors),
+                &PlanOptions { design: Design::Ofat, seed: 1 },
+            )
+        })
+    });
+    g.bench_function("crd_6000_runs", |b| {
+        b.iter(|| {
+            TreatmentPlan::generate(
+                std::hint::black_box(&factors),
+                &PlanOptions { design: Design::CompletelyRandomized, seed: 1 },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

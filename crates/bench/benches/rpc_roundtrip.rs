@@ -1,0 +1,27 @@
+//! Criterion bench: XML-RPC round-trips on the master↔node control channel
+//! (Fig. 12), including full wire-format encode/decode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use excovery_rpc::{Channel, ServerRegistry, Value};
+
+fn bench(c: &mut Criterion) {
+    let mut reg = ServerRegistry::new();
+    reg.register("echo", |params| Ok(Value::Array(params.to_vec())));
+    let ch = Channel::new(reg);
+    let mut g = c.benchmark_group("rpc");
+    g.bench_function("roundtrip_small", |b| {
+        b.iter(|| ch.call("echo", vec![Value::Int(1)]).unwrap())
+    });
+    let big = Value::Struct(
+        (0..50)
+            .map(|i| (format!("key{i}"), Value::str(format!("value with some text {i}"))))
+            .collect(),
+    );
+    g.bench_function("roundtrip_struct50", |b| {
+        b.iter(|| ch.call("echo", vec![std::hint::black_box(big.clone())]).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: one complete two-party discovery on the SD substrate
+//! (publish + search + query/response until `sd_service_add`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use excovery_netsim::link::LinkModel;
+use excovery_netsim::sim::{Simulator, SimulatorConfig};
+use excovery_netsim::topology::Topology;
+use excovery_netsim::{NodeId, SimDuration};
+use excovery_sd::{sd_command, Role, SdAgent, SdCommand, SdConfig, ServiceDescription, ServiceType, SD_PORT};
+
+fn discover(seed: u64) -> usize {
+    // Lossless link: the bench measures protocol machinery, not channel
+    // luck (1% loss would eventually fail an iteration's assertion).
+    let cfg = SimulatorConfig {
+        link_model: LinkModel { base_loss: 0.0, ..LinkModel::default() },
+        ..SimulatorConfig::perfect_clocks(seed)
+    };
+    let mut sim = Simulator::new(Topology::chain(2), cfg);
+    for n in 0..2u16 {
+        sim.install_agent(
+            NodeId(n),
+            SD_PORT,
+            Box::new(SdAgent::new(SdConfig::two_party(), SD_PORT)),
+        );
+    }
+    sd_command(&mut sim, NodeId(0), SdCommand::Init(Role::ServiceManager));
+    sd_command(&mut sim, NodeId(1), SdCommand::Init(Role::ServiceUser));
+    sd_command(
+        &mut sim,
+        NodeId(0),
+        SdCommand::StartPublish(ServiceDescription::new(
+            "sm",
+            ServiceType::new("_bench._tcp"),
+            NodeId(0),
+        )),
+    );
+    sd_command(&mut sim, NodeId(1), SdCommand::StartSearch(ServiceType::new("_bench._tcp")));
+    sim.run_for(SimDuration::from_secs(2));
+    sim.drain_protocol_events().iter().filter(|e| e.name == "sd_service_add").count()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sd");
+    let mut seed = 0;
+    g.bench_function("two_party_one_shot_discovery", |b| {
+        b.iter(|| {
+            seed += 1;
+            assert!(discover(seed) >= 1);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench: the level-3 relational engine — event inserts, indexed
+//! selection, and database persistence.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use excovery_store::records::EventRow;
+use excovery_store::schema::create_level3_database;
+use excovery_store::{Predicate, SqlValue};
+
+fn filled(n_events: u64) -> excovery_store::Database {
+    let mut db = create_level3_database();
+    for i in 0..n_events {
+        EventRow {
+            run_id: i % 50,
+            node_id: format!("t9-{:03}", i % 6),
+            common_time_ns: (i * 997) as i64,
+            event_type: if i % 7 == 0 { "sd_service_add" } else { "sd_query" }.into(),
+            parameter: "service=sm-a".into(),
+        }
+        .insert(&mut db)
+        .unwrap();
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("insert_10k_events", |b| b.iter(|| filled(10_000)));
+    let db = filled(10_000);
+    g.bench_function("select_run_ordered_indexed", |b| {
+        b.iter(|| EventRow::read_run(std::hint::black_box(&db), 7).unwrap())
+    });
+    // The same query without the RunID index (full scan baseline).
+    let scan_db = {
+        let mut d = db.clone();
+        let path = std::env::temp_dir().join("excovery-bench-noindex.json");
+        // Rebuild an unindexed clone via a fresh table copy.
+        let t = d.table_mut("Events").unwrap();
+        let rows: Vec<_> = t.rows().to_vec();
+        let cols = t.columns.clone();
+        let mut plain = excovery_store::Table::new(cols);
+        for r in rows {
+            plain.insert(r).unwrap();
+        }
+        *t = plain;
+        let _ = path;
+        d
+    };
+    g.bench_function("select_run_ordered_scan", |b| {
+        b.iter(|| EventRow::read_run(std::hint::black_box(&scan_db), 7).unwrap())
+    });
+    g.bench_function("count_predicate", |b| {
+        b.iter(|| {
+            db.table("Events")
+                .unwrap()
+                .count(&Predicate::Eq("EventType".into(), SqlValue::from("sd_service_add")))
+                .unwrap()
+        })
+    });
+    let dir = std::env::temp_dir().join("excovery-bench-store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.expdb");
+    g.bench_function("save_and_load_10k", |b| {
+        b.iter(|| {
+            db.save(&path).unwrap();
+            excovery_store::Database::load(&path).unwrap()
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

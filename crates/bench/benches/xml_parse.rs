@@ -1,0 +1,26 @@
+//! Criterion bench: XML description parsing and serialization — the cost
+//! of ExCovery's level-1 storage format.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use excovery_desc::xmlio::{from_xml, to_xml};
+use excovery_desc::ExperimentDescription;
+
+fn bench(c: &mut Criterion) {
+    let desc = ExperimentDescription::paper_two_party_sd(1000);
+    let xml = to_xml(&desc);
+    let mut g = c.benchmark_group("xml");
+    g.throughput(Throughput::Bytes(xml.len() as u64));
+    g.bench_function("serialize_paper_description", |b| {
+        b.iter(|| to_xml(std::hint::black_box(&desc)))
+    });
+    g.bench_function("parse_paper_description", |b| {
+        b.iter(|| from_xml(std::hint::black_box(&xml)).unwrap())
+    });
+    g.bench_function("roundtrip_paper_description", |b| {
+        b.iter(|| from_xml(&to_xml(std::hint::black_box(&desc))).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! **CS-1** — responsiveness vs injected message loss (the shape of
+//! Dittrich & Salfner, "Experimental responsiveness evaluation of
+//! decentralized service discovery", IPDPSW 2013 — paper ref. \[25\]).
+//!
+//! Expected: R(d) decreases with the loss probability at every deadline,
+//! and grows with the deadline as the query retransmission backoff
+//! recovers lost exchanges.
+
+use excovery_analysis::responsiveness::responsiveness_curve;
+use excovery_analysis::runs::RunView;
+use excovery_bench::harness::{curve_header, curve_row, execute_on, reps_from_env, DEADLINES_S};
+use excovery_core::scenarios::loss_sweep;
+use excovery_netsim::topology::Topology;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), String> {
+    let losses = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let reps = reps_from_env();
+    println!("CS-1: responsiveness vs message loss on the SM ({reps} replications/level)\n");
+    let desc = loss_sweep(&losses, reps, 20261);
+    let (outcome, by_run) = execute_on(desc, Topology::chain(2))?;
+
+    // Group episodes per loss level.
+    let mut grouped: BTreeMap<String, Vec<_>> = BTreeMap::new();
+    for run in &outcome.runs {
+        let eps = RunView::load(&outcome.database, run.run_id)
+            .map_err(|e| e.to_string())?
+            .episodes();
+        let loss = by_run[&run.run_id]
+            .split('|')
+            .find(|kv| kv.starts_with("fact_loss="))
+            .unwrap_or("fact_loss=?")
+            .to_string();
+        grouped.entry(loss).or_default().extend(eps);
+    }
+    println!("{}", curve_header());
+    for (label, eps) in grouped {
+        let curve = responsiveness_curve(&eps, 1, &DEADLINES_S);
+        println!("{}", curve_row(&label, &curve));
+    }
+    println!("\nshape: R falls with loss; longer deadlines recover via retransmission backoff.");
+    Ok(())
+}

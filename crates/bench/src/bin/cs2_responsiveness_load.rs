@@ -1,0 +1,64 @@
+//! **CS-2** — responsiveness vs generated background load: the experiment
+//! the paper's Figs. 4–10 describe, with the Fig. 5 factors (node pairs ×
+//! data rate) driving the Fig. 7 traffic generator.
+//!
+//! Expected: R at short deadlines degrades as pairs × rate grows; the
+//! mean t_R rises with load (queueing + loss-induced retries).
+
+use excovery_analysis::responsiveness::responsiveness_curve;
+use excovery_analysis::runs::RunView;
+use excovery_analysis::stats::Summary;
+use excovery_bench::harness::{
+    curve_header, curve_row, execute_on, first_t_rs_s, reps_from_env, DEADLINES_S,
+};
+use excovery_core::scenarios::load_sweep;
+use excovery_desc::PlatformSpec;
+use excovery_netsim::topology::Topology;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), String> {
+    let reps = reps_from_env();
+    println!("CS-2: responsiveness vs background load ({reps} replications/treatment)");
+    println!("factors as in Fig. 5: pairs ∈ {{5, 20}}, rate ∈ {{10, 50, 100}} … plus a 2000 kbit/s stress level\n");
+    let mut desc = load_sweep(&[5, 20], &[10, 100, 2000], reps, 20262);
+    // A 6-node chain (A and B at the ends) makes the shared medium scarce,
+    // as on a sparse section of the DES mesh.
+    desc.platform = PlatformSpec::new()
+        .with_actor_node("t9-157", "10.0.0.157", "A")
+        .with_actor_node("t9-105", "10.0.0.105", "B")
+        .with_env_node("t9-001", "10.0.0.1")
+        .with_env_node("t9-002", "10.0.0.2")
+        .with_env_node("t9-003", "10.0.0.3")
+        .with_env_node("t9-004", "10.0.0.4");
+    let (outcome, by_run) = execute_on(desc, Topology::chain(6))?;
+
+    let mut grouped: BTreeMap<String, Vec<_>> = BTreeMap::new();
+    for run in &outcome.runs {
+        let eps = RunView::load(&outcome.database, run.run_id)
+            .map_err(|e| e.to_string())?
+            .episodes();
+        let key: String = by_run[&run.run_id]
+            .split('|')
+            .filter(|kv| kv.starts_with("fact_bw=") || kv.starts_with("fact_pairs="))
+            .collect::<Vec<_>>()
+            .join("|");
+        grouped.entry(key).or_default().extend(eps);
+    }
+    println!("{}", curve_header());
+    for (label, eps) in &grouped {
+        let curve = responsiveness_curve(eps, 1, &DEADLINES_S);
+        println!("{}", curve_row(label, &curve));
+    }
+    println!("\nmean t_R per treatment (successful discoveries):");
+    for (label, eps) in &grouped {
+        let t_rs = first_t_rs_s(eps);
+        match Summary::compute(&t_rs) {
+            Some(s) => println!(
+                "  {label:<28} n={:<4} mean={:.4}s median={:.4}s p95={:.4}s",
+                s.n, s.mean, s.median, s.p95
+            ),
+            None => println!("  {label:<28} no successful discovery"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! **CS-3** — responsiveness vs hop distance (the shape of Dittrich,
+//! Lichtblau, Rezende, Malek, "Modeling responsiveness of decentralized
+//! service discovery in wireless mesh networks", MMB&DFT 2014 — paper
+//! ref. \[26\]).
+//!
+//! Expected: per-hop loss compounds, so R at short deadlines and the
+//! median t_R degrade with the hop count between SU and SM.
+
+use excovery_analysis::responsiveness::responsiveness_curve;
+use excovery_analysis::stats::Summary;
+use excovery_bench::harness::{
+    curve_header, curve_row, episodes, execute_with, first_t_rs_s, reps_from_env, DEADLINES_S,
+};
+use excovery_core::scenarios::{chain_between_actors, hop_distance};
+use excovery_core::EngineConfig;
+
+fn main() -> Result<(), String> {
+    let reps = reps_from_env();
+    println!("CS-3: responsiveness vs hop distance ({reps} replications/hop count)");
+    println!("lossy mesh links: 15% base loss per hop, as on weak DES links\n");
+    println!("{}", curve_header());
+    let mut medians = Vec::new();
+    for hops in 1..=6 {
+        let desc = hop_distance(reps, 20263 + hops as u64);
+        let mut cfg = EngineConfig::grid_default();
+        cfg.topology = chain_between_actors(hops);
+        // Weak links: per-hop loss compounds over the path.
+        cfg.sim.link_model.base_loss = 0.15;
+        let (outcome, _) = execute_with(desc, cfg)?;
+        let eps = episodes(&outcome);
+        let curve = responsiveness_curve(&eps, 1, &DEADLINES_S);
+        println!("{}", curve_row(&format!("hops={hops}"), &curve));
+        let t_rs = first_t_rs_s(&eps);
+        medians.push((hops, Summary::compute(&t_rs).map(|s| s.median)));
+    }
+    println!("\nmedian t_R by hop count:");
+    for (hops, median) in medians {
+        match median {
+            Some(m) => println!("  {hops} hops: {m:.4} s"),
+            None => println!("  {hops} hops: no discovery"),
+        }
+    }
+    Ok(())
+}

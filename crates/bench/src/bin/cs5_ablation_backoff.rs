@@ -1,0 +1,39 @@
+//! **CS-5** — ablation of the SDP's query retransmission backoff, the
+//! protocol design choice the request/response pairing of the modified
+//! Avahi makes analyzable (paper §VI).
+//!
+//! Compares backoff multipliers under 40% injected loss: constant retry
+//! (1.0) recovers fastest but floods the medium with queries; aggressive
+//! backoff (3.0) is cheap but pushes recovery past short deadlines.
+
+use excovery_analysis::responsiveness::responsiveness_curve;
+use excovery_bench::harness::{curve_header, curve_row, episodes, reps_from_env, DEADLINES_S};
+use excovery_core::scenarios::loss_sweep;
+use excovery_core::EngineConfig;
+use excovery_netsim::topology::Topology;
+use excovery_sd::SdConfig;
+
+fn main() -> Result<(), String> {
+    let reps = reps_from_env();
+    println!("CS-5: query-backoff ablation at 75% message loss ({reps} replications/setting)\n");
+    println!("{}", curve_header());
+    let mut costs = Vec::new();
+    for &backoff in &[1.0f64, 1.5, 2.0, 3.0] {
+        let desc = loss_sweep(&[0.75], reps, 20265);
+        let mut cfg = EngineConfig::grid_default();
+        cfg.topology = Topology::chain(2);
+        cfg.sd_config = Some(SdConfig { query_backoff: backoff, ..SdConfig::two_party() });
+        let mut master = excovery_core::ExperiMaster::new(desc, cfg)?;
+        let outcome = master.execute()?;
+        let stats = master.simulator().lock().stats();
+        let eps = episodes(&outcome);
+        let curve = responsiveness_curve(&eps, 1, &DEADLINES_S);
+        println!("{}", curve_row(&format!("backoff={backoff}"), &curve));
+        costs.push((backoff, stats.sent as f64 / outcome.runs.len() as f64));
+    }
+    println!("\nnetwork cost (transmissions per run):");
+    for (backoff, cost) in costs {
+        println!("  backoff={backoff}: {cost:.1}");
+    }
+    Ok(())
+}

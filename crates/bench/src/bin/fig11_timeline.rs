@@ -1,0 +1,29 @@
+//! Regenerates **Fig. 11**: visualization of a one-shot discovery process
+//! (per-actor timelines, actions as white and events as black circles),
+//! from a freshly executed run of the paper's two-party experiment.
+
+use excovery_analysis::timeline::Timeline;
+use excovery_bench::harness::execute_with;
+use excovery_core::EngineConfig;
+use excovery_desc::ExperimentDescription;
+use excovery_store::records::EventRow;
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), String> {
+    let desc = ExperimentDescription::paper_two_party_sd(1);
+    let mut cfg = EngineConfig::grid_default();
+    cfg.max_runs = Some(1);
+    let (outcome, _) = execute_with(desc, cfg)?;
+    let events = EventRow::read_run(&outcome.database, 0).map_err(|e| e.to_string())?;
+    let actors = BTreeMap::from([
+        ("t9-157".to_string(), "SM1".to_string()),
+        ("t9-105".to_string(), "SU1".to_string()),
+    ]);
+    let timeline = Timeline::from_events(&events, &actors);
+    println!("{}", timeline.render_ascii(100));
+    let path = "target/fig11_timeline.svg";
+    std::fs::create_dir_all("target").ok();
+    std::fs::write(path, timeline.render_svg(900)).map_err(|e| e.to_string())?;
+    println!("SVG written to {path}");
+    Ok(())
+}

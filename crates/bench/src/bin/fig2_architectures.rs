@@ -1,0 +1,53 @@
+//! Regenerates **Fig. 2**: the two-party and three-party discovery
+//! architectures — as observed message flows of one discovery each, read
+//! from the packet captures of executed experiments.
+
+use excovery_bench::harness::execute_on;
+use excovery_core::scenarios::multi_sm;
+use excovery_netsim::topology::Topology;
+use excovery_sd::SdMessage;
+use excovery_store::records::PacketRow;
+
+fn flow(architecture: &str, with_scm: bool) -> Result<(), String> {
+    let desc = multi_sm(1, architecture, with_scm, 1, 5);
+    let (outcome, _) = execute_on(desc, Topology::grid(2, 2))?;
+    let packets = PacketRow::read_run(&outcome.database, 0).map_err(|e| e.to_string())?;
+    println!("--- {architecture} ---");
+    let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+    for p in &packets {
+        // Only source-side captures: each transmission once.
+        if p.node_id != p.src_node_id {
+            continue;
+        }
+        let Some((_tag, payload)) = excovery_analysis::packetstats::split_tag(&p.data) else {
+            continue;
+        };
+        let Some(msg) = SdMessage::decode(payload) else { continue };
+        let kind = match msg {
+            SdMessage::Query { .. } => "multicast query (SU -> *)",
+            SdMessage::Response { .. } => "response",
+            SdMessage::Announce { .. } => "announcement (SM -> *)",
+            SdMessage::ScmAdvert { .. } => "SCM advert (SCM -> *)",
+            SdMessage::Register { .. } => "registration (SM -> SCM)",
+            SdMessage::RegisterAck { .. } => "registration ack (SCM -> SM)",
+            SdMessage::Deregister { .. } => "deregistration (SM -> SCM)",
+            SdMessage::DirectedQuery { .. } => "directed query (SU -> SCM)",
+        };
+        *counts.entry(kind).or_default() += 1;
+    }
+    for (kind, n) in counts {
+        println!("  {n:>3} × {kind}");
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), String> {
+    println!("Fig. 2 — SD architectures as observed message flows\n");
+    flow("two-party", false)?;
+    flow("three-party", true)?;
+    flow("hybrid", true)?;
+    println!("two-party: SUs and SMs communicate directly (multicast);");
+    println!("three-party: registrations and directed queries via the SCM.");
+    Ok(())
+}

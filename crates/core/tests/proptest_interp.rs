@@ -1,0 +1,172 @@
+//! Property tests for the process interpreter: arbitrary action sequences
+//! never panic, always terminate (run to Done, Failed, or a blocked wait),
+//! and the program counter never exceeds the action list.
+
+use excovery_core::faults::ParsedFault;
+use excovery_core::interp::{step, ExecCtx, ProcState, ProcessInstance};
+use excovery_desc::factors::LevelValue;
+use excovery_desc::process::{EventSelector, ProcessAction, ValueRef};
+use excovery_netsim::{SimDuration, SimTime};
+use excovery_rpc::Value;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Context that scripts successes/failures and advances time on demand.
+struct ScriptedCtx {
+    now: SimTime,
+    satisfy_all_events: bool,
+    fail_calls: bool,
+    calls: usize,
+}
+
+impl ExecCtx for ScriptedCtx {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn marker(&self) -> u64 {
+        0
+    }
+    fn resolve(&self, v: &ValueRef) -> Option<LevelValue> {
+        match v {
+            ValueRef::Lit(l) => Some(l.clone()),
+            ValueRef::FactorRef(id) if id == "known" => Some(LevelValue::Int(1)),
+            ValueRef::FactorRef(_) => None,
+        }
+    }
+    fn satisfied(&self, _selector: &EventSelector, _since: u64) -> bool {
+        self.satisfy_all_events
+    }
+    fn call_node(
+        &mut self,
+        _platform_id: &str,
+        _method: &str,
+        _params: Vec<Value>,
+    ) -> Result<Value, String> {
+        self.calls += 1;
+        if self.fail_calls {
+            Err("scripted failure".into())
+        } else {
+            Ok(Value::Int(self.calls as i32))
+        }
+    }
+    fn env_invoke(
+        &mut self,
+        _name: &str,
+        _params: &HashMap<String, LevelValue>,
+    ) -> Result<(), String> {
+        self.calls += 1;
+        Ok(())
+    }
+    fn emit_master_event(&mut self, _name: &str) {
+        self.calls += 1;
+    }
+    fn schedule_fault(
+        &mut self,
+        _platform_id: &str,
+        _fault: &ParsedFault,
+        _window: (SimTime, SimTime),
+    ) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+fn value_ref_strategy() -> impl Strategy<Value = ValueRef> {
+    prop_oneof![
+        (-100i64..100).prop_map(ValueRef::int),
+        "[a-z]{1,8}".prop_map(ValueRef::text),
+        Just(ValueRef::factor("known")),
+        Just(ValueRef::factor("unknown")),
+    ]
+}
+
+fn action_strategy() -> impl Strategy<Value = ProcessAction> {
+    prop_oneof![
+        (0i64..5).prop_map(|s| ProcessAction::WaitForTime { seconds: ValueRef::int(s) }),
+        Just(ProcessAction::WaitMarker),
+        "[a-z]{1,10}".prop_map(|v| ProcessAction::EventFlag { value: v }),
+        ("[a-z_]{1,12}", prop::collection::vec(("[a-z]{1,6}", value_ref_strategy()), 0..3))
+            .prop_map(|(name, params)| ProcessAction::Invoke {
+                name,
+                params: params.into_iter().collect(),
+            }),
+        ("[a-z_]{1,10}", prop::option::of(0i64..40)).prop_map(|(event, timeout)| {
+            let mut sel = EventSelector::named(event);
+            if let Some(t) = timeout {
+                sel = sel.with_timeout(ValueRef::int(t));
+            }
+            ProcessAction::WaitForEvent(sel)
+        }),
+        // Fault actions, including stops without a matching start.
+        Just(ProcessAction::invoke("fault_interface_start")),
+        Just(ProcessAction::invoke("fault_interface_stop")),
+        Just(ProcessAction::invoke_with(
+            "fault_message_loss_start",
+            [("probability".to_string(), ValueRef::Lit(LevelValue::Float(0.5)))],
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stepping any process with time advancing and events satisfied
+    /// always reaches Done or Failed in bounded steps; the pc never runs
+    /// past the action list.
+    #[test]
+    fn interpreter_terminates(
+        actions in prop::collection::vec(action_strategy(), 0..12),
+        node_bound in any::<bool>(),
+        fail_calls in any::<bool>(),
+    ) {
+        let platform = node_bound.then(|| "t9-000".to_string());
+        let mut p = ProcessInstance::new("prop", platform, Some("SM".into()), actions);
+        let mut ctx =
+            ScriptedCtx { now: SimTime::ZERO, satisfy_all_events: true, fail_calls, calls: 0 };
+        for _ in 0..1_000 {
+            if p.finished() {
+                break;
+            }
+            let progressed = step(&mut p, &mut ctx);
+            prop_assert!(p.pc <= p.actions.len());
+            if !progressed {
+                // Blocked: advance time past any wait and retry.
+                ctx.now += SimDuration::from_secs(10);
+            }
+        }
+        prop_assert!(
+            p.finished(),
+            "process did not terminate: state {:?} pc {}",
+            p.state,
+            p.pc
+        );
+    }
+
+    /// With events never satisfied and no timeouts, a process either
+    /// finishes or parks in WaitingEvent — it must not busy-loop or fail
+    /// spuriously.
+    #[test]
+    fn unsatisfied_waits_park(
+        actions in prop::collection::vec(action_strategy(), 0..12),
+    ) {
+        let mut p = ProcessInstance::new("prop", Some("n".into()), Some("SU".into()), actions);
+        let mut ctx =
+            ScriptedCtx { now: SimTime::ZERO, satisfy_all_events: false, fail_calls: false, calls: 0 };
+        for _ in 0..1_000 {
+            let progressed = step(&mut p, &mut ctx);
+            if p.finished() {
+                return Ok(());
+            }
+            if !progressed {
+                match &p.state {
+                    ProcState::WaitingEvent { deadline: None, .. } => return Ok(()), // parked
+                    ProcState::WaitingEvent { deadline: Some(_), .. }
+                    | ProcState::WaitingTime { .. } => {
+                        ctx.now += SimDuration::from_secs(10);
+                    }
+                    other => prop_assert!(false, "blocked in unexpected state {other:?}"),
+                }
+            }
+        }
+        prop_assert!(false, "no quiescence reached");
+    }
+}

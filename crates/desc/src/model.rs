@@ -1,0 +1,231 @@
+//! The complete experiment description (paper §IV-C, Fig. 4).
+
+use crate::factors::FactorList;
+use crate::plan::{Design, PlanOptions, TreatmentPlan};
+use crate::platform::PlatformSpec;
+use crate::process::{
+    ActorProcess, EnvProcess, EventSelector, NodeSelector, ProcessAction, ValueRef,
+};
+use std::fmt;
+
+/// Error raised when building, parsing or validating a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescError(pub String);
+
+impl fmt::Display for DescError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "description error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DescError {}
+
+/// The abstract description of a whole experiment: design, manipulations
+/// and the distributed process under examination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentDescription {
+    /// Experiment name (stored in `ExperimentInfo`).
+    pub name: String,
+    /// Free-form comment.
+    pub comment: Option<String>,
+    /// Abstract node identifiers (Fig. 4: nodes `A` and `B`).
+    pub abstract_nodes: Vec<String>,
+    /// Informative key-value parameters classifying the experiment
+    /// (Fig. 4: `sd_architecture`, `sd_protocol`, `sd_scheme`).
+    pub params: Vec<(String, String)>,
+    /// The experiment design: factors, levels, replication.
+    pub factors: FactorList,
+    /// Node-bound processes: experiment roles and manipulation processes.
+    pub node_processes: Vec<ActorProcess>,
+    /// Environment processes (traffic generation etc.).
+    pub env_processes: Vec<EnvProcess>,
+    /// Mapping to the concrete platform.
+    pub platform: PlatformSpec,
+    /// Master seed named in the description (§IV-C1).
+    pub seed: u64,
+    /// Treatment ordering design.
+    pub design: Design,
+}
+
+impl ExperimentDescription {
+    /// Creates a minimal named description.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            comment: None,
+            abstract_nodes: Vec::new(),
+            params: Vec::new(),
+            factors: FactorList::new(),
+            node_processes: Vec::new(),
+            env_processes: Vec::new(),
+            platform: PlatformSpec::new(),
+            seed: 0,
+            design: Design::Ofat,
+        }
+    }
+
+    /// Looks up an informative parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Generates the treatment plan for this description.
+    pub fn plan(&self) -> TreatmentPlan {
+        TreatmentPlan::generate(
+            &self.factors,
+            &PlanOptions { design: self.design, seed: self.seed },
+        )
+    }
+
+    /// The node process for a given actor id.
+    pub fn node_process(&self, actor_id: &str) -> Option<&ActorProcess> {
+        self.node_processes.iter().find(|p| p.actor_id == actor_id)
+    }
+
+    /// The paper's complete two-party service-discovery experiment:
+    /// Fig. 4 (informative parameters and abstract nodes), Fig. 5
+    /// (factors), Fig. 7 (environment traffic process), Fig. 8 (platform),
+    /// Fig. 9 (SM role) and Fig. 10 (SU role).
+    ///
+    /// `replications` scales the 1000 replications of Fig. 5 so tests and
+    /// examples can run abbreviated versions of the same description.
+    pub fn paper_two_party_sd(replications: u64) -> Self {
+        let mut d = ExperimentDescription::new("sd-two-party");
+        d.comment = Some(
+            "One-shot decentralized service discovery under generated load \
+             (paper Figs. 4-11)"
+                .into(),
+        );
+        d.abstract_nodes = vec!["A".into(), "B".into()];
+        d.params = vec![
+            ("sd_architecture".into(), "two-party".into()),
+            ("sd_protocol".into(), "zeroconf".into()),
+            ("sd_scheme".into(), "active".into()),
+        ];
+        let mut factors = FactorList::paper_fig5();
+        factors.replication.count = replications;
+        d.factors = factors;
+
+        // Fig. 9: SM role.
+        let mut sm = ActorProcess::new("actor0");
+        sm.name = Some("SM".into());
+        sm.nodes_factor = Some("fact_nodes".into());
+        sm.actions = vec![
+            ProcessAction::invoke("sd_init"),
+            ProcessAction::invoke("sd_start_publish"),
+            ProcessAction::WaitForEvent(EventSelector::named("done")),
+            ProcessAction::invoke("sd_stop_publish"),
+            ProcessAction::invoke("sd_exit"),
+        ];
+
+        // Fig. 10: SU role.
+        let mut su = ActorProcess::new("actor1");
+        su.name = Some("SU".into());
+        su.nodes_factor = Some("fact_nodes".into());
+        su.actions = vec![
+            ProcessAction::WaitForEvent(
+                EventSelector::named("sd_start_publish").from_nodes(NodeSelector::all("actor0")),
+            ),
+            ProcessAction::WaitForEvent(EventSelector::named("ready_to_init")),
+            ProcessAction::invoke("sd_init"),
+            ProcessAction::WaitMarker,
+            ProcessAction::invoke("sd_start_search"),
+            ProcessAction::WaitForEvent(
+                EventSelector::named("sd_service_add")
+                    .from_nodes(NodeSelector::all("actor1"))
+                    .with_param(NodeSelector::all("actor0"))
+                    .with_timeout(ValueRef::int(30)),
+            ),
+            ProcessAction::EventFlag { value: "done".into() },
+            ProcessAction::invoke("sd_stop_search"),
+            ProcessAction::invoke("sd_exit"),
+        ];
+        d.node_processes = vec![sm, su];
+
+        // Fig. 7: environment traffic process.
+        let env = EnvProcess {
+            actions: vec![
+            ProcessAction::EventFlag { value: "ready_to_init".into() },
+            ProcessAction::invoke_with(
+                "env_traffic_start",
+                [
+                    ("bw".to_string(), ValueRef::factor("fact_bw")),
+                    ("choice".to_string(), ValueRef::int(0)),
+                    ("random_switch_amount".to_string(), ValueRef::int(1)),
+                    (
+                        "random_switch_seed".to_string(),
+                        ValueRef::factor("fact_replication_id"),
+                    ),
+                    ("random_pairs".to_string(), ValueRef::factor("fact_pairs")),
+                    ("random_seed".to_string(), ValueRef::factor("fact_pairs")),
+                ],
+            ),
+            ProcessAction::WaitForEvent(EventSelector::named("done")),
+            ProcessAction::invoke("env_traffic_stop"),
+        ]};
+        d.env_processes = vec![env];
+
+        d.platform = PlatformSpec::paper_fig8();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_description_is_minimal() {
+        let d = ExperimentDescription::new("x");
+        assert_eq!(d.name, "x");
+        assert!(d.plan().len() == 1, "replication default 1, no factors");
+    }
+
+    #[test]
+    fn param_lookup() {
+        let d = ExperimentDescription::paper_two_party_sd(1);
+        assert_eq!(d.param("sd_protocol"), Some("zeroconf"));
+        assert_eq!(d.param("sd_architecture"), Some("two-party"));
+        assert_eq!(d.param("missing"), None);
+    }
+
+    #[test]
+    fn paper_description_full_plan_size() {
+        let d = ExperimentDescription::paper_two_party_sd(1000);
+        assert_eq!(d.plan().len(), 6_000);
+    }
+
+    #[test]
+    fn paper_description_roles() {
+        let d = ExperimentDescription::paper_two_party_sd(1);
+        let sm = d.node_process("actor0").unwrap();
+        assert_eq!(sm.name.as_deref(), Some("SM"));
+        assert_eq!(sm.actions.len(), 5);
+        let su = d.node_process("actor1").unwrap();
+        assert_eq!(su.actions.len(), 9);
+        assert!(d.node_process("actor9").is_none());
+    }
+
+    #[test]
+    fn su_deadline_is_30_seconds() {
+        let d = ExperimentDescription::paper_two_party_sd(1);
+        let su = d.node_process("actor1").unwrap();
+        let waits: Vec<&EventSelector> = su
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                ProcessAction::WaitForEvent(sel) => Some(sel),
+                _ => None,
+            })
+            .collect();
+        let add = waits.iter().find(|w| w.event == "sd_service_add").unwrap();
+        assert_eq!(add.timeout_s, Some(ValueRef::int(30)));
+        assert!(add.require_all);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DescError("bad factor".into());
+        assert!(e.to_string().contains("bad factor"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Structural validation of experiment descriptions.
+//!
+//! The paper provides an XML schema with the framework so descriptions can
+//! be automatically checked before execution (§I, §IV). This module
+//! performs the semantic half of that checking: identifier uniqueness,
+//! resolvable factor references, complete actor-to-node mappings and
+//! platform coverage.
+
+use crate::factors::FactorUsage;
+use crate::model::{DescError, ExperimentDescription};
+use crate::process::{ProcessAction, ValueRef};
+use std::collections::HashSet;
+
+/// A validation finding; `fatal` findings make the description unusable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// True if execution must be refused.
+    pub fatal: bool,
+    /// Explanation.
+    pub message: String,
+}
+
+impl Finding {
+    fn fatal(msg: impl Into<String>) -> Self {
+        Self { fatal: true, message: msg.into() }
+    }
+    fn warn(msg: impl Into<String>) -> Self {
+        Self { fatal: false, message: msg.into() }
+    }
+}
+
+/// Validates a description, returning all findings (empty = fully valid).
+pub fn validate(desc: &ExperimentDescription) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Factor ids unique and non-empty.
+    let mut factor_ids = HashSet::new();
+    for f in &desc.factors.factors {
+        if f.id.is_empty() {
+            findings.push(Finding::fatal("factor with empty id"));
+        }
+        if !factor_ids.insert(f.id.as_str()) {
+            findings.push(Finding::fatal(format!("duplicate factor id '{}'", f.id)));
+        }
+        if f.levels.is_empty() {
+            findings.push(Finding::warn(format!("factor '{}' has no levels", f.id)));
+        }
+        for level in &f.levels {
+            if level.type_name() != f.level_type && f.level_type != "str" {
+                findings.push(Finding::fatal(format!(
+                    "factor '{}' declares type '{}' but has a '{}' level",
+                    f.id,
+                    f.level_type,
+                    level.type_name()
+                )));
+            }
+        }
+        if f.usage == FactorUsage::Replication {
+            findings.push(Finding::fatal(format!(
+                "factor '{}' uses usage=replication; use <replicationfactor> instead",
+                f.id
+            )));
+        }
+    }
+    let replication_id = desc.factors.replication.id.clone();
+    if desc.factors.replication.count == 0 {
+        findings.push(Finding::warn("replication count 0 is treated as 1"));
+    }
+
+    // Actor processes: unique ids, resolvable factor references.
+    let mut actor_ids = HashSet::new();
+    for p in &desc.node_processes {
+        if !actor_ids.insert(p.actor_id.as_str()) {
+            findings.push(Finding::fatal(format!("duplicate actor process '{}'", p.actor_id)));
+        }
+        if let Some(nf) = &p.nodes_factor {
+            match desc.factors.factor(nf) {
+                None => findings.push(Finding::fatal(format!(
+                    "actor '{}' references unknown nodes factor '{nf}'",
+                    p.actor_id
+                ))),
+                Some(f) if f.level_type != "actor_node_map" => {
+                    findings.push(Finding::fatal(format!(
+                        "actor '{}' nodes factor '{nf}' is not an actor_node_map",
+                        p.actor_id
+                    )))
+                }
+                Some(f) => {
+                    // Every level must assign this actor.
+                    for level in &f.levels {
+                        if let Some(m) = level.as_actor_map() {
+                            if !m.iter().any(|a| a.actor_id == p.actor_id) {
+                                findings.push(Finding::fatal(format!(
+                                    "nodes factor '{nf}' has a level not mapping actor '{}'",
+                                    p.actor_id
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        check_actions(desc, &p.actions, &replication_id, &mut findings, &p.actor_id);
+    }
+    for (i, env) in desc.env_processes.iter().enumerate() {
+        check_actions(desc, &env.actions, &replication_id, &mut findings, &format!("env#{i}"));
+    }
+
+    // Actor maps reference known abstract nodes; abstract nodes map to the
+    // platform.
+    let abstract_set: HashSet<&str> = desc.abstract_nodes.iter().map(String::as_str).collect();
+    for f in &desc.factors.factors {
+        for level in &f.levels {
+            if let Some(m) = level.as_actor_map() {
+                for a in m {
+                    for inst in &a.instances {
+                        if !abstract_set.is_empty() && !abstract_set.contains(inst.as_str()) {
+                            findings.push(Finding::fatal(format!(
+                                "actor map '{}' assigns unknown abstract node '{inst}'",
+                                f.id
+                            )));
+                        }
+                        if !desc.platform.is_empty()
+                            && desc.platform.node_for_abstract(inst).is_none()
+                        {
+                            findings.push(Finding::fatal(format!(
+                                "abstract node '{inst}' has no platform mapping"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Platform node ids unique.
+    let mut platform_ids = HashSet::new();
+    for n in desc.platform.all_nodes() {
+        if !platform_ids.insert(n.id.as_str()) {
+            findings.push(Finding::fatal(format!("duplicate platform node id '{}'", n.id)));
+        }
+    }
+
+    findings
+}
+
+fn check_actions(
+    desc: &ExperimentDescription,
+    actions: &[ProcessAction],
+    replication_id: &str,
+    findings: &mut Vec<Finding>,
+    ctx: &str,
+) {
+    let known_actor =
+        |actor: &str| desc.node_processes.iter().any(|p| p.actor_id == actor);
+    let check_ref = |v: &ValueRef, findings: &mut Vec<Finding>| {
+        if let Some(id) = v.factor_id() {
+            if id != replication_id && desc.factors.factor(id).is_none() {
+                findings.push(Finding::fatal(format!(
+                    "{ctx}: reference to unknown factor '{id}'"
+                )));
+            }
+        }
+    };
+    for a in actions {
+        match a {
+            ProcessAction::WaitForTime { seconds } => check_ref(seconds, findings),
+            ProcessAction::WaitForEvent(sel) => {
+                if sel.event.is_empty() {
+                    findings.push(Finding::fatal(format!("{ctx}: wait_for_event without name")));
+                }
+                if let Some(t) = &sel.timeout_s {
+                    check_ref(t, findings);
+                }
+                for ns in [&sel.from, &sel.param].into_iter().flatten() {
+                    if !known_actor(&ns.actor) {
+                        findings.push(Finding::fatal(format!(
+                            "{ctx}: selector references unknown actor '{}'",
+                            ns.actor
+                        )));
+                    }
+                }
+            }
+            ProcessAction::EventFlag { value } => {
+                if value.is_empty() {
+                    findings.push(Finding::fatal(format!("{ctx}: event_flag without value")));
+                }
+            }
+            ProcessAction::WaitMarker => {}
+            ProcessAction::Invoke { params, .. } => {
+                for (_, v) in params {
+                    check_ref(v, findings);
+                }
+            }
+        }
+    }
+}
+
+/// Validates and returns an error listing all fatal findings, if any.
+pub fn validate_strict(desc: &ExperimentDescription) -> Result<Vec<Finding>, DescError> {
+    let findings = validate(desc);
+    let fatal: Vec<&Finding> = findings.iter().filter(|f| f.fatal).collect();
+    if fatal.is_empty() {
+        Ok(findings)
+    } else {
+        Err(DescError(
+            fatal.iter().map(|f| f.message.clone()).collect::<Vec<_>>().join("; "),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::{Factor, FactorList, LevelValue};
+    use crate::process::{ActorProcess, EventSelector, NodeSelector};
+
+    #[test]
+    fn paper_description_is_valid() {
+        let d = ExperimentDescription::paper_two_party_sd(10);
+        let findings = validate(&d);
+        assert!(
+            findings.iter().all(|f| !f.fatal),
+            "unexpected fatal findings: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_factor_id_is_fatal() {
+        let mut d = ExperimentDescription::new("x");
+        d.factors = FactorList::new()
+            .with_factor(Factor::int("f", FactorUsage::Constant, [1]))
+            .with_factor(Factor::int("f", FactorUsage::Constant, [2]));
+        assert!(validate(&d).iter().any(|f| f.fatal && f.message.contains("duplicate factor")));
+    }
+
+    #[test]
+    fn unknown_factorref_is_fatal() {
+        let mut d = ExperimentDescription::new("x");
+        let mut p = ActorProcess::new("a0");
+        p.actions = vec![ProcessAction::WaitForTime { seconds: ValueRef::factor("missing") }];
+        d.node_processes.push(p);
+        assert!(validate(&d).iter().any(|f| f.fatal && f.message.contains("missing")));
+    }
+
+    #[test]
+    fn replication_ref_is_allowed() {
+        let mut d = ExperimentDescription::new("x");
+        let mut p = ActorProcess::new("a0");
+        p.actions = vec![ProcessAction::invoke_with(
+            "env_traffic_start",
+            [("seed".to_string(), ValueRef::factor("fact_replication_id"))],
+        )];
+        d.node_processes.push(p);
+        assert!(validate(&d).iter().all(|f| !f.fatal), "{:?}", validate(&d));
+    }
+
+    #[test]
+    fn selector_to_unknown_actor_is_fatal() {
+        let mut d = ExperimentDescription::new("x");
+        let mut p = ActorProcess::new("a0");
+        p.actions = vec![ProcessAction::WaitForEvent(
+            EventSelector::named("e").from_nodes(NodeSelector::all("ghost")),
+        )];
+        d.node_processes.push(p);
+        assert!(validate(&d).iter().any(|f| f.fatal && f.message.contains("ghost")));
+    }
+
+    #[test]
+    fn level_type_mismatch_is_fatal() {
+        let mut d = ExperimentDescription::new("x");
+        let mut f = Factor::int("f", FactorUsage::Constant, [1]);
+        f.levels.push(LevelValue::Text("oops".into()));
+        d.factors = FactorList::new().with_factor(f);
+        assert!(validate(&d).iter().any(|x| x.fatal && x.message.contains("declares type")));
+    }
+
+    #[test]
+    fn unmapped_abstract_node_is_fatal() {
+        let mut d = ExperimentDescription::paper_two_party_sd(1);
+        // Remove the platform mapping for B.
+        d.platform.actor_nodes.retain(|n| n.abstract_id.as_deref() != Some("B"));
+        assert!(validate(&d)
+            .iter()
+            .any(|f| f.fatal && f.message.contains("no platform mapping")));
+    }
+
+    #[test]
+    fn empty_levels_is_warning_only() {
+        let mut d = ExperimentDescription::new("x");
+        d.factors = FactorList::new()
+            .with_factor(Factor::int("f", FactorUsage::Constant, std::iter::empty()));
+        let findings = validate(&d);
+        assert!(findings.iter().any(|f| !f.fatal && f.message.contains("no levels")));
+        assert!(validate_strict(&d).is_ok());
+    }
+
+    #[test]
+    fn validate_strict_reports_all_fatals() {
+        let mut d = ExperimentDescription::new("x");
+        d.factors = FactorList::new()
+            .with_factor(Factor::int("f", FactorUsage::Constant, [1]))
+            .with_factor(Factor::int("f", FactorUsage::Constant, [1]));
+        let mut p = ActorProcess::new("a0");
+        p.actions = vec![ProcessAction::EventFlag { value: String::new() }];
+        d.node_processes.push(p);
+        let err = validate_strict(&d).unwrap_err();
+        assert!(err.0.contains("duplicate factor") && err.0.contains("event_flag"));
+    }
+
+    #[test]
+    fn duplicate_platform_id_is_fatal() {
+        let mut d = ExperimentDescription::new("x");
+        d.platform = crate::platform::PlatformSpec::new()
+            .with_env_node("n1", "10.0.0.1")
+            .with_env_node("n1", "10.0.0.2");
+        assert!(validate(&d).iter().any(|f| f.fatal && f.message.contains("duplicate platform")));
+    }
+}

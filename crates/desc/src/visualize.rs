@@ -1,0 +1,231 @@
+//! Visualization of experiment descriptions.
+//!
+//! The formal description "allows for automatic checking, execution and
+//! additional features, such as visualisation of experiments" (paper §I).
+//! This module renders the process structure of a description as Graphviz
+//! DOT — one cluster per process, actions in sequence, with dashed edges
+//! from every `wait_for_event` to the `event_flag`s/actions that can
+//! satisfy it — and as a compact ASCII outline.
+
+use crate::model::ExperimentDescription;
+use crate::process::{ActorProcess, EnvProcess, ProcessAction};
+
+/// Events each SD action implicitly emits (paper §V), used to draw
+/// dependency edges to waits.
+fn emitted_events(action: &ProcessAction) -> Vec<String> {
+    match action {
+        ProcessAction::EventFlag { value } => vec![value.clone()],
+        ProcessAction::Invoke { name, .. } => match name.as_str() {
+            "sd_init" => vec!["sd_init_done".into(), "scm_started".into()],
+            "sd_exit" => vec!["sd_exit_done".into()],
+            "sd_start_search" => vec!["sd_start_search".into(), "sd_service_add".into()],
+            "sd_stop_search" => vec!["sd_stop_search".into()],
+            "sd_start_publish" => vec!["sd_start_publish".into()],
+            "sd_stop_publish" => vec!["sd_stop_publish".into()],
+            "sd_update_publication" => vec!["sd_service_upd".into()],
+            _ => vec![],
+        },
+        _ => vec![],
+    }
+}
+
+fn action_label(a: &ProcessAction) -> String {
+    match a {
+        ProcessAction::WaitForTime { seconds } => format!("wait_for_time({seconds})"),
+        ProcessAction::WaitMarker => "wait_marker".into(),
+        ProcessAction::EventFlag { value } => format!("event_flag(\\\"{value}\\\")"),
+        ProcessAction::WaitForEvent(sel) => {
+            let mut s = format!("wait_for_event(\\\"{}\\\"", sel.event);
+            if let Some(t) = &sel.timeout_s {
+                s.push_str(&format!(", timeout={t}"));
+            }
+            s.push(')');
+            s
+        }
+        ProcessAction::Invoke { name, params } => {
+            if params.is_empty() {
+                name.clone()
+            } else {
+                format!("{name}({} params)", params.len())
+            }
+        }
+    }
+}
+
+struct DotProcess<'a> {
+    id: String,
+    title: String,
+    actions: &'a [ProcessAction],
+}
+
+fn collect<'a>(desc: &'a ExperimentDescription) -> Vec<DotProcess<'a>> {
+    let mut out = Vec::new();
+    for (i, p) in desc.node_processes.iter().enumerate() {
+        let ActorProcess { actor_id, name, is_manipulation, .. } = p;
+        let kind = if *is_manipulation { "manipulation" } else { "process" };
+        out.push(DotProcess {
+            id: format!("np{i}"),
+            title: format!(
+                "{actor_id}{} [{kind}]",
+                name.as_deref().map(|n| format!(" ({n})")).unwrap_or_default()
+            ),
+            actions: &p.actions,
+        });
+    }
+    for (i, EnvProcess { actions }) in desc.env_processes.iter().enumerate() {
+        out.push(DotProcess {
+            id: format!("ep{i}"),
+            title: format!("environment #{i}"),
+            actions,
+        });
+    }
+    out
+}
+
+/// Renders the description's processes as a Graphviz DOT digraph.
+pub fn to_dot(desc: &ExperimentDescription) -> String {
+    let procs = collect(desc);
+    let mut dot = String::new();
+    dot.push_str("digraph experiment {\n");
+    dot.push_str("  rankdir=TB;\n  node [shape=box, fontsize=10];\n");
+    dot.push_str(&format!("  label=\"{}\";\n", desc.name));
+
+    // Emit clusters with sequential edges.
+    for p in &procs {
+        dot.push_str(&format!("  subgraph cluster_{} {{\n    label=\"{}\";\n", p.id, p.title));
+        for (j, a) in p.actions.iter().enumerate() {
+            let shape = match a {
+                ProcessAction::WaitForEvent(_) | ProcessAction::WaitForTime { .. } => {
+                    ", shape=hexagon"
+                }
+                ProcessAction::EventFlag { .. } => ", shape=ellipse",
+                _ => "",
+            };
+            dot.push_str(&format!(
+                "    {}_{j} [label=\"{}\"{shape}];\n",
+                p.id,
+                action_label(a)
+            ));
+        }
+        for j in 1..p.actions.len() {
+            dot.push_str(&format!("    {}_{} -> {}_{};\n", p.id, j - 1, p.id, j));
+        }
+        dot.push_str("  }\n");
+    }
+
+    // Dashed dependency edges: emitter -> wait.
+    for waiter in &procs {
+        for (j, a) in waiter.actions.iter().enumerate() {
+            let ProcessAction::WaitForEvent(sel) = a else { continue };
+            for emitter in &procs {
+                for (k, b) in emitter.actions.iter().enumerate() {
+                    if std::ptr::eq(a, b) {
+                        continue;
+                    }
+                    if emitted_events(b).contains(&sel.event) {
+                        dot.push_str(&format!(
+                            "  {}_{k} -> {}_{j} [style=dashed, color=gray40, label=\"{}\"];\n",
+                            emitter.id, waiter.id, sel.event
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    dot.push_str("}\n");
+    dot
+}
+
+/// Renders a compact ASCII outline of the processes.
+pub fn to_outline(desc: &ExperimentDescription) -> String {
+    let mut out = format!("experiment '{}'\n", desc.name);
+    for p in collect(desc) {
+        out.push_str(&format!("  {}\n", p.title));
+        for a in p.actions {
+            let marker = match a {
+                ProcessAction::WaitForEvent(_) | ProcessAction::WaitForTime { .. } => "⏳",
+                ProcessAction::EventFlag { .. } => "⚑",
+                ProcessAction::WaitMarker => "▸",
+                ProcessAction::Invoke { .. } => "→",
+            };
+            out.push_str(&format!("    {marker} {}\n", action_label(a).replace("\\\"", "\"")));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_clusters_and_dependencies() {
+        let d = ExperimentDescription::paper_two_party_sd(1);
+        let dot = to_dot(&d);
+        assert!(dot.starts_with("digraph experiment {"));
+        assert!(dot.ends_with("}\n"));
+        // One cluster per process: SM, SU, env.
+        assert_eq!(dot.matches("subgraph cluster_").count(), 3);
+        // The SU's wait on sd_start_publish depends on the SM's publish.
+        assert!(
+            dot.contains("style=dashed") && dot.contains("label=\"sd_start_publish\""),
+            "{dot}"
+        );
+        // Sequential edges exist inside clusters.
+        assert!(dot.contains("np0_0 -> np0_1;"));
+        // The 'done' flag feeds the SM's wait.
+        assert!(dot.contains("label=\"done\""));
+    }
+
+    #[test]
+    fn dot_is_balanced() {
+        let d = ExperimentDescription::paper_two_party_sd(1);
+        let dot = to_dot(&d);
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn outline_lists_every_action() {
+        let d = ExperimentDescription::paper_two_party_sd(1);
+        let outline = to_outline(&d);
+        let total_actions: usize = d
+            .node_processes
+            .iter()
+            .map(|p| p.actions.len())
+            .chain(d.env_processes.iter().map(|p| p.actions.len()))
+            .sum();
+        let action_lines = outline
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                t.starts_with('→') || t.starts_with('⏳') || t.starts_with('⚑') || t.starts_with('▸')
+            })
+            .count();
+        assert_eq!(action_lines, total_actions);
+        assert!(outline.contains("actor0 (SM) [process]"));
+        assert!(outline.contains("environment #0"));
+    }
+
+    #[test]
+    fn manipulation_processes_are_marked() {
+        let d = excovery_like_loss_desc();
+        let dot = to_dot(&d);
+        assert!(dot.contains("[manipulation]"), "{dot}");
+    }
+
+    fn excovery_like_loss_desc() -> ExperimentDescription {
+        let mut d = ExperimentDescription::new("m");
+        let mut p = crate::process::ActorProcess::new("fault0");
+        p.is_manipulation = true;
+        p.actions = vec![ProcessAction::invoke("fault_interface_start")];
+        d.node_processes.push(p);
+        d
+    }
+
+    #[test]
+    fn empty_description_renders() {
+        let d = ExperimentDescription::new("empty");
+        assert!(to_dot(&d).contains("digraph"));
+        assert!(to_outline(&d).contains("experiment 'empty'"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for treatment-plan generation and description round-trips.
+
+use excovery_desc::factors::{Factor, FactorList, FactorUsage};
+use excovery_desc::plan::{Design, PlanOptions, RunSpec, TreatmentPlan};
+use excovery_desc::xmlio::{from_xml, to_xml};
+use excovery_desc::ExperimentDescription;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn usage_strategy() -> impl Strategy<Value = FactorUsage> {
+    prop_oneof![
+        Just(FactorUsage::Blocking),
+        Just(FactorUsage::Random),
+        Just(FactorUsage::Constant),
+    ]
+}
+
+fn factor_strategy(idx: usize) -> impl Strategy<Value = Factor> {
+    (usage_strategy(), prop::collection::vec(-1000i64..1000, 1..5)).prop_map(
+        move |(usage, levels)| Factor::int(format!("f{idx}"), usage, levels),
+    )
+}
+
+fn factor_list_strategy() -> impl Strategy<Value = FactorList> {
+    (prop::collection::vec(any::<u8>(), 0..4), 1u64..6).prop_flat_map(|(shape, reps)| {
+        let factors: Vec<_> =
+            shape.iter().enumerate().map(|(i, _)| factor_strategy(i)).collect();
+        (factors, Just(reps)).prop_map(|(fs, reps)| {
+            let mut fl = FactorList::new().with_replication("rep", reps);
+            for f in fs {
+                fl.factors.push(f);
+            }
+            fl
+        })
+    })
+}
+
+fn design_strategy() -> impl Strategy<Value = Design> {
+    prop_oneof![
+        Just(Design::Ofat),
+        Just(Design::CompletelyRandomized),
+        Just(Design::RandomizedWithinBlocks),
+    ]
+}
+
+fn multiset(runs: &[RunSpec]) -> HashMap<(String, u64), usize> {
+    let mut m = HashMap::new();
+    for r in runs {
+        *m.entry((r.treatment.key(), r.replicate)).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Plan size equals the product of level counts times replication,
+    /// run ids are sequential, and every (treatment, replicate) pair
+    /// appears exactly once — in every design.
+    #[test]
+    fn plan_invariants(fl in factor_list_strategy(), design in design_strategy(), seed in 0u64..1000) {
+        let plan = TreatmentPlan::generate(&fl, &PlanOptions { design, seed });
+        prop_assert_eq!(plan.len() as u64, fl.total_runs());
+        for (i, r) in plan.runs.iter().enumerate() {
+            prop_assert_eq!(r.run_id, i as u64);
+            prop_assert!(r.replicate < fl.replication.count.max(1));
+        }
+        let counts = multiset(&plan.runs);
+        prop_assert!(counts.values().all(|&c| c == 1), "pairs must be unique");
+        prop_assert_eq!(counts.len(), plan.len());
+    }
+
+    /// Every design is a permutation of the OFAT plan's run multiset.
+    #[test]
+    fn designs_are_permutations(fl in factor_list_strategy(), seed in 0u64..1000) {
+        let ofat = TreatmentPlan::generate(&fl, &PlanOptions { design: Design::Ofat, seed });
+        for design in [Design::CompletelyRandomized, Design::RandomizedWithinBlocks] {
+            let other = TreatmentPlan::generate(&fl, &PlanOptions { design, seed });
+            prop_assert_eq!(multiset(&ofat.runs), multiset(&other.runs));
+        }
+    }
+
+    /// Same inputs produce identical plans (seeded determinism, §IV-C1).
+    #[test]
+    fn plans_are_deterministic(fl in factor_list_strategy(), design in design_strategy(), seed in 0u64..1000) {
+        let a = TreatmentPlan::generate(&fl, &PlanOptions { design, seed });
+        let b = TreatmentPlan::generate(&fl, &PlanOptions { design, seed });
+        prop_assert_eq!(a, b);
+    }
+
+    /// A description with arbitrary factor lists round-trips through XML.
+    #[test]
+    fn factor_lists_roundtrip_through_xml(fl in factor_list_strategy(), seed in 0u64..100) {
+        let mut d = ExperimentDescription::new("prop");
+        d.seed = seed;
+        d.factors = fl;
+        let xml = to_xml(&d);
+        let back = from_xml(&xml).expect("parse back");
+        prop_assert_eq!(back, d);
+    }
+
+    /// Custom orders replay the named treatments exactly.
+    #[test]
+    fn custom_order_respects_sequence(
+        fl in factor_list_strategy(),
+        raw_order in prop::collection::vec(0usize..64, 0..6),
+    ) {
+        let base = TreatmentPlan::generate(&fl, &PlanOptions::default());
+        let n_treat = base.distinct_treatments().len();
+        let order: Vec<usize> = raw_order.into_iter().map(|i| i % n_treat).collect();
+        let plan = TreatmentPlan::with_custom_order(&fl, &PlanOptions::default(), &order)
+            .expect("indices are in range");
+        let reps = fl.replication.count.max(1) as usize;
+        prop_assert_eq!(plan.len(), order.len() * reps);
+        let treatments = base.distinct_treatments();
+        for (slot, &idx) in order.iter().enumerate() {
+            for r in 0..reps {
+                prop_assert_eq!(&plan.runs[slot * reps + r].treatment, treatments[idx]);
+            }
+        }
+    }
+}

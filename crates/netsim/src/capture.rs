@@ -1,0 +1,151 @@
+//! Packet captures.
+//!
+//! Each node records every packet it observes (sent, received or forwarded)
+//! with its *local* timestamp and complete content — the raw material of the
+//! `Packets` table of the paper's storage schema (Table I) and the basis for
+//! deriving statistical connection parameters during later analysis
+//! (§IV-B2).
+
+use crate::packet::{Destination, PacketId, Payload, Port};
+use crate::sim::NodeId;
+use crate::time::SimTime;
+
+/// How the capturing node observed the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaptureKind {
+    /// The node transmitted the packet.
+    Sent,
+    /// The node received (and consumed) the packet.
+    Received,
+    /// The node relayed the packet towards another node.
+    Forwarded,
+}
+
+/// One captured packet observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureRecord {
+    /// Node that made the observation.
+    pub node: NodeId,
+    /// Local (drifting) clock reading at observation time.
+    pub local_time: SimTime,
+    /// Transmission identifier.
+    pub packet_id: PacketId,
+    /// 16-bit tagger id carried by the packet.
+    pub tag: u16,
+    /// Originating node of the packet.
+    pub src: NodeId,
+    /// Addressing of the packet.
+    pub dst: Destination,
+    /// Destination port.
+    pub port: Port,
+    /// Complete, unaltered payload.
+    pub payload: Payload,
+    /// How the packet was observed.
+    pub kind: CaptureKind,
+}
+
+/// Per-node capture buffer — the node's "temporary storage" (§IV-B5).
+#[derive(Debug, Clone, Default)]
+pub struct CaptureBuffer {
+    records: Vec<CaptureRecord>,
+}
+
+impl CaptureBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn record(&mut self, rec: CaptureRecord) {
+        self.records.push(rec);
+    }
+
+    /// All records in observation order.
+    pub fn records(&self) -> &[CaptureRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drains all records (collection phase hands them to the master).
+    pub fn drain(&mut self) -> Vec<CaptureRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Drops everything (run preparation: "network packets generated in
+    /// previous runs must be dropped on all participants", §IV-C1).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Records observed on a given port.
+    pub fn on_port(&self, port: Port) -> impl Iterator<Item = &CaptureRecord> {
+        self.records.iter().filter(move |r| r.port == port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(node: u16, port: Port, kind: CaptureKind) -> CaptureRecord {
+        CaptureRecord {
+            node: NodeId(node),
+            local_time: SimTime::from_nanos(1),
+            packet_id: PacketId(7),
+            tag: 3,
+            src: NodeId(0),
+            dst: Destination::Multicast,
+            port,
+            payload: Payload::from("x"),
+            kind,
+        }
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let mut b = CaptureBuffer::new();
+        assert!(b.is_empty());
+        b.record(rec(1, 5353, CaptureKind::Sent));
+        b.record(rec(1, 427, CaptureKind::Received));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.records()[0].kind, CaptureKind::Sent);
+    }
+
+    #[test]
+    fn port_filter() {
+        let mut b = CaptureBuffer::new();
+        b.record(rec(1, 5353, CaptureKind::Sent));
+        b.record(rec(1, 427, CaptureKind::Sent));
+        b.record(rec(1, 5353, CaptureKind::Received));
+        assert_eq!(b.on_port(5353).count(), 2);
+        assert_eq!(b.on_port(427).count(), 1);
+        assert_eq!(b.on_port(80).count(), 0);
+    }
+
+    #[test]
+    fn drain_empties_buffer() {
+        let mut b = CaptureBuffer::new();
+        b.record(rec(2, 5353, CaptureKind::Forwarded));
+        let drained = b.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = CaptureBuffer::new();
+        b.record(rec(2, 5353, CaptureKind::Sent));
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

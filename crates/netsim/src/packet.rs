@@ -1,0 +1,124 @@
+//! Packets exchanged on the simulated experiment network.
+
+use crate::sim::NodeId;
+use crate::time::SimTime;
+
+/// UDP-style port multiplexing protocols on a node.
+///
+/// The service-discovery substrate uses well-known ports mirroring reality:
+/// 5353 for the mDNS-like SDP, 427 for the directory (SLP-like) SDP.
+pub type Port = u16;
+
+/// Globally unique identifier of a packet *transmission*.
+///
+/// Distinct from the 16-bit tagger id (see [`crate::tagger`]): retransmitted
+/// protocol messages get fresh `PacketId`s, mirroring how distinct frames
+/// appear on a real medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+/// Where a packet is addressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Destination {
+    /// Routed hop-by-hop along a shortest path to a single node.
+    Unicast(NodeId),
+    /// Flooded to all reachable nodes subscribed to the port (mDNS-style
+    /// mesh-wide multicast, the common SD case in the paper's prototype).
+    Multicast,
+    /// Flooded to all reachable nodes regardless of subscription.
+    Broadcast,
+}
+
+/// Opaque application payload.
+///
+/// Protocol crates serialize their messages into bytes; the simulator never
+/// interprets them, matching the paper's requirement that captures contain
+/// the "complete and unaltered content" (§IV-A3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Payload(pub Vec<u8>);
+
+impl Payload {
+    /// Creates a payload from bytes.
+    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
+        Self(bytes.into())
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<&str> for Payload {
+    fn from(s: &str) -> Self {
+        Payload(s.as_bytes().to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload(v)
+    }
+}
+
+/// A packet in flight on the experiment network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Unique transmission identifier.
+    pub id: PacketId,
+    /// 16-bit tagger identifier stamped by the sending node (wraps).
+    pub tag: u16,
+    /// Originating node.
+    pub src: NodeId,
+    /// Addressing.
+    pub dst: Destination,
+    /// Destination port (protocol demultiplexer).
+    pub port: Port,
+    /// Application payload.
+    pub payload: Payload,
+    /// Total on-air size in bytes (payload + header overhead).
+    pub size_bytes: u32,
+    /// Reference-clock instant the packet was handed to the network.
+    pub sent_at: SimTime,
+}
+
+/// Fixed per-packet header overhead (IP + UDP + tag option), in bytes.
+pub const HEADER_OVERHEAD_BYTES: u32 = 32;
+
+impl Packet {
+    /// On-air size derived from a payload.
+    pub fn wire_size(payload: &Payload) -> u32 {
+        payload.len() as u32 + HEADER_OVERHEAD_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_adds_header() {
+        assert_eq!(Packet::wire_size(&Payload::from("abcd")), 4 + HEADER_OVERHEAD_BYTES);
+        assert_eq!(Packet::wire_size(&Payload::default()), HEADER_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn payload_conversions() {
+        let p: Payload = "hello".into();
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        let q: Payload = vec![1u8, 2, 3].into();
+        assert_eq!(q.0, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn destination_equality() {
+        assert_eq!(Destination::Multicast, Destination::Multicast);
+        assert_ne!(Destination::Unicast(NodeId(1)), Destination::Unicast(NodeId(2)));
+    }
+}

@@ -1,0 +1,1171 @@
+//! The simulator core: nodes, agents, packet transport, timers.
+//!
+//! [`Simulator`] owns a [`Topology`], one internal node record per topology node and
+//! a deterministic event queue. Protocol implementations (the SD substrate,
+//! test harnesses) attach as [`Agent`]s bound to a `(node, port)` pair and
+//! interact with the world exclusively through an [`AgentCtx`] — sending
+//! packets, arming timers and emitting protocol events that ExCovery
+//! records.
+//!
+//! Transport model:
+//!
+//! * **Unicast** packets follow the shortest path, hop by hop; each link
+//!   crossing draws loss from the load-dependent [`LinkModel`] and adds a
+//!   jittered per-hop delay plus serialization time.
+//! * **Multicast/Broadcast** packets flood the mesh with per-packet
+//!   duplicate suppression, the standard mesh multicast approximation; each
+//!   link crossing draws loss and delay independently.
+//!
+//! Fault injection ([`FilterRule`]) is evaluated at the originator
+//! (transmit direction) and the final receiver (receive direction); an
+//! interface fault or the *drop-all* environment manipulation additionally
+//! stops a node from relaying.
+
+use crate::capture::{CaptureBuffer, CaptureKind, CaptureRecord};
+use crate::clock::{NodeClock, SyncMeasurement};
+use crate::event::EventQueue;
+use crate::filter::{Direction, FilterRule, FilterSet, RuleId, Verdict};
+use crate::link::{LinkLoad, LinkModel};
+use crate::packet::{Destination, Packet, PacketId, Payload, Port};
+use crate::rng::{derive_rng, derive_rng_indexed};
+use crate::tagger::Tagger;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Index of a node in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A protocol endpoint attached to a `(node, port)`.
+///
+/// All methods receive an [`AgentCtx`] for interacting with the simulator;
+/// default implementations ignore the callback.
+pub trait Agent: std::any::Any + Send {
+    /// Called once when the agent is installed.
+    fn on_start(&mut self, _ctx: &mut AgentCtx) {}
+    /// Called when a packet addressed to this agent's port is delivered.
+    fn on_packet(&mut self, _ctx: &mut AgentCtx, _pkt: &Packet) {}
+    /// Called when a timer armed via [`AgentCtx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut AgentCtx, _token: u64) {}
+    /// Concrete-type access for external control (NodeManagers drive their
+    /// protocol agents between simulator steps; see `Simulator::with_agent_mut`).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// A protocol-level event surfaced by an agent (e.g. `sd_service_add`),
+/// recorded with the node's local clock. ExCovery's engine drains these
+/// into its event list (§IV-B1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolEvent {
+    /// Node the event occurred on.
+    pub node: NodeId,
+    /// Local clock reading at emission.
+    pub local_time: SimTime,
+    /// Event name.
+    pub name: String,
+    /// Event parameters as key/value pairs.
+    pub params: Vec<(String, String)>,
+}
+
+/// What an agent asked the simulator to do during a callback.
+enum Action {
+    Send { dst: Destination, port: Port, payload: Payload },
+    SetTimer { delay: SimDuration, token: u64 },
+    CancelTimer { token: u64 },
+}
+
+/// The interface through which agents act on the simulated world.
+pub struct AgentCtx<'a> {
+    now: SimTime,
+    local_now: SimTime,
+    node: NodeId,
+    actions: Vec<Action>,
+    events: Vec<ProtocolEvent>,
+    rng: &'a mut StdRng,
+}
+
+impl<'a> AgentCtx<'a> {
+    /// Current reference-clock time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Current *local* clock reading of this agent's node.
+    pub fn local_now(&self) -> SimTime {
+        self.local_now
+    }
+
+    /// The node this agent runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends a packet from this node.
+    pub fn send(&mut self, dst: Destination, port: Port, payload: impl Into<Payload>) {
+        self.actions.push(Action::Send { dst, port, payload: payload.into() });
+    }
+
+    /// Arms a timer that calls [`Agent::on_timer`] with `token` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.actions.push(Action::SetTimer { delay, token });
+    }
+
+    /// Cancels all pending timers of this agent carrying `token`.
+    pub fn cancel_timer(&mut self, token: u64) {
+        self.actions.push(Action::CancelTimer { token });
+    }
+
+    /// Emits a protocol event recorded by the experimentation layer.
+    pub fn emit(&mut self, name: impl Into<String>, params: Vec<(String, String)>) {
+        self.events.push(ProtocolEvent {
+            node: self.node,
+            local_time: self.local_now,
+            name: name.into(),
+            params,
+        });
+    }
+
+    /// Seeded per-node randomness for protocol jitter (reproducible).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// Simulator-internal queued events.
+#[derive(Debug, PartialEq, Eq)]
+enum Ev {
+    /// A unicast packet finishes crossing the link `from → to`;
+    /// `rest` is the remaining path after `to`.
+    UnicastTransit { packet: Packet, from: NodeId, to: NodeId, rest: Vec<NodeId> },
+    /// A flooded packet finishes crossing the link `from → to`.
+    FloodTransit { packet: Packet, from: NodeId, to: NodeId },
+    /// Final delivery deferred by an injected receive delay; filters were
+    /// already evaluated.
+    Deliver { packet: Packet, at: NodeId },
+    /// A timer armed by the agent at `(node, port)` fires.
+    Timer { node: NodeId, port: Port, token: u64, tid: u64 },
+}
+
+/// Counters of transport activity, useful for tests and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Packets handed to the network by agents.
+    pub sent: u64,
+    /// Final deliveries to an agent.
+    pub delivered: u64,
+    /// Packets dropped by filter rules (fault injection).
+    pub dropped_filter: u64,
+    /// Link crossings lost to the channel model.
+    pub dropped_loss: u64,
+    /// Flood duplicates suppressed.
+    pub duplicates: u64,
+    /// Relay transmissions performed.
+    pub forwarded: u64,
+}
+
+/// Configuration of a [`Simulator`].
+#[derive(Debug, Clone)]
+pub struct SimulatorConfig {
+    /// Master seed; every internal stream derives from it.
+    pub seed: u64,
+    /// Link loss/delay model.
+    pub link_model: LinkModel,
+    /// Maximum absolute node clock offset, nanoseconds (uniform draw).
+    pub max_clock_offset_ns: i64,
+    /// Maximum absolute node clock drift, ppm (uniform draw).
+    pub max_drift_ppm: f64,
+    /// Maximum absolute clock-sync measurement error, nanoseconds.
+    pub max_sync_error_ns: i64,
+}
+
+impl Default for SimulatorConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            link_model: LinkModel::default(),
+            // A loosely NTP-synchronized testbed: offsets up to ±5 ms,
+            // drift up to ±50 ppm, sync measurement error up to ±100 µs.
+            max_clock_offset_ns: 5_000_000,
+            max_drift_ppm: 50.0,
+            max_sync_error_ns: 100_000,
+        }
+    }
+}
+
+impl SimulatorConfig {
+    /// Configuration with perfectly synchronized clocks (useful in tests).
+    pub fn perfect_clocks(seed: u64) -> Self {
+        Self {
+            seed,
+            max_clock_offset_ns: 0,
+            max_drift_ppm: 0.0,
+            max_sync_error_ns: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Same configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+struct SimNode {
+    clock: NodeClock,
+    filters: FilterSet,
+    captures: CaptureBuffer,
+    tagger: Tagger,
+    drop_all: bool,
+    rng: StdRng,
+    agents: HashMap<Port, Box<dyn Agent>>,
+}
+
+/// The deterministic discrete-event network simulator.
+///
+/// ```
+/// use excovery_netsim::sim::{Simulator, SimulatorConfig};
+/// use excovery_netsim::topology::Topology;
+/// use excovery_netsim::{Destination, NodeId, Payload};
+///
+/// let mut sim = Simulator::new(Topology::chain(3), SimulatorConfig::perfect_clocks(7));
+/// sim.send_from(NodeId(0), 5353, Destination::Unicast(NodeId(2)), Payload::from("hello"));
+/// sim.run_until_idle(1_000);
+/// // The receiver captured the packet (1% base loss may rarely drop it;
+/// // seed 7 delivers).
+/// assert_eq!(sim.captures(NodeId(2)).len(), 1);
+/// ```
+pub struct Simulator {
+    topology: Topology,
+    cfg: SimulatorConfig,
+    nodes: Vec<SimNode>,
+    queue: EventQueue<Ev>,
+    time: SimTime,
+    next_packet_id: u64,
+    next_tid: u64,
+    channel_rng: StdRng,
+    sync_rng: StdRng,
+    link_load: LinkLoad,
+    flood_seen: HashSet<(PacketId, u16)>,
+    active_timers: HashMap<(u16, Port, u64), HashSet<u64>>,
+    protocol_events: Vec<ProtocolEvent>,
+    stats: SimStats,
+}
+
+impl Simulator {
+    /// Builds a simulator over `topology` with the given configuration.
+    ///
+    /// Node clocks are drawn from the seed-derived `clock` stream, so the
+    /// same `(topology, seed)` always produces the same clock population.
+    pub fn new(topology: Topology, cfg: SimulatorConfig) -> Self {
+        let mut clock_rng = derive_rng(cfg.seed, "clock");
+        let nodes = (0..topology.len())
+            .map(|i| {
+                let offset = if cfg.max_clock_offset_ns > 0 {
+                    clock_rng.gen_range(-cfg.max_clock_offset_ns..=cfg.max_clock_offset_ns)
+                } else {
+                    0
+                };
+                let drift = if cfg.max_drift_ppm > 0.0 {
+                    clock_rng.gen_range(-cfg.max_drift_ppm..=cfg.max_drift_ppm)
+                } else {
+                    0.0
+                };
+                SimNode {
+                    clock: NodeClock::new(offset, drift),
+                    filters: FilterSet::new(),
+                    captures: CaptureBuffer::new(),
+                    tagger: Tagger::new(),
+                    drop_all: false,
+                    rng: derive_rng_indexed(cfg.seed, "agent", i as u64),
+                    agents: HashMap::new(),
+                }
+            })
+            .collect();
+        Self {
+            channel_rng: derive_rng(cfg.seed, "channel"),
+            sync_rng: derive_rng(cfg.seed, "sync"),
+            topology,
+            cfg,
+            nodes,
+            queue: EventQueue::new(),
+            time: SimTime::ZERO,
+            next_packet_id: 0,
+            next_tid: 0,
+            link_load: LinkLoad::new(),
+            flood_seen: HashSet::new(),
+            active_timers: HashMap::new(),
+            protocol_events: Vec::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    // ---- inspection -----------------------------------------------------
+
+    /// Current reference time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// The topology the simulator runs on.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Transport statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The local clock of a node.
+    pub fn clock(&self, node: NodeId) -> NodeClock {
+        self.nodes[node.0 as usize].clock
+    }
+
+    /// Local clock reading of `node` at the current reference time.
+    pub fn local_time(&self, node: NodeId) -> SimTime {
+        self.clock(node).local_time(self.time)
+    }
+
+    // ---- agents ----------------------------------------------------------
+
+    /// Installs an agent at `(node, port)` and invokes its `on_start`.
+    /// Replaces any previous agent on that port.
+    pub fn install_agent(&mut self, node: NodeId, port: Port, agent: Box<dyn Agent>) {
+        self.nodes[node.0 as usize].agents.insert(port, agent);
+        self.dispatch(node, port, |agent, ctx| agent.on_start(ctx));
+    }
+
+    /// Removes the agent at `(node, port)`, returning it if present.
+    pub fn remove_agent(&mut self, node: NodeId, port: Port) -> Option<Box<dyn Agent>> {
+        self.nodes[node.0 as usize].agents.remove(&port)
+    }
+
+    /// True if an agent is installed at `(node, port)`.
+    pub fn has_agent(&self, node: NodeId, port: Port) -> bool {
+        self.nodes[node.0 as usize].agents.contains_key(&port)
+    }
+
+    /// Runs `f` against the agent at `(node, port)` with a live context —
+    /// the hook NodeManagers use to issue protocol commands (e.g. the SD
+    /// actions of §V) from outside the event loop. Actions the agent
+    /// requests (sends, timers, events) are applied as usual. Returns
+    /// `None` if no agent is installed there.
+    pub fn with_agent_mut<R>(
+        &mut self,
+        node: NodeId,
+        port: Port,
+        f: impl FnOnce(&mut dyn Agent, &mut AgentCtx) -> R,
+    ) -> Option<R> {
+        let mut out = None;
+        let captured = &mut out;
+        self.dispatch(node, port, |agent, ctx| {
+            *captured = Some(f(agent, ctx));
+        });
+        out
+    }
+
+    // ---- filters & faults -------------------------------------------------
+
+    /// Installs a fault-injection rule on a node.
+    pub fn install_filter(&mut self, node: NodeId, rule: FilterRule) -> RuleId {
+        self.nodes[node.0 as usize].filters.install(rule)
+    }
+
+    /// Removes a fault-injection rule.
+    pub fn remove_filter(&mut self, node: NodeId, id: RuleId) -> bool {
+        self.nodes[node.0 as usize].filters.remove(id)
+    }
+
+    /// Removes all rules from all nodes (run clean-up).
+    pub fn clear_all_filters(&mut self) {
+        for n in &mut self.nodes {
+            n.filters.clear();
+        }
+    }
+
+    /// Sets the *drop-all* environment manipulation on one node: the node
+    /// stops receiving, sending and forwarding experiment packets (§IV-D2).
+    pub fn set_drop_all(&mut self, node: NodeId, drop: bool) {
+        self.nodes[node.0 as usize].drop_all = drop;
+    }
+
+    /// Applies *drop-all* to every node.
+    pub fn set_drop_all_everywhere(&mut self, drop: bool) {
+        for n in &mut self.nodes {
+            n.drop_all = drop;
+        }
+    }
+
+    // ---- measurement ------------------------------------------------------
+
+    /// Measures the clock offset of `node` against the reference clock,
+    /// with a seeded measurement error (paper §IV-B3).
+    pub fn measure_sync(&mut self, node: NodeId) -> SyncMeasurement {
+        let err = if self.cfg.max_sync_error_ns > 0 {
+            self.sync_rng.gen_range(-self.cfg.max_sync_error_ns..=self.cfg.max_sync_error_ns)
+        } else {
+            0
+        };
+        SyncMeasurement::measure(&self.nodes[node.0 as usize].clock, self.time, err)
+    }
+
+    /// Capture buffer of a node.
+    pub fn captures(&self, node: NodeId) -> &[CaptureRecord] {
+        self.nodes[node.0 as usize].captures.records()
+    }
+
+    /// Drains the capture buffer of a node (collection phase).
+    pub fn drain_captures(&mut self, node: NodeId) -> Vec<CaptureRecord> {
+        self.nodes[node.0 as usize].captures.drain()
+    }
+
+    /// Clears all capture buffers (run preparation).
+    pub fn clear_all_captures(&mut self) {
+        for n in &mut self.nodes {
+            n.captures.clear();
+        }
+    }
+
+    /// Drains protocol events emitted by agents since the last call.
+    pub fn drain_protocol_events(&mut self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut self.protocol_events)
+    }
+
+    /// Records a protocol event on behalf of `node` (stamped with that
+    /// node's local clock) — used by NodeManagers for `event_flag` and
+    /// fault start/stop events that originate outside any agent (§IV-B1).
+    pub fn emit_external_event(
+        &mut self,
+        node: NodeId,
+        name: impl Into<String>,
+        params: Vec<(String, String)>,
+    ) {
+        let local_time = self.nodes[node.0 as usize].clock.local_time(self.time);
+        self.protocol_events.push(ProtocolEvent { node, local_time, name: name.into(), params });
+    }
+
+    /// Hop count between two nodes (the paper's topology measurement).
+    pub fn hop_count(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        self.topology.hop_count(a, b)
+    }
+
+    // ---- background load (traffic generator hook) --------------------------
+
+    /// Adds background load to the link `a—b` (kbit/s).
+    pub fn add_link_load(&mut self, a: NodeId, b: NodeId, kbps: f64) {
+        self.link_load.add(a.0, b.0, kbps);
+    }
+
+    /// Removes background load from the link `a—b` (kbit/s).
+    pub fn remove_link_load(&mut self, a: NodeId, b: NodeId, kbps: f64) {
+        self.link_load.remove(a.0, b.0, kbps);
+    }
+
+    /// Current background load on the link `a—b` (kbit/s).
+    pub fn link_load(&self, a: NodeId, b: NodeId) -> f64 {
+        self.link_load.get(a.0, b.0)
+    }
+
+    /// Clears all background load.
+    pub fn clear_link_load(&mut self) {
+        self.link_load.clear();
+    }
+
+    // ---- sending ------------------------------------------------------------
+
+    /// Sends a packet from `node` as if an agent on `port` had sent it.
+    /// Useful for tests and environment processes.
+    pub fn send_from(&mut self, node: NodeId, port: Port, dst: Destination, payload: Payload) {
+        self.process_send(node, dst, port, payload);
+    }
+
+    // ---- execution -----------------------------------------------------------
+
+    /// Executes a single queued event. Returns `false` if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((due, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(due >= self.time, "time must be monotone");
+        self.time = due;
+        match ev {
+            Ev::UnicastTransit { packet, from, to, rest } => {
+                self.handle_unicast_transit(packet, from, to, rest)
+            }
+            Ev::FloodTransit { packet, from, to } => self.handle_flood_transit(packet, from, to),
+            Ev::Deliver { packet, at } => self.deliver(packet, at),
+            Ev::Timer { node, port, token, tid } => self.handle_timer(node, port, token, tid),
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or `deadline` is reached; the clock
+    /// always advances to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+    }
+
+    /// Runs for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.time + d;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain, up to `max_events` (storm guard).
+    /// Returns the number of events executed.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Resets the platform to a defined initial working condition for the
+    /// next experiment run (paper §IV-C1): pending events, timers, agents,
+    /// filters, captures, background load and drop-all flags are cleared.
+    /// Simulated time keeps advancing monotonically across runs, like the
+    /// wall clock of a real testbed.
+    pub fn reset_for_run(&mut self) {
+        self.queue.clear();
+        self.flood_seen.clear();
+        self.active_timers.clear();
+        self.link_load.clear();
+        self.protocol_events.clear();
+        for n in &mut self.nodes {
+            n.filters.clear();
+            n.captures.clear();
+            n.drop_all = false;
+            n.agents.clear();
+        }
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    /// Runs `f` on the agent at `(node, port)` with a fresh context, then
+    /// applies the actions the agent requested.
+    fn dispatch(
+        &mut self,
+        node: NodeId,
+        port: Port,
+        f: impl FnOnce(&mut dyn Agent, &mut AgentCtx),
+    ) {
+        let Some(mut agent) = self.nodes[node.0 as usize].agents.remove(&port) else {
+            return;
+        };
+        let local_now = self.nodes[node.0 as usize].clock.local_time(self.time);
+        let mut ctx = AgentCtx {
+            now: self.time,
+            local_now,
+            node,
+            actions: Vec::new(),
+            events: Vec::new(),
+            rng: &mut self.nodes[node.0 as usize].rng,
+        };
+        f(agent.as_mut(), &mut ctx);
+        let AgentCtx { actions, events, .. } = ctx;
+        // Reinstall unless the agent replaced/removed itself meanwhile
+        // (it cannot — only the simulator mutates the map — so insert).
+        self.nodes[node.0 as usize].agents.insert(port, agent);
+        self.protocol_events.extend(events);
+        for action in actions {
+            match action {
+                Action::Send { dst, port: p, payload } => {
+                    self.process_send(node, dst, p, payload)
+                }
+                Action::SetTimer { delay, token } => {
+                    let tid = self.next_tid;
+                    self.next_tid += 1;
+                    self.active_timers.entry((node.0, port, token)).or_default().insert(tid);
+                    self.queue.schedule(self.time + delay, Ev::Timer { node, port, token, tid });
+                }
+                Action::CancelTimer { token } => {
+                    self.active_timers.remove(&(node.0, port, token));
+                }
+            }
+        }
+    }
+
+    fn handle_timer(&mut self, node: NodeId, port: Port, token: u64, tid: u64) {
+        let key = (node.0, port, token);
+        let live = match self.active_timers.get_mut(&key) {
+            Some(set) => set.remove(&tid),
+            None => false,
+        };
+        if let Some(set) = self.active_timers.get(&key) {
+            if set.is_empty() {
+                self.active_timers.remove(&key);
+            }
+        }
+        if live {
+            self.dispatch(node, port, |agent, ctx| agent.on_timer(ctx, token));
+        }
+    }
+
+    fn alloc_packet(
+        &mut self,
+        src: NodeId,
+        dst: Destination,
+        port: Port,
+        payload: Payload,
+    ) -> Packet {
+        let id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        let tag = self.nodes[src.0 as usize].tagger.stamp();
+        Packet {
+            id,
+            tag,
+            src,
+            dst,
+            port,
+            size_bytes: Packet::wire_size(&payload),
+            payload,
+            sent_at: self.time,
+        }
+    }
+
+    fn capture(&mut self, node: NodeId, packet: &Packet, kind: CaptureKind) {
+        let local_time = self.nodes[node.0 as usize].clock.local_time(self.time);
+        self.nodes[node.0 as usize].captures.record(CaptureRecord {
+            node,
+            local_time,
+            packet_id: packet.id,
+            tag: packet.tag,
+            src: packet.src,
+            dst: packet.dst,
+            port: packet.port,
+            payload: packet.payload.clone(),
+            kind,
+        });
+    }
+
+    fn process_send(&mut self, src: NodeId, dst: Destination, port: Port, payload: Payload) {
+        self.stats.sent += 1;
+        let packet = self.alloc_packet(src, dst, port, payload);
+        // The sender observes its own transmission attempt even if egress
+        // filters subsequently drop it — exactly what a local capture on a
+        // faulty interface would show.
+        self.capture(src, &packet, CaptureKind::Sent);
+        if self.nodes[src.0 as usize].drop_all {
+            self.stats.dropped_filter += 1;
+            return;
+        }
+        // Egress filter: path rules match against the final unicast peer.
+        let peer = match dst {
+            Destination::Unicast(d) => Some(d),
+            _ => None,
+        };
+        let verdict = self.nodes[src.0 as usize].filters.evaluate(
+            Direction::Transmit,
+            peer,
+            &mut self.channel_rng,
+        );
+        let extra = match verdict {
+            Verdict::Drop => {
+                self.stats.dropped_filter += 1;
+                return;
+            }
+            Verdict::Pass { extra_delay } => extra_delay,
+        };
+        match dst {
+            Destination::Unicast(final_dst) => {
+                if final_dst == src {
+                    // Loopback: deliver immediately without touching the medium.
+                    self.deliver(packet, src);
+                    return;
+                }
+                let Some(path) = self.topology.shortest_path(src, final_dst) else {
+                    self.stats.dropped_loss += 1; // unroutable
+                    return;
+                };
+                // path = [src, h1, ..., final]; transmit to h1.
+                let rest: Vec<NodeId> = path[2..].to_vec();
+                self.transmit_hop(packet, src, path[1], rest, extra);
+            }
+            Destination::Multicast | Destination::Broadcast => {
+                self.flood_seen.insert((packet.id, src.0));
+                self.flood_from(packet, src, None, extra);
+            }
+        }
+    }
+
+    /// Attempts one unicast link crossing `from → to`; on success schedules
+    /// the transit-complete event.
+    fn transmit_hop(
+        &mut self,
+        packet: Packet,
+        from: NodeId,
+        to: NodeId,
+        rest: Vec<NodeId>,
+        extra_delay: SimDuration,
+    ) {
+        let load = self.link_load.get(from.0, to.0);
+        let p = self.cfg.link_model.loss_probability(load);
+        if self.channel_rng.gen::<f64>() < p {
+            self.stats.dropped_loss += 1;
+            return;
+        }
+        let base = self.cfg.link_model.hop_delay(load);
+        let jitter_draw = self.channel_rng.gen::<f64>();
+        let delay = self.cfg.link_model.jittered(base, jitter_draw)
+            + self.cfg.link_model.serialization_delay(packet.size_bytes)
+            + extra_delay;
+        self.queue
+            .schedule(self.time + delay, Ev::UnicastTransit { packet, from, to, rest });
+    }
+
+    fn handle_unicast_transit(
+        &mut self,
+        packet: Packet,
+        _from: NodeId,
+        to: NodeId,
+        rest: Vec<NodeId>,
+    ) {
+        if self.nodes[to.0 as usize].drop_all {
+            self.stats.dropped_filter += 1;
+            return;
+        }
+        if rest.is_empty() {
+            // Final hop: ingress filters, then delivery.
+            let verdict = self.nodes[to.0 as usize].filters.evaluate(
+                Direction::Receive,
+                Some(packet.src),
+                &mut self.channel_rng,
+            );
+            match verdict {
+                Verdict::Drop => self.stats.dropped_filter += 1,
+                Verdict::Pass { extra_delay } if extra_delay > SimDuration::ZERO => {
+                    // Defer the (already filter-approved) delivery.
+                    self.queue.schedule(self.time + extra_delay, Ev::Deliver { packet, at: to });
+                }
+                Verdict::Pass { .. } => self.deliver(packet, to),
+            }
+        } else {
+            // Relay: a node with a downed interface cannot forward.
+            if self.relay_blocked(to) {
+                self.stats.dropped_filter += 1;
+                return;
+            }
+            self.capture(to, &packet, CaptureKind::Forwarded);
+            self.stats.forwarded += 1;
+            let next = rest[0];
+            let remaining = rest[1..].to_vec();
+            self.transmit_hop(packet, to, next, remaining, SimDuration::ZERO);
+        }
+    }
+
+    /// True if `node`'s filters prevent it from relaying traffic
+    /// (interface fault in any direction blocks the shared radio).
+    fn relay_blocked(&self, node: NodeId) -> bool {
+        let n = &self.nodes[node.0 as usize];
+        // Probe with a max-output RNG: `gen::<f64>()` yields ≈1.0, so
+        // probabilistic loss rules (p < 1) never fire and only deterministic
+        // blocks (InterfaceDown, total loss) force a Drop verdict.
+        let mut probe_rng = rand::rngs::mock::StepRng::new(u64::MAX, 0);
+        n.drop_all
+            || matches!(n.filters.evaluate(Direction::Transmit, None, &mut probe_rng), Verdict::Drop)
+            || matches!(n.filters.evaluate(Direction::Receive, None, &mut probe_rng), Verdict::Drop)
+    }
+
+    fn flood_from(
+        &mut self,
+        packet: Packet,
+        at: NodeId,
+        came_from: Option<NodeId>,
+        extra_delay: SimDuration,
+    ) {
+        let neighbors: Vec<NodeId> = self.topology.neighbors(at).to_vec();
+        for nb in neighbors {
+            if Some(nb) == came_from {
+                continue;
+            }
+            let load = self.link_load.get(at.0, nb.0);
+            let p = self.cfg.link_model.loss_probability(load);
+            if self.channel_rng.gen::<f64>() < p {
+                self.stats.dropped_loss += 1;
+                continue;
+            }
+            let base = self.cfg.link_model.hop_delay(load);
+            let jitter_draw = self.channel_rng.gen::<f64>();
+            let delay = self.cfg.link_model.jittered(base, jitter_draw)
+                + self.cfg.link_model.serialization_delay(packet.size_bytes)
+                + extra_delay;
+            self.queue.schedule(
+                self.time + delay,
+                Ev::FloodTransit { packet: packet.clone(), from: at, to: nb },
+            );
+        }
+    }
+
+    fn handle_flood_transit(&mut self, packet: Packet, from: NodeId, to: NodeId) {
+        if !self.flood_seen.insert((packet.id, to.0)) {
+            self.stats.duplicates += 1;
+            return;
+        }
+        if self.nodes[to.0 as usize].drop_all {
+            self.stats.dropped_filter += 1;
+            return;
+        }
+        // Ingress filter at every receiving node.
+        let verdict = self.nodes[to.0 as usize].filters.evaluate(
+            Direction::Receive,
+            Some(packet.src),
+            &mut self.channel_rng,
+        );
+        let deliverable = match verdict {
+            Verdict::Drop => {
+                self.stats.dropped_filter += 1;
+                false
+            }
+            Verdict::Pass { .. } => true,
+        };
+        let subscribed = self.nodes[to.0 as usize].agents.contains_key(&packet.port);
+        if deliverable {
+            if subscribed {
+                self.deliver(packet.clone(), to);
+            } else {
+                self.capture(to, &packet, CaptureKind::Forwarded);
+            }
+        }
+        // Relaying continues regardless of local subscription, unless the
+        // node's radio is down. Note a Receive-dropped packet was still
+        // heard by the radio in reality only probabilistically; we model
+        // fault-filtered packets as consumed (not relayed) to make the
+        // interface fault actually partition the flood.
+        if deliverable && !self.relay_blocked(to) {
+            self.stats.forwarded += 1;
+            self.flood_from(packet, to, Some(from), SimDuration::ZERO);
+        }
+    }
+
+    fn deliver(&mut self, packet: Packet, at: NodeId) {
+        self.capture(at, &packet, CaptureKind::Received);
+        if self.nodes[at.0 as usize].agents.contains_key(&packet.port) {
+            self.stats.delivered += 1;
+            self.dispatch(at, packet.port, |agent, ctx| agent.on_packet(ctx, &packet));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Test agent that records everything it sees and can auto-reply.
+    struct Probe {
+        log: Arc<Mutex<Vec<String>>>,
+        reply_to: Option<Port>,
+    }
+
+    impl Agent for Probe {
+        fn on_start(&mut self, ctx: &mut AgentCtx) {
+            self.log.lock().unwrap().push(format!("start@{}", ctx.node()));
+        }
+        fn on_packet(&mut self, ctx: &mut AgentCtx, pkt: &Packet) {
+            self.log
+                .lock().unwrap()
+                .push(format!("pkt@{} from {} t={}", ctx.node(), pkt.src, ctx.now()));
+            if let Some(port) = self.reply_to {
+                ctx.send(Destination::Unicast(pkt.src), port, Payload::from("reply"));
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut AgentCtx, token: u64) {
+            self.log.lock().unwrap().push(format!("timer@{} tok={token}", ctx.node()));
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn quiet_model() -> LinkModel {
+        LinkModel { base_loss: 0.0, ..LinkModel::default() }
+    }
+
+    fn sim(n_chain: usize, seed: u64) -> Simulator {
+        let cfg = SimulatorConfig {
+            link_model: quiet_model(),
+            ..SimulatorConfig::perfect_clocks(seed)
+        };
+        Simulator::new(Topology::chain(n_chain), cfg)
+    }
+
+    #[test]
+    fn unicast_delivery_over_multiple_hops() {
+        let mut s = sim(4, 1);
+        let log = Arc::new(Mutex::new(vec![]));
+        s.install_agent(NodeId(3), 99, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
+        s.send_from(NodeId(0), 99, Destination::Unicast(NodeId(3)), Payload::from("hi"));
+        s.run_until_idle(1_000);
+        let entries = log.lock().unwrap();
+        assert!(entries.iter().any(|e| e.starts_with("pkt@n3 from n0")), "{entries:?}");
+        // Relays captured Forwarded records.
+        assert_eq!(s.captures(NodeId(1)).len(), 1);
+        assert_eq!(s.captures(NodeId(2)).len(), 1);
+        assert_eq!(s.stats().delivered, 1);
+        assert_eq!(s.stats().forwarded, 2);
+    }
+
+    #[test]
+    fn multicast_floods_to_all_subscribed() {
+        let mut s = sim(5, 2);
+        let log = Arc::new(Mutex::new(vec![]));
+        for n in [1u16, 2, 4] {
+            s.install_agent(NodeId(n), 5353, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
+        }
+        s.send_from(NodeId(0), 5353, Destination::Multicast, Payload::from("query"));
+        s.run_until_idle(10_000);
+        let pkts = log.lock().unwrap().iter().filter(|e| e.starts_with("pkt@")).count();
+        assert_eq!(pkts, 3, "{:?}", log.lock().unwrap());
+        assert_eq!(s.stats().delivered, 3);
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let mut s = sim(3, 3);
+        let log_a = Arc::new(Mutex::new(vec![]));
+        let log_b = Arc::new(Mutex::new(vec![]));
+        s.install_agent(NodeId(0), 7, Box::new(Probe { log: log_a.clone(), reply_to: None }));
+        s.install_agent(NodeId(2), 7, Box::new(Probe { log: log_b.clone(), reply_to: Some(7) }));
+        s.send_from(NodeId(0), 7, Destination::Unicast(NodeId(2)), Payload::from("ping"));
+        s.run_until_idle(1_000);
+        assert!(log_b.lock().unwrap().iter().any(|e| e.contains("from n0")));
+        assert!(log_a.lock().unwrap().iter().any(|e| e.contains("from n2")), "{:?}", log_a.lock().unwrap());
+    }
+
+    #[test]
+    fn timer_fires_and_cancellation_suppresses() {
+        struct T {
+            fired: Arc<Mutex<Vec<u64>>>,
+        }
+        impl Agent for T {
+            fn on_start(&mut self, ctx: &mut AgentCtx) {
+                ctx.set_timer(SimDuration::from_millis(5), 1);
+                ctx.set_timer(SimDuration::from_millis(10), 2);
+                ctx.cancel_timer(1);
+            }
+            fn on_timer(&mut self, _ctx: &mut AgentCtx, token: u64) {
+                self.fired.lock().unwrap().push(token);
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut s = sim(1, 4);
+        let fired = Arc::new(Mutex::new(vec![]));
+        s.install_agent(NodeId(0), 1, Box::new(T { fired: Arc::clone(&fired) }));
+        s.run_until_idle(100);
+        assert_eq!(*fired.lock().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn interface_fault_blocks_transmission() {
+        let mut s = sim(2, 5);
+        let log = Arc::new(Mutex::new(vec![]));
+        s.install_agent(NodeId(1), 9, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
+        s.install_filter(NodeId(0), FilterRule::InterfaceDown { direction: Direction::Transmit });
+        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+        s.run_until_idle(100);
+        assert!(log.lock().unwrap().iter().all(|e| !e.starts_with("pkt@")));
+        assert_eq!(s.stats().dropped_filter, 1);
+        // Sender still captured its own attempt.
+        assert_eq!(s.captures(NodeId(0)).len(), 1);
+    }
+
+    #[test]
+    fn interface_fault_blocks_relay() {
+        let mut s = sim(3, 6);
+        let log = Arc::new(Mutex::new(vec![]));
+        s.install_agent(NodeId(2), 9, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
+        s.install_filter(NodeId(1), FilterRule::InterfaceDown { direction: Direction::Both });
+        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(2)), Payload::from("x"));
+        s.run_until_idle(100);
+        assert!(log.lock().unwrap().iter().all(|e| !e.starts_with("pkt@")));
+    }
+
+    #[test]
+    fn drop_all_partitions_everything() {
+        let mut s = sim(3, 7);
+        let log = Arc::new(Mutex::new(vec![]));
+        s.install_agent(NodeId(2), 9, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
+        s.set_drop_all_everywhere(true);
+        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(2)), Payload::from("x"));
+        s.run_until_idle(100);
+        assert!(log.lock().unwrap().iter().all(|e| !e.starts_with("pkt@")));
+        s.set_drop_all_everywhere(false);
+        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(2)), Payload::from("y"));
+        s.run_until_idle(100);
+        assert_eq!(log.lock().unwrap().iter().filter(|e| e.starts_with("pkt@")).count(), 1);
+    }
+
+    #[test]
+    fn message_delay_fault_defers_delivery() {
+        let mut s = sim(2, 8);
+        let log = Arc::new(Mutex::new(vec![]));
+        s.install_agent(NodeId(1), 9, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
+        s.install_filter(
+            NodeId(0),
+            FilterRule::MessageDelay {
+                delay: SimDuration::from_secs(1),
+                direction: Direction::Transmit,
+            },
+        );
+        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+        s.run_until(SimTime::from_nanos(900_000_000));
+        assert!(
+            log.lock().unwrap().iter().all(|e| !e.starts_with("pkt@")),
+            "not yet delivered"
+        );
+        s.run_until_idle(100);
+        assert_eq!(log.lock().unwrap().iter().filter(|e| e.starts_with("pkt@")).count(), 1);
+        assert!(s.now().as_secs_f64() >= 1.0);
+    }
+
+    #[test]
+    fn deterministic_repetition_is_bit_exact() {
+        fn run(seed: u64) -> (SimStats, Vec<String>) {
+            let cfg = SimulatorConfig::default().with_seed(seed);
+            let mut s = Simulator::new(Topology::grid(3, 3), cfg);
+            let log = Arc::new(Mutex::new(vec![]));
+            for n in 0..9u16 {
+                s.install_agent(
+                    NodeId(n),
+                    5353,
+                    Box::new(Probe { log: Arc::clone(&log), reply_to: None }),
+                );
+            }
+            s.send_from(NodeId(0), 5353, Destination::Multicast, Payload::from("q"));
+            s.send_from(NodeId(4), 5353, Destination::Multicast, Payload::from("r"));
+            s.run_until_idle(100_000);
+            let log = log.lock().unwrap().clone();
+            (s.stats(), log)
+        }
+        let (s1, l1) = run(42);
+        let (s2, l2) = run(42);
+        assert_eq!(s1, s2);
+        assert_eq!(l1, l2);
+        let (s3, _) = run(43);
+        assert!(s1 != s3 || s1.sent == s3.sent, "different seed may differ");
+    }
+
+    #[test]
+    fn clock_sync_measurement_bounded_error() {
+        let cfg = SimulatorConfig::default().with_seed(11);
+        let mut s = Simulator::new(Topology::chain(4), cfg.clone());
+        s.run_until(SimTime::from_nanos(1_000_000_000));
+        for n in 0..4u16 {
+            let m = s.measure_sync(NodeId(n));
+            let true_off = s.clock(NodeId(n)).instantaneous_offset_ns(s.now());
+            assert!(
+                (m.estimated_offset_ns - true_off).abs() <= cfg.max_sync_error_ns,
+                "measurement error exceeds configured bound"
+            );
+        }
+    }
+
+    #[test]
+    fn local_timestamps_use_node_clock() {
+        let cfg = SimulatorConfig::default().with_seed(12);
+        let mut s = Simulator::new(Topology::chain(2), cfg);
+        s.run_until(SimTime::from_nanos(500_000_000));
+        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+        let sent = &s.captures(NodeId(0))[0];
+        let expected = s.clock(NodeId(0)).local_time(SimTime::from_nanos(500_000_000));
+        assert_eq!(sent.local_time, expected);
+        // And with ±5 ms offsets the local reading differs from reference.
+        assert_ne!(sent.local_time, SimTime::from_nanos(500_000_000), "{sent:?}");
+    }
+
+    #[test]
+    fn unroutable_unicast_is_dropped() {
+        let topo = Topology::from_positions(vec![(0.0, 0.0), (100.0, 0.0)], 1.0);
+        let cfg = SimulatorConfig {
+            link_model: quiet_model(),
+            ..SimulatorConfig::perfect_clocks(1)
+        };
+        let mut s = Simulator::new(topo, cfg);
+        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+        s.run_until_idle(10);
+        assert_eq!(s.stats().dropped_loss, 1);
+        assert_eq!(s.stats().delivered, 0);
+    }
+
+    #[test]
+    fn loopback_unicast_delivers_locally() {
+        let mut s = sim(1, 13);
+        let log = Arc::new(Mutex::new(vec![]));
+        s.install_agent(NodeId(0), 9, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
+        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(0)), Payload::from("self"));
+        s.run_until_idle(10);
+        assert_eq!(log.lock().unwrap().iter().filter(|e| e.starts_with("pkt@")).count(), 1);
+    }
+
+    #[test]
+    fn background_load_increases_loss() {
+        fn delivered_ratio(load_kbps: f64) -> f64 {
+            let cfg = SimulatorConfig::perfect_clocks(77);
+            let mut s = Simulator::new(Topology::chain(2), cfg);
+            if load_kbps > 0.0 {
+                s.add_link_load(NodeId(0), NodeId(1), load_kbps);
+            }
+            let n = 2_000;
+            for _ in 0..n {
+                s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+            }
+            s.run_until_idle(100_000);
+            s.captures(NodeId(1)).len() as f64 / n as f64
+        }
+        let idle = delivered_ratio(0.0);
+        let loaded = delivered_ratio(5_000.0);
+        assert!(idle > 0.97, "idle delivery {idle}");
+        assert!(loaded < idle - 0.2, "loaded {loaded} vs idle {idle}");
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut s = sim(1, 14);
+        s.run_until(SimTime::from_nanos(123));
+        assert_eq!(s.now(), SimTime::from_nanos(123));
+        s.run_for(SimDuration::from_nanos(7));
+        assert_eq!(s.now(), SimTime::from_nanos(130));
+    }
+
+    #[test]
+    fn tagger_ids_increment_per_source_node() {
+        let mut s = sim(2, 15);
+        for _ in 0..3 {
+            s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+        }
+        let tags: Vec<u16> = s.captures(NodeId(0)).iter().map(|c| c.tag).collect();
+        assert_eq!(tags, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # excovery-rpc
+//!
+//! XML-RPC (paper §VI-A) between the controlling *ExperiMaster* and the
+//! *NodeManager*s of the participating nodes.
+//!
+//! "Master and nodes are connected in a centralized client-server
+//! architecture with a dedicated communication channel. They communicate
+//! synchronously using extensible markup language remote procedure calls
+//! (XML-RPC). [...] A node object presents the functions of one node to the
+//! master program via XML-RPC and uses locking to allow only one access at
+//! a time."
+//!
+//! The [`value`] and [`message`] modules implement the XML-RPC wire format
+//! (values, method calls, responses, faults) on top of `excovery-xml`; the
+//! [`transport`] module provides the dedicated in-memory control channel —
+//! every call is genuinely serialized to XML and parsed back, so the codec
+//! is exercised end-to-end exactly as on a real wire, while remaining
+//! independent of the simulated experiment network (a platform requirement,
+//! §IV-A1).
+
+pub mod message;
+pub mod transport;
+pub mod value;
+
+pub use message::{Fault, MethodCall, MethodResponse};
+pub use transport::{Channel, NodeProxy, RpcError, ServerRegistry};
+pub use value::Value;

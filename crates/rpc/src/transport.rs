@@ -1,0 +1,320 @@
+//! The dedicated control channel between master and nodes.
+//!
+//! A [`ServerRegistry`] holds the procedures a NodeManager exposes; a
+//! [`Channel`] carries serialized XML-RPC documents between a client and a
+//! registry (in memory, standing in for the testbed's separate management
+//! network, §IV-A1); a [`NodeProxy`] is the master-side object representing
+//! one node, with the per-node locking the prototype uses ("a node object
+//! [...] uses locking to allow only one access at a time", §VI-A).
+
+use crate::message::{Fault, MethodCall, MethodResponse};
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Error returned by client-side calls.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcError {
+    /// The server raised a fault.
+    Fault(Fault),
+    /// The wire payload could not be parsed.
+    Codec(String),
+    /// No procedure registered under the called name.
+    NoSuchMethod(String),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::Fault(fault) => write!(f, "{fault}"),
+            RpcError::Codec(m) => write!(f, "codec error: {m}"),
+            RpcError::NoSuchMethod(m) => write!(f, "no such method: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// Fault code used when dispatch fails to find a method.
+pub const FAULT_NO_SUCH_METHOD: i32 = -32601;
+
+/// A procedure handler.
+pub type Handler = Box<dyn FnMut(&[Value]) -> Result<Value, Fault> + Send>;
+
+/// Observer invoked for every dispatched call (wire tracing, node logs).
+pub type CallObserver = Box<dyn FnMut(&MethodCall) + Send>;
+
+/// Registry of procedures exposed by one server (NodeManager).
+#[derive(Default)]
+pub struct ServerRegistry {
+    handlers: HashMap<String, Handler>,
+    observer: Option<CallObserver>,
+}
+
+impl ServerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `handler` under `name`, replacing any previous handler.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        handler: impl FnMut(&[Value]) -> Result<Value, Fault> + Send + 'static,
+    ) {
+        self.handlers.insert(name.into(), Box::new(handler));
+    }
+
+    /// Installs an observer invoked with every dispatched call — the hook
+    /// NodeManagers use to keep their raw action log (`Logs` table).
+    pub fn set_observer(&mut self, f: impl FnMut(&MethodCall) + Send + 'static) {
+        self.observer = Some(Box::new(f));
+    }
+
+    /// Registered method names (sorted, for introspection).
+    pub fn method_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.handlers.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Dispatches a parsed call. The XML-RPC introspection convention
+    /// `system.listMethods` is answered built-in.
+    pub fn dispatch(&mut self, call: &MethodCall) -> MethodResponse {
+        if let Some(observer) = &mut self.observer {
+            observer(call);
+        }
+        if call.method == "system.listMethods" {
+            let names =
+                self.method_names().into_iter().map(Value::str).collect::<Vec<_>>();
+            return MethodResponse::Success(Value::Array(names));
+        }
+        match self.handlers.get_mut(&call.method) {
+            None => MethodResponse::Fault(Fault::new(
+                FAULT_NO_SUCH_METHOD,
+                format!("no such method: {}", call.method),
+            )),
+            Some(h) => match h(&call.params) {
+                Ok(v) => MethodResponse::Success(v),
+                Err(f) => MethodResponse::Fault(f),
+            },
+        }
+    }
+
+    /// Handles a raw XML request and produces a raw XML response — the full
+    /// wire path of a real XML-RPC HTTP endpoint.
+    pub fn handle_wire(&mut self, request_xml: &str) -> String {
+        match MethodCall::from_xml(request_xml) {
+            Err(e) => MethodResponse::Fault(Fault::new(-32700, format!("parse error: {e}")))
+                .to_xml(),
+            Ok(call) => self.dispatch(&call).to_xml(),
+        }
+    }
+}
+
+/// The in-memory control channel to one server.
+///
+/// Calls are serialized to XML, handed to the registry, and the response is
+/// parsed back — byte-for-byte what a TCP transport would carry.
+#[derive(Clone)]
+pub struct Channel {
+    server: Arc<Mutex<ServerRegistry>>,
+}
+
+impl Channel {
+    /// Wraps a registry into a channel endpoint.
+    pub fn new(server: ServerRegistry) -> Self {
+        Self { server: Arc::new(Mutex::new(server)) }
+    }
+
+    /// Access to the server side (to register more procedures later).
+    pub fn server(&self) -> Arc<Mutex<ServerRegistry>> {
+        Arc::clone(&self.server)
+    }
+
+    /// Performs a synchronous call over the wire format.
+    pub fn call(&self, method: &str, params: Vec<Value>) -> Result<Value, RpcError> {
+        let request = MethodCall::new(method, params).to_xml();
+        let response_xml = self.server.lock().handle_wire(&request);
+        let response = MethodResponse::from_xml(&response_xml)
+            .map_err(|e| RpcError::Codec(e.to_string()))?;
+        match response.into_result() {
+            Ok(v) => Ok(v),
+            Err(f) if f.code == FAULT_NO_SUCH_METHOD => {
+                Err(RpcError::NoSuchMethod(f.message))
+            }
+            Err(f) => Err(RpcError::Fault(f)),
+        }
+    }
+}
+
+/// Master-side object representing one participating node (§VI-A).
+///
+/// Serializes all access to the node with a lock so concurrent experiment
+/// process threads, fault threads and management actions cannot interleave
+/// calls to the same node.
+pub struct NodeProxy {
+    /// Node identifier (host name).
+    pub node_id: String,
+    channel: Channel,
+    lock: Mutex<()>,
+}
+
+impl NodeProxy {
+    /// Creates a proxy for `node_id` over `channel`.
+    pub fn new(node_id: impl Into<String>, channel: Channel) -> Self {
+        Self { node_id: node_id.into(), channel, lock: Mutex::new(()) }
+    }
+
+    /// Calls a procedure on the node, holding the node lock for the
+    /// duration of the call.
+    pub fn call(&self, method: &str, params: Vec<Value>) -> Result<Value, RpcError> {
+        let _guard = self.lock.lock();
+        self.channel.call(method, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn echo_registry() -> ServerRegistry {
+        let mut reg = ServerRegistry::new();
+        reg.register("echo", |params| Ok(Value::Array(params.to_vec())));
+        reg.register("add", |params| {
+            let a = params
+                .first()
+                .and_then(Value::as_int)
+                .ok_or_else(|| Fault::new(1, "missing a"))?;
+            let b = params
+                .get(1)
+                .and_then(Value::as_int)
+                .ok_or_else(|| Fault::new(1, "missing b"))?;
+            Ok(Value::Int(a + b))
+        });
+        reg.register("fail", |_| Err(Fault::new(99, "intentional")));
+        reg
+    }
+
+    #[test]
+    fn call_roundtrips_through_wire_format() {
+        let ch = Channel::new(echo_registry());
+        let result = ch.call("echo", vec![Value::str("x"), Value::Int(2)]).unwrap();
+        assert_eq!(result, Value::Array(vec![Value::str("x"), Value::Int(2)]));
+    }
+
+    #[test]
+    fn add_and_fault_paths() {
+        let ch = Channel::new(echo_registry());
+        assert_eq!(ch.call("add", vec![Value::Int(2), Value::Int(3)]).unwrap(), Value::Int(5));
+        match ch.call("add", vec![Value::Int(2)]) {
+            Err(RpcError::Fault(f)) => assert_eq!(f.code, 1),
+            other => panic!("{other:?}"),
+        }
+        match ch.call("fail", vec![]) {
+            Err(RpcError::Fault(f)) => assert_eq!(f.message, "intentional"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_method_is_distinguished() {
+        let ch = Channel::new(echo_registry());
+        match ch.call("nope", vec![]) {
+            Err(RpcError::NoSuchMethod(m)) => assert!(m.contains("nope")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn handlers_can_be_stateful() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let mut reg = ServerRegistry::new();
+        reg.register("bump", move |_| {
+            Ok(Value::Int(c2.fetch_add(1, Ordering::SeqCst) as i32))
+        });
+        let ch = Channel::new(reg);
+        assert_eq!(ch.call("bump", vec![]).unwrap(), Value::Int(0));
+        assert_eq!(ch.call("bump", vec![]).unwrap(), Value::Int(1));
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn registry_introspection() {
+        let reg = echo_registry();
+        assert_eq!(reg.method_names(), vec!["add", "echo", "fail"]);
+    }
+
+    #[test]
+    fn observer_sees_every_dispatch() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&seen);
+        let mut reg = echo_registry();
+        reg.set_observer(move |call| s2.lock().push(call.method.clone()));
+        let ch = Channel::new(reg);
+        ch.call("echo", vec![]).unwrap();
+        let _ = ch.call("nope", vec![]);
+        ch.call("system.listMethods", vec![]).unwrap();
+        assert_eq!(*seen.lock(), vec!["echo", "nope", "system.listMethods"]);
+    }
+
+    #[test]
+    fn system_list_methods_over_the_wire() {
+        let ch = Channel::new(echo_registry());
+        let v = ch.call("system.listMethods", vec![]).unwrap();
+        let names: Vec<&str> =
+            v.as_array().unwrap().iter().filter_map(Value::as_str).collect();
+        assert_eq!(names, vec!["add", "echo", "fail"]);
+    }
+
+    #[test]
+    fn handle_wire_reports_parse_errors_as_fault() {
+        let mut reg = echo_registry();
+        let resp = reg.handle_wire("this is not xml");
+        let parsed = MethodResponse::from_xml(&resp).unwrap();
+        match parsed {
+            MethodResponse::Fault(f) => assert_eq!(f.code, -32700),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_proxy_serializes_access() {
+        // Handler records max concurrent entries; proxy lock must keep it 1.
+        let inside = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let (i2, m2) = (Arc::clone(&inside), Arc::clone(&max_seen));
+        let mut reg = ServerRegistry::new();
+        reg.register("slow", move |_| {
+            let now = i2.fetch_add(1, Ordering::SeqCst) + 1;
+            m2.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            i2.fetch_sub(1, Ordering::SeqCst);
+            Ok(Value::Bool(true))
+        });
+        let proxy = Arc::new(NodeProxy::new("t9-105", Channel::new(reg)));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let p = Arc::clone(&proxy);
+            handles.push(std::thread::spawn(move || {
+                p.call("slow", vec![]).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "node lock must serialize calls");
+    }
+
+    #[test]
+    fn channel_clone_shares_server() {
+        let ch = Channel::new(ServerRegistry::new());
+        ch.server().lock().register("ping", |_| Ok(Value::str("pong")));
+        let ch2 = ch.clone();
+        assert_eq!(ch2.call("ping", vec![]).unwrap(), Value::str("pong"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the XML-RPC codec: arbitrary value trees round-trip
+//! through the full wire format.
+
+use excovery_rpc::{MethodCall, MethodResponse, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[ -~]{0,24}".prop_map(Value::String),
+        (-1e12f64..1e12).prop_map(Value::Double),
+        "[0-9]{8}T[0-9]{2}:[0-9]{2}:[0-9]{2}".prop_map(Value::DateTime),
+        prop::collection::vec(any::<u8>(), 0..24).prop_map(Value::Base64),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            prop::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,10}", inner), 0..4)
+                .prop_map(Value::Struct),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A method call with arbitrary parameters survives the wire.
+    #[test]
+    fn method_call_roundtrip(
+        method in "[a-z][a-z0-9_.]{0,20}",
+        params in prop::collection::vec(value_strategy(), 0..4),
+    ) {
+        let call = MethodCall::new(method, params);
+        let xml = call.to_xml();
+        prop_assert_eq!(MethodCall::from_xml(&xml).unwrap(), call);
+    }
+
+    /// A success response with an arbitrary value survives the wire.
+    #[test]
+    fn response_roundtrip(v in value_strategy()) {
+        let r = MethodResponse::Success(v);
+        let xml = r.to_xml();
+        prop_assert_eq!(MethodResponse::from_xml(&xml).unwrap(), r);
+    }
+
+    /// Fault responses with arbitrary text survive the wire.
+    #[test]
+    fn fault_roundtrip(code in any::<i32>(), msg in "[ -~]{0,40}") {
+        let r = MethodResponse::Fault(excovery_rpc::Fault::new(code, msg));
+        let xml = r.to_xml();
+        prop_assert_eq!(MethodResponse::from_xml(&xml).unwrap(), r);
+    }
+
+    /// The parser rejects or accepts arbitrary input without panicking.
+    #[test]
+    fn parser_total(s in "\\PC{0,200}") {
+        let _ = MethodCall::from_xml(&s);
+        let _ = MethodResponse::from_xml(&s);
+    }
+}

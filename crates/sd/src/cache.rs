@@ -1,0 +1,246 @@
+//! The local service cache kept by SUs, SMs and SCMs.
+//!
+//! Most SDPs implement a local cache to reduce network load (§III-A); this
+//! one tracks record expiry (TTL), supports the known-answer list of
+//! outgoing queries, and reports add/remove/update transitions so the agent
+//! can emit `sd_service_add` / `sd_service_del` / `sd_service_upd` events.
+
+use crate::model::{ServiceDescription, ServiceType};
+use excovery_netsim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Outcome of merging a record into the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheChange {
+    /// The instance was not known before.
+    Added,
+    /// The instance was known; description content changed.
+    Updated,
+    /// The instance was known; only the expiry was refreshed.
+    Refreshed,
+    /// A goodbye (TTL 0) removed the instance.
+    Removed,
+    /// A goodbye for an unknown instance: nothing happened.
+    Ignored,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    desc: ServiceDescription,
+    expires: SimTime,
+}
+
+/// TTL-aware service cache.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceCache {
+    entries: HashMap<(ServiceType, String), Entry>,
+}
+
+impl ServiceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges a received record, returning what changed.
+    pub fn merge(&mut self, desc: &ServiceDescription, now: SimTime) -> CacheChange {
+        let key = (desc.stype.clone(), desc.instance.clone());
+        if desc.is_goodbye() {
+            return if self.entries.remove(&key).is_some() {
+                CacheChange::Removed
+            } else {
+                CacheChange::Ignored
+            };
+        }
+        let expires = now + SimDuration::from_secs(u64::from(desc.ttl_s));
+        match self.entries.get_mut(&key) {
+            None => {
+                self.entries.insert(key, Entry { desc: desc.clone(), expires });
+                CacheChange::Added
+            }
+            Some(e) => {
+                let content_changed = e.desc.service_port != desc.service_port
+                    || e.desc.attributes != desc.attributes
+                    || e.desc.provider != desc.provider;
+                e.expires = expires;
+                if content_changed {
+                    e.desc = desc.clone();
+                    CacheChange::Updated
+                } else {
+                    CacheChange::Refreshed
+                }
+            }
+        }
+    }
+
+    /// Removes expired entries, returning the descriptions that lapsed.
+    pub fn expire(&mut self, now: SimTime) -> Vec<ServiceDescription> {
+        let mut lapsed = Vec::new();
+        self.entries.retain(|_, e| {
+            if e.expires <= now {
+                lapsed.push(e.desc.clone());
+                false
+            } else {
+                true
+            }
+        });
+        lapsed.sort_by(|a, b| (&a.stype, &a.instance).cmp(&(&b.stype, &b.instance)));
+        lapsed
+    }
+
+    /// Live records of a service type, sorted by instance name.
+    pub fn lookup(&self, stype: &ServiceType, now: SimTime) -> Vec<&ServiceDescription> {
+        let mut out: Vec<&ServiceDescription> = self
+            .entries
+            .values()
+            .filter(|e| &e.desc.stype == stype && e.expires > now)
+            .map(|e| &e.desc)
+            .collect();
+        out.sort_by(|a, b| a.instance.cmp(&b.instance));
+        out
+    }
+
+    /// Instance names for the known-answer section of a query: live records
+    /// of `stype` whose remaining TTL exceeds half the original (RFC 6762
+    /// §7.1 — records nearing expiry are not suppressed).
+    pub fn known_answers(&self, stype: &ServiceType, now: SimTime) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .entries
+            .values()
+            .filter(|e| {
+                &e.desc.stype == stype && {
+                    let total = SimDuration::from_secs(u64::from(e.desc.ttl_s));
+                    let remaining = e.expires.saturating_since(now);
+                    remaining.as_nanos() * 2 > total.as_nanos()
+                }
+            })
+            .map(|e| e.desc.instance.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The earliest expiry instant of any entry (to arm the expiry timer).
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.entries.values().map(|e| e.expires).min()
+    }
+
+    /// Number of live entries (including any not yet expired-swept).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// All live records regardless of type (SCM responses, diagnostics).
+    pub fn all(&self, now: SimTime) -> Vec<&ServiceDescription> {
+        let mut out: Vec<&ServiceDescription> =
+            self.entries.values().filter(|e| e.expires > now).map(|e| &e.desc).collect();
+        out.sort_by(|a, b| (&a.stype, &a.instance).cmp(&(&b.stype, &b.instance)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use excovery_netsim::NodeId;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_nanos(s * 1_000_000_000)
+    }
+
+    fn desc(name: &str, ttl: u32) -> ServiceDescription {
+        let mut d = ServiceDescription::new(name, ServiceType::new("_http._tcp"), NodeId(1));
+        d.ttl_s = ttl;
+        d
+    }
+
+    #[test]
+    fn add_then_lookup() {
+        let mut c = ServiceCache::new();
+        assert_eq!(c.merge(&desc("a", 10), t(0)), CacheChange::Added);
+        let found = c.lookup(&ServiceType::new("_http._tcp"), t(5));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].instance, "a");
+        assert!(c.lookup(&ServiceType::new("_other._udp"), t(5)).is_empty());
+    }
+
+    #[test]
+    fn refresh_vs_update() {
+        let mut c = ServiceCache::new();
+        c.merge(&desc("a", 10), t(0));
+        assert_eq!(c.merge(&desc("a", 10), t(5)), CacheChange::Refreshed);
+        let mut changed = desc("a", 10);
+        changed.service_port = 8080;
+        assert_eq!(c.merge(&changed, t(6)), CacheChange::Updated);
+    }
+
+    #[test]
+    fn goodbye_removes() {
+        let mut c = ServiceCache::new();
+        c.merge(&desc("a", 10), t(0));
+        assert_eq!(c.merge(&desc("a", 0), t(1)), CacheChange::Removed);
+        assert!(c.is_empty());
+        assert_eq!(c.merge(&desc("ghost", 0), t(1)), CacheChange::Ignored);
+    }
+
+    #[test]
+    fn expiry_sweep() {
+        let mut c = ServiceCache::new();
+        c.merge(&desc("a", 10), t(0));
+        c.merge(&desc("b", 100), t(0));
+        assert!(c.expire(t(5)).is_empty());
+        let lapsed = c.expire(t(11));
+        assert_eq!(lapsed.len(), 1);
+        assert_eq!(lapsed[0].instance, "a");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lookup_hides_expired_before_sweep() {
+        let mut c = ServiceCache::new();
+        c.merge(&desc("a", 10), t(0));
+        assert!(c.lookup(&ServiceType::new("_http._tcp"), t(11)).is_empty());
+        assert_eq!(c.len(), 1, "not swept yet");
+    }
+
+    #[test]
+    fn known_answer_half_ttl_rule() {
+        let mut c = ServiceCache::new();
+        c.merge(&desc("fresh", 100), t(0));
+        c.merge(&desc("stale", 10), t(0));
+        // At t=6, "stale" has 4 s of 10 left (<half) and must not be listed;
+        // "fresh" has 94 of 100 left.
+        let known = c.known_answers(&ServiceType::new("_http._tcp"), t(6));
+        assert_eq!(known, vec!["fresh"]);
+    }
+
+    #[test]
+    fn next_expiry_is_minimum() {
+        let mut c = ServiceCache::new();
+        assert_eq!(c.next_expiry(), None);
+        c.merge(&desc("a", 50), t(0));
+        c.merge(&desc("b", 20), t(0));
+        assert_eq!(c.next_expiry(), Some(t(20)));
+    }
+
+    #[test]
+    fn all_sorted() {
+        let mut c = ServiceCache::new();
+        c.merge(&desc("zeta", 10), t(0));
+        c.merge(&desc("alpha", 10), t(0));
+        let names: Vec<&str> = c.all(t(1)).iter().map(|d| d.instance.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,825 @@
+//! A small embedded relational engine.
+//!
+//! Stands in for the SQLite database of the paper's third storage level:
+//! named tables with typed columns, row insertion with type checking,
+//! predicate-filtered selection with ordering and projection, and
+//! persistence of a whole database to a single JSON file (one package per
+//! experiment, "preferably stored as a database to unify and accelerate
+//! data access", §IV-F).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Error type of the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError(pub String);
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn err(msg: impl Into<String>) -> StoreError {
+    StoreError(msg.into())
+}
+
+/// Column type affinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit signed integers.
+    Integer,
+    /// 64-bit floats.
+    Real,
+    /// UTF-8 text.
+    Text,
+    /// Raw bytes (packet contents, log files).
+    Blob,
+}
+
+/// A typed cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SqlValue {
+    /// SQL NULL.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Real(f64),
+    /// Text value.
+    Text(String),
+    /// Byte-string value.
+    Blob(Vec<u8>),
+}
+
+impl SqlValue {
+    /// True if the value is acceptable in a column of `t` (NULL always is).
+    pub fn matches(&self, t: ColumnType) -> bool {
+        matches!(
+            (self, t),
+            (SqlValue::Null, _)
+                | (SqlValue::Int(_), ColumnType::Integer)
+                | (SqlValue::Real(_), ColumnType::Real)
+                | (SqlValue::Int(_), ColumnType::Real)
+                | (SqlValue::Text(_), ColumnType::Text)
+                | (SqlValue::Blob(_), ColumnType::Blob)
+        )
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            SqlValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Float view (ints widen).
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            SqlValue::Real(v) => Some(*v),
+            SqlValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Text view.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            SqlValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Blob view.
+    pub fn as_blob(&self) -> Option<&[u8]> {
+        match self {
+            SqlValue::Blob(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Total order used by ORDER BY: NULL < numbers < text < blob.
+    fn order_key(&self) -> (u8, OrdKey<'_>) {
+        match self {
+            SqlValue::Null => (0, OrdKey::Unit),
+            SqlValue::Int(v) => (1, OrdKey::Num(*v as f64)),
+            SqlValue::Real(v) => (1, OrdKey::Num(*v)),
+            SqlValue::Text(s) => (2, OrdKey::Text(s)),
+            SqlValue::Blob(b) => (3, OrdKey::Blob(b)),
+        }
+    }
+
+    /// SQL-style comparison; mixed numeric types compare numerically.
+    pub fn cmp_sql(&self, other: &SqlValue) -> std::cmp::Ordering {
+        let (ka, va) = self.order_key();
+        let (kb, vb) = other.order_key();
+        ka.cmp(&kb).then_with(|| va.cmp_with(&vb))
+    }
+}
+
+enum OrdKey<'a> {
+    Unit,
+    Num(f64),
+    Text(&'a str),
+    Blob(&'a [u8]),
+}
+
+impl<'a> OrdKey<'a> {
+    fn cmp_with(&self, other: &OrdKey<'a>) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (OrdKey::Unit, OrdKey::Unit) => Ordering::Equal,
+            (OrdKey::Num(a), OrdKey::Num(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (OrdKey::Text(a), OrdKey::Text(b)) => a.cmp(b),
+            (OrdKey::Blob(a), OrdKey::Blob(b)) => a.cmp(b),
+            _ => Ordering::Equal, // unreachable: kinds already ordered
+        }
+    }
+}
+
+impl From<i64> for SqlValue {
+    fn from(v: i64) -> Self {
+        SqlValue::Int(v)
+    }
+}
+impl From<u64> for SqlValue {
+    fn from(v: u64) -> Self {
+        SqlValue::Int(v as i64)
+    }
+}
+impl From<f64> for SqlValue {
+    fn from(v: f64) -> Self {
+        SqlValue::Real(v)
+    }
+}
+impl From<&str> for SqlValue {
+    fn from(v: &str) -> Self {
+        SqlValue::Text(v.to_string())
+    }
+}
+impl From<String> for SqlValue {
+    fn from(v: String) -> Self {
+        SqlValue::Text(v)
+    }
+}
+impl From<Vec<u8>> for SqlValue {
+    fn from(v: Vec<u8>) -> Self {
+        SqlValue::Blob(v)
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name.
+    pub name: String,
+    /// Type affinity.
+    pub ctype: ColumnType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, ctype: ColumnType) -> Self {
+        Self { name: name.into(), ctype }
+    }
+}
+
+/// A row: one value per column of the owning table.
+pub type Row = Vec<SqlValue>;
+
+/// Hashable key of an indexable cell value (integers and text only; the
+/// query planner falls back to a scan for other types).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum IndexKey {
+    Int(i64),
+    Text(String),
+}
+
+impl IndexKey {
+    fn of(v: &SqlValue) -> Option<IndexKey> {
+        match v {
+            SqlValue::Int(i) => Some(IndexKey::Int(*i)),
+            SqlValue::Text(t) => Some(IndexKey::Text(t.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// Row filter used by queries. Composable and serializable in spirit —
+/// the subset needed by the conditioning/analysis pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Matches every row.
+    True,
+    /// Column equals value.
+    Eq(String, SqlValue),
+    /// Column less than value (SQL ordering).
+    Lt(String, SqlValue),
+    /// Column greater than value (SQL ordering).
+    Gt(String, SqlValue),
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `a AND b` without the boxing noise.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `a OR b` without the boxing noise.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    fn eval(&self, table: &Table, row: &Row) -> Result<bool, StoreError> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Eq(col, v) => {
+                let idx = table.column_index(col)?;
+                row[idx].cmp_sql(v) == std::cmp::Ordering::Equal
+            }
+            Predicate::Lt(col, v) => {
+                let idx = table.column_index(col)?;
+                row[idx].cmp_sql(v) == std::cmp::Ordering::Less
+            }
+            Predicate::Gt(col, v) => {
+                let idx = table.column_index(col)?;
+                row[idx].cmp_sql(v) == std::cmp::Ordering::Greater
+            }
+            Predicate::And(a, b) => a.eval(table, row)? && b.eval(table, row)?,
+            Predicate::Or(a, b) => a.eval(table, row)? || b.eval(table, row)?,
+            Predicate::Not(p) => !p.eval(table, row)?,
+        })
+    }
+}
+
+/// A table: schema plus rows in insertion order, with optional hash
+/// indexes on integer/text columns ("accelerate data access and
+/// extraction methods", §IV-F).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Column definitions.
+    pub columns: Vec<Column>,
+    rows: Vec<Row>,
+    #[serde(default)]
+    indexed_columns: Vec<String>,
+    /// column index → key → row positions; rebuilt after deserialization.
+    #[serde(skip)]
+    indexes: std::collections::HashMap<usize, std::collections::HashMap<IndexKey, Vec<usize>>>,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        // Indexes are derived state; equality is schema + data.
+        self.columns == other.columns
+            && self.rows == other.rows
+            && self.indexed_columns == other.indexed_columns
+    }
+}
+
+impl Table {
+    /// Creates an empty table with the given columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Self {
+            columns,
+            rows: Vec::new(),
+            indexed_columns: Vec::new(),
+            indexes: Default::default(),
+        }
+    }
+
+    /// Creates a hash index on an integer/text column; subsequent `Eq`
+    /// lookups on it avoid the full scan. Idempotent.
+    pub fn create_index(&mut self, column: &str) -> Result<(), StoreError> {
+        let idx = self.column_index(column)?;
+        match self.columns[idx].ctype {
+            ColumnType::Integer | ColumnType::Text => {}
+            other => {
+                return Err(err(format!("cannot index {other:?} column '{column}'")))
+            }
+        }
+        if !self.indexed_columns.contains(&column.to_string()) {
+            self.indexed_columns.push(column.to_string());
+        }
+        self.rebuild_index(idx);
+        Ok(())
+    }
+
+    /// True if the column has a hash index.
+    pub fn is_indexed(&self, column: &str) -> bool {
+        self.indexed_columns.iter().any(|c| c == column)
+    }
+
+    fn rebuild_index(&mut self, col: usize) {
+        let mut map: std::collections::HashMap<IndexKey, Vec<usize>> = Default::default();
+        for (pos, row) in self.rows.iter().enumerate() {
+            if let Some(key) = IndexKey::of(&row[col]) {
+                map.entry(key).or_default().push(pos);
+            }
+        }
+        self.indexes.insert(col, map);
+    }
+
+    /// Rebuilds all declared indexes (after deserialization).
+    pub fn rebuild_indexes(&mut self) {
+        let cols: Vec<usize> = self
+            .indexed_columns
+            .clone()
+            .iter()
+            .filter_map(|c| self.column_index(c).ok())
+            .collect();
+        for col in cols {
+            self.rebuild_index(col);
+        }
+    }
+
+    /// Index lookup for an `Eq` predicate head, if applicable.
+    fn index_candidates(&self, predicate: &Predicate) -> Option<&[usize]> {
+        let (col_name, value) = match predicate {
+            Predicate::Eq(c, v) => (c, v),
+            Predicate::And(a, _) => {
+                if let Predicate::Eq(c, v) = a.as_ref() {
+                    (c, v)
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        };
+        let col = self.column_index(col_name).ok()?;
+        let map = self.indexes.get(&col)?;
+        let key = IndexKey::of(value)?;
+        Some(map.get(&key).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Result<usize, StoreError> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| err(format!("no such column: {name}")))
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Inserts a row after checking arity and types.
+    pub fn insert(&mut self, row: Row) -> Result<(), StoreError> {
+        if row.len() != self.columns.len() {
+            return Err(err(format!(
+                "arity mismatch: {} values for {} columns",
+                row.len(),
+                self.columns.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            if !v.matches(c.ctype) {
+                return Err(err(format!(
+                    "type mismatch in column '{}': {:?} is not {:?}",
+                    c.name, v, c.ctype
+                )));
+            }
+        }
+        let pos = self.rows.len();
+        for (&col, map) in &mut self.indexes {
+            if let Some(key) = IndexKey::of(&row[col]) {
+                map.entry(key).or_default().push(pos);
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Filtered selection, optionally ordered by a column. Uses a hash
+    /// index when the predicate is (or starts with) an `Eq` on an indexed
+    /// column.
+    pub fn select(
+        &self,
+        predicate: &Predicate,
+        order_by: Option<&str>,
+    ) -> Result<Vec<&Row>, StoreError> {
+        let mut out = Vec::new();
+        match self.index_candidates(predicate) {
+            Some(candidates) => {
+                for &pos in candidates {
+                    let row = &self.rows[pos];
+                    if predicate.eval(self, row)? {
+                        out.push(row);
+                    }
+                }
+            }
+            None => {
+                for row in &self.rows {
+                    if predicate.eval(self, row)? {
+                        out.push(row);
+                    }
+                }
+            }
+        }
+        if let Some(col) = order_by {
+            let idx = self.column_index(col)?;
+            out.sort_by(|a, b| a[idx].cmp_sql(&b[idx]));
+        }
+        Ok(out)
+    }
+
+    /// Values of one column, filtered.
+    pub fn column_values(
+        &self,
+        column: &str,
+        predicate: &Predicate,
+    ) -> Result<Vec<SqlValue>, StoreError> {
+        let idx = self.column_index(column)?;
+        Ok(self.select(predicate, None)?.into_iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Number of matching rows.
+    pub fn count(&self, predicate: &Predicate) -> Result<usize, StoreError> {
+        Ok(self.select(predicate, None)?.len())
+    }
+
+    /// Numeric aggregate over a column (NULLs and non-numeric cells are
+    /// skipped). Returns `None` when no numeric value matched.
+    pub fn aggregate(
+        &self,
+        column: &str,
+        predicate: &Predicate,
+        agg: Aggregate,
+    ) -> Result<Option<f64>, StoreError> {
+        let values: Vec<f64> = self
+            .column_values(column, predicate)?
+            .iter()
+            .filter_map(SqlValue::as_real)
+            .collect();
+        if values.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(match agg {
+            Aggregate::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Aggregate::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Sum => values.iter().sum(),
+            Aggregate::Avg => values.iter().sum::<f64>() / values.len() as f64,
+        }))
+    }
+
+    /// Distinct values of a column, in SQL order.
+    pub fn distinct(
+        &self,
+        column: &str,
+        predicate: &Predicate,
+    ) -> Result<Vec<SqlValue>, StoreError> {
+        let mut values = self.column_values(column, predicate)?;
+        values.sort_by(SqlValue::cmp_sql);
+        values.dedup_by(|a, b| a.cmp_sql(b) == std::cmp::Ordering::Equal);
+        Ok(values)
+    }
+}
+
+/// Aggregation functions for [`Table::aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Sum of values.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+}
+
+/// A named collection of tables — one experiment package (level 3).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table; errors if the name is taken.
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<Column>,
+    ) -> Result<(), StoreError> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(err(format!("table exists: {name}")));
+        }
+        self.tables.insert(name, Table::new(columns));
+        Ok(())
+    }
+
+    /// Immutable table access.
+    pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables.get(name).ok_or_else(|| err(format!("no such table: {name}")))
+    }
+
+    /// Mutable table access.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables.get_mut(name).ok_or_else(|| err(format!("no such table: {name}")))
+    }
+
+    /// Inserts a row into a named table.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<(), StoreError> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Persists the whole database to one file (JSON).
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        let json = serde_json::to_string(self).map_err(|e| err(format!("serialize: {e}")))?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| err(format!("mkdir: {e}")))?;
+        }
+        std::fs::write(path, json).map_err(|e| err(format!("write {path:?}: {e}")))
+    }
+
+    /// Loads a database from a file written by [`Self::save`]; declared
+    /// indexes are rebuilt.
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| err(format!("read {path:?}: {e}")))?;
+        let mut db: Self =
+            serde_json::from_str(&json).map_err(|e| err(format!("parse: {e}")))?;
+        for table in db.tables.values_mut() {
+            table.rebuild_indexes();
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let mut t = Table::new(vec![
+            Column::new("name", ColumnType::Text),
+            Column::new("age", ColumnType::Integer),
+            Column::new("height", ColumnType::Real),
+        ]);
+        t.insert(vec!["ada".into(), SqlValue::Int(36), SqlValue::Real(1.70)]).unwrap();
+        t.insert(vec!["bob".into(), SqlValue::Int(25), SqlValue::Real(1.85)]).unwrap();
+        t.insert(vec!["cyd".into(), SqlValue::Null, SqlValue::Real(1.60)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_checks_arity_and_types() {
+        let mut t = people();
+        assert!(t.insert(vec!["x".into()]).is_err(), "arity");
+        assert!(t
+            .insert(vec![SqlValue::Int(1), SqlValue::Int(1), SqlValue::Real(1.0)])
+            .is_err(), "type");
+        assert!(t.insert(vec![SqlValue::Null, SqlValue::Null, SqlValue::Null]).is_ok(), "NULLs");
+        // Int accepted into Real column (affinity).
+        assert!(t.insert(vec!["dee".into(), SqlValue::Int(40), SqlValue::Int(2)]).is_ok());
+    }
+
+    #[test]
+    fn select_with_predicates() {
+        let t = people();
+        let adults = t
+            .select(&Predicate::Gt("age".into(), SqlValue::Int(30)), None)
+            .unwrap();
+        assert_eq!(adults.len(), 1);
+        assert_eq!(adults[0][0].as_text(), Some("ada"));
+
+        let both = t
+            .select(
+                &Predicate::Eq("name".into(), "bob".into())
+                    .or(Predicate::Eq("name".into(), "cyd".into())),
+                Some("name"),
+            )
+            .unwrap();
+        assert_eq!(both.len(), 2);
+        assert_eq!(both[0][0].as_text(), Some("bob"));
+
+        let not_bob = t
+            .select(&Predicate::Not(Box::new(Predicate::Eq("name".into(), "bob".into()))), None)
+            .unwrap();
+        assert_eq!(not_bob.len(), 2);
+    }
+
+    #[test]
+    fn nulls_sort_first_and_compare_unequal() {
+        let t = people();
+        let sorted = t.select(&Predicate::True, Some("age")).unwrap();
+        assert_eq!(sorted[0][1], SqlValue::Null);
+        // NULL = NULL is true under cmp_sql (simplified tri-state logic).
+        let nulls = t.count(&Predicate::Eq("age".into(), SqlValue::Null)).unwrap();
+        assert_eq!(nulls, 1);
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let t = people();
+        assert!(t.select(&Predicate::Eq("nope".into(), SqlValue::Int(1)), None).is_err());
+        assert!(t.select(&Predicate::True, Some("nope")).is_err());
+    }
+
+    #[test]
+    fn column_values_and_count() {
+        let t = people();
+        let names = t.column_values("name", &Predicate::True).unwrap();
+        assert_eq!(names.len(), 3);
+        assert_eq!(t.count(&Predicate::Lt("height".into(), SqlValue::Real(1.8))).unwrap(), 2);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(SqlValue::Int(2).cmp_sql(&SqlValue::Real(2.0)), std::cmp::Ordering::Equal);
+        assert_eq!(SqlValue::Int(1).cmp_sql(&SqlValue::Real(1.5)), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn database_create_insert_query() {
+        let mut db = Database::new();
+        db.create_table("t", vec![Column::new("x", ColumnType::Integer)]).unwrap();
+        assert!(db.create_table("t", vec![]).is_err(), "duplicate");
+        db.insert("t", vec![SqlValue::Int(5)]).unwrap();
+        assert_eq!(db.table("t").unwrap().len(), 1);
+        assert!(db.table("missing").is_err());
+        assert!(db.insert("missing", vec![]).is_err());
+        assert_eq!(db.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("excovery-store-test-{}", std::process::id()));
+        let path = dir.join("db.json");
+        let mut db = Database::new();
+        db.create_table(
+            "Packets",
+            vec![
+                Column::new("RunID", ColumnType::Integer),
+                Column::new("Data", ColumnType::Blob),
+            ],
+        )
+        .unwrap();
+        db.insert("Packets", vec![SqlValue::Int(1), SqlValue::Blob(vec![1, 2, 255])]).unwrap();
+        db.save(&path).unwrap();
+        let loaded = Database::load(&path).unwrap();
+        assert_eq!(loaded, db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_errors_on_missing_or_corrupt() {
+        assert!(Database::load(Path::new("/nonexistent/x.json")).is_err());
+        let dir = std::env::temp_dir().join(format!("excovery-store-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not json").unwrap();
+        assert!(Database::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aggregates_and_distinct() {
+        let t = people();
+        let avg = t.aggregate("age", &Predicate::True, Aggregate::Avg).unwrap().unwrap();
+        assert!((avg - 30.5).abs() < 1e-12, "mean of 36 and 25 (NULL skipped)");
+        assert_eq!(
+            t.aggregate("age", &Predicate::True, Aggregate::Min).unwrap(),
+            Some(25.0)
+        );
+        assert_eq!(
+            t.aggregate("age", &Predicate::True, Aggregate::Max).unwrap(),
+            Some(36.0)
+        );
+        assert_eq!(
+            t.aggregate("age", &Predicate::True, Aggregate::Sum).unwrap(),
+            Some(61.0)
+        );
+        // Empty match yields None.
+        assert_eq!(
+            t.aggregate("age", &Predicate::Gt("age".into(), SqlValue::Int(99)), Aggregate::Avg)
+                .unwrap(),
+            None
+        );
+        // Distinct on text column.
+        let names = t.distinct("name", &Predicate::True).unwrap();
+        assert_eq!(names.len(), 3);
+        // Text aggregate yields None (non-numeric skipped).
+        assert_eq!(t.aggregate("name", &Predicate::True, Aggregate::Avg).unwrap(), None);
+    }
+
+    #[test]
+    fn index_accelerated_select_matches_scan() {
+        let mut t = Table::new(vec![
+            Column::new("run", ColumnType::Integer),
+            Column::new("name", ColumnType::Text),
+        ]);
+        for i in 0..500i64 {
+            t.insert(vec![SqlValue::Int(i % 10), format!("n{}", i % 7).into()]).unwrap();
+        }
+        let scan: Vec<Row> = t
+            .select(&Predicate::Eq("run".into(), SqlValue::Int(3)), None)
+            .unwrap()
+            .into_iter()
+            .cloned()
+            .collect();
+        t.create_index("run").unwrap();
+        assert!(t.is_indexed("run"));
+        let indexed: Vec<Row> = t
+            .select(&Predicate::Eq("run".into(), SqlValue::Int(3)), None)
+            .unwrap()
+            .into_iter()
+            .cloned()
+            .collect();
+        assert_eq!(scan, indexed);
+        // And with a compound predicate headed by the indexed Eq.
+        let compound = Predicate::Eq("run".into(), SqlValue::Int(3))
+            .and(Predicate::Eq("name".into(), "n3".into()));
+        let mut t2 = t.clone();
+        t2.indexed_columns.clear();
+        t2.indexes.clear();
+        assert_eq!(t.select(&compound, None).unwrap(), t2.select(&compound, None).unwrap());
+        // Inserts after index creation are covered.
+        t.insert(vec![SqlValue::Int(3), "fresh".into()]).unwrap();
+        let after = t.select(&Predicate::Eq("run".into(), SqlValue::Int(3)), None).unwrap();
+        assert_eq!(after.len(), indexed.len() + 1);
+        // Missing key returns empty fast.
+        assert!(t
+            .select(&Predicate::Eq("run".into(), SqlValue::Int(999)), None)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn index_on_unindexable_type_is_rejected() {
+        let mut t = Table::new(vec![Column::new("x", ColumnType::Real)]);
+        assert!(t.create_index("x").is_err());
+        assert!(t.create_index("missing").is_err());
+    }
+
+    #[test]
+    fn indexes_survive_persistence() {
+        let dir = std::env::temp_dir().join(format!("excovery-idx-{}", std::process::id()));
+        let path = dir.join("db.json");
+        let mut db = Database::new();
+        db.create_table("t", vec![Column::new("k", ColumnType::Integer)]).unwrap();
+        db.table_mut("t").unwrap().create_index("k").unwrap();
+        for i in 0..50 {
+            db.insert("t", vec![SqlValue::Int(i % 5)]).unwrap();
+        }
+        db.save(&path).unwrap();
+        let loaded = Database::load(&path).unwrap();
+        assert_eq!(loaded, db);
+        let t = loaded.table("t").unwrap();
+        assert!(t.is_indexed("k"));
+        assert_eq!(
+            t.select(&Predicate::Eq("k".into(), SqlValue::Int(2)), None).unwrap().len(),
+            10
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(SqlValue::from(5i64), SqlValue::Int(5));
+        assert_eq!(SqlValue::from(5u64), SqlValue::Int(5));
+        assert_eq!(SqlValue::from(2.5), SqlValue::Real(2.5));
+        assert_eq!(SqlValue::from("x"), SqlValue::Text("x".into()));
+        assert_eq!(SqlValue::from(vec![1u8]), SqlValue::Blob(vec![1]));
+        assert_eq!(SqlValue::Int(3).as_real(), Some(3.0));
+        assert_eq!(SqlValue::Blob(vec![7]).as_blob(), Some(&[7u8][..]));
+    }
+}

@@ -1,0 +1,207 @@
+//! Level-2 intermediate storage (paper §IV-B5, §IV-F).
+//!
+//! "Each participating node has its own temporary storage for recorded
+//! data, organized into data belonging to single runs and data valid for
+//! the complete experiment. [...] Currently, ExCovery uses a special
+//! hierarchy on a file system to store second level data."
+//!
+//! The hierarchy:
+//!
+//! ```text
+//! <root>/
+//!   experiment/<node>/<name>         # experiment-wide measurements
+//!   runs/<run_id>/<node>/<name>      # per-run measurements and logs
+//! ```
+
+use crate::engine::StoreError;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Handle to one experiment's level-2 file hierarchy.
+#[derive(Debug, Clone)]
+pub struct Level2Store {
+    root: PathBuf,
+}
+
+impl Level2Store {
+    /// Opens (creating if necessary) the hierarchy rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("experiment"))
+            .and_then(|()| fs::create_dir_all(root.join("runs")))
+            .map_err(|e| StoreError(format!("create level-2 root: {e}")))?;
+        Ok(Self { root })
+    }
+
+    /// Root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn experiment_path(&self, node: &str, name: &str) -> PathBuf {
+        self.root.join("experiment").join(node).join(name)
+    }
+
+    fn run_path(&self, run_id: u64, node: &str, name: &str) -> PathBuf {
+        self.root.join("runs").join(run_id.to_string()).join(node).join(name)
+    }
+
+    fn write(path: &Path, data: &[u8]) -> Result<(), StoreError> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| StoreError(format!("mkdir: {e}")))?;
+        }
+        fs::write(path, data).map_err(|e| StoreError(format!("write {path:?}: {e}")))
+    }
+
+    /// Stores an experiment-wide measurement for a node.
+    pub fn put_experiment(&self, node: &str, name: &str, data: &[u8]) -> Result<(), StoreError> {
+        Self::write(&self.experiment_path(node, name), data)
+    }
+
+    /// Stores a per-run measurement/log for a node.
+    pub fn put_run(
+        &self,
+        run_id: u64,
+        node: &str,
+        name: &str,
+        data: &[u8],
+    ) -> Result<(), StoreError> {
+        Self::write(&self.run_path(run_id, node, name), data)
+    }
+
+    /// Reads an experiment-wide measurement.
+    pub fn get_experiment(&self, node: &str, name: &str) -> Result<Vec<u8>, StoreError> {
+        let p = self.experiment_path(node, name);
+        fs::read(&p).map_err(|e| StoreError(format!("read {p:?}: {e}")))
+    }
+
+    /// Reads a per-run measurement.
+    pub fn get_run(&self, run_id: u64, node: &str, name: &str) -> Result<Vec<u8>, StoreError> {
+        let p = self.run_path(run_id, node, name);
+        fs::read(&p).map_err(|e| StoreError(format!("read {p:?}: {e}")))
+    }
+
+    /// Run ids present, sorted — the collection phase walks these.
+    pub fn run_ids(&self) -> Result<Vec<u64>, StoreError> {
+        let runs = self.root.join("runs");
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(&runs).map_err(|e| StoreError(format!("list runs: {e}")))? {
+            let entry = entry.map_err(|e| StoreError(e.to_string()))?;
+            if let Some(id) = entry.file_name().to_str().and_then(|s| s.parse().ok()) {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    /// `(node, name)` pairs stored for a run, sorted.
+    pub fn run_entries(&self, run_id: u64) -> Result<Vec<(String, String)>, StoreError> {
+        let dir = self.root.join("runs").join(run_id.to_string());
+        let mut out = Vec::new();
+        let nodes = match fs::read_dir(&dir) {
+            Ok(n) => n,
+            Err(_) => return Ok(out), // run without data
+        };
+        for node in nodes {
+            let node = node.map_err(|e| StoreError(e.to_string()))?;
+            let node_name = node.file_name().to_string_lossy().into_owned();
+            for file in fs::read_dir(node.path()).map_err(|e| StoreError(e.to_string()))? {
+                let file = file.map_err(|e| StoreError(e.to_string()))?;
+                out.push((node_name.clone(), file.file_name().to_string_lossy().into_owned()));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Marks a run as completed (the recovery mechanism of §VII: aborted
+    /// runs are detected by a missing marker and resumed).
+    pub fn mark_run_complete(&self, run_id: u64) -> Result<(), StoreError> {
+        self.put_run(run_id, "_master", "complete", b"1")
+    }
+
+    /// True if the run has a completion marker.
+    pub fn is_run_complete(&self, run_id: u64) -> bool {
+        self.run_path(run_id, "_master", "complete").exists()
+    }
+
+    /// Lowest run id without a completion marker, given the total planned
+    /// runs — where a resumed experiment continues.
+    pub fn first_incomplete_run(&self, total_runs: u64) -> u64 {
+        (0..total_runs).find(|&r| !self.is_run_complete(r)).unwrap_or(total_runs)
+    }
+
+    /// Removes the whole hierarchy (after successful packaging to level 3).
+    pub fn destroy(self) -> Result<(), StoreError> {
+        fs::remove_dir_all(&self.root).map_err(|e| StoreError(format!("destroy: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Level2Store {
+        let root = std::env::temp_dir()
+            .join(format!("excovery-l2-{}-{}", tag, std::process::id()));
+        fs::remove_dir_all(&root).ok();
+        Level2Store::open(root).unwrap()
+    }
+
+    #[test]
+    fn experiment_data_roundtrip() {
+        let s = temp_store("exp");
+        s.put_experiment("t9-105", "topology_before", b"hopcounts").unwrap();
+        assert_eq!(s.get_experiment("t9-105", "topology_before").unwrap(), b"hopcounts");
+        assert!(s.get_experiment("t9-105", "missing").is_err());
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn run_data_roundtrip_and_listing() {
+        let s = temp_store("run");
+        s.put_run(0, "t9-105", "events.jsonl", b"[]").unwrap();
+        s.put_run(0, "t9-157", "capture.pcapish", b"\x01\x02").unwrap();
+        s.put_run(3, "t9-105", "events.jsonl", b"[]").unwrap();
+        assert_eq!(s.run_ids().unwrap(), vec![0, 3]);
+        let entries = s.run_entries(0).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                ("t9-105".to_string(), "events.jsonl".to_string()),
+                ("t9-157".to_string(), "capture.pcapish".to_string())
+            ]
+        );
+        assert!(s.run_entries(99).unwrap().is_empty());
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn completion_markers_support_resume() {
+        let s = temp_store("resume");
+        assert_eq!(s.first_incomplete_run(5), 0);
+        s.mark_run_complete(0).unwrap();
+        s.mark_run_complete(1).unwrap();
+        assert!(s.is_run_complete(1));
+        assert!(!s.is_run_complete(2));
+        assert_eq!(s.first_incomplete_run(5), 2);
+        // A gap: run 3 done but 2 missing → resume at 2.
+        s.mark_run_complete(3).unwrap();
+        assert_eq!(s.first_incomplete_run(5), 2);
+        // All done.
+        s.mark_run_complete(2).unwrap();
+        s.mark_run_complete(4).unwrap();
+        assert_eq!(s.first_incomplete_run(5), 5);
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn overwrite_is_allowed() {
+        let s = temp_store("ovw");
+        s.put_run(1, "n", "x", b"a").unwrap();
+        s.put_run(1, "n", "x", b"b").unwrap();
+        assert_eq!(s.get_run(1, "n", "x").unwrap(), b"b");
+        s.destroy().unwrap();
+    }
+}

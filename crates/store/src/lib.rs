@@ -1,0 +1,29 @@
+//! # excovery-store
+//!
+//! The four-level measurement storage of ExCovery (paper §IV-F, Table I).
+//!
+//! * **Level 1** — the abstract experiment description itself (an XML
+//!   document, exchanged and loaded for execution and analysis).
+//! * **Level 2** — intermediate storage of all concrete experiment data:
+//!   per-node, per-run log files and measurements in a file-system
+//!   hierarchy ([`level2`]).
+//! * **Level 3** — one package per experiment: a single relational database
+//!   with the schema of Table I ([`schema`]), containing all conditioned
+//!   measurements, logs and the complete experiment plan. The paper uses
+//!   SQLite; this crate ships its own small embedded relational engine
+//!   ([`engine`]) with typed columns, predicates, ordering and file
+//!   persistence (see DESIGN.md for the substitution rationale).
+//! * **Level 4** — a repository integrating multiple experiments for
+//!   cross-experiment comparison ([`repository`]). The paper leaves this
+//!   level unrealized; it is implemented here as an extension.
+
+pub mod engine;
+pub mod level2;
+pub mod records;
+pub mod repository;
+pub mod schema;
+pub mod warehouse;
+
+pub use engine::{Aggregate, Column, ColumnType, Database, Predicate, Row, SqlValue, StoreError, Table};
+pub use records::{EventRow, ExperimentInfo, PacketRow, RunInfoRow};
+pub use repository::Repository;

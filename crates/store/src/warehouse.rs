@@ -1,0 +1,282 @@
+//! Dimensional (star-schema) export — the paper's anticipated improvement:
+//! "Several future improvements are possible, for example by using a
+//! dimensional database model to store experiments in a data warehouse
+//! structure" (§IV-F).
+//!
+//! [`build_warehouse`] converts one or more level-3 packages into a star
+//! schema: a central `FactDiscovery` table (one row per discovery episode,
+//! with the response time as the measure) surrounded by `DimExperiment`,
+//! `DimRun` and `DimNode` dimensions. Cross-experiment OLAP-style slicing
+//! then reduces to plain predicate queries on the fact table.
+
+use crate::engine::{Column, ColumnType, Database, Predicate, SqlValue, StoreError};
+use crate::records::{EventRow, ExperimentInfo, RunInfoRow};
+use std::collections::BTreeMap;
+
+/// Table names of the warehouse schema.
+pub const WAREHOUSE_TABLES: [&str; 4] =
+    ["DimExperiment", "DimRun", "DimNode", "FactDiscovery"];
+
+fn warehouse_schema() -> Database {
+    use ColumnType::*;
+    let mut db = Database::new();
+    db.create_table(
+        "DimExperiment",
+        vec![
+            Column::new("ExpKey", Integer),
+            Column::new("Name", Text),
+            Column::new("Comment", Text),
+            Column::new("EEVersion", Text),
+        ],
+    )
+    .unwrap();
+    db.create_table(
+        "DimRun",
+        vec![
+            Column::new("RunKey", Integer),
+            Column::new("ExpKey", Integer),
+            Column::new("RunID", Integer),
+            Column::new("StartTime", Integer),
+        ],
+    )
+    .unwrap();
+    db.create_table(
+        "DimNode",
+        vec![
+            Column::new("NodeKey", Integer),
+            Column::new("ExpKey", Integer),
+            Column::new("NodeID", Text),
+        ],
+    )
+    .unwrap();
+    db.create_table(
+        "FactDiscovery",
+        vec![
+            Column::new("ExpKey", Integer),
+            Column::new("RunKey", Integer),
+            Column::new("SuNodeKey", Integer),
+            Column::new("Service", Text),
+            Column::new("SearchStart", Integer),
+            Column::new("ResponseTimeNs", Integer),
+        ],
+    )
+    .unwrap();
+    db
+}
+
+/// Builds a warehouse from `(experiment id, level-3 package)` pairs.
+///
+/// Every `sd_service_add` following an `sd_start_search` on the same node
+/// becomes one fact row; surrogate keys link the dimensions.
+pub fn build_warehouse(packages: &[(&str, &Database)]) -> Result<Database, StoreError> {
+    let mut wh = warehouse_schema();
+    let mut next_run_key: i64 = 0;
+    let mut next_node_key: i64 = 0;
+    for (exp_key, (_, db)) in packages.iter().enumerate() {
+        let exp_key = exp_key as i64;
+        let info = ExperimentInfo::read(db)?;
+        wh.insert(
+            "DimExperiment",
+            vec![
+                SqlValue::Int(exp_key),
+                info.name.into(),
+                info.comment.into(),
+                info.ee_version.into(),
+            ],
+        )?;
+        // Node dimension: every node appearing in RunInfos.
+        let mut node_keys: BTreeMap<String, i64> = BTreeMap::new();
+        let run_infos = RunInfoRow::read_all(db)?;
+        for ri in &run_infos {
+            if !node_keys.contains_key(&ri.node_id) {
+                node_keys.insert(ri.node_id.clone(), next_node_key);
+                wh.insert(
+                    "DimNode",
+                    vec![
+                        SqlValue::Int(next_node_key),
+                        SqlValue::Int(exp_key),
+                        ri.node_id.clone().into(),
+                    ],
+                )?;
+                next_node_key += 1;
+            }
+        }
+        // Run dimension + facts.
+        let mut run_keys: BTreeMap<u64, i64> = BTreeMap::new();
+        for run_id in RunInfoRow::run_ids(db)? {
+            let start = run_infos
+                .iter()
+                .find(|r| r.run_id == run_id)
+                .map(|r| r.start_time_ns)
+                .unwrap_or(0);
+            run_keys.insert(run_id, next_run_key);
+            wh.insert(
+                "DimRun",
+                vec![
+                    SqlValue::Int(next_run_key),
+                    SqlValue::Int(exp_key),
+                    SqlValue::Int(run_id as i64),
+                    SqlValue::Int(start),
+                ],
+            )?;
+            next_run_key += 1;
+
+            // Facts: reconstruct episodes from the event list.
+            let events = EventRow::read_run(db, run_id)?;
+            let mut open: BTreeMap<&str, i64> = BTreeMap::new(); // node -> search start
+            for e in &events {
+                match e.event_type.as_str() {
+                    "sd_start_search" => {
+                        open.insert(e.node_id.as_str(), e.common_time_ns);
+                    }
+                    "sd_stop_search" => {
+                        open.remove(e.node_id.as_str());
+                    }
+                    "sd_service_add" => {
+                        let Some(&start) = open.get(e.node_id.as_str()) else { continue };
+                        let su_key = *node_keys.entry(e.node_id.clone()).or_insert_with(|| {
+                            let k = next_node_key;
+                            next_node_key += 1;
+                            k
+                        });
+                        let service = EventRow::decode_params(&e.parameter)
+                            .into_iter()
+                            .find(|(k, _)| k == "service")
+                            .map(|(_, v)| v)
+                            .unwrap_or_default();
+                        wh.insert(
+                            "FactDiscovery",
+                            vec![
+                                SqlValue::Int(exp_key),
+                                SqlValue::Int(run_keys[&run_id]),
+                                SqlValue::Int(su_key),
+                                service.into(),
+                                SqlValue::Int(start),
+                                SqlValue::Int(e.common_time_ns - start),
+                            ],
+                        )?;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(wh)
+}
+
+/// Convenience slice: mean response time (seconds) per experiment key.
+pub fn mean_response_time_by_experiment(
+    wh: &Database,
+) -> Result<BTreeMap<i64, f64>, StoreError> {
+    let facts = wh.table("FactDiscovery")?;
+    let mut out = BTreeMap::new();
+    for exp in facts.distinct("ExpKey", &Predicate::True)? {
+        let Some(key) = exp.as_int() else { continue };
+        if let Some(mean) = facts.aggregate(
+            "ResponseTimeNs",
+            &Predicate::Eq("ExpKey".into(), exp.clone()),
+            crate::engine::Aggregate::Avg,
+        )? {
+            out.insert(key, mean / 1e9);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{create_level3_database, EE_VERSION};
+
+    fn package(name: &str, t_r_ns: i64) -> Database {
+        let mut db = create_level3_database();
+        ExperimentInfo {
+            exp_xml: String::new(),
+            ee_version: EE_VERSION.into(),
+            name: name.into(),
+            comment: String::new(),
+        }
+        .insert(&mut db)
+        .unwrap();
+        RunInfoRow { run_id: 0, node_id: "su".into(), start_time_ns: 0, time_diff_ns: 0 }
+            .insert(&mut db)
+            .unwrap();
+        for (t, name, param) in [
+            (100, "sd_start_search", ""),
+            (100 + t_r_ns, "sd_service_add", "service=sm"),
+        ] {
+            EventRow {
+                run_id: 0,
+                node_id: "su".into(),
+                common_time_ns: t,
+                event_type: name.into(),
+                parameter: param.into(),
+            }
+            .insert(&mut db)
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn warehouse_has_star_schema() {
+        let p = package("one", 5_000);
+        let wh = build_warehouse(&[("one", &p)]).unwrap();
+        for t in WAREHOUSE_TABLES {
+            assert!(wh.table(t).is_ok(), "{t}");
+        }
+        assert_eq!(wh.table("DimExperiment").unwrap().len(), 1);
+        assert_eq!(wh.table("DimRun").unwrap().len(), 1);
+        assert_eq!(wh.table("FactDiscovery").unwrap().len(), 1);
+        let fact = &wh.table("FactDiscovery").unwrap().rows()[0];
+        assert_eq!(fact[5], SqlValue::Int(5_000), "response time measure");
+        assert_eq!(fact[3].as_text(), Some("sm"));
+    }
+
+    #[test]
+    fn cross_experiment_facts_are_keyed() {
+        let a = package("fast", 1_000_000);
+        let b = package("slow", 9_000_000);
+        let wh = build_warehouse(&[("fast", &a), ("slow", &b)]).unwrap();
+        assert_eq!(wh.table("DimExperiment").unwrap().len(), 2);
+        assert_eq!(wh.table("FactDiscovery").unwrap().len(), 2);
+        let means = mean_response_time_by_experiment(&wh).unwrap();
+        assert_eq!(means.len(), 2);
+        assert!(means[&0] < means[&1], "fast < slow: {means:?}");
+    }
+
+    #[test]
+    fn adds_without_search_are_ignored() {
+        let mut db = package("x", 1_000);
+        // A stray add after stop_search.
+        EventRow {
+            run_id: 0,
+            node_id: "su".into(),
+            common_time_ns: 50,
+            event_type: "sd_stop_search".into(),
+            parameter: String::new(),
+        }
+        .insert(&mut db)
+        .unwrap();
+        let wh = build_warehouse(&[("x", &db)]).unwrap();
+        // Original episode intact; ordering by common time means the stray
+        // stop (t=50) happens before the search start (t=100).
+        assert_eq!(wh.table("FactDiscovery").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_package_yields_empty_facts() {
+        let mut db = create_level3_database();
+        ExperimentInfo {
+            exp_xml: String::new(),
+            ee_version: EE_VERSION.into(),
+            name: "empty".into(),
+            comment: String::new(),
+        }
+        .insert(&mut db)
+        .unwrap();
+        let wh = build_warehouse(&[("empty", &db)]).unwrap();
+        assert!(wh.table("FactDiscovery").unwrap().is_empty());
+        assert_eq!(wh.table("DimExperiment").unwrap().len(), 1);
+    }
+}

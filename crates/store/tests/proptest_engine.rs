@@ -1,0 +1,124 @@
+//! Property tests for the embedded relational engine.
+
+use excovery_store::{Column, ColumnType, Database, Predicate, SqlValue, Table};
+use proptest::prelude::*;
+
+fn value_strategy(t: ColumnType) -> BoxedStrategy<SqlValue> {
+    let typed = match t {
+        ColumnType::Integer => any::<i64>().prop_map(SqlValue::Int).boxed(),
+        ColumnType::Real => (-1e9f64..1e9).prop_map(SqlValue::Real).boxed(),
+        ColumnType::Text => "[ -~]{0,16}".prop_map(SqlValue::Text).boxed(),
+        ColumnType::Blob => prop::collection::vec(any::<u8>(), 0..16)
+            .prop_map(SqlValue::Blob)
+            .boxed(),
+    };
+    prop_oneof![9 => typed, 1 => Just(SqlValue::Null)].boxed()
+}
+
+fn schema_strategy() -> impl Strategy<Value = Vec<Column>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(ColumnType::Integer),
+            Just(ColumnType::Real),
+            Just(ColumnType::Text),
+            Just(ColumnType::Blob),
+        ],
+        1..5,
+    )
+    .prop_map(|types| {
+        types
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Column::new(format!("c{i}"), t))
+            .collect()
+    })
+}
+
+fn table_strategy() -> impl Strategy<Value = Table> {
+    schema_strategy().prop_flat_map(|cols| {
+        let row_strategies: Vec<BoxedStrategy<SqlValue>> =
+            cols.iter().map(|c| value_strategy(c.ctype)).collect();
+        prop::collection::vec(row_strategies, 0..24).prop_map(move |rows| {
+            let mut t = Table::new(cols.clone());
+            for row in rows {
+                t.insert(row).expect("typed row");
+            }
+            t
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Typed inserts always succeed and preserve insertion order.
+    #[test]
+    fn inserts_preserve_order(t in table_strategy()) {
+        let all = t.select(&Predicate::True, None).unwrap();
+        prop_assert_eq!(all.len(), t.len());
+        for (a, b) in all.iter().zip(t.rows()) {
+            prop_assert_eq!(*a, b);
+        }
+    }
+
+    /// Predicate algebra: Not(p) selects the complement, p AND True = p,
+    /// p OR Not(p) = everything.
+    #[test]
+    fn predicate_algebra(t in table_strategy(), v in any::<i64>()) {
+        let col = t.columns[0].name.clone();
+        let p = Predicate::Lt(col.clone(), SqlValue::Int(v));
+        let not_p = Predicate::Not(Box::new(p.clone()));
+        let selected = t.count(&p).unwrap();
+        let complement = t.count(&not_p).unwrap();
+        prop_assert_eq!(selected + complement, t.len());
+        prop_assert_eq!(
+            t.count(&p.clone().and(Predicate::True)).unwrap(),
+            selected
+        );
+        prop_assert_eq!(t.count(&p.clone().or(not_p)).unwrap(), t.len());
+    }
+
+    /// ORDER BY yields a non-decreasing column under SQL comparison.
+    #[test]
+    fn order_by_sorts(t in table_strategy()) {
+        let col = t.columns[0].name.clone();
+        let idx = t.column_index(&col).unwrap();
+        let sorted = t.select(&Predicate::True, Some(&col)).unwrap();
+        for w in sorted.windows(2) {
+            prop_assert_ne!(
+                w[0][idx].cmp_sql(&w[1][idx]),
+                std::cmp::Ordering::Greater,
+                "rows out of order"
+            );
+        }
+    }
+
+    /// A database survives save/load byte-identically.
+    #[test]
+    fn database_persistence_roundtrip(t in table_strategy(), tag in 0u32..1_000_000) {
+        let mut db = Database::new();
+        db.create_table("t", t.columns.clone()).unwrap();
+        for row in t.rows() {
+            db.insert("t", row.clone()).unwrap();
+        }
+        let path = std::env::temp_dir()
+            .join(format!("excovery-prop-{}-{tag}.expdb", std::process::id()));
+        db.save(&path).unwrap();
+        let loaded = Database::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(loaded, db);
+    }
+
+    /// Eq with a value equals itself: selecting by a cell value always
+    /// includes the row the value came from.
+    #[test]
+    fn eq_is_reflexive(t in table_strategy()) {
+        if t.is_empty() {
+            return Ok(());
+        }
+        let col = &t.columns[0].name;
+        let needle = t.rows()[0][0].clone();
+        let hits = t.count(&Predicate::Eq(col.clone(), needle)).unwrap();
+        prop_assert!(hits >= 1);
+    }
+}

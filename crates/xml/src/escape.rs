@@ -1,0 +1,149 @@
+//! Entity escaping and unescaping.
+//!
+//! Handles the five predefined XML entities (`&lt;`, `&gt;`, `&amp;`,
+//! `&apos;`, `&quot;`) and decimal/hexadecimal character references
+//! (`&#108;`, `&#x6C;`).
+
+use crate::error::{XmlError, XmlErrorKind, XmlResult};
+
+/// Escapes a string for use as element text content.
+///
+/// Only `&`, `<` and `>` are replaced; quotes are legal inside text.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves entity and character references in raw text.
+///
+/// `line`/`column` are used only for error reporting.
+pub fn unescape(s: &str, line: usize, column: usize) -> XmlResult<String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let end = rest.find(';').ok_or_else(|| {
+            XmlError::new(XmlErrorKind::BadReference, "unterminated entity reference", line, column)
+        })?;
+        let name = &rest[..end];
+        let resolved = resolve_entity(name).ok_or_else(|| {
+            XmlError::new(
+                XmlErrorKind::BadReference,
+                format!("unknown entity '&{name};'"),
+                line,
+                column,
+            )
+        })?;
+        out.push(resolved);
+        // Skip the entity body plus the ';'.
+        for _ in 0..=end {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => {
+            let body = name.strip_prefix('#')?;
+            let code = if let Some(hex) = body.strip_prefix('x').or_else(|| body.strip_prefix('X'))
+            {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                body.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_text() {
+        let raw = "a < b && c > d";
+        let esc = escape_text(raw);
+        assert_eq!(esc, "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(unescape(&esc, 1, 1).unwrap(), raw);
+    }
+
+    #[test]
+    fn roundtrip_attr_quotes() {
+        let raw = "say \"hi\" & 'bye'";
+        let esc = escape_attr(raw);
+        assert!(!esc.contains('"'));
+        assert_eq!(unescape(&esc, 1, 1).unwrap(), raw);
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#108;&#x6C;&#X6C;", 1, 1).unwrap(), "lll");
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        assert!(unescape("&nope;", 1, 1).is_err());
+    }
+
+    #[test]
+    fn unterminated_entity_is_error() {
+        assert!(unescape("a &lt b", 1, 1).is_err());
+    }
+
+    #[test]
+    fn bad_codepoint_is_error() {
+        // 0xD800 is a surrogate, not a valid char.
+        assert!(unescape("&#xD800;", 1, 1).is_err());
+    }
+
+    #[test]
+    fn plain_string_passthrough() {
+        assert_eq!(unescape("hello", 1, 1).unwrap(), "hello");
+    }
+
+    #[test]
+    fn attr_escapes_whitespace_controls() {
+        assert_eq!(escape_attr("a\tb\nc"), "a&#9;b&#10;c");
+    }
+}

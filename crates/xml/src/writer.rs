@@ -1,0 +1,181 @@
+//! Serialization of XML trees back to text.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::node::{Document, Element, Node};
+
+/// Options controlling serialization.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Indent string per nesting level; `None` emits compact output.
+    pub indent: Option<String>,
+    /// Emit an `<?xml ...?>` declaration.
+    pub declaration: bool,
+    /// Collapse childless elements into `<name/>`.
+    pub self_close_empty: bool,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        Self { indent: Some("  ".into()), declaration: true, self_close_empty: true }
+    }
+}
+
+impl WriteOptions {
+    /// Compact output: no indentation, no declaration.
+    pub fn compact() -> Self {
+        Self { indent: None, declaration: false, self_close_empty: true }
+    }
+}
+
+/// Serializes a document compactly (no indentation, no declaration).
+pub fn to_string(doc: &Document) -> String {
+    write_document(doc, &WriteOptions::compact())
+}
+
+/// Serializes a document with two-space indentation and a declaration.
+pub fn to_string_pretty(doc: &Document) -> String {
+    write_document(doc, &WriteOptions::default())
+}
+
+/// Serializes a document with explicit options.
+pub fn write_document(doc: &Document, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        let version = doc.version.as_deref().unwrap_or("1.0");
+        out.push_str("<?xml version=\"");
+        out.push_str(version);
+        out.push('"');
+        if let Some(enc) = doc.encoding.as_deref().or(Some("UTF-8")) {
+            out.push_str(" encoding=\"");
+            out.push_str(enc);
+            out.push('"');
+        }
+        out.push_str("?>");
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    write_element(doc.root(), opts, 0, &mut out);
+    if opts.indent.is_some() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a bare element with explicit options.
+pub fn write_element_string(e: &Element, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    write_element(e, opts, 0, &mut out);
+    out
+}
+
+fn write_indent(opts: &WriteOptions, depth: usize, out: &mut String) {
+    if let Some(ind) = &opts.indent {
+        for _ in 0..depth {
+            out.push_str(ind);
+        }
+    }
+}
+
+fn write_element(e: &Element, opts: &WriteOptions, depth: usize, out: &mut String) {
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attributes {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    let effective_children: Vec<&Node> = e.children.iter().collect();
+    if effective_children.is_empty() && opts.self_close_empty {
+        out.push_str(" />");
+        return;
+    }
+    out.push('>');
+    // Mixed content (any text child) is written inline to keep text intact.
+    let has_text = e.children.iter().any(|c| matches!(c, Node::Text(_)));
+    let multiline = opts.indent.is_some() && !has_text && !effective_children.is_empty();
+    for child in &e.children {
+        if multiline {
+            out.push('\n');
+            write_indent(opts, depth + 1, out);
+        }
+        match child {
+            Node::Element(el) => write_element(el, opts, depth + 1, out),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+            Node::Comment(c) => {
+                out.push_str("<!--");
+                out.push_str(c);
+                out.push_str("-->");
+            }
+        }
+    }
+    if multiline {
+        out.push('\n');
+        write_indent(opts, depth, out);
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) -> Document {
+        let doc = parse(src).unwrap();
+        let text = to_string(&doc);
+        parse(&text).unwrap_or_else(|e| panic!("reparse of {text:?} failed: {e}"))
+    }
+
+    #[test]
+    fn compact_roundtrip_preserves_tree() {
+        let src = "<a x=\"1\"><b>t &amp; u</b><c/><!--n--></a>";
+        let doc = parse(src).unwrap();
+        assert_eq!(roundtrip(src), doc);
+    }
+
+    #[test]
+    fn pretty_output_is_reparseable_and_equal() {
+        let src = "<factorlist><factor id=\"f\"><levels><level>5</level><level>20</level></levels></factor></factorlist>";
+        let doc = parse(src).unwrap();
+        let pretty = to_string_pretty(&doc);
+        assert!(pretty.starts_with("<?xml"));
+        assert!(pretty.contains("\n  <factor"));
+        assert_eq!(parse(&pretty).unwrap().root(), doc.root());
+    }
+
+    #[test]
+    fn empty_elements_self_close() {
+        let doc = parse("<a><b></b></a>").unwrap();
+        assert_eq!(to_string(&doc), "<a><b /></a>");
+    }
+
+    #[test]
+    fn attribute_escaping_roundtrips() {
+        let mut root = Element::new("a");
+        root.set_attr("k", "a<b>\"c\"&\n");
+        let doc = Document::new(root.clone());
+        let again = parse(&to_string(&doc)).unwrap();
+        assert_eq!(again.root(), &root);
+    }
+
+    #[test]
+    fn text_with_angle_brackets_escaped() {
+        let doc = Document::new(Element::with_text("a", "1 < 2 & 3 > 2"));
+        let s = to_string(&doc);
+        assert!(s.contains("&lt;") && s.contains("&amp;"));
+        assert_eq!(parse(&s).unwrap().root().text(), "1 < 2 & 3 > 2");
+    }
+
+    #[test]
+    fn mixed_content_stays_inline() {
+        let src = "<p>one<b>two</b>three</p>";
+        let doc = parse(src).unwrap();
+        let pretty = write_document(&doc, &WriteOptions::default());
+        assert!(pretty.contains("one<b>two</b>three"));
+    }
+}

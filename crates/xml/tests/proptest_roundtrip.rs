@@ -1,0 +1,108 @@
+//! Property-based tests: any generated tree survives write → parse intact,
+//! and arbitrary strings survive escape → unescape.
+
+use excovery_xml::writer::{write_document, WriteOptions};
+use excovery_xml::{parse, Document, Element, Node};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.-]{0,11}"
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Non-whitespace-only printable text including XML-special characters.
+    "[ -~]{0,24}[!-~]"
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
+        .prop_map(|(name, attrs)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v); // set_attr dedups names
+            }
+            e
+        });
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+            prop::collection::vec(
+                prop_oneof![
+                    inner.prop_map(Node::Element),
+                    text_strategy().prop_map(Node::Text),
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                // Merge adjacent text nodes: the parser cannot distinguish
+                // "ab" from "a"+"b", so normalize the generated tree.
+                for c in children {
+                    match (e.children.last_mut(), c) {
+                        (Some(Node::Text(prev)), Node::Text(t)) => prev.push_str(&t),
+                        (_, c) => e.children.push(c),
+                    }
+                }
+                e
+            })
+    })
+}
+
+/// The parser trims pure-layout whitespace and the writer re-escapes text, so
+/// compare trees after normalizing text nodes the way a reparse would.
+fn normalize(e: &Element) -> Element {
+    let mut out = Element::new(e.name.clone());
+    out.attributes = e.attributes.clone();
+    for c in &e.children {
+        match c {
+            Node::Element(el) => out.children.push(Node::Element(normalize(el))),
+            Node::Text(t) => {
+                if !t.trim().is_empty() {
+                    out.children.push(Node::Text(t.clone()));
+                }
+            }
+            Node::Comment(c) => out.children.push(Node::Comment(c.clone())),
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(root in element_strategy()) {
+        let doc = Document::new(root.clone());
+        let text = write_document(&doc, &WriteOptions::compact());
+        let reparsed = parse(&text).expect("reparse");
+        prop_assert_eq!(normalize(reparsed.root()), normalize(&root));
+    }
+
+    #[test]
+    fn pretty_roundtrip(root in element_strategy()) {
+        let doc = Document::new(root.clone());
+        let text = write_document(&doc, &WriteOptions::default());
+        let reparsed = parse(&text).expect("reparse");
+        prop_assert_eq!(normalize(reparsed.root()), normalize(&root));
+    }
+
+    #[test]
+    fn escape_unescape_text(s in "\\PC*") {
+        let esc = excovery_xml::escape::escape_text(&s);
+        prop_assert_eq!(excovery_xml::escape::unescape(&esc, 1, 1).unwrap(), s);
+    }
+
+    #[test]
+    fn escape_unescape_attr(s in "\\PC*") {
+        let esc = excovery_xml::escape::escape_attr(&s);
+        prop_assert_eq!(excovery_xml::escape::unescape(&esc, 1, 1).unwrap(), s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+}

@@ -1,0 +1,46 @@
+//! Fault injection: service-discovery responsiveness under message loss.
+//!
+//! Uses the CS-1 scenario — a manipulation process (paper §IV-D) injects a
+//! message-loss fault on the SM node with a swept probability — and prints
+//! the responsiveness per loss level. Expected shape: R falls as loss
+//! grows, and the query retransmission backoff pushes successful
+//! discoveries of lossy runs towards later deadlines.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use excovery::analysis::responsiveness::{format_curve, responsiveness_by_treatment};
+use excovery::engine::scenarios::loss_sweep;
+use excovery::engine::{EngineConfig, ExperiMaster};
+use excovery::netsim::topology::Topology;
+use std::collections::HashMap;
+
+fn main() -> Result<(), String> {
+    let losses = [0.0, 0.2, 0.4, 0.6];
+    let reps = 40;
+    let desc = loss_sweep(&losses, reps, 2026);
+
+    let mut cfg = EngineConfig::grid_default();
+    // One-hop chain: loss on the SM is not masked by alternative flood paths.
+    cfg.topology = Topology::chain(2);
+    let mut master = ExperiMaster::new(desc.clone(), cfg)?;
+    let outcome = master.execute()?;
+
+    // Map run ids back to their treatment (the engine reports them).
+    let by_run: HashMap<u64, String> =
+        outcome.runs.iter().map(|r| (r.run_id, r.treatment_key.clone())).collect();
+    let curves = responsiveness_by_treatment(
+        &outcome.database,
+        &|run| by_run.get(&run).cloned().unwrap_or_default(),
+        1,
+        &[0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0],
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("CS-1: responsiveness vs injected message loss ({reps} replications each)\n");
+    for (treatment, curve) in curves {
+        println!("{}", format_curve(&treatment, &curve));
+    }
+    Ok(())
+}

@@ -1,0 +1,393 @@
+//! `excovery` — command-line front end to the experimentation framework.
+//!
+//! Drives the complete paper workflow from the shell: validate and inspect
+//! XML experiment descriptions, expand treatment plans, execute experiments
+//! on a simulated mesh platform, and query the stored result packages.
+//!
+//! ```text
+//! excovery validate <desc.xml>
+//! excovery plan <desc.xml> [--limit N]
+//! excovery outline <desc.xml>
+//! excovery dot <desc.xml>
+//! excovery run <desc.xml> [--topology grid:WxH | chain:N] [--max-runs N]
+//!              [--out results.expdb] [--l2 DIR] [--resume] [--keep-l2]
+//! excovery inspect <results.expdb>
+//! excovery events <results.expdb> --run N
+//! excovery timeline <results.expdb> --run N [--svg out.svg]
+//! excovery responsiveness <results.expdb> [--k N]
+//! ```
+
+use excovery::analysis::responsiveness::{format_curve, responsiveness_curve};
+use excovery::analysis::runs::RunView;
+use excovery::analysis::timeline::Timeline;
+use excovery::desc::xmlio::from_xml;
+use excovery::desc::ExperimentDescription;
+use excovery::engine::{EngineConfig, ExperiMaster};
+use excovery::netsim::topology::Topology;
+use excovery::store::records::{EventRow, ExperimentInfo};
+use excovery::store::Database;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        print_usage();
+        return Ok(());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "validate" => cmd_validate(rest),
+        "plan" => cmd_plan(rest),
+        "outline" => cmd_outline(rest),
+        "dot" => cmd_dot(rest),
+        "run" => cmd_run(rest),
+        "inspect" => cmd_inspect(rest),
+        "events" => cmd_events(rest),
+        "timeline" => cmd_timeline(rest),
+        "responsiveness" => cmd_responsiveness(rest),
+        "report" => cmd_report(rest),
+        "repo" => cmd_repo(rest),
+        "schema" => {
+            print!("{}", excovery::desc::schema_doc::schema_text());
+            Ok(())
+        }
+        "model" => cmd_model(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'excovery help')")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "excovery — experimentation framework for distributed processes\n\
+         \n\
+         usage:\n\
+         \x20 excovery validate <desc.xml>\n\
+         \x20 excovery plan <desc.xml> [--limit N]\n\
+         \x20 excovery outline <desc.xml>\n\
+         \x20 excovery dot <desc.xml>\n\
+         \x20 excovery run <desc.xml> [--topology grid:WxH|chain:N] [--max-runs N]\n\
+         \x20          [--out results.expdb] [--l2 DIR] [--resume] [--keep-l2]\n\
+         \x20 excovery inspect <results.expdb>\n\
+         \x20 excovery events <results.expdb> --run N\n\
+         \x20 excovery timeline <results.expdb> --run N [--svg out.svg]\n\
+         \x20 excovery responsiveness <results.expdb> [--k N]\n\
+         \x20 excovery report <results.expdb> [--k N] [--out report.md]\n\
+         \x20 excovery repo <dir> list\n\
+         \x20 excovery repo <dir> add <id> <results.expdb>\n\
+         \x20 excovery repo <dir> compare\n\
+         \x20 excovery schema                      # print the description XSD\n\
+         \x20 excovery model --hops H --loss P     # analytic responsiveness"
+    );
+}
+
+// ---- argument helpers ------------------------------------------------------
+
+fn positional<'a>(args: &'a [String], what: &str) -> Result<&'a str, String> {
+    args.iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing {what}"))
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn load_description(path: &str) -> Result<ExperimentDescription, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    from_xml(&text).map_err(|e| e.to_string())
+}
+
+fn load_database(path: &str) -> Result<Database, String> {
+    Database::load(std::path::Path::new(path)).map_err(|e| e.to_string())
+}
+
+fn parse_topology(spec: &str) -> Result<Topology, String> {
+    if let Some(dims) = spec.strip_prefix("grid:") {
+        let (w, h) = dims
+            .split_once('x')
+            .ok_or_else(|| format!("grid spec '{dims}' is not WxH"))?;
+        let w: usize = w.parse().map_err(|_| format!("bad grid width '{w}'"))?;
+        let h: usize = h.parse().map_err(|_| format!("bad grid height '{h}'"))?;
+        Ok(Topology::grid(w, h))
+    } else if let Some(n) = spec.strip_prefix("chain:") {
+        let n: usize = n.parse().map_err(|_| format!("bad chain length '{n}'"))?;
+        Ok(Topology::chain(n))
+    } else {
+        Err(format!("unknown topology '{spec}' (use grid:WxH or chain:N)"))
+    }
+}
+
+// ---- subcommands ------------------------------------------------------------
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let desc = load_description(positional(args, "description path")?)?;
+    let findings = excovery::desc::validate::validate(&desc);
+    let fatal = findings.iter().filter(|f| f.fatal).count();
+    for f in &findings {
+        println!("{} {}", if f.fatal { "FATAL  " } else { "warning" }, f.message);
+    }
+    if fatal > 0 {
+        return Err(format!("{fatal} fatal findings"));
+    }
+    println!(
+        "OK: '{}' — {} factors, {} node processes, {} env processes, plan of {} runs",
+        desc.name,
+        desc.factors.factors.len(),
+        desc.node_processes.len(),
+        desc.env_processes.len(),
+        desc.plan().len()
+    );
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let desc = load_description(positional(args, "description path")?)?;
+    let limit: usize =
+        flag_value(args, "--limit").map(|v| v.parse().unwrap_or(20)).unwrap_or(20);
+    let plan = desc.plan();
+    println!(
+        "{} runs, {} treatments, design {:?}, seed {}",
+        plan.len(),
+        plan.distinct_treatments().len(),
+        plan.design,
+        desc.seed
+    );
+    for run in plan.runs.iter().take(limit) {
+        println!("  run {:>5}  rep {:>4}  {}", run.run_id, run.replicate, run.treatment.key());
+    }
+    if plan.len() > limit {
+        println!("  … {} more (raise with --limit)", plan.len() - limit);
+    }
+    Ok(())
+}
+
+fn cmd_outline(args: &[String]) -> Result<(), String> {
+    let desc = load_description(positional(args, "description path")?)?;
+    print!("{}", excovery::desc::visualize::to_outline(&desc));
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let desc = load_description(positional(args, "description path")?)?;
+    print!("{}", excovery::desc::visualize::to_dot(&desc));
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let desc = load_description(positional(args, "description path")?)?;
+    let mut cfg = EngineConfig::grid_default();
+    if let Some(spec) = flag_value(args, "--topology") {
+        cfg.topology = parse_topology(spec)?;
+    }
+    if let Some(n) = flag_value(args, "--max-runs") {
+        cfg.max_runs = Some(n.parse().map_err(|_| format!("bad --max-runs '{n}'"))?);
+    }
+    if let Some(dir) = flag_value(args, "--l2") {
+        cfg.l2_root = Some(PathBuf::from(dir));
+    }
+    cfg.resume = flag_present(args, "--resume");
+    cfg.keep_l2 = flag_present(args, "--keep-l2");
+    let out = flag_value(args, "--out").unwrap_or("results.expdb").to_string();
+
+    let name = desc.name.clone();
+    let mut master = ExperiMaster::new(desc, cfg)?;
+    let outcome = master.execute()?;
+    let completed = outcome.runs.iter().filter(|r| r.completed).count();
+    println!("experiment '{name}': {} runs executed, {completed} completed", outcome.runs.len());
+    for r in outcome.runs.iter().filter(|r| !r.completed) {
+        println!("  run {} failed: {:?}", r.run_id, r.failures);
+    }
+    outcome.database.save(std::path::Path::new(&out)).map_err(|e| e.to_string())?;
+    println!("level-3 package written to {out}");
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let db = load_database(positional(args, "database path")?)?;
+    let info = ExperimentInfo::read(&db).map_err(|e| e.to_string())?;
+    println!("experiment: {}", info.name);
+    println!("version:    {}", info.ee_version);
+    if !info.comment.is_empty() {
+        println!("comment:    {}", info.comment);
+    }
+    println!("tables:");
+    for name in db.table_names() {
+        println!("  {name:<24} {:>6} rows", db.table(name).unwrap().len());
+    }
+    let runs = RunView::run_ids(&db).map_err(|e| e.to_string())?;
+    println!("runs: {}", runs.len());
+    Ok(())
+}
+
+fn cmd_events(args: &[String]) -> Result<(), String> {
+    let db = load_database(positional(args, "database path")?)?;
+    let run: u64 = flag_value(args, "--run")
+        .ok_or("missing --run N")?
+        .parse()
+        .map_err(|_| "bad --run value")?;
+    let events = EventRow::read_run(&db, run).map_err(|e| e.to_string())?;
+    if events.is_empty() {
+        return Err(format!("run {run} has no events"));
+    }
+    for e in events {
+        println!(
+            "{:>15} ns  {:<10} {:<22} {}",
+            e.common_time_ns, e.node_id, e.event_type, e.parameter
+        );
+    }
+    Ok(())
+}
+
+fn cmd_timeline(args: &[String]) -> Result<(), String> {
+    let db = load_database(positional(args, "database path")?)?;
+    let run: u64 = flag_value(args, "--run").unwrap_or("0").parse().map_err(|_| "bad --run")?;
+    let events = EventRow::read_run(&db, run).map_err(|e| e.to_string())?;
+    // Lanes: every node that produced events except the master.
+    let actors: BTreeMap<String, String> = events
+        .iter()
+        .filter(|e| e.node_id != "master")
+        .map(|e| (e.node_id.clone(), e.node_id.clone()))
+        .collect();
+    let timeline = Timeline::from_events(&events, &actors);
+    print!("{}", timeline.render_ascii(100));
+    if let Some(svg_path) = flag_value(args, "--svg") {
+        std::fs::write(svg_path, timeline.render_svg(900))
+            .map_err(|e| format!("write {svg_path}: {e}"))?;
+        println!("SVG written to {svg_path}");
+    }
+    Ok(())
+}
+
+fn cmd_model(args: &[String]) -> Result<(), String> {
+    use excovery::analysis::model::ResponsivenessModel;
+    let hops: u32 = flag_value(args, "--hops").unwrap_or("1").parse().map_err(|_| "bad --hops")?;
+    let loss: f64 = flag_value(args, "--loss").unwrap_or("0.1").parse().map_err(|_| "bad --loss")?;
+    let model = ResponsivenessModel::new(hops, loss);
+    println!("analytic responsiveness model: {hops} hops, per-link loss {loss}\n");
+    println!("attempts:");
+    for a in model.attempts() {
+        println!("  {:>8.3} s  {:<9} p = {:.4}", a.completes_at_s, a.kind, a.success_probability);
+    }
+    println!("\npredicted R(d):");
+    for d in [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0] {
+        println!("  {:>6} s  {:.4}", d, model.predict(d));
+    }
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let db = load_database(positional(args, "database path")?)?;
+    let k: usize = flag_value(args, "--k").unwrap_or("1").parse().map_err(|_| "bad --k")?;
+    let opts = excovery::analysis::report::ReportOptions { k, ..Default::default() };
+    let report =
+        excovery::analysis::report::render(&db, &opts).map_err(|e| e.to_string())?;
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &report).map_err(|e| format!("write {path}: {e}"))?;
+            println!("report written to {path}");
+        }
+        None => print!("{report}"),
+    }
+    Ok(())
+}
+
+fn cmd_repo(args: &[String]) -> Result<(), String> {
+    use excovery::store::repository::Repository;
+    let dir = positional(args, "repository directory")?;
+    let repo = Repository::open(dir).map_err(|e| e.to_string())?;
+    let sub = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(1)
+        .map(String::as_str)
+        .unwrap_or("list");
+    match sub {
+        "list" => {
+            for e in repo.index().map_err(|e| e.to_string())? {
+                println!("{:<24} {:<20} {}", e.id, e.name, e.comment);
+            }
+            Ok(())
+        }
+        "add" => {
+            let positionals: Vec<&String> =
+                args.iter().filter(|a| !a.starts_with("--")).collect();
+            let id = positionals.get(2).ok_or("missing experiment id")?;
+            let db_path = positionals.get(3).ok_or("missing database path")?;
+            let db = load_database(db_path)?;
+            repo.store(id, &db).map_err(|e| e.to_string())?;
+            println!("stored '{id}' in {dir}");
+            Ok(())
+        }
+        "compare" => {
+            // Cross-experiment comparison: responsiveness of each package.
+            println!("{:<24} {:>8} {:>8} {:>9} {:>9}", "experiment", "runs", "episodes", "R(1s)", "R(30s)");
+            repo.map_experiments(|id, db| {
+                let episodes = RunView::all_episodes(db)
+                    .map_err(|e| excovery::store::StoreError(e.to_string()))?;
+                let runs = RunView::run_ids(db)
+                    .map_err(|e| excovery::store::StoreError(e.to_string()))?
+                    .len();
+                let curve = responsiveness_curve(&episodes, 1, &[1.0, 30.0]);
+                println!(
+                    "{id:<24} {runs:>8} {:>8} {:>9.4} {:>9.4}",
+                    episodes.len(),
+                    curve[0].probability,
+                    curve[1].probability
+                );
+                Ok(())
+            })
+            .map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        other => Err(format!("unknown repo subcommand '{other}'")),
+    }
+}
+
+fn cmd_responsiveness(args: &[String]) -> Result<(), String> {
+    let db = load_database(positional(args, "database path")?)?;
+    let k: usize = flag_value(args, "--k").unwrap_or("1").parse().map_err(|_| "bad --k")?;
+    let deadlines = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0];
+    let episodes = RunView::all_episodes(&db).map_err(|e| e.to_string())?;
+    if episodes.is_empty() {
+        return Err("no discovery episodes in this database".into());
+    }
+    let curve = responsiveness_curve(&episodes, k, &deadlines);
+    print!("{}", format_curve(&format!("k={k}, {} episodes", episodes.len()), &curve));
+    // Per-treatment breakdown when more than one treatment was run
+    // (reconstructed from the stored description, no side channel needed).
+    if !flag_present(args, "--pooled") {
+        if let Ok(grouped) = excovery::analysis::treatments::episodes_by_treatment(&db) {
+            if grouped.len() > 1 {
+                let mut keys: Vec<&String> = grouped.keys().collect();
+                keys.sort();
+                println!("\nper treatment:");
+                for key in keys {
+                    let curve = responsiveness_curve(&grouped[key], k, &deadlines);
+                    print!("{}", format_curve(key, &curve));
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # excovery
+//!
+//! Facade crate re-exporting the full ExCovery reproduction workspace.
+//!
+//! ExCovery (Dittrich, Wanja, Malek — IPDPSW 2014) is an experimentation
+//! environment for dependability analysis of distributed processes. This
+//! workspace reimplements it in Rust, together with every substrate the
+//! paper depends on:
+//!
+//! * [`xml`] — the XML notation used for experiment descriptions,
+//! * [`desc`] — the abstract experiment description and treatment planning,
+//! * [`netsim`] — a deterministic discrete-event network simulator standing
+//!   in for the DES wireless testbed,
+//! * [`rpc`] — XML-RPC between the ExperiMaster and NodeManagers,
+//! * [`sd`] — service-discovery protocols (two-party, three-party, hybrid),
+//! * [`engine`] — the execution engine (master, nodes, fault injection,
+//!   measurement and recording),
+//! * [`store`] — the four-level measurement storage with the paper's
+//!   Table I relational schema,
+//! * [`analysis`] — conditioning, metrics (responsiveness, t_R) and
+//!   timeline visualization.
+//!
+//! See `examples/quickstart.rs` for an end-to-end experiment, or run one
+//! inline:
+//!
+//! ```
+//! use excovery::analysis::runs::RunView;
+//! use excovery::desc::ExperimentDescription;
+//! use excovery::engine::{EngineConfig, ExperiMaster};
+//!
+//! let desc = ExperimentDescription::paper_two_party_sd(1);
+//! let mut cfg = EngineConfig::grid_default();
+//! cfg.max_runs = Some(1);
+//! let mut master = ExperiMaster::new(desc, cfg)?;
+//! let outcome = master.execute()?;
+//! let episodes = RunView::all_episodes(&outcome.database).unwrap();
+//! assert_eq!(episodes.len(), 1);
+//! # Ok::<(), String>(())
+//! ```
+
+pub use excovery_analysis as analysis;
+pub use excovery_core as engine;
+pub use excovery_desc as desc;
+pub use excovery_netsim as netsim;
+pub use excovery_rpc as rpc;
+pub use excovery_sd as sd;
+pub use excovery_store as store;
+pub use excovery_xml as xml;

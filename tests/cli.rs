@@ -1,0 +1,192 @@
+//! End-to-end tests of the `excovery` CLI binary: the full
+//! describe → validate → run → inspect → analyze loop a downstream user
+//! drives from the shell.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_excovery"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("excovery-cli-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_description(dir: &std::path::Path) -> PathBuf {
+    let desc = excovery::desc::ExperimentDescription::paper_two_party_sd(1);
+    let path = dir.join("desc.xml");
+    std::fs::write(&path, excovery::desc::xmlio::to_xml(&desc)).unwrap();
+    path
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = cli(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in [
+        "validate", "plan", "outline", "dot", "run", "inspect", "events", "timeline",
+        "responsiveness", "report", "repo",
+    ] {
+        assert!(text.contains(cmd), "usage lacks {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = cli(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn validate_accepts_paper_description() {
+    let dir = workdir("validate");
+    let desc = write_description(&dir);
+    let out = cli(&["validate", desc.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("OK: 'sd-two-party'"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn validate_rejects_broken_description() {
+    let dir = workdir("invalid");
+    let path = dir.join("bad.xml");
+    // Duplicate factor ids are a fatal validation finding.
+    std::fs::write(
+        &path,
+        r#"<experiment name="bad"><factorlist>
+            <factor id="f" type="int" usage="constant"><levels><level>1</level></levels></factor>
+            <factor id="f" type="int" usage="constant"><levels><level>2</level></levels></factor>
+        </factorlist></experiment>"#,
+    )
+    .unwrap();
+    let out = cli(&["validate", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("FATAL"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_run_inspect_analyze_cycle() {
+    let dir = workdir("cycle");
+    let desc = write_description(&dir);
+    let db = dir.join("results.expdb");
+    let out = cli(&[
+        "run",
+        desc.to_str().unwrap(),
+        "--max-runs",
+        "1",
+        "--out",
+        db.to_str().unwrap(),
+        "--l2",
+        dir.join("l2").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("1 completed"));
+
+    let out = cli(&["inspect", db.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("experiment: sd-two-party"));
+    assert!(text.contains("Events"));
+
+    let out = cli(&["events", db.to_str().unwrap(), "--run", "0"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("sd_service_add"));
+
+    let out = cli(&["responsiveness", db.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("deadline_s"));
+
+    let svg = dir.join("t.svg");
+    let out = cli(&["timeline", db.to_str().unwrap(), "--run", "0", "--svg", svg.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("t_R"));
+    assert!(svg.exists());
+
+    let report = dir.join("report.md");
+    let out = cli(&["report", db.to_str().unwrap(), "--out", report.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let report_text = std::fs::read_to_string(&report).unwrap();
+    assert!(report_text.contains("# Experiment report: sd-two-party"));
+
+    // Level-4 repository round trip.
+    let repo = dir.join("repo");
+    let out = cli(&["repo", repo.to_str().unwrap(), "add", "exp1", db.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = cli(&["repo", repo.to_str().unwrap(), "list"]);
+    assert!(stdout(&out).contains("exp1"));
+    let out = cli(&["repo", repo.to_str().unwrap(), "compare"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("R(1s)"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dot_output_is_graphviz() {
+    let dir = workdir("dot");
+    let desc = write_description(&dir);
+    let out = cli(&["dot", desc.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph experiment {"));
+    assert!(text.contains("subgraph cluster_"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_respects_limit() {
+    let dir = workdir("plan");
+    let desc = write_description(&dir);
+    let out = cli(&["plan", desc.to_str().unwrap(), "--limit", "2"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert_eq!(text.lines().filter(|l| l.trim_start().starts_with("run ")).count(), 2);
+    assert!(text.contains("more (raise with --limit)"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn schema_command_emits_wellformed_xsd() {
+    let out = cli(&["schema"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let doc = excovery::xml::parse(&text).expect("XSD parses");
+    assert_eq!(doc.root().name, "xs:schema");
+}
+
+#[test]
+fn model_command_prints_predictions() {
+    let out = cli(&["model", "--hops", "3", "--loss", "0.2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("3 hops"));
+    assert!(text.contains("predicted R(d):"));
+    assert!(text.contains("announce") && text.contains("query"));
+}
+
+#[test]
+fn missing_files_produce_clean_errors() {
+    let out = cli(&["validate", "/nonexistent/desc.xml"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("error:"));
+    let out = cli(&["inspect", "/nonexistent/db.expdb"]);
+    assert!(!out.status.success());
+}

@@ -1,0 +1,59 @@
+//! Reproduces **Table I**: tables and attributes of the storage concept.
+//!
+//! The stored level-3 package of any executed experiment must carry
+//! exactly the paper's schema.
+
+use excovery::desc::ExperimentDescription;
+use excovery::engine::{EngineConfig, ExperiMaster};
+use excovery::store::schema::{attributes, render_table1, verify_schema, TABLE_NAMES};
+
+/// The literal content of the paper's Table I.
+const PAPER_TABLE1: &[(&str, &[&str])] = &[
+    ("ExperimentInfo", &["ExpXML", "EEVersion", "Name", "Comment"]),
+    ("Logs", &["NodeID", "Log"]),
+    ("EEFiles", &["ID", "File"]),
+    ("ExperimentMeasurements", &["ID", "NodeID", "Name", "Content"]),
+    ("RunInfos", &["RunID", "NodeID", "StartTime", "TimeDiff"]),
+    ("ExtraRunMeasurements", &["RunID", "NodeID", "Name", "Content"]),
+    ("Events", &["RunID", "NodeID", "CommonTime", "EventType", "Parameter"]),
+    ("Packets", &["RunID", "NodeID", "CommonTime", "SrcNodeID", "Data"]),
+];
+
+#[test]
+fn schema_matches_paper_table1_literally() {
+    assert_eq!(TABLE_NAMES.len(), PAPER_TABLE1.len());
+    for (table, attrs) in PAPER_TABLE1 {
+        assert_eq!(
+            attributes(table).expect(table),
+            *attrs,
+            "attribute list of {table} deviates from the paper"
+        );
+    }
+}
+
+#[test]
+fn executed_experiment_package_verifies_against_table1() {
+    let desc = ExperimentDescription::paper_two_party_sd(1);
+    let mut cfg = EngineConfig::grid_default();
+    cfg.max_runs = Some(1);
+    let mut master = ExperiMaster::new(desc, cfg).unwrap();
+    let outcome = master.execute().unwrap();
+    verify_schema(&outcome.database).unwrap();
+    // Every table of Table I exists; the run populated the dynamic ones.
+    assert_eq!(outcome.database.table_names().len(), 8);
+    assert!(!outcome.database.table("Events").unwrap().is_empty());
+    assert!(!outcome.database.table("Packets").unwrap().is_empty());
+    assert!(!outcome.database.table("RunInfos").unwrap().is_empty());
+    assert!(!outcome.database.table("Logs").unwrap().is_empty());
+    assert!(!outcome.database.table("EEFiles").unwrap().is_empty());
+    assert_eq!(outcome.database.table("ExperimentInfo").unwrap().len(), 1);
+}
+
+#[test]
+fn rendered_table_lists_every_row_of_the_paper() {
+    let rendered = render_table1();
+    for (table, attrs) in PAPER_TABLE1 {
+        assert!(rendered.contains(table), "{table} missing");
+        assert!(rendered.contains(&attrs.join(", ")), "attributes of {table} missing");
+    }
+}
