@@ -126,8 +126,7 @@ impl ResponsivenessModel {
         let mut t = s.first_query_delay_s;
         let mut interval = s.query_interval_s;
         while t <= self.horizon_s {
-            let completes =
-                t + 2.0 * self.hops as f64 * s.hop_delay_s + s.mean_response_jitter_s;
+            let completes = t + 2.0 * self.hops as f64 * s.hop_delay_s + s.mean_response_jitter_s;
             if completes <= self.horizon_s {
                 out.push(Attempt {
                     completes_at_s: completes,
@@ -195,8 +194,14 @@ mod tests {
     fn prediction_decreases_with_loss_and_hops() {
         for d in [0.5, 2.0, 10.0] {
             let base = ResponsivenessModel::new(2, 0.2).predict(d);
-            assert!(ResponsivenessModel::new(2, 0.4).predict(d) < base, "loss effect at {d}");
-            assert!(ResponsivenessModel::new(4, 0.2).predict(d) < base, "hop effect at {d}");
+            assert!(
+                ResponsivenessModel::new(2, 0.4).predict(d) < base,
+                "loss effect at {d}"
+            );
+            assert!(
+                ResponsivenessModel::new(4, 0.2).predict(d) < base,
+                "hop effect at {d}"
+            );
         }
     }
 

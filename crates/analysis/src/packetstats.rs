@@ -41,7 +41,9 @@ pub fn tag_loss_stats(
         if r.node_id == r.src_node_id {
             continue; // source-side capture, not an observation
         }
-        let Some((tag, _)) = split_tag(&r.data) else { continue };
+        let Some((tag, _)) = split_tag(&r.data) else {
+            continue;
+        };
         streams
             .entry((r.src_node_id.clone(), r.node_id.clone()))
             .or_default()
@@ -89,7 +91,10 @@ pub fn path_stats(db: &Database, run_id: u64) -> Result<Vec<PathStats>, StoreErr
     let mut seen_by_pair: BTreeMap<(&str, &str), Vec<&PacketRow>> = BTreeMap::new();
     for r in &rows {
         if r.node_id == r.src_node_id {
-            sent_by_src.entry(r.src_node_id.as_str()).or_default().push(r);
+            sent_by_src
+                .entry(r.src_node_id.as_str())
+                .or_default()
+                .push(r);
         } else {
             seen_by_pair
                 .entry((r.src_node_id.as_str(), r.node_id.as_str()))
@@ -104,11 +109,9 @@ pub fn path_stats(db: &Database, run_id: u64) -> Result<Vec<PathStats>, StoreErr
         let mut delays = Vec::new();
         let mut used = vec![false; observed.len()];
         for s in sent {
-            if let Some((i, o)) = observed
-                .iter()
-                .enumerate()
-                .find(|(i, o)| !used[*i] && o.data == s.data && o.common_time_ns >= s.common_time_ns)
-            {
+            if let Some((i, o)) = observed.iter().enumerate().find(|(i, o)| {
+                !used[*i] && o.data == s.data && o.common_time_ns >= s.common_time_ns
+            }) {
                 used[i] = true;
                 delays.push((o.common_time_ns - s.common_time_ns) as f64 / 1e9);
             }

@@ -93,7 +93,10 @@ pub fn render(db: &Database, opts: &ReportOptions) -> Result<String, StoreError>
     out.push_str("## Packet captures\n\n");
     let volumes = packets_per_run(db)?;
     let total: usize = volumes.values().sum();
-    out.push_str(&format!("{total} captures across {} runs.\n\n", volumes.len()));
+    out.push_str(&format!(
+        "{total} captures across {} runs.\n\n",
+        volumes.len()
+    ));
     if let Some(&first) = run_ids.first() {
         let paths = path_stats(db, first)?;
         if !paths.is_empty() {
@@ -235,7 +238,10 @@ mod tests {
     #[test]
     fn per_run_detail_is_optional() {
         let db = sample_db();
-        let opts = ReportOptions { per_run_detail: false, ..Default::default() };
+        let opts = ReportOptions {
+            per_run_detail: false,
+            ..Default::default()
+        };
         let report = render(&db, &opts).unwrap();
         assert!(!report.contains("## Runs"));
     }

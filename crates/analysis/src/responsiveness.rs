@@ -57,11 +57,23 @@ pub fn responsiveness_curve(
         .map(|&d| {
             let deadline_ns = (d * 1e9) as i64;
             let trials = episodes.len() as u64;
-            let successes =
-                episodes.iter().filter(|e| e.discovered_within(k, deadline_ns)).count() as u64;
-            let probability = if trials == 0 { 0.0 } else { successes as f64 / trials as f64 };
+            let successes = episodes
+                .iter()
+                .filter(|e| e.discovered_within(k, deadline_ns))
+                .count() as u64;
+            let probability = if trials == 0 {
+                0.0
+            } else {
+                successes as f64 / trials as f64
+            };
             let (ci_low, ci_high) = wilson_interval(successes, trials);
-            ResponsivenessPoint { deadline_s: d, probability, ci_low, ci_high, episodes: trials }
+            ResponsivenessPoint {
+                deadline_s: d,
+                probability,
+                ci_low,
+                ci_high,
+                episodes: trials,
+            }
         })
         .collect()
 }
@@ -80,7 +92,10 @@ pub fn responsiveness_by_treatment(
     let mut grouped: BTreeMap<String, Vec<DiscoveryEpisode>> = BTreeMap::new();
     for run_id in RunInfoRow::run_ids(db)? {
         let eps = RunView::load(db, run_id)?.episodes();
-        grouped.entry(treatment_of_run(run_id)).or_default().extend(eps);
+        grouped
+            .entry(treatment_of_run(run_id))
+            .or_default()
+            .extend(eps);
     }
     Ok(grouped
         .into_iter()

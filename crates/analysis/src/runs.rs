@@ -65,12 +65,18 @@ pub struct RunView {
 impl RunView {
     /// Loads a run from the level-3 database.
     pub fn load(db: &Database, run_id: u64) -> Result<Self, StoreError> {
-        Ok(Self { run_id, events: EventRow::read_run(db, run_id)? })
+        Ok(Self {
+            run_id,
+            events: EventRow::read_run(db, run_id)?,
+        })
     }
 
     /// All run ids present in a database.
     pub fn run_ids(db: &Database) -> Result<Vec<u64>, StoreError> {
-        let mut ids: Vec<u64> = EventRow::read_all(db)?.into_iter().map(|e| e.run_id).collect();
+        let mut ids: Vec<u64> = EventRow::read_all(db)?
+            .into_iter()
+            .map(|e| e.run_id)
+            .collect();
         ids.sort_unstable();
         ids.dedup();
         Ok(ids)

@@ -63,8 +63,7 @@ impl Timeline {
     }
 
     fn time_range(&self) -> Option<(i64, i64)> {
-        let times: Vec<i64> =
-            self.lanes.values().flatten().map(|m| m.t_ns).collect();
+        let times: Vec<i64> = self.lanes.values().flatten().map(|m| m.t_ns).collect();
         let lo = *times.iter().min()?;
         let hi = *times.iter().max()?;
         Some((lo, hi.max(lo + 1)))
@@ -108,8 +107,7 @@ impl Timeline {
         for (label, markers) in &self.lanes {
             let mut lane: Vec<char> = vec!['-'; cols];
             for m in markers {
-                let pos =
-                    (((m.t_ns - lo) as f64 / span) * (cols - 1) as f64).round() as usize;
+                let pos = (((m.t_ns - lo) as f64 / span) * (cols - 1) as f64).round() as usize;
                 let symbol = char::from_digit(((idx % 35) + 1) as u32, 36).unwrap();
                 // Collisions shift right to stay visible.
                 let mut p = pos.min(cols - 1);
@@ -246,9 +244,15 @@ mod tests {
     #[test]
     fn action_vs_event_classification() {
         let tl = Timeline::from_events(&fig11_events(), &actors());
-        let add = tl.lanes["SU1"].iter().find(|m| m.name == "sd_service_add").unwrap();
+        let add = tl.lanes["SU1"]
+            .iter()
+            .find(|m| m.name == "sd_service_add")
+            .unwrap();
         assert!(!add.is_action, "sd_service_add is an event (black)");
-        let start = tl.lanes["SU1"].iter().find(|m| m.name == "sd_start_search").unwrap();
+        let start = tl.lanes["SU1"]
+            .iter()
+            .find(|m| m.name == "sd_start_search")
+            .unwrap();
         assert!(start.is_action, "sd_start_search is an action (white)");
     }
 

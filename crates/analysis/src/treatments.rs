@@ -18,7 +18,11 @@ pub fn treatments_from_database(db: &Database) -> Result<HashMap<u64, String>, S
     let desc = from_xml(&info.exp_xml)
         .map_err(|e| StoreError(format!("stored ExpXML unparsable: {e}")))?;
     let plan = desc.plan();
-    Ok(plan.runs.into_iter().map(|r| (r.run_id, r.treatment.key())).collect())
+    Ok(plan
+        .runs
+        .into_iter()
+        .map(|r| (r.run_id, r.treatment.key()))
+        .collect())
 }
 
 /// Groups all discovery episodes of a package by treatment key.
@@ -29,7 +33,10 @@ pub fn episodes_by_treatment(
     let mut grouped: HashMap<String, Vec<crate::runs::DiscoveryEpisode>> = HashMap::new();
     for run_id in crate::runs::RunView::run_ids(db)? {
         let eps = crate::runs::RunView::load(db, run_id)?.episodes();
-        let key = mapping.get(&run_id).cloned().unwrap_or_else(|| "unknown".into());
+        let key = mapping
+            .get(&run_id)
+            .cloned()
+            .unwrap_or_else(|| "unknown".into());
         grouped.entry(key).or_default().extend(eps);
     }
     Ok(grouped)

@@ -170,7 +170,9 @@ mod tests {
         ev(&mut db, 0, "su", 25_000, "sd_service_add");
         let findings = verify_run(&db, 0, 100_000_000).unwrap();
         assert!(
-            findings.iter().any(|f| f.message.contains("no received packet")),
+            findings
+                .iter()
+                .any(|f| f.message.contains("no received packet")),
             "{findings:?}"
         );
     }
@@ -185,7 +187,9 @@ mod tests {
         assert!(!findings.is_empty());
         // Generous slack: consistent.
         let findings = verify_run(&db, 0, 10_000_000).unwrap();
-        assert!(findings.iter().all(|f| !f.message.contains("no received packet")));
+        assert!(findings
+            .iter()
+            .all(|f| !f.message.contains("no received packet")));
     }
 
     #[test]
@@ -193,7 +197,9 @@ mod tests {
         let mut db = create_level3_database();
         ev(&mut db, 0, "ghost", 0, "sd_init_done");
         let findings = verify_run(&db, 0, 1_000).unwrap();
-        assert!(findings.iter().any(|f| f.message.contains("captured no packets")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("captured no packets")));
     }
 
     #[test]
@@ -201,7 +207,9 @@ mod tests {
         let mut db = consistent_db();
         pkt(&mut db, 0, "su", 999_000_000_000, "sm");
         let findings = verify_run(&db, 0, 100_000_000).unwrap();
-        assert!(findings.iter().any(|f| f.message.contains("outside the run span")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("outside the run span")));
     }
 
     #[test]
@@ -217,6 +225,8 @@ mod tests {
         .insert(&mut db)
         .unwrap();
         let findings = verify_run(&db, 0, 100_000_000).unwrap();
-        assert!(findings.iter().any(|f| f.message.contains("too short to carry a tag")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("too short to carry a tag")));
     }
 }

@@ -12,18 +12,21 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Elements(n_packets));
     g.bench_function("unicast_4hops_1000pkts", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulator::new(Topology::chain(5), SimulatorConfig::perfect_clocks(1));
+            let mut sim = Simulator::new(Topology::chain(5), SimulatorConfig::perfect_clocks(1));
             for _ in 0..n_packets {
-                sim.send_from(NodeId(0), 9, Destination::Unicast(NodeId(4)), Payload::from("x"));
+                sim.send_from(
+                    NodeId(0),
+                    9,
+                    Destination::Unicast(NodeId(4)),
+                    Payload::from("x"),
+                );
             }
             sim.run_until_idle(1_000_000)
         })
     });
     g.bench_function("flood_grid5x5_1000pkts", |b| {
         b.iter(|| {
-            let mut sim =
-                Simulator::new(Topology::grid(5, 5), SimulatorConfig::perfect_clocks(2));
+            let mut sim = Simulator::new(Topology::grid(5, 5), SimulatorConfig::perfect_clocks(2));
             for _ in 0..n_packets {
                 sim.send_from(NodeId(0), 9, Destination::Multicast, Payload::from("x"));
             }

@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             TreatmentPlan::generate(
                 std::hint::black_box(&factors),
-                &PlanOptions { design: Design::Ofat, seed: 1 },
+                &PlanOptions {
+                    design: Design::Ofat,
+                    seed: 1,
+                },
             )
         })
     });
@@ -21,7 +24,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             TreatmentPlan::generate(
                 std::hint::black_box(&factors),
-                &PlanOptions { design: Design::CompletelyRandomized, seed: 1 },
+                &PlanOptions {
+                    design: Design::CompletelyRandomized,
+                    seed: 1,
+                },
             )
         })
     });

@@ -1,24 +1,98 @@
 //! Criterion bench: XML-RPC round-trips on the master↔node control channel
-//! (Fig. 12), including full wire-format encode/decode.
+//! (Fig. 12), including full wire-format encode/decode — over the
+//! in-memory channel and over the framed TCP transport, plus the engine's
+//! serial-vs-parallel lifecycle fan-out.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use excovery_rpc::{Channel, ServerRegistry, Value};
+use excovery_rpc::{
+    Channel, NodeProxy, ServerRegistry, TcpOptions, TcpRpcServer, TcpTransport, Value,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
 
-fn bench(c: &mut Criterion) {
+fn echo_registry() -> ServerRegistry {
     let mut reg = ServerRegistry::new();
     reg.register("echo", |params| Ok(Value::Array(params.to_vec())));
-    let ch = Channel::new(reg);
+    reg
+}
+
+fn big_struct() -> Value {
+    Value::Struct(
+        (0..50)
+            .map(|i| {
+                (
+                    format!("key{i}"),
+                    Value::str(format!("value with some text {i}")),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let ch = Channel::new(echo_registry());
     let mut g = c.benchmark_group("rpc");
     g.bench_function("roundtrip_small", |b| {
         b.iter(|| ch.call("echo", vec![Value::Int(1)]).unwrap())
     });
-    let big = Value::Struct(
-        (0..50)
-            .map(|i| (format!("key{i}"), Value::str(format!("value with some text {i}"))))
-            .collect(),
-    );
+    let big = big_struct();
     g.bench_function("roundtrip_struct50", |b| {
-        b.iter(|| ch.call("echo", vec![std::hint::black_box(big.clone())]).unwrap())
+        b.iter(|| {
+            ch.call("echo", vec![std::hint::black_box(big.clone())])
+                .unwrap()
+        })
+    });
+
+    // The same round-trips through a real socket: framing + syscalls on
+    // top of the identical codec path.
+    let server = TcpRpcServer::bind("127.0.0.1:0", Arc::new(Mutex::new(echo_registry()))).unwrap();
+    let proxy = NodeProxy::new(
+        "bench",
+        TcpTransport::connect(server.local_addr(), TcpOptions::default()).unwrap(),
+    );
+    g.bench_function("roundtrip_small_tcp", |b| {
+        b.iter(|| proxy.call("echo", vec![Value::Int(1)]).unwrap())
+    });
+    g.bench_function("roundtrip_struct50_tcp", |b| {
+        b.iter(|| {
+            proxy
+                .call("echo", vec![std::hint::black_box(big.clone())])
+                .unwrap()
+        })
+    });
+    g.finish();
+
+    // Lifecycle fan-out over 8 nodes, serial vs scoped-thread parallel —
+    // the dispatch pattern ExperiMaster uses per lifecycle phase.
+    let mut servers = Vec::new();
+    let proxies: Vec<NodeProxy> = (0..8)
+        .map(|i| {
+            let server =
+                TcpRpcServer::bind("127.0.0.1:0", Arc::new(Mutex::new(echo_registry()))).unwrap();
+            let proxy = NodeProxy::new(
+                format!("n{i}"),
+                TcpTransport::connect(server.local_addr(), TcpOptions::default()).unwrap(),
+            );
+            servers.push(server);
+            proxy
+        })
+        .collect();
+    let mut g = c.benchmark_group("dispatch");
+    g.bench_function("fanout8_serial_tcp", |b| {
+        b.iter(|| {
+            for p in &proxies {
+                p.call("echo", vec![Value::Int(1)]).unwrap();
+            }
+        })
+    });
+    g.bench_function("fanout8_parallel_tcp", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for p in &proxies {
+                    scope.spawn(move || p.call("echo", vec![Value::Int(1)]).unwrap());
+                }
+            })
+        })
     });
     g.finish();
 }

@@ -6,13 +6,18 @@ use excovery_netsim::link::LinkModel;
 use excovery_netsim::sim::{Simulator, SimulatorConfig};
 use excovery_netsim::topology::Topology;
 use excovery_netsim::{NodeId, SimDuration};
-use excovery_sd::{sd_command, Role, SdAgent, SdCommand, SdConfig, ServiceDescription, ServiceType, SD_PORT};
+use excovery_sd::{
+    sd_command, Role, SdAgent, SdCommand, SdConfig, ServiceDescription, ServiceType, SD_PORT,
+};
 
 fn discover(seed: u64) -> usize {
     // Lossless link: the bench measures protocol machinery, not channel
     // luck (1% loss would eventually fail an iteration's assertion).
     let cfg = SimulatorConfig {
-        link_model: LinkModel { base_loss: 0.0, ..LinkModel::default() },
+        link_model: LinkModel {
+            base_loss: 0.0,
+            ..LinkModel::default()
+        },
         ..SimulatorConfig::perfect_clocks(seed)
     };
     let mut sim = Simulator::new(Topology::chain(2), cfg);
@@ -34,9 +39,16 @@ fn discover(seed: u64) -> usize {
             NodeId(0),
         )),
     );
-    sd_command(&mut sim, NodeId(1), SdCommand::StartSearch(ServiceType::new("_bench._tcp")));
+    sd_command(
+        &mut sim,
+        NodeId(1),
+        SdCommand::StartSearch(ServiceType::new("_bench._tcp")),
+    );
     sim.run_for(SimDuration::from_secs(2));
-    sim.drain_protocol_events().iter().filter(|e| e.name == "sd_service_add").count()
+    sim.drain_protocol_events()
+        .iter()
+        .filter(|e| e.name == "sd_service_add")
+        .count()
 }
 
 fn bench(c: &mut Criterion) {

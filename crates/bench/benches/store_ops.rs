@@ -13,7 +13,12 @@ fn filled(n_events: u64) -> excovery_store::Database {
             run_id: i % 50,
             node_id: format!("t9-{:03}", i % 6),
             common_time_ns: (i * 997) as i64,
-            event_type: if i % 7 == 0 { "sd_service_add" } else { "sd_query" }.into(),
+            event_type: if i % 7 == 0 {
+                "sd_service_add"
+            } else {
+                "sd_query"
+            }
+            .into(),
             parameter: "service=sm-a".into(),
         }
         .insert(&mut db)
@@ -53,7 +58,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             db.table("Events")
                 .unwrap()
-                .count(&Predicate::Eq("EventType".into(), SqlValue::from("sd_service_add")))
+                .count(&Predicate::Eq(
+                    "EventType".into(),
+                    SqlValue::from("sd_service_add"),
+                ))
                 .unwrap()
         })
     });

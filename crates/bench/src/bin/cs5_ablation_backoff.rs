@@ -22,7 +22,10 @@ fn main() -> Result<(), String> {
         let desc = loss_sweep(&[0.75], reps, 20265);
         let mut cfg = EngineConfig::grid_default();
         cfg.topology = Topology::chain(2);
-        cfg.sd_config = Some(SdConfig { query_backoff: backoff, ..SdConfig::two_party() });
+        cfg.sd_config = Some(SdConfig {
+            query_backoff: backoff,
+            ..SdConfig::two_party()
+        });
         let mut master = excovery_core::ExperiMaster::new(desc, cfg)?;
         let outcome = master.execute()?;
         let stats = master.simulator().lock().stats();

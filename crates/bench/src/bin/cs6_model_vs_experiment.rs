@@ -19,7 +19,10 @@ fn main() -> Result<(), String> {
         "{:<20} {:>8} {}",
         "configuration",
         "",
-        deadlines.iter().map(|d| format!("{d:>7}")).collect::<String>()
+        deadlines
+            .iter()
+            .map(|d| format!("{d:>7}"))
+            .collect::<String>()
     );
     for &(hops, loss) in &[(1u32, 0.1f64), (1, 0.3), (3, 0.1), (3, 0.3), (5, 0.2)] {
         let desc = hop_distance(reps, 20_266 + hops as u64);
@@ -37,13 +40,19 @@ fn main() -> Result<(), String> {
         println!(
             "{label:<20} {:>8} {}",
             "meas",
-            measured.iter().map(|p| format!("{:>7.3}", p.probability)).collect::<String>()
+            measured
+                .iter()
+                .map(|p| format!("{:>7.3}", p.probability))
+                .collect::<String>()
         );
         println!(
             "{:<20} {:>8} {}",
             "",
             "model",
-            deadlines.iter().map(|d| format!("{:>7.3}", model.predict(*d))).collect::<String>()
+            deadlines
+                .iter()
+                .map(|d| format!("{:>7.3}", model.predict(*d)))
+                .collect::<String>()
         );
     }
     println!("\nthe model should track the measurement within sampling error; deviations");

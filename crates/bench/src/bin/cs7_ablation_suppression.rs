@@ -13,17 +13,29 @@ use excovery_netsim::sim::{Simulator, SimulatorConfig};
 use excovery_netsim::topology::Topology;
 use excovery_netsim::{NodeId, SimDuration};
 use excovery_sd::agent::SdAgent;
-use excovery_sd::{sd_command, Role, SdCommand, SdConfig, ServiceDescription, ServiceType, SD_PORT};
+use excovery_sd::{
+    sd_command, Role, SdCommand, SdConfig, ServiceDescription, ServiceType, SD_PORT,
+};
 
 fn run(n_sus: u16, suppression: bool, seed: u64) -> (u64, u64, u64) {
     let cfg = SimulatorConfig {
-        link_model: LinkModel { base_loss: 0.01, ..LinkModel::default() },
+        link_model: LinkModel {
+            base_loss: 0.01,
+            ..LinkModel::default()
+        },
         ..SimulatorConfig::perfect_clocks(seed)
     };
     let mut sim = Simulator::new(Topology::grid((n_sus + 1).into(), 1), cfg);
-    let sd_cfg = SdConfig { known_answer_suppression: suppression, ..SdConfig::two_party() };
+    let sd_cfg = SdConfig {
+        known_answer_suppression: suppression,
+        ..SdConfig::two_party()
+    };
     for n in 0..=n_sus {
-        sim.install_agent(NodeId(n), SD_PORT, Box::new(SdAgent::new(sd_cfg.clone(), SD_PORT)));
+        sim.install_agent(
+            NodeId(n),
+            SD_PORT,
+            Box::new(SdAgent::new(sd_cfg.clone(), SD_PORT)),
+        );
     }
     sd_command(&mut sim, NodeId(0), SdCommand::Init(Role::ServiceManager));
     sd_command(
@@ -37,13 +49,21 @@ fn run(n_sus: u16, suppression: bool, seed: u64) -> (u64, u64, u64) {
     );
     for n in 1..=n_sus {
         sd_command(&mut sim, NodeId(n), SdCommand::Init(Role::ServiceUser));
-        sd_command(&mut sim, NodeId(n), SdCommand::StartSearch(ServiceType::new("_cs7._tcp")));
+        sd_command(
+            &mut sim,
+            NodeId(n),
+            SdCommand::StartSearch(ServiceType::new("_cs7._tcp")),
+        );
     }
     // Continuous operation: maintenance queries keep firing.
     sim.run_for(SimDuration::from_secs(60));
     let stats = sim
         .with_agent_mut(NodeId(0), SD_PORT, |agent, _| {
-            agent.as_any_mut().downcast_ref::<SdAgent>().unwrap().stats()
+            agent
+                .as_any_mut()
+                .downcast_ref::<SdAgent>()
+                .unwrap()
+                .stats()
         })
         .unwrap();
     let discovered = sim

@@ -18,7 +18,10 @@ fn main() -> Result<(), String> {
     for (id, level) in run.treatment.assignments() {
         println!("  {id:<28} = {level}");
     }
-    println!("  {:28} = replicate {}", desc.factors.replication.id, run.replicate);
+    println!(
+        "  {:28} = replicate {}",
+        desc.factors.replication.id, run.replicate
+    );
 
     println!("\nprocess (black box): one-shot two-party service discovery");
 
@@ -37,8 +40,14 @@ fn main() -> Result<(), String> {
         );
     }
     println!("  events recorded             = {}", events.len());
-    println!("  packets captured            = {}", outcome.runs[0].packets);
-    println!("  run duration                = {}", outcome.runs[0].duration);
+    println!(
+        "  packets captured            = {}",
+        outcome.runs[0].packets
+    );
+    println!(
+        "  run duration                = {}",
+        outcome.runs[0].duration
+    );
     println!("\n(nuisance factors — channel noise, clock drift — are randomized");
     println!(" per replication and measured, not controlled; §II-A1)");
     Ok(())

@@ -22,7 +22,9 @@ fn flow(architecture: &str, with_scm: bool) -> Result<(), String> {
         let Some((_tag, payload)) = excovery_analysis::packetstats::split_tag(&p.data) else {
             continue;
         };
-        let Some(msg) = SdMessage::decode(payload) else { continue };
+        let Some(msg) = SdMessage::decode(payload) else {
+            continue;
+        };
         let kind = match msg {
             SdMessage::Query { .. } => "multicast query (SU -> *)",
             SdMessage::Response { .. } => "response",

@@ -14,9 +14,18 @@ fn main() -> Result<(), String> {
     // [experimenter] experiment design -> abstract description
     let desc = ExperimentDescription::paper_two_party_sd(2);
     println!("1. preparation:");
-    println!("   description '{}' with {} factors, {} node processes,", desc.name, desc.factors.factors.len(), desc.node_processes.len());
+    println!(
+        "   description '{}' with {} factors, {} node processes,",
+        desc.name,
+        desc.factors.factors.len(),
+        desc.node_processes.len()
+    );
     let plan = desc.plan();
-    println!("   treatment plan: {} runs over {} treatments", plan.len(), plan.distinct_treatments().len());
+    println!(
+        "   treatment plan: {} runs over {} treatments",
+        plan.len(),
+        plan.distinct_treatments().len()
+    );
 
     // platform setup + execution by the experiment master
     let mut cfg = EngineConfig::grid_default();
@@ -41,11 +50,19 @@ fn main() -> Result<(), String> {
 
     println!("\n4. storage (single package per experiment, Table I schema):");
     let info = ExperimentInfo::read(&outcome.database).map_err(|e| e.to_string())?;
-    println!("   ExperimentInfo: name='{}' version='{}'", info.name, info.ee_version);
+    println!(
+        "   ExperimentInfo: name='{}' version='{}'",
+        info.name, info.ee_version
+    );
     for t in outcome.database.table_names() {
-        println!("   {t:<24} {:>5} rows", outcome.database.table(t).unwrap().len());
+        println!(
+            "   {t:<24} {:>5} rows",
+            outcome.database.table(t).unwrap().len()
+        );
     }
-    let total_events = EventRow::read_all(&outcome.database).map_err(|e| e.to_string())?.len();
+    let total_events = EventRow::read_all(&outcome.database)
+        .map_err(|e| e.to_string())?
+        .len();
     println!("\n   {total_events} events conditioned and stored");
     Ok(())
 }

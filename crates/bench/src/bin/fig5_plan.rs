@@ -13,12 +13,25 @@ fn main() {
             f.id,
             f.usage.as_str(),
             f.level_type,
-            f.levels.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(", ")
+            f.levels
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
-    println!("  replication: {} per treatment\n", factors.replication.count);
+    println!(
+        "  replication: {} per treatment\n",
+        factors.replication.count
+    );
 
-    let plan = TreatmentPlan::generate(&factors, &PlanOptions { design: Design::Ofat, seed: 0 });
+    let plan = TreatmentPlan::generate(
+        &factors,
+        &PlanOptions {
+            design: Design::Ofat,
+            seed: 0,
+        },
+    );
     println!(
         "expanded plan: {} runs, {} distinct treatments (OFAT: first factor varies least)",
         plan.len(),
@@ -36,9 +49,17 @@ fn main() {
     println!("\nrandomized variant (seed 1) first 6 run treatments:");
     let crd = TreatmentPlan::generate(
         &factors,
-        &PlanOptions { design: Design::CompletelyRandomized, seed: 1 },
+        &PlanOptions {
+            design: Design::CompletelyRandomized,
+            seed: 1,
+        },
     );
     for run in crd.runs.iter().take(6) {
-        println!("  run {:>5}: replicate {:>4} of {}", run.run_id, run.replicate, run.treatment.key());
+        println!(
+            "  run {:>5}: replicate {:>4} of {}",
+            run.run_id,
+            run.replicate,
+            run.treatment.key()
+        );
     }
 }

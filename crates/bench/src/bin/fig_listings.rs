@@ -20,22 +20,34 @@ fn main() {
 
     // Fig. 4: nodes + informative parameters (subset of the full document).
     let full = experiment_element(&d);
-    show("Fig. 4 — abstract nodes", &write_element_string(full.find("nodes").unwrap(), &opts));
+    show(
+        "Fig. 4 — abstract nodes",
+        &write_element_string(full.find("nodes").unwrap(), &opts),
+    );
     show(
         "Fig. 4 — informative parameters",
         &write_element_string(full.find("params").unwrap(), &opts),
     );
     // Fig. 5: factor list.
-    show("Fig. 5 — factor list", &write_element_string(&factorlist_element(&d.factors), &opts));
+    show(
+        "Fig. 5 — factor list",
+        &write_element_string(&factorlist_element(&d.factors), &opts),
+    );
     // Fig. 6/9: SM role process.
     show(
         "Fig. 9 — SM role process",
-        &write_element_string(full.find("node_processes/actor[@id=actor0]").unwrap(), &opts),
+        &write_element_string(
+            full.find("node_processes/actor[@id=actor0]").unwrap(),
+            &opts,
+        ),
     );
     // Fig. 10: SU role process.
     show(
         "Fig. 10 — SU role process",
-        &write_element_string(full.find("node_processes/actor[@id=actor1]").unwrap(), &opts),
+        &write_element_string(
+            full.find("node_processes/actor[@id=actor1]").unwrap(),
+            &opts,
+        ),
     );
     // Fig. 7: environment traffic process.
     show(
@@ -43,8 +55,14 @@ fn main() {
         &write_element_string(full.find("env_process").unwrap(), &opts),
     );
     // Fig. 8: platform specification.
-    show("Fig. 8 — platform", &write_element_string(&platform_element(&d.platform), &opts));
+    show(
+        "Fig. 8 — platform",
+        &write_element_string(&platform_element(&d.platform), &opts),
+    );
     // Bonus: a single action element, as embedded in the listings.
     let wait = &d.node_processes[1].actions[5];
-    show("Fig. 10 — wait_for_event detail", &write_element_string(&action_element(wait), &opts));
+    show(
+        "Fig. 10 — wait_for_event detail",
+        &write_element_string(&action_element(wait), &opts),
+    );
 }

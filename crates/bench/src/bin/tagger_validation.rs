@@ -41,17 +41,27 @@ fn main() -> Result<(), String> {
                 .position(|a| a.name() == "env_traffic_start")
                 .map(|i| i + 1)
                 .unwrap_or(env.actions.len());
-            env.actions.insert(pos, ProcessAction::invoke("probe_link_load"));
+            env.actions
+                .insert(pos, ProcessAction::invoke("probe_link_load"));
         }
         // Extend the run: hold the SU open for 30 s after discovery so the
         // CBR flows produce a long tag stream.
-        let su = desc.node_processes.iter_mut().find(|p| p.actor_id == "actor1").unwrap();
+        let su = desc
+            .node_processes
+            .iter_mut()
+            .find(|p| p.actor_id == "actor1")
+            .unwrap();
         let done_pos = su
             .actions
             .iter()
             .position(|a| matches!(a, ProcessAction::EventFlag { .. }))
             .unwrap();
-        su.actions.insert(done_pos, ProcessAction::WaitForTime { seconds: ValueRef::int(30) });
+        su.actions.insert(
+            done_pos,
+            ProcessAction::WaitForTime {
+                seconds: ValueRef::int(30),
+            },
+        );
         let mut cfg = EngineConfig::grid_default();
         cfg.topology = Topology::chain(6);
         cfg.sim.link_model.base_loss = loss;
@@ -76,15 +86,17 @@ fn main() -> Result<(), String> {
             .database
             .table("ExtraRunMeasurements")
             .map_err(|e| e.to_string())?
-            .select(&Predicate::Eq("Name".into(), SqlValue::from("load_2_3")), None)
+            .select(
+                &Predicate::Eq("Name".into(), SqlValue::from("load_2_3")),
+                None,
+            )
             .map_err(|e| e.to_string())?
             .first()
             .and_then(|row| row[3].as_blob())
             .and_then(|b| std::str::from_utf8(b).ok())
             .and_then(|t| t.parse().ok())
             .unwrap_or(0.0);
-        let expected =
-            1.0 - (1.0 - loss) * (-model_k * (probed_load / model_cap).min(0.95)).exp();
+        let expected = 1.0 - (1.0 - loss) * (-model_k * (probed_load / model_cap).min(0.95)).exp();
         let best = best_stream_loss_per_source(&outcome.database, outcome.runs[0].run_id, 50)
             .map_err(|e| e.to_string())?;
         // Mean of the per-source best estimates (one-hop observers).

@@ -12,7 +12,10 @@ use std::collections::HashMap;
 /// The paper runs 1000 replications per treatment; 40 keeps the harnesses
 /// interactive while preserving every qualitative shape.
 pub fn reps_from_env() -> u64 {
-    std::env::var("EXCOVERY_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(40)
+    std::env::var("EXCOVERY_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
 }
 
 /// Deadlines (seconds) reported by the responsiveness harnesses.
@@ -51,8 +54,10 @@ pub fn episodes(outcome: &ExperimentOutcome) -> Vec<DiscoveryEpisode> {
 
 /// Renders a compact series `deadline → R` as one table row.
 pub fn curve_row(label: &str, curve: &[ResponsivenessPoint]) -> String {
-    let cells: Vec<String> =
-        curve.iter().map(|p| format!("{:>6.3}", p.probability)).collect();
+    let cells: Vec<String> = curve
+        .iter()
+        .map(|p| format!("{:>6.3}", p.probability))
+        .collect();
     format!("{label:<28} {}", cells.join(" "))
 }
 
@@ -64,7 +69,10 @@ pub fn curve_header() -> String {
 
 /// Extracts `t_R` values (seconds) of successful first discoveries.
 pub fn first_t_rs_s(eps: &[DiscoveryEpisode]) -> Vec<f64> {
-    eps.iter().filter_map(|e| e.first_t_r_ns()).map(|t| t as f64 / 1e9).collect()
+    eps.iter()
+        .filter_map(|e| e.first_t_r_ns())
+        .map(|t| t as f64 / 1e9)
+        .collect()
 }
 
 /// Result of one harness execution: the outcome plus the run→treatment map.
@@ -81,7 +89,10 @@ pub fn execute_parallel(jobs: Vec<(ExperimentDescription, EngineConfig)>) -> Vec
         .collect();
     handles
         .into_iter()
-        .map(|h| h.join().unwrap_or_else(|_| Err("experiment thread panicked".into())))
+        .map(|h| {
+            h.join()
+                .unwrap_or_else(|_| Err("experiment thread panicked".into()))
+        })
         .collect()
 }
 

@@ -53,7 +53,12 @@ impl PlatformBinding {
                 env_platform_ids.push(node.id.clone());
             }
         }
-        Ok(Self { by_platform_id, by_sim_node, by_abstract, env_platform_ids })
+        Ok(Self {
+            by_platform_id,
+            by_sim_node,
+            by_abstract,
+            env_platform_ids,
+        })
     }
 
     /// Simulator node of a platform node id.
@@ -73,7 +78,8 @@ impl PlatformBinding {
 
     /// Simulator node realizing an abstract node.
     pub fn sim_of_abstract(&self, abstract_id: &str) -> Option<NodeId> {
-        self.platform_of_abstract(abstract_id).and_then(|p| self.sim_node(p))
+        self.platform_of_abstract(abstract_id)
+            .and_then(|p| self.sim_node(p))
     }
 
     /// All managed platform ids (actors then environment nodes).
@@ -124,7 +130,9 @@ impl ResolvedActors {
                 .or_else(|| {
                     // Blocking single-level factors may be outside the
                     // treatment only if they have no levels at all.
-                    desc.factors.factor(factor_id).and_then(|f| f.levels.first())
+                    desc.factors
+                        .factor(factor_id)
+                        .and_then(|f| f.levels.first())
                 })
                 .ok_or_else(|| format!("treatment lacks factor '{factor_id}'"))?;
             let LevelValue::ActorMap(assignments) = level else {
@@ -167,8 +175,7 @@ impl ResolvedActors {
 
     /// All acting simulator nodes across roles (for traffic `choice`).
     pub fn acting_sim_nodes(&self) -> Vec<NodeId> {
-        let mut nodes: Vec<NodeId> =
-            self.map.values().flatten().map(|(_, _, n)| *n).collect();
+        let mut nodes: Vec<NodeId> = self.map.values().flatten().map(|(_, _, n)| *n).collect();
         nodes.sort();
         nodes.dedup();
         nodes
@@ -223,8 +230,7 @@ mod tests {
     fn resolve_actors_for_paper_description() {
         let (desc, b) = setup();
         let plan = desc.plan();
-        let resolved =
-            ResolvedActors::resolve(&desc, &plan.runs[0].treatment, &b).unwrap();
+        let resolved = ResolvedActors::resolve(&desc, &plan.runs[0].treatment, &b).unwrap();
         let sm = resolved.instances("actor0");
         assert_eq!(sm.len(), 1);
         assert_eq!(sm[0], ("A".to_string(), "t9-157".to_string(), NodeId(0)));
@@ -237,8 +243,7 @@ mod tests {
     fn selector_resolution() {
         let (desc, b) = setup();
         let plan = desc.plan();
-        let resolved =
-            ResolvedActors::resolve(&desc, &plan.runs[0].treatment, &b).unwrap();
+        let resolved = ResolvedActors::resolve(&desc, &plan.runs[0].treatment, &b).unwrap();
         assert_eq!(
             resolved.select_platform_ids(&NodeSelector::all("actor0")),
             vec!["t9-157"]
@@ -250,13 +255,17 @@ mod tests {
         assert!(resolved
             .select_platform_ids(&NodeSelector::instance("actor1", 5))
             .is_empty());
-        assert!(resolved.select_platform_ids(&NodeSelector::all("ghost")).is_empty());
+        assert!(resolved
+            .select_platform_ids(&NodeSelector::all("ghost"))
+            .is_empty());
     }
 
     #[test]
     fn missing_platform_mapping_errors() {
         let (mut desc, _) = setup();
-        desc.platform.actor_nodes.retain(|n| n.abstract_id.as_deref() != Some("B"));
+        desc.platform
+            .actor_nodes
+            .retain(|n| n.abstract_id.as_deref() != Some("B"));
         let binding = PlatformBinding::new(&desc.platform, 9).unwrap();
         let plan = desc.plan();
         assert!(ResolvedActors::resolve(&desc, &plan.runs[0].treatment, &binding).is_err());

@@ -117,15 +117,19 @@ impl EventLog {
             return false;
         }
 
-        let from_ids: Option<Vec<String>> =
-            selector.from.as_ref().map(|sel| actors.select_platform_ids(sel));
-        let param_ids: Option<Vec<String>> =
-            selector.param.as_ref().map(|sel| actors.select_platform_ids(sel));
+        let from_ids: Option<Vec<String>> = selector
+            .from
+            .as_ref()
+            .map(|sel| actors.select_platform_ids(sel));
+        let param_ids: Option<Vec<String>> = selector
+            .param
+            .as_ref()
+            .map(|sel| actors.select_platform_ids(sel));
 
-        let origin_ok = |e: &RecordedEvent, allowed: &[String]| allowed.iter().any(|a| a == &e.node);
-        let param_matches = |e: &RecordedEvent, node_id: &str| {
-            e.params.iter().any(|(_, v)| v == node_id)
-        };
+        let origin_ok =
+            |e: &RecordedEvent, allowed: &[String]| allowed.iter().any(|a| a == &e.node);
+        let param_matches =
+            |e: &RecordedEvent, node_id: &str| e.params.iter().any(|(_, v)| v == node_id);
 
         match (&from_ids, &param_ids) {
             (None, None) => true,
@@ -144,7 +148,9 @@ impl EventLog {
                     return false;
                 }
                 if selector.require_all {
-                    params.iter().all(|p| candidates.iter().any(|e| param_matches(e, p)))
+                    params
+                        .iter()
+                        .all(|p| candidates.iter().any(|e| param_matches(e, p)))
                 } else {
                     candidates
                         .iter()
@@ -227,8 +233,7 @@ mod tests {
         let mut log = EventLog::new();
         let actors = actors();
         // actor0 instance -> platform id t9-157
-        let sel = EventSelector::named("sd_start_publish")
-            .from_nodes(NodeSelector::all("actor0"));
+        let sel = EventSelector::named("sd_start_publish").from_nodes(NodeSelector::all("actor0"));
         log.record(0, "t9-105", t(1), "sd_start_publish", vec![]);
         assert!(!log.satisfied(&sel, 0, &actors), "wrong origin");
         log.record(0, "t9-157", t(2), "sd_start_publish", vec![]);
@@ -251,7 +256,10 @@ mod tests {
             "sd_service_add",
             vec![("service".into(), "someone-else".into())],
         );
-        assert!(!log.satisfied(&sel, 0, &actors), "param names wrong service");
+        assert!(
+            !log.satisfied(&sel, 0, &actors),
+            "param names wrong service"
+        );
         log.record(
             0,
             "t9-105",

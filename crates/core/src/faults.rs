@@ -27,7 +27,11 @@ pub struct FaultEnvelope {
 
 impl Default for FaultEnvelope {
     fn default() -> Self {
-        Self { duration: None, rate: 1.0, randomseed: 0 }
+        Self {
+            duration: None,
+            rate: 1.0,
+            randomseed: 0,
+        }
     }
 }
 
@@ -91,8 +95,13 @@ pub fn parse_fault_invoke(
     } else {
         return None;
     };
-    const KINDS: [&str; 5] =
-        ["interface", "message_loss", "message_delay", "path_loss", "path_delay"];
+    const KINDS: [&str; 5] = [
+        "interface",
+        "message_loss",
+        "message_delay",
+        "path_loss",
+        "path_delay",
+    ];
     if !KINDS.contains(&kind) {
         return Some(Err(format!("unknown fault kind '{kind}'")));
     }
@@ -136,7 +145,10 @@ mod tests {
     use super::*;
 
     fn params(pairs: &[(&str, LevelValue)]) -> HashMap<String, LevelValue> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -154,7 +166,10 @@ mod tests {
 
     #[test]
     fn stop_actions_parse() {
-        match parse_fault_invoke("fault_interface_stop", &HashMap::new()).unwrap().unwrap() {
+        match parse_fault_invoke("fault_interface_stop", &HashMap::new())
+            .unwrap()
+            .unwrap()
+        {
             FaultInvoke::Stop(kind) => assert_eq!(kind, "interface"),
             other => panic!("{other:?}"),
         }
@@ -166,7 +181,10 @@ mod tests {
             ("probability", LevelValue::Float(0.25)),
             ("direction", LevelValue::Text("receive".into())),
         ]);
-        match parse_fault_invoke("fault_message_loss_start", &p).unwrap().unwrap() {
+        match parse_fault_invoke("fault_message_loss_start", &p)
+            .unwrap()
+            .unwrap()
+        {
             FaultInvoke::Start(f) => {
                 assert_eq!(f.kind, "message_loss");
                 assert_eq!(f.spec.member("probability"), Some(&Value::Double(0.25)));
@@ -184,7 +202,10 @@ mod tests {
             ("rate", LevelValue::Float(0.5)),
             ("randomseed", LevelValue::Int(7)),
         ]);
-        match parse_fault_invoke("fault_interface_start", &p).unwrap().unwrap() {
+        match parse_fault_invoke("fault_interface_start", &p)
+            .unwrap()
+            .unwrap()
+        {
             FaultInvoke::Start(f) => {
                 assert_eq!(f.envelope.duration, Some(SimDuration::from_secs(10)));
                 assert_eq!(f.envelope.rate, 0.5);
@@ -196,15 +217,28 @@ mod tests {
 
     #[test]
     fn invalid_rate_rejected() {
-        let p = params(&[("duration", LevelValue::Int(10)), ("rate", LevelValue::Float(1.5))]);
-        assert!(parse_fault_invoke("fault_interface_start", &p).unwrap().is_err());
-        let p = params(&[("duration", LevelValue::Int(10)), ("rate", LevelValue::Float(0.0))]);
-        assert!(parse_fault_invoke("fault_interface_start", &p).unwrap().is_err());
+        let p = params(&[
+            ("duration", LevelValue::Int(10)),
+            ("rate", LevelValue::Float(1.5)),
+        ]);
+        assert!(parse_fault_invoke("fault_interface_start", &p)
+            .unwrap()
+            .is_err());
+        let p = params(&[
+            ("duration", LevelValue::Int(10)),
+            ("rate", LevelValue::Float(0.0)),
+        ]);
+        assert!(parse_fault_invoke("fault_interface_start", &p)
+            .unwrap()
+            .is_err());
     }
 
     #[test]
     fn unbounded_envelope_has_no_window() {
-        assert_eq!(FaultEnvelope::default().activation_window(SimTime::ZERO), None);
+        assert_eq!(
+            FaultEnvelope::default().activation_window(SimTime::ZERO),
+            None
+        );
     }
 
     #[test]
@@ -234,7 +268,10 @@ mod tests {
         assert!(stop <= now + SimDuration::from_secs(10));
         // Deterministic in the seed.
         assert_eq!(e.activation_window(now), e.activation_window(now));
-        let other = FaultEnvelope { randomseed: 12, ..e };
+        let other = FaultEnvelope {
+            randomseed: 12,
+            ..e
+        };
         assert_ne!(e.activation_window(now), other.activation_window(now));
     }
 }

@@ -106,8 +106,12 @@ pub trait ExecCtx {
     /// True if the selector is satisfied by events at/after `since`.
     fn satisfied(&self, selector: &EventSelector, since: u64) -> bool;
     /// Calls a NodeManager procedure.
-    fn call_node(&mut self, platform_id: &str, method: &str, params: Vec<Value>)
-        -> Result<Value, String>;
+    fn call_node(
+        &mut self,
+        platform_id: &str,
+        method: &str,
+        params: Vec<Value>,
+    ) -> Result<Value, String>;
     /// Executes an environment action (traffic, drop-all, plugins).
     fn env_invoke(
         &mut self,
@@ -143,7 +147,11 @@ pub fn step(proc: &mut ProcessInstance, ctx: &mut dyn ExecCtx) -> bool {
                     return progressed;
                 }
             }
-            ProcState::WaitingEvent { selector, since, deadline } => {
+            ProcState::WaitingEvent {
+                selector,
+                since,
+                deadline,
+            } => {
                 let satisfied = ctx.satisfied(selector, *since);
                 let timed_out = deadline.is_some_and(|d| ctx.now() >= d);
                 if satisfied || timed_out {
@@ -195,8 +203,9 @@ fn execute(
                 .resolve(seconds)
                 .and_then(|v| v.as_float())
                 .ok_or("wait_for_time without numeric duration")?;
-            proc.state =
-                ProcState::WaitingTime { until: ctx.now() + SimDuration::from_secs_f64(secs) };
+            proc.state = ProcState::WaitingTime {
+                until: ctx.now() + SimDuration::from_secs_f64(secs),
+            };
             Ok(())
         }
         ProcessAction::WaitMarker => {
@@ -240,18 +249,22 @@ fn execute(
                     .clone()
                     .ok_or("fault actions require a node-bound process")?;
                 return match parsed? {
-                    FaultInvoke::Start(fault) => match fault.envelope.activation_window(ctx.now())
-                    {
-                        Some(window) => ctx.schedule_fault(&pid, &fault, window),
-                        None => {
-                            let handle = ctx
-                                .call_node(&pid, "fault_start", vec![fault.spec.clone()])?
-                                .as_int()
-                                .ok_or("fault_start returned no handle")?;
-                            proc.fault_handles.entry(fault.kind.clone()).or_default().push(handle);
-                            Ok(())
+                    FaultInvoke::Start(fault) => {
+                        match fault.envelope.activation_window(ctx.now()) {
+                            Some(window) => ctx.schedule_fault(&pid, &fault, window),
+                            None => {
+                                let handle = ctx
+                                    .call_node(&pid, "fault_start", vec![fault.spec.clone()])?
+                                    .as_int()
+                                    .ok_or("fault_start returned no handle")?;
+                                proc.fault_handles
+                                    .entry(fault.kind.clone())
+                                    .or_default()
+                                    .push(handle);
+                                Ok(())
+                            }
                         }
-                    },
+                    }
                     FaultInvoke::Stop(kind) => {
                         let handle = proc
                             .fault_handles
@@ -314,7 +327,10 @@ fn invoke_node_action(
             ctx.call_node(pid, "sd_stop_publish", vec![Value::str(stype)])?;
         }
         "sd_update_publication" => {
-            let port = params.get("port").and_then(LevelValue::as_int).unwrap_or(80);
+            let port = params
+                .get("port")
+                .and_then(LevelValue::as_int)
+                .unwrap_or(80);
             ctx.call_node(
                 pid,
                 "sd_update_publication",
@@ -348,7 +364,6 @@ fn invoke_node_action(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     /// Mock context recording calls and scripting event satisfaction.
     struct Mock {
@@ -397,7 +412,8 @@ mod tests {
             if self.fail_call {
                 return Err("injected failure".into());
             }
-            self.calls.push(format!("{platform_id}:{method}({})", params.len()));
+            self.calls
+                .push(format!("{platform_id}:{method}({})", params.len()));
             Ok(Value::Int(7)) // doubles as a fault handle
         }
         fn env_invoke(
@@ -459,7 +475,9 @@ mod tests {
     #[test]
     fn wait_for_time_blocks_until_deadline() {
         let mut p = node_proc(vec![
-            ProcessAction::WaitForTime { seconds: ValueRef::int(2) },
+            ProcessAction::WaitForTime {
+                seconds: ValueRef::int(2),
+            },
             ProcessAction::invoke("sd_init"),
         ]);
         let mut ctx = Mock::new();
@@ -480,11 +498,19 @@ mod tests {
             ProcessAction::WaitForEvent(
                 EventSelector::named("never").with_timeout(ValueRef::int(30)),
             ),
-            ProcessAction::EventFlag { value: "done".into() },
+            ProcessAction::EventFlag {
+                value: "done".into(),
+            },
         ]);
         let mut ctx = Mock::new();
         step(&mut p, &mut ctx);
-        assert!(matches!(p.state, ProcState::WaitingEvent { deadline: Some(_), .. }));
+        assert!(matches!(
+            p.state,
+            ProcState::WaitingEvent {
+                deadline: Some(_),
+                ..
+            }
+        ));
         ctx.now = SimTime::from_nanos(30_000_000_000);
         step(&mut p, &mut ctx);
         assert_eq!(p.state, ProcState::Done);
@@ -514,7 +540,9 @@ mod tests {
             None,
             None,
             vec![
-                ProcessAction::EventFlag { value: "ready_to_init".into() },
+                ProcessAction::EventFlag {
+                    value: "ready_to_init".into(),
+                },
                 ProcessAction::invoke_with(
                     "env_traffic_start",
                     [("bw".to_string(), ValueRef::factor("fact_known"))],
@@ -525,7 +553,10 @@ mod tests {
         );
         let mut ctx = Mock::new();
         step(&mut p, &mut ctx);
-        assert_eq!(ctx.calls, vec!["flag:ready_to_init", "env:env_traffic_start(1)"]);
+        assert_eq!(
+            ctx.calls,
+            vec!["flag:ready_to_init", "env:env_traffic_start(1)"]
+        );
         ctx.satisfied_events.push("done".into());
         step(&mut p, &mut ctx);
         assert_eq!(p.state, ProcState::Done);
@@ -560,14 +591,20 @@ mod tests {
         let mut p = node_proc(vec![
             ProcessAction::invoke_with(
                 "fault_message_loss_start",
-                [("probability".to_string(), ValueRef::Lit(LevelValue::Float(0.3)))],
+                [(
+                    "probability".to_string(),
+                    ValueRef::Lit(LevelValue::Float(0.3)),
+                )],
             ),
             ProcessAction::invoke("fault_message_loss_stop"),
         ]);
         let mut ctx = Mock::new();
         step(&mut p, &mut ctx);
         assert_eq!(p.state, ProcState::Done);
-        assert_eq!(ctx.calls, vec!["t9-157:fault_start(1)", "t9-157:fault_stop(1)"]);
+        assert_eq!(
+            ctx.calls,
+            vec!["t9-157:fault_start(1)", "t9-157:fault_stop(1)"]
+        );
         assert!(p.fault_handles["message_loss"].is_empty());
     }
 
@@ -593,7 +630,11 @@ mod tests {
         step(&mut p, &mut ctx);
         assert_eq!(p.state, ProcState::Done);
         assert_eq!(ctx.calls.len(), 1);
-        assert!(ctx.calls[0].starts_with("window:t9-157:interface:"), "{:?}", ctx.calls);
+        assert!(
+            ctx.calls[0].starts_with("window:t9-157:interface:"),
+            "{:?}",
+            ctx.calls
+        );
     }
 
     #[test]

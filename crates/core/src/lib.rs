@@ -27,6 +27,7 @@
 //!   consulted by [`master`].
 
 pub mod binding;
+pub mod error;
 pub mod event_log;
 pub mod faults;
 pub mod interp;
@@ -35,5 +36,8 @@ pub mod nodemanager;
 pub mod scenarios;
 
 pub use binding::{PlatformBinding, ResolvedActors};
+pub use error::EngineError;
 pub use event_log::{EventLog, RecordedEvent};
-pub use master::{EngineConfig, ExperiMaster, ExperimentOutcome, RunOutcome};
+pub use master::{
+    EngineConfig, EngineConfigBuilder, ExperiMaster, ExperimentOutcome, RunOutcome, TransportKind,
+};

@@ -14,6 +14,7 @@
 //! resuming at the first run without a level-2 completion marker.
 
 use crate::binding::{PlatformBinding, ResolvedActors};
+use crate::error::EngineError;
 use crate::event_log::{EventLog, RecordedEvent};
 use crate::faults::ParsedFault;
 use crate::interp::{self, ExecCtx, ProcState, ProcessInstance};
@@ -29,7 +30,7 @@ use excovery_netsim::sim::SimulatorConfig;
 use excovery_netsim::topology::Topology;
 use excovery_netsim::traffic::{PairChoice, TrafficGenerator, TrafficSpec};
 use excovery_netsim::{NodeId, SimDuration, SimTime, Simulator};
-use excovery_rpc::{NodeProxy, Value};
+use excovery_rpc::{Channel, NodeProxy, RpcError, TcpOptions, TcpRpcServer, TcpTransport, Value};
 use excovery_sd::{Architecture, SdConfig};
 use excovery_store::level2::Level2Store;
 use excovery_store::records::{EventRow, ExperimentInfo, PacketRow, RunInfoRow};
@@ -63,7 +64,8 @@ impl PluginCtx<'_> {
         name: impl Into<String>,
         content: impl Into<Vec<u8>>,
     ) {
-        self.measurements.push((node_id.into(), name.into(), content.into()));
+        self.measurements
+            .push((node_id.into(), name.into(), content.into()));
     }
 }
 
@@ -71,7 +73,54 @@ impl PluginCtx<'_> {
 pub type PluginFn =
     Box<dyn FnMut(&HashMap<String, LevelValue>, &mut PluginCtx) -> Result<(), String> + Send>;
 
+/// Control-channel backend the master uses to reach its NodeManagers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum TransportKind {
+    /// The dedicated in-memory channel (still full XML-RPC on the wire).
+    #[default]
+    Memory,
+    /// Length-prefixed XML-RPC frames over loopback TCP sockets — the
+    /// real-socket path a distributed deployment would use.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Parses a CLI-style name (`memory` or `tcp`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "memory" => Some(TransportKind::Memory),
+            "tcp" => Some(TransportKind::Tcp),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::Memory => write!(f, "memory"),
+            TransportKind::Tcp => write!(f, "tcp"),
+        }
+    }
+}
+
 /// Engine configuration: the platform the description is instantiated on.
+///
+/// Construct via [`EngineConfig::builder`] (or start from a preset and
+/// adjust fields directly — they stay public):
+///
+/// ```
+/// use excovery_core::master::{EngineConfig, TransportKind};
+/// use excovery_netsim::topology::Topology;
+///
+/// let cfg = EngineConfig::builder()
+///     .topology(Topology::chain(4))
+///     .transport(TransportKind::Tcp)
+///     .max_runs(2)
+///     .build();
+/// assert_eq!(cfg.topology.len(), 4);
+/// ```
 pub struct EngineConfig {
     /// Mesh topology of the simulated testbed.
     pub topology: Topology,
@@ -92,9 +141,115 @@ pub struct EngineConfig {
     pub resume: bool,
     /// Execute only the first `n` runs of the plan (tests, examples).
     pub max_runs: Option<u64>,
+    /// Control-channel backend between master and NodeManagers.
+    pub transport: TransportKind,
+}
+
+/// Builder for [`EngineConfig`]. Starts from the grid default; the
+/// platform presets ([`wired_lan`](Self::wired_lan),
+/// [`lossy_mesh`](Self::lossy_mesh)) can be applied at any point and
+/// individual knobs adjusted after.
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Applies the 3×3 wireless grid platform preset (the default starting
+    /// point). Only the simulator parameters change; everything else set
+    /// on the builder is preserved.
+    pub fn grid_default(mut self) -> Self {
+        self.cfg.sim = EngineConfig::grid_default().sim;
+        self
+    }
+
+    /// Applies the wired-LAN platform preset (see
+    /// [`EngineConfig::wired_lan`]).
+    pub fn wired_lan(mut self) -> Self {
+        self.cfg.sim = EngineConfig::wired_lan().sim;
+        self
+    }
+
+    /// Applies the degraded wireless-mesh preset (see
+    /// [`EngineConfig::lossy_mesh`]).
+    pub fn lossy_mesh(mut self) -> Self {
+        self.cfg.sim = EngineConfig::lossy_mesh().sim;
+        self
+    }
+
+    /// Sets the testbed topology.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.cfg.topology = t;
+        self
+    }
+
+    /// Sets the simulator parameters.
+    pub fn sim(mut self, sim: SimulatorConfig) -> Self {
+        self.cfg.sim = sim;
+        self
+    }
+
+    /// Sets an explicit SD protocol configuration.
+    pub fn sd_config(mut self, sd: SdConfig) -> Self {
+        self.cfg.sd_config = Some(sd);
+        self
+    }
+
+    /// Sets the hard per-run limit in simulated time.
+    pub fn run_timeout(mut self, t: SimDuration) -> Self {
+        self.cfg.run_timeout = t;
+        self
+    }
+
+    /// Sets the master reaction quantum.
+    pub fn quantum(mut self, q: SimDuration) -> Self {
+        self.cfg.quantum = q;
+        self
+    }
+
+    /// Sets the level-2 storage root.
+    pub fn l2_root(mut self, root: impl Into<PathBuf>) -> Self {
+        self.cfg.l2_root = Some(root.into());
+        self
+    }
+
+    /// Keeps the level-2 hierarchy after packaging.
+    pub fn keep_l2(mut self, keep: bool) -> Self {
+        self.cfg.keep_l2 = keep;
+        self
+    }
+
+    /// Resumes an aborted experiment from its completion markers.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.cfg.resume = resume;
+        self
+    }
+
+    /// Caps execution at the first `n` runs of the plan.
+    pub fn max_runs(mut self, n: u64) -> Self {
+        self.cfg.max_runs = Some(n);
+        self
+    }
+
+    /// Selects the control-channel backend.
+    pub fn transport(mut self, t: TransportKind) -> Self {
+        self.cfg.transport = t;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.cfg
+    }
 }
 
 impl EngineConfig {
+    /// Starts a builder from the grid default.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: Self::grid_default(),
+        }
+    }
+
     /// A sensible default platform: a 3×3 grid mesh with the wireless
     /// link model and loosely synchronized clocks.
     pub fn grid_default() -> Self {
@@ -108,6 +263,7 @@ impl EngineConfig {
             keep_l2: false,
             resume: false,
             max_runs: None,
+            transport: TransportKind::default(),
         }
     }
 
@@ -213,7 +369,7 @@ struct FaultWindow {
 /// let outcome = master.execute()?;
 /// assert!(outcome.runs[0].completed);
 /// assert!(!outcome.database.table("Events").unwrap().is_empty());
-/// # Ok::<(), String>(())
+/// # Ok::<(), excovery_core::EngineError>(())
 /// ```
 pub struct ExperiMaster {
     desc: ExperimentDescription,
@@ -221,6 +377,9 @@ pub struct ExperiMaster {
     sim: SharedSim,
     binding: Arc<PlatformBinding>,
     proxies: HashMap<String, NodeProxy>,
+    /// Running TCP servers when `cfg.transport` is [`TransportKind::Tcp`]
+    /// (one per node; dropping them stops the accept loops).
+    tcp_servers: Vec<TcpRpcServer>,
     log: EventLog,
     plugins: HashMap<String, PluginFn>,
     // per-run state
@@ -237,9 +396,12 @@ pub struct ExperiMaster {
 
 impl ExperiMaster {
     /// Builds a master for a validated description on the given platform.
-    pub fn new(desc: ExperimentDescription, cfg: EngineConfig) -> Result<Self, String> {
-        validate_strict(&desc).map_err(|e| e.to_string())?;
-        let binding = Arc::new(PlatformBinding::new(&desc.platform, cfg.topology.len())?);
+    pub fn new(desc: ExperimentDescription, cfg: EngineConfig) -> Result<Self, EngineError> {
+        validate_strict(&desc).map_err(|e| EngineError::Config(e.to_string()))?;
+        let binding = Arc::new(
+            PlatformBinding::new(&desc.platform, cfg.topology.len())
+                .map_err(EngineError::Config)?,
+        );
         let mut sim_cfg = cfg.sim.clone();
         sim_cfg.seed = derive_seed(desc.seed, "platform");
         let sim: SharedSim = Arc::new(Mutex::new(Simulator::new(cfg.topology.clone(), sim_cfg)));
@@ -250,17 +412,35 @@ impl ExperiMaster {
                 _ => SdConfig::two_party(),
             }
         });
-        let _ = &sd_cfg; // one clone per NodeManager below
         let mut proxies = HashMap::new();
+        let mut tcp_servers = Vec::new();
         for node in binding.managed_sim_nodes() {
             let pid = binding.platform_id(node).unwrap().to_string();
-            let proxy = NodeManager::spawn(
+            let registry = NodeManager::registry(
                 node,
                 &pid,
                 Arc::clone(&sim),
                 Arc::clone(&binding),
                 sd_cfg.clone(),
             );
+            let proxy = match cfg.transport {
+                TransportKind::Tcp => {
+                    // Each NodeManager gets its own loopback server on an
+                    // ephemeral port; the master connects the framed
+                    // client transport to it.
+                    let server = TcpRpcServer::bind("127.0.0.1:0", Arc::new(Mutex::new(registry)))
+                        .map_err(|e| EngineError::Transport {
+                            node: pid.clone(),
+                            detail: format!("bind: {e}"),
+                        })?;
+                    let transport =
+                        TcpTransport::connect(server.local_addr(), TcpOptions::default())
+                            .map_err(|e| EngineError::from_rpc(pid.clone(), e))?;
+                    tcp_servers.push(server);
+                    NodeProxy::new(&pid, transport)
+                }
+                _ => NodeProxy::new(&pid, Channel::new(registry)),
+            };
             proxies.insert(pid, proxy);
         }
         Ok(Self {
@@ -269,6 +449,7 @@ impl ExperiMaster {
             sim,
             binding,
             proxies,
+            tcp_servers,
             log: EventLog::new(),
             plugins: HashMap::new(),
             run_id: 0,
@@ -293,39 +474,98 @@ impl ExperiMaster {
         Arc::clone(&self.sim)
     }
 
+    /// Control-channel endpoint of every managed node (platform id →
+    /// endpoint description, e.g. `memory` or `tcp://127.0.0.1:41234`).
+    pub fn endpoints(&self) -> Vec<(String, String)> {
+        let mut v: Vec<(String, String)> = self
+            .proxies
+            .iter()
+            .map(|(pid, p)| (pid.clone(), p.endpoint()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Dispatches one lifecycle procedure to every node in `nodes`
+    /// concurrently and waits for all of them (the per-phase barrier).
+    ///
+    /// Results come back in `nodes` order; so does error reporting — the
+    /// first failing node in that deterministic order wins, regardless of
+    /// scheduling, keeping engine behaviour reproducible.
+    fn fan_out<T, F>(&self, nodes: &[String], phase: &str, f: F) -> Result<Vec<T>, EngineError>
+    where
+        T: Send,
+        F: Fn(&NodeProxy) -> Result<T, RpcError> + Sync,
+    {
+        let results: Vec<Result<T, RpcError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = nodes
+                .iter()
+                .map(|pid| {
+                    let proxy = &self.proxies[pid];
+                    let f = &f;
+                    scope.spawn(move || f(proxy))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(RpcError::Io("dispatch thread panicked".into())))
+                })
+                .collect()
+        });
+        nodes
+            .iter()
+            .zip(results)
+            .map(|(pid, r)| {
+                r.map_err(|e| match EngineError::from_rpc(pid.clone(), e) {
+                    EngineError::Node { node, detail } => EngineError::Node {
+                        node,
+                        detail: format!("{phase}: {detail}"),
+                    },
+                    EngineError::Transport { node, detail } => EngineError::Transport {
+                        node,
+                        detail: format!("{phase}: {detail}"),
+                    },
+                    other => other,
+                })
+            })
+            .collect()
+    }
+
     /// Executes the complete experiment and packages the results.
-    pub fn execute(&mut self) -> Result<ExperimentOutcome, String> {
+    pub fn execute(&mut self) -> Result<ExperimentOutcome, EngineError> {
         // The default level-2 root must be unique per execution: concurrent
         // experiments (parallel sweeps) would otherwise interleave their
         // intermediate files.
         static L2_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let l2_root = self
-            .cfg
-            .l2_root
-            .clone()
-            .unwrap_or_else(|| {
-                std::env::temp_dir().join(format!(
-                    "excovery-{}-{:x}-p{}-{}",
-                    self.desc.name,
-                    derive_seed(self.desc.seed, &self.desc.name),
-                    std::process::id(),
-                    L2_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
-                ))
-            });
+        let l2_root = self.cfg.l2_root.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!(
+                "excovery-{}-{:x}-p{}-{}",
+                self.desc.name,
+                derive_seed(self.desc.seed, &self.desc.name),
+                std::process::id(),
+                L2_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            ))
+        });
         if !self.cfg.resume && l2_root.exists() {
-            std::fs::remove_dir_all(&l2_root).map_err(|e| e.to_string())?;
+            std::fs::remove_dir_all(&l2_root).map_err(|e| EngineError::Storage(e.to_string()))?;
         }
-        let l2 = Level2Store::open(&l2_root).map_err(|e| e.to_string())?;
+        let l2 = Level2Store::open(&l2_root).map_err(|e| EngineError::Storage(e.to_string()))?;
 
         // ---- experiment_init -------------------------------------------------
         let participants = self.binding.managed_sim_nodes();
         let topo_before = self.topology_measurement(&participants);
         l2.put_experiment("master", "topology_before.json", topo_before.as_bytes())
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
 
         let plan = self.desc.plan();
         let total = plan.runs.len() as u64;
-        let first = if self.cfg.resume { l2.first_incomplete_run(total) } else { 0 };
+        let first = if self.cfg.resume {
+            l2.first_incomplete_run(total)
+        } else {
+            0
+        };
         let last = self
             .cfg
             .max_runs
@@ -341,13 +581,28 @@ impl ExperiMaster {
         // ---- experiment_exit -------------------------------------------------
         let topo_after = self.topology_measurement(&participants);
         l2.put_experiment("master", "topology_after.json", topo_after.as_bytes())
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
 
         let database = self.package(&l2)?;
+        // Tear the node side down everywhere (concurrently, like the other
+        // lifecycle phases) — after packaging, which still reads node logs.
+        let managed: Vec<String> = self
+            .binding
+            .managed_platform_ids()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        self.fan_out(&managed, "experiment_exit", |p| {
+            p.call("experiment_exit", vec![])
+        })?;
         if !self.cfg.keep_l2 {
             l2.destroy().ok();
         }
-        Ok(ExperimentOutcome { database, runs: outcomes, l2_root })
+        Ok(ExperimentOutcome {
+            database,
+            runs: outcomes,
+            l2_root,
+        })
     }
 
     fn topology_measurement(&self, participants: &[NodeId]) -> String {
@@ -357,7 +612,10 @@ impl ExperiMaster {
             .iter()
             .zip(&matrix)
             .map(|(n, row)| {
-                (self.binding.platform_id(*n).unwrap_or("?").to_string(), row.clone())
+                (
+                    self.binding.platform_id(*n).unwrap_or("?").to_string(),
+                    row.clone(),
+                )
             })
             .collect();
         serde_json::to_string(&named).expect("hop matrix serializes")
@@ -377,7 +635,12 @@ impl ExperiMaster {
             }
         }
         for (i, env) in self.desc.env_processes.iter().enumerate() {
-            procs.push(ProcessInstance::new(format!("env#{i}"), None, None, env.actions.clone()));
+            procs.push(ProcessInstance::new(
+                format!("env#{i}"),
+                None,
+                None,
+                env.actions.clone(),
+            ));
         }
         procs
     }
@@ -390,19 +653,20 @@ impl ExperiMaster {
                 .platform_id(e.node)
                 .map(str::to_string)
                 .unwrap_or_else(|| e.node.to_string());
-            self.log.record(self.run_id, pid, e.local_time, e.name, e.params);
+            self.log
+                .record(self.run_id, pid, e.local_time, e.name, e.params);
         }
     }
 
     /// Applies fault-window boundaries up to the current instant.
-    fn apply_fault_windows(&mut self) -> Result<(), String> {
+    fn apply_fault_windows(&mut self) -> Result<(), EngineError> {
         let now = self.sim.lock().now();
         let mut windows = std::mem::take(&mut self.fault_windows);
         for w in &mut windows {
             if w.handle.is_none() && now >= w.start && now < w.stop {
                 let v = self.proxies[&w.platform_id]
                     .call("fault_start", vec![w.spec.clone()])
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| EngineError::from_rpc(w.platform_id.clone(), e))?;
                 w.handle = v.as_int();
             }
         }
@@ -412,7 +676,7 @@ impl ExperiMaster {
                 if let Some(h) = w.handle {
                     self.proxies[&w.platform_id]
                         .call("fault_stop", vec![Value::Int(h)])
-                        .map_err(|e| e.to_string())?;
+                        .map_err(|e| EngineError::from_rpc(w.platform_id.clone(), e))?;
                 }
                 // Windows fully in the past are dropped.
             } else {
@@ -431,12 +695,13 @@ impl ExperiMaster {
             .min()
     }
 
-    fn execute_run(&mut self, run: &RunSpec, l2: &Level2Store) -> Result<RunOutcome, String> {
+    fn execute_run(&mut self, run: &RunSpec, l2: &Level2Store) -> Result<RunOutcome, EngineError> {
         // ---- preparation (run_init) ------------------------------------------
         self.run_id = run.run_id;
         self.replicate = run.replicate;
         self.treatment = run.treatment.clone();
-        self.actors = ResolvedActors::resolve(&self.desc, &run.treatment, &self.binding)?;
+        self.actors = ResolvedActors::resolve(&self.desc, &run.treatment, &self.binding)
+            .map_err(EngineError::Run)?;
         self.traffic = None;
         self.cbr_flows.clear();
         self.fault_windows.clear();
@@ -445,21 +710,33 @@ impl ExperiMaster {
         self.run_events_offset = self.log.len();
         let run_start = self.sim.lock().now();
 
+        // Each preparation procedure fans out to all nodes concurrently,
+        // with a barrier between the phases: no node enters
+        // `experiment_init` before every node finished `run_init`.
+        let managed: Vec<String> = self
+            .binding
+            .managed_platform_ids()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        self.fan_out(&managed, "run_init", |p| p.call("run_init", vec![]))?;
+        self.fan_out(&managed, "experiment_init", |p| {
+            p.call("experiment_init", vec![])
+        })?;
+        // Preliminary measurement: clock offset against the reference
+        // (paper §IV-B3, stored as RunInfos.TimeDiff).
+        let measured =
+            self.fan_out(&managed, "measure_sync", |p| p.call("measure_sync", vec![]))?;
         let mut sync_offsets: HashMap<String, i64> = HashMap::new();
-        let managed: Vec<String> =
-            self.binding.managed_platform_ids().iter().map(|s| s.to_string()).collect();
-        for pid in &managed {
-            let proxy = &self.proxies[pid];
-            proxy.call("run_init", vec![]).map_err(|e| e.to_string())?;
-            proxy.call("experiment_init", vec![]).map_err(|e| e.to_string())?;
-            // Preliminary measurement: clock offset against the reference
-            // (paper §IV-B3, stored as RunInfos.TimeDiff).
-            let m = proxy.call("measure_sync", vec![]).map_err(|e| e.to_string())?;
+        for (pid, m) in managed.iter().zip(measured) {
             let offset: i64 = m
                 .member("offset_ns")
                 .and_then(Value::as_str)
                 .and_then(|s| s.parse().ok())
-                .ok_or("measure_sync returned no offset")?;
+                .ok_or_else(|| EngineError::Node {
+                    node: pid.clone(),
+                    detail: "measure_sync returned no offset".into(),
+                })?;
             sync_offsets.insert(pid.clone(), offset);
         }
         let master_now = self.sim.lock().now();
@@ -512,12 +789,10 @@ impl ExperiMaster {
             let mut next = now + self.cfg.quantum;
             for p in &procs {
                 match &p.state {
-                    ProcState::WaitingTime { until } if *until > now => {
-                        next = next.min(*until)
-                    }
-                    ProcState::WaitingEvent { deadline: Some(d), .. } if *d > now => {
-                        next = next.min(*d)
-                    }
+                    ProcState::WaitingTime { until } if *until > now => next = next.min(*until),
+                    ProcState::WaitingEvent {
+                        deadline: Some(d), ..
+                    } if *d > now => next = next.min(*d),
                     _ => {}
                 }
             }
@@ -544,12 +819,10 @@ impl ExperiMaster {
             if let Some(h) = w.handle {
                 self.proxies[&w.platform_id]
                     .call("fault_stop", vec![Value::Int(h)])
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| EngineError::from_rpc(w.platform_id.clone(), e))?;
             }
         }
-        for pid in &managed {
-            self.proxies[pid].call("run_exit", vec![]).map_err(|e| e.to_string())?;
-        }
+        self.fan_out(&managed, "run_exit", |p| p.call("run_exit", vec![]))?;
         self.drain_events();
         let run_end = self.sim.lock().now();
         self.log.record(
@@ -561,38 +834,41 @@ impl ExperiMaster {
         );
 
         // ---- collection into level 2 ---------------------------------------------
-        let run_events: Vec<RecordedEvent> =
-            self.log.events()[self.run_events_offset..].to_vec();
+        let run_events: Vec<RecordedEvent> = self.log.events()[self.run_events_offset..].to_vec();
         l2.put_run(
             run.run_id,
             "_master",
             "events.json",
             serde_json::to_string(&run_events).unwrap().as_bytes(),
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| EngineError::Storage(e.to_string()))?;
         l2.put_run(
             run.run_id,
             "_master",
             "sync.json",
             serde_json::to_string(&sync_offsets).unwrap().as_bytes(),
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| EngineError::Storage(e.to_string()))?;
         l2.put_run(
             run.run_id,
             "_master",
             "start.json",
-            serde_json::to_string(&run_start.as_nanos()).unwrap().as_bytes(),
+            serde_json::to_string(&run_start.as_nanos())
+                .unwrap()
+                .as_bytes(),
         )
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| EngineError::Storage(e.to_string()))?;
         // Plugin measurements get their separate storage location (§IV-B5).
         if !self.run_measurements.is_empty() {
             l2.put_run(
                 run.run_id,
                 "_plugins",
                 "measurements.json",
-                serde_json::to_string(&self.run_measurements).unwrap().as_bytes(),
+                serde_json::to_string(&self.run_measurements)
+                    .unwrap()
+                    .as_bytes(),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
         }
 
         let mut packets_total = 0;
@@ -627,10 +903,11 @@ impl ExperiMaster {
                     "captures.json",
                     serde_json::to_string(&ser).unwrap().as_bytes(),
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| EngineError::Storage(e.to_string()))?;
             }
         }
-        l2.mark_run_complete(run.run_id).map_err(|e| e.to_string())?;
+        l2.mark_run_complete(run.run_id)
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
 
         let failures: Vec<String> = procs
             .iter()
@@ -653,7 +930,7 @@ impl ExperiMaster {
 
     /// Conditions level-2 data onto the common time base and packages the
     /// level-3 database (paper §IV-F).
-    fn package(&self, l2: &Level2Store) -> Result<Database, String> {
+    fn package(&self, l2: &Level2Store) -> Result<Database, EngineError> {
         let mut db = create_level3_database();
         let xml = excovery_desc::xmlio::to_xml(&self.desc);
         ExperimentInfo {
@@ -663,25 +940,39 @@ impl ExperiMaster {
             comment: self.desc.comment.clone().unwrap_or_default(),
         }
         .insert(&mut db)
-        .map_err(|e| e.to_string())?;
-        db.insert("EEFiles", vec!["description.xml".into(), xml.into_bytes().into()])
-            .map_err(|e| e.to_string())?;
+        .map_err(|e| EngineError::Storage(e.to_string()))?;
+        db.insert(
+            "EEFiles",
+            vec!["description.xml".into(), xml.into_bytes().into()],
+        )
+        .map_err(|e| EngineError::Storage(e.to_string()))?;
         db.insert(
             "EEFiles",
             vec!["ee_version".into(), EE_VERSION.as_bytes().to_vec().into()],
         )
-        .map_err(|e| e.to_string())?;
-        for (i, name) in ["topology_before.json", "topology_after.json"].iter().enumerate() {
+        .map_err(|e| EngineError::Storage(e.to_string()))?;
+        for (i, name) in ["topology_before.json", "topology_after.json"]
+            .iter()
+            .enumerate()
+        {
             if let Ok(data) = l2.get_experiment("master", name) {
                 db.insert(
                     "ExperimentMeasurements",
-                    vec![(i as i64).into(), "master".into(), (*name).into(), data.into()],
+                    vec![
+                        (i as i64).into(),
+                        "master".into(),
+                        (*name).into(),
+                        data.into(),
+                    ],
                 )
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| EngineError::Storage(e.to_string()))?;
             }
         }
 
-        for run_id in l2.run_ids().map_err(|e| e.to_string())? {
+        for run_id in l2
+            .run_ids()
+            .map_err(|e| EngineError::Storage(e.to_string()))?
+        {
             let sync: HashMap<String, i64> = l2
                 .get_run(run_id, "_master", "sync.json")
                 .ok()
@@ -700,12 +991,12 @@ impl ExperiMaster {
                     time_diff_ns: *offset,
                 }
                 .insert(&mut db)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| EngineError::Storage(e.to_string()))?;
             }
             // Events: condition local node stamps to the common base.
             if let Ok(raw) = l2.get_run(run_id, "_master", "events.json") {
-                let events: Vec<RecordedEvent> =
-                    serde_json::from_slice(&raw).map_err(|e| e.to_string())?;
+                let events: Vec<RecordedEvent> = serde_json::from_slice(&raw)
+                    .map_err(|e| EngineError::Storage(e.to_string()))?;
                 for e in events {
                     let offset = sync.get(&e.node).copied().unwrap_or(0);
                     EventRow {
@@ -716,13 +1007,13 @@ impl ExperiMaster {
                         parameter: EventRow::encode_params(&e.params),
                     }
                     .insert(&mut db)
-                    .map_err(|er| er.to_string())?;
+                    .map_err(|er| EngineError::Storage(er.to_string()))?;
                 }
             }
             // Custom (plugin) measurements -> ExtraRunMeasurements.
             if let Ok(raw) = l2.get_run(run_id, "_plugins", "measurements.json") {
-                let ms: Vec<(String, String, Vec<u8>)> =
-                    serde_json::from_slice(&raw).map_err(|e| e.to_string())?;
+                let ms: Vec<(String, String, Vec<u8>)> = serde_json::from_slice(&raw)
+                    .map_err(|e| EngineError::Storage(e.to_string()))?;
                 for (node_id, name, content) in ms {
                     db.insert(
                         "ExtraRunMeasurements",
@@ -733,17 +1024,22 @@ impl ExperiMaster {
                             content.into(),
                         ],
                     )
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| EngineError::Storage(e.to_string()))?;
                 }
             }
             // Packets likewise.
-            for (node, file) in l2.run_entries(run_id).map_err(|e| e.to_string())? {
+            for (node, file) in l2
+                .run_entries(run_id)
+                .map_err(|e| EngineError::Storage(e.to_string()))?
+            {
                 if file != "captures.json" {
                     continue;
                 }
-                let raw = l2.get_run(run_id, &node, &file).map_err(|e| e.to_string())?;
-                let captures: Vec<CaptureSer> =
-                    serde_json::from_slice(&raw).map_err(|e| e.to_string())?;
+                let raw = l2
+                    .get_run(run_id, &node, &file)
+                    .map_err(|e| EngineError::Storage(e.to_string()))?;
+                let captures: Vec<CaptureSer> = serde_json::from_slice(&raw)
+                    .map_err(|e| EngineError::Storage(e.to_string()))?;
                 let offset = sync.get(&node).copied().unwrap_or(0);
                 for c in captures {
                     // Raw packet data as on the wire: the 2-byte tagger id
@@ -761,7 +1057,7 @@ impl ExperiMaster {
                         data,
                     }
                     .insert(&mut db)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| EngineError::Storage(e.to_string()))?;
                 }
             }
         }
@@ -779,9 +1075,20 @@ impl ExperiMaster {
                 self.desc.name
             );
             db.insert("Logs", vec![pid.into(), content.into_bytes().into()])
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| EngineError::Storage(e.to_string()))?;
         }
         Ok(db)
+    }
+}
+
+impl Drop for ExperiMaster {
+    fn drop(&mut self) {
+        for p in self.proxies.values() {
+            p.close();
+        }
+        for s in &self.tcp_servers {
+            s.shutdown();
+        }
     }
 }
 
@@ -808,7 +1115,9 @@ impl ExecCtx for MasterCtx<'_> {
     }
 
     fn satisfied(&self, selector: &EventSelector, since: u64) -> bool {
-        self.master.log.satisfied(selector, since, &self.master.actors)
+        self.master
+            .log
+            .satisfied(selector, since, &self.master.actors)
     }
 
     fn call_node(
@@ -850,8 +1159,7 @@ impl ExecCtx for MasterCtx<'_> {
                 };
                 let switch_idx = get_i("random_switch_seed").unwrap_or(0) as u64;
                 let inject_packets = get_i("inject").unwrap_or(0) != 0;
-                let packet_size =
-                    get_i("packet_size").unwrap_or(500).clamp(8, 60_000) as usize;
+                let packet_size = get_i("packet_size").unwrap_or(500).clamp(8, 60_000) as usize;
                 let rate = spec.rate_kbps;
                 let mut sim = self.master.sim.lock();
                 let acting = self.master.actors.acting_sim_nodes();
@@ -947,7 +1255,10 @@ mod tests {
         EngineConfig {
             topology: Topology::grid(3, 2),
             sim: SimulatorConfig {
-                link_model: LinkModel { base_loss: 0.0, ..LinkModel::default() },
+                link_model: LinkModel {
+                    base_loss: 0.0,
+                    ..LinkModel::default()
+                },
                 ..SimulatorConfig::default()
             },
             run_timeout: SimDuration::from_secs(60),
@@ -965,9 +1276,13 @@ mod tests {
         let mut d = ExperimentDescription::paper_two_party_sd(reps);
         // Keep the load practical for unit tests: drop the traffic factors
         // and replace the traffic process with its synchronization skeleton.
-        d.factors.factors.retain(|f| f.id != "fact_bw" && f.id != "fact_pairs");
+        d.factors
+            .factors
+            .retain(|f| f.id != "fact_bw" && f.id != "fact_pairs");
         d.env_processes[0].actions = vec![
-            ProcessAction::EventFlag { value: "ready_to_init".into() },
+            ProcessAction::EventFlag {
+                value: "ready_to_init".into(),
+            },
             ProcessAction::WaitForEvent(EventSelector::named("done")),
         ];
         d
@@ -984,7 +1299,11 @@ mod tests {
             assert!(run.events > 0);
             assert!(run.packets > 0);
             // The discovery itself is fast; the run ends promptly after.
-            assert!(run.duration < SimDuration::from_secs(40), "{:?}", run.duration);
+            assert!(
+                run.duration < SimDuration::from_secs(40),
+                "{:?}",
+                run.duration
+            );
         }
         // Events of the paper's Fig. 11 sequence are present per run.
         let events = EventRow::read_run(&outcome.database, 0).unwrap();
@@ -1105,7 +1424,10 @@ mod tests {
         assert_eq!(second.runs.len(), 2);
         assert_eq!(second.runs[0].run_id, 2);
         // The packaged database now holds all four runs (levels merged).
-        assert_eq!(RunInfoRow::run_ids(&second.database).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            RunInfoRow::run_ids(&second.database).unwrap(),
+            vec![0, 1, 2, 3]
+        );
         std::fs::remove_dir_all(&l2_root).ok();
     }
 
@@ -1168,7 +1490,10 @@ mod tests {
         let outcome = master.execute().unwrap();
         assert!(!outcome.runs[0].completed);
         assert!(
-            outcome.runs[0].failures.iter().any(|f| f.contains("no_such_plugin")),
+            outcome.runs[0]
+                .failures
+                .iter()
+                .any(|f| f.contains("no_such_plugin")),
             "{:?}",
             outcome.runs[0].failures
         );
@@ -1204,8 +1529,13 @@ mod tests {
         fault.actor_id = "actor0".into();
         // Rename to avoid duplicate actor ids (validation): append actions
         // to the SM process instead — simpler and equivalent.
-        let sm = desc.node_processes.iter_mut().find(|p| p.actor_id == "actor0").unwrap();
-        sm.actions.insert(0, ProcessAction::invoke("fault_interface_start"));
+        let sm = desc
+            .node_processes
+            .iter_mut()
+            .find(|p| p.actor_id == "actor0")
+            .unwrap();
+        sm.actions
+            .insert(0, ProcessAction::invoke("fault_interface_start"));
         let mut cfg = small_config();
         cfg.run_timeout = SimDuration::from_secs(45);
         let mut master = ExperiMaster::new(desc, cfg).unwrap();
@@ -1226,7 +1556,11 @@ mod tests {
     fn windowed_fault_applies_and_clears() {
         use excovery_desc::process::ProcessAction;
         let mut desc = paper_desc(1);
-        let sm = desc.node_processes.iter_mut().find(|p| p.actor_id == "actor0").unwrap();
+        let sm = desc
+            .node_processes
+            .iter_mut()
+            .find(|p| p.actor_id == "actor0")
+            .unwrap();
         // Interface down for the first 3 seconds of the run only.
         sm.actions.insert(
             0,

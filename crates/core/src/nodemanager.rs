@@ -43,7 +43,8 @@ fn p_f64(v: Option<&Value>) -> Option<f64> {
 
 impl NodeManager {
     /// Creates the registry of procedures for `node` (platform id
-    /// `platform_id`) and wraps it into a [`NodeProxy`].
+    /// `platform_id`) and wraps it into a [`NodeProxy`] over the in-memory
+    /// channel.
     pub fn spawn(
         node: NodeId,
         platform_id: &str,
@@ -51,6 +52,20 @@ impl NodeManager {
         binding: Arc<PlatformBinding>,
         sd_config: SdConfig,
     ) -> NodeProxy {
+        let reg = Self::registry(node, platform_id, sim, binding, sd_config);
+        NodeProxy::new(platform_id, Channel::new(reg))
+    }
+
+    /// Creates the registry of procedures for `node`. The registry is
+    /// transport-agnostic: serve it in-process via [`Channel`] or over
+    /// sockets via `excovery_rpc::TcpRpcServer`.
+    pub fn registry(
+        node: NodeId,
+        platform_id: &str,
+        sim: SharedSim,
+        binding: Arc<PlatformBinding>,
+        sd_config: SdConfig,
+    ) -> ServerRegistry {
         let mut reg = ServerRegistry::new();
         let fault_handles: Arc<Mutex<HashMap<i64, RuleId>>> = Arc::new(Mutex::new(HashMap::new()));
         let next_handle = Arc::new(Mutex::new(0i64));
@@ -119,8 +134,14 @@ impl NodeManager {
                 let mut s = sim.lock();
                 let m = s.measure_sync(node);
                 Ok(Value::Struct(vec![
-                    ("offset_ns".into(), Value::str(m.estimated_offset_ns.to_string())),
-                    ("uncertainty_ns".into(), Value::str(m.uncertainty_ns.to_string())),
+                    (
+                        "offset_ns".into(),
+                        Value::str(m.estimated_offset_ns.to_string()),
+                    ),
+                    (
+                        "uncertainty_ns".into(),
+                        Value::str(m.uncertainty_ns.to_string()),
+                    ),
                 ]))
             });
         }
@@ -139,7 +160,10 @@ impl NodeManager {
             if ok {
                 Ok(Value::Bool(true))
             } else {
-                Err(Fault::new(500, "no SD agent installed (experiment_init missing?)"))
+                Err(Fault::new(
+                    500,
+                    "no SD agent installed (experiment_init missing?)",
+                ))
             }
         };
         {
@@ -233,24 +257,31 @@ impl NodeManager {
                     None | Some("both") => Direction::Both,
                     Some("receive") => Direction::Receive,
                     Some("transmit") => Direction::Transmit,
-                    Some(other) => {
-                        return Err(Fault::new(400, format!("bad direction '{other}'")))
-                    }
+                    Some(other) => return Err(Fault::new(400, format!("bad direction '{other}'"))),
                 };
                 let peer = match spec.member("peer").and_then(Value::as_str) {
                     None => None,
-                    Some(p) => Some(binding.sim_node(p).ok_or_else(|| {
-                        Fault::new(400, format!("unknown peer node '{p}'"))
-                    })?),
+                    Some(p) => Some(
+                        binding
+                            .sim_node(p)
+                            .ok_or_else(|| Fault::new(400, format!("unknown peer node '{p}'")))?,
+                    ),
                 };
-                let probability =
-                    p_f64(spec.member("probability")).unwrap_or(1.0).clamp(0.0, 1.0);
+                let probability = p_f64(spec.member("probability"))
+                    .unwrap_or(1.0)
+                    .clamp(0.0, 1.0);
                 let delay = SimDuration::from_millis(
-                    spec.member("delay_ms").and_then(Value::as_int).unwrap_or(0).max(0) as u64,
+                    spec.member("delay_ms")
+                        .and_then(Value::as_int)
+                        .unwrap_or(0)
+                        .max(0) as u64,
                 );
                 let rule = match kind.as_str() {
                     "interface" => FilterRule::InterfaceDown { direction },
-                    "message_loss" => FilterRule::MessageLoss { probability, direction },
+                    "message_loss" => FilterRule::MessageLoss {
+                        probability,
+                        direction,
+                    },
                     "message_delay" => FilterRule::MessageDelay { delay, direction },
                     "path_loss" => FilterRule::PathLoss {
                         peer: peer.ok_or_else(|| Fault::new(400, "path_loss needs peer"))?,
@@ -312,7 +343,7 @@ impl NodeManager {
             });
         }
 
-        NodeProxy::new(platform_id, Channel::new(reg))
+        reg
     }
 }
 
@@ -354,8 +385,10 @@ mod tests {
         su.call("experiment_init", vec![]).unwrap();
         sm.call("sd_init", vec![Value::str("SM")]).unwrap();
         su.call("sd_init", vec![Value::str("SU")]).unwrap();
-        sm.call("sd_start_publish", vec![Value::str("_exp._tcp")]).unwrap();
-        su.call("sd_start_search", vec![Value::str("_exp._tcp")]).unwrap();
+        sm.call("sd_start_publish", vec![Value::str("_exp._tcp")])
+            .unwrap();
+        su.call("sd_start_search", vec![Value::str("_exp._tcp")])
+            .unwrap();
         sim.lock().run_for(SimDuration::from_secs(5));
         let events = sim.lock().drain_protocol_events();
         let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
@@ -363,7 +396,10 @@ mod tests {
         assert!(names.contains(&"sd_service_add"), "{names:?}");
         // The discovered service is identified by the SM's platform id.
         let add = events.iter().find(|e| e.name == "sd_service_add").unwrap();
-        assert!(add.params.iter().any(|(k, v)| k == "service" && v == "t9-157"));
+        assert!(add
+            .params
+            .iter()
+            .any(|(k, v)| k == "service" && v == "t9-157"));
     }
 
     #[test]
@@ -384,7 +420,8 @@ mod tests {
     #[test]
     fn event_flag_is_recorded() {
         let (sim, sm, _su) = setup();
-        sm.call("event_flag", vec![Value::str("ready_to_init")]).unwrap();
+        sm.call("event_flag", vec![Value::str("ready_to_init")])
+            .unwrap();
         let events = sim.lock().drain_protocol_events();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].name, "ready_to_init");
@@ -408,8 +445,10 @@ mod tests {
                 ])],
             )
             .unwrap();
-        sm.call("sd_start_publish", vec![Value::str("_exp._tcp")]).unwrap();
-        su.call("sd_start_search", vec![Value::str("_exp._tcp")]).unwrap();
+        sm.call("sd_start_publish", vec![Value::str("_exp._tcp")])
+            .unwrap();
+        su.call("sd_start_search", vec![Value::str("_exp._tcp")])
+            .unwrap();
         sim.lock().run_for(SimDuration::from_secs(5));
         let names: Vec<String> = sim
             .lock()
@@ -437,7 +476,10 @@ mod tests {
         let err = sm
             .call(
                 "fault_start",
-                vec![Value::Struct(vec![("kind".into(), Value::str("path_loss"))])],
+                vec![Value::Struct(vec![(
+                    "kind".into(),
+                    Value::str("path_loss"),
+                )])],
             )
             .unwrap_err();
         assert!(err.to_string().contains("peer"));
@@ -479,15 +521,20 @@ mod tests {
         su.call("experiment_init", vec![]).unwrap();
         sm.call(
             "fault_start",
-            vec![Value::Struct(vec![("kind".into(), Value::str("interface"))])],
+            vec![Value::Struct(vec![(
+                "kind".into(),
+                Value::str("interface"),
+            )])],
         )
         .unwrap();
         sm.call("run_init", vec![]).unwrap();
         // After run_init the interface fault is gone: discovery works.
         sm.call("sd_init", vec![Value::str("SM")]).unwrap();
         su.call("sd_init", vec![Value::str("SU")]).unwrap();
-        sm.call("sd_start_publish", vec![Value::str("_exp._tcp")]).unwrap();
-        su.call("sd_start_search", vec![Value::str("_exp._tcp")]).unwrap();
+        sm.call("sd_start_publish", vec![Value::str("_exp._tcp")])
+            .unwrap();
+        su.call("sd_start_search", vec![Value::str("_exp._tcp")])
+            .unwrap();
         sim.lock().run_for(SimDuration::from_secs(5));
         let names: Vec<String> = sim
             .lock()

@@ -66,7 +66,9 @@ pub fn su_process(
                 .with_param(NodeSelector::all(sm_actor))
                 .with_timeout(ValueRef::int(deadline_s)),
         ),
-        ProcessAction::EventFlag { value: "done".into() },
+        ProcessAction::EventFlag {
+            value: "done".into(),
+        },
         ProcessAction::invoke("sd_stop_search"),
         ProcessAction::invoke("sd_exit"),
     ];
@@ -77,7 +79,9 @@ pub fn su_process(
 pub fn env_sync_process() -> EnvProcess {
     EnvProcess {
         actions: vec![
-            ProcessAction::EventFlag { value: "ready_to_init".into() },
+            ProcessAction::EventFlag {
+                value: "ready_to_init".into(),
+            },
             ProcessAction::WaitForEvent(EventSelector::named("done")),
         ],
     }
@@ -103,10 +107,19 @@ fn base_two_actor_description(name: &str, replications: u64) -> ExperimentDescri
         .with_factor(Factor::actor_map(
             "fact_nodes",
             vec![
-                ActorAssignment { actor_id: "actor0".into(), instances: vec!["A".into()] },
-                ActorAssignment { actor_id: "actor1".into(), instances: vec!["B".into()] },
+                ActorAssignment {
+                    actor_id: "actor0".into(),
+                    instances: vec!["A".into()],
+                },
+                ActorAssignment {
+                    actor_id: "actor1".into(),
+                    instances: vec!["B".into()],
+                },
                 // The fault process runs on the SM node.
-                ActorAssignment { actor_id: "fault0".into(), instances: vec!["A".into()] },
+                ActorAssignment {
+                    actor_id: "fault0".into(),
+                    instances: vec!["A".into()],
+                },
             ],
         ))
         .with_replication("fact_replication_id", replications);
@@ -205,30 +218,37 @@ pub fn multi_sm(
     d.abstract_nodes = sm_nodes.clone();
     d.abstract_nodes.push("U".into());
     let mut assignments = vec![
-        ActorAssignment { actor_id: "actor0".into(), instances: sm_nodes.clone() },
-        ActorAssignment { actor_id: "actor1".into(), instances: vec!["U".into()] },
+        ActorAssignment {
+            actor_id: "actor0".into(),
+            instances: sm_nodes.clone(),
+        },
+        ActorAssignment {
+            actor_id: "actor1".into(),
+            instances: vec!["U".into()],
+        },
     ];
     let mut platform = PlatformSpec::new();
     for (i, m) in sm_nodes.iter().enumerate() {
-        platform = platform.with_actor_node(
-            format!("sm-{i:02}"),
-            format!("10.0.1.{}", i + 1),
-            m.clone(),
-        );
+        platform =
+            platform.with_actor_node(format!("sm-{i:02}"), format!("10.0.1.{}", i + 1), m.clone());
     }
     platform = platform.with_actor_node("su-00", "10.0.2.1", "U");
     if with_scm {
         d.abstract_nodes.push("C".into());
-        assignments
-            .push(ActorAssignment { actor_id: "actor2".into(), instances: vec!["C".into()] });
+        assignments.push(ActorAssignment {
+            actor_id: "actor2".into(),
+            instances: vec!["C".into()],
+        });
         platform = platform.with_actor_node("scm-00", "10.0.3.1", "C");
     }
     d.platform = platform;
     d.factors = FactorList::new()
         .with_factor(Factor::actor_map("fact_nodes", assignments))
         .with_replication("fact_replication_id", replications);
-    d.node_processes =
-        vec![sm_process("actor0", "fact_nodes"), su_process("actor1", "fact_nodes", "actor0", 30)];
+    d.node_processes = vec![
+        sm_process("actor0", "fact_nodes"),
+        su_process("actor1", "fact_nodes", "actor0", 30),
+    ];
     if with_scm {
         let mut scm = ActorProcess::new("actor2");
         scm.name = Some("SCM".into());
@@ -242,8 +262,12 @@ pub fn multi_sm(
         // Give the SCM time to advertise before the SU initializes.
         d.env_processes = vec![EnvProcess {
             actions: vec![
-                ProcessAction::WaitForTime { seconds: ValueRef::int(4) },
-                ProcessAction::EventFlag { value: "ready_to_init".into() },
+                ProcessAction::WaitForTime {
+                    seconds: ValueRef::int(4),
+                },
+                ProcessAction::EventFlag {
+                    value: "ready_to_init".into(),
+                },
                 ProcessAction::WaitForEvent(EventSelector::named("done")),
             ],
         }];

@@ -81,10 +81,15 @@ fn value_ref_strategy() -> impl Strategy<Value = ValueRef> {
 
 fn action_strategy() -> impl Strategy<Value = ProcessAction> {
     prop_oneof![
-        (0i64..5).prop_map(|s| ProcessAction::WaitForTime { seconds: ValueRef::int(s) }),
+        (0i64..5).prop_map(|s| ProcessAction::WaitForTime {
+            seconds: ValueRef::int(s)
+        }),
         Just(ProcessAction::WaitMarker),
         "[a-z]{1,10}".prop_map(|v| ProcessAction::EventFlag { value: v }),
-        ("[a-z_]{1,12}", prop::collection::vec(("[a-z]{1,6}", value_ref_strategy()), 0..3))
+        (
+            "[a-z_]{1,12}",
+            prop::collection::vec(("[a-z]{1,6}", value_ref_strategy()), 0..3)
+        )
             .prop_map(|(name, params)| ProcessAction::Invoke {
                 name,
                 params: params.into_iter().collect(),
@@ -101,7 +106,10 @@ fn action_strategy() -> impl Strategy<Value = ProcessAction> {
         Just(ProcessAction::invoke("fault_interface_stop")),
         Just(ProcessAction::invoke_with(
             "fault_message_loss_start",
-            [("probability".to_string(), ValueRef::Lit(LevelValue::Float(0.5)))],
+            [(
+                "probability".to_string(),
+                ValueRef::Lit(LevelValue::Float(0.5))
+            )],
         )),
     ]
 }

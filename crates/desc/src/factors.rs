@@ -150,7 +150,11 @@ pub struct Factor {
 
 impl Factor {
     /// Creates a factor with integer levels.
-    pub fn int(id: impl Into<String>, usage: FactorUsage, levels: impl IntoIterator<Item = i64>) -> Self {
+    pub fn int(
+        id: impl Into<String>,
+        usage: FactorUsage,
+        levels: impl IntoIterator<Item = i64>,
+    ) -> Self {
         Self {
             id: id.into(),
             usage,
@@ -214,7 +218,10 @@ pub struct Replication {
 
 impl Default for Replication {
     fn default() -> Self {
-        Self { id: "fact_replication_id".into(), count: 1 }
+        Self {
+            id: "fact_replication_id".into(),
+            count: 1,
+        }
     }
 }
 
@@ -232,7 +239,10 @@ impl FactorList {
 
     /// Sets the replication count (builder style).
     pub fn with_replication(mut self, id: impl Into<String>, count: u64) -> Self {
-        self.replication = Replication { id: id.into(), count };
+        self.replication = Replication {
+            id: id.into(),
+            count,
+        };
         self
     }
 
@@ -243,7 +253,10 @@ impl FactorList {
 
     /// Number of distinct treatments (cartesian product of level counts).
     pub fn treatment_count(&self) -> u64 {
-        self.factors.iter().map(|f| f.level_count().max(1) as u64).product()
+        self.factors
+            .iter()
+            .map(|f| f.level_count().max(1) as u64)
+            .product()
     }
 
     /// Total runs including replication.
@@ -259,8 +272,14 @@ impl FactorList {
             .with_factor(Factor::actor_map(
                 "fact_nodes",
                 vec![
-                    ActorAssignment { actor_id: "actor0".into(), instances: vec!["A".into()] },
-                    ActorAssignment { actor_id: "actor1".into(), instances: vec!["B".into()] },
+                    ActorAssignment {
+                        actor_id: "actor0".into(),
+                        instances: vec!["A".into()],
+                    },
+                    ActorAssignment {
+                        actor_id: "actor1".into(),
+                        instances: vec!["B".into()],
+                    },
                 ],
             ))
             .with_factor(Factor::int("fact_pairs", FactorUsage::Random, [5, 20]))

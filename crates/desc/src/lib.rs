@@ -32,6 +32,4 @@ pub use factors::{Factor, FactorList, FactorUsage, Level, LevelValue};
 pub use model::{DescError, ExperimentDescription};
 pub use plan::{Design, PlanOptions, RunSpec, Treatment, TreatmentPlan};
 pub use platform::{NodeSpec, PlatformSpec};
-pub use process::{
-    ActorProcess, EnvProcess, EventSelector, NodeSelector, ProcessAction, ValueRef,
-};
+pub use process::{ActorProcess, EnvProcess, EventSelector, NodeSelector, ProcessAction, ValueRef};

@@ -66,14 +66,20 @@ impl ExperimentDescription {
 
     /// Looks up an informative parameter.
     pub fn param(&self, key: &str) -> Option<&str> {
-        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Generates the treatment plan for this description.
     pub fn plan(&self) -> TreatmentPlan {
         TreatmentPlan::generate(
             &self.factors,
-            &PlanOptions { design: self.design, seed: self.seed },
+            &PlanOptions {
+                design: self.design,
+                seed: self.seed,
+            },
         )
     }
 
@@ -136,7 +142,9 @@ impl ExperimentDescription {
                     .with_param(NodeSelector::all("actor0"))
                     .with_timeout(ValueRef::int(30)),
             ),
-            ProcessAction::EventFlag { value: "done".into() },
+            ProcessAction::EventFlag {
+                value: "done".into(),
+            },
             ProcessAction::invoke("sd_stop_search"),
             ProcessAction::invoke("sd_exit"),
         ];
@@ -145,24 +153,27 @@ impl ExperimentDescription {
         // Fig. 7: environment traffic process.
         let env = EnvProcess {
             actions: vec![
-            ProcessAction::EventFlag { value: "ready_to_init".into() },
-            ProcessAction::invoke_with(
-                "env_traffic_start",
-                [
-                    ("bw".to_string(), ValueRef::factor("fact_bw")),
-                    ("choice".to_string(), ValueRef::int(0)),
-                    ("random_switch_amount".to_string(), ValueRef::int(1)),
-                    (
-                        "random_switch_seed".to_string(),
-                        ValueRef::factor("fact_replication_id"),
-                    ),
-                    ("random_pairs".to_string(), ValueRef::factor("fact_pairs")),
-                    ("random_seed".to_string(), ValueRef::factor("fact_pairs")),
-                ],
-            ),
-            ProcessAction::WaitForEvent(EventSelector::named("done")),
-            ProcessAction::invoke("env_traffic_stop"),
-        ]};
+                ProcessAction::EventFlag {
+                    value: "ready_to_init".into(),
+                },
+                ProcessAction::invoke_with(
+                    "env_traffic_start",
+                    [
+                        ("bw".to_string(), ValueRef::factor("fact_bw")),
+                        ("choice".to_string(), ValueRef::int(0)),
+                        ("random_switch_amount".to_string(), ValueRef::int(1)),
+                        (
+                            "random_switch_seed".to_string(),
+                            ValueRef::factor("fact_replication_id"),
+                        ),
+                        ("random_pairs".to_string(), ValueRef::factor("fact_pairs")),
+                        ("random_seed".to_string(), ValueRef::factor("fact_pairs")),
+                    ],
+                ),
+                ProcessAction::WaitForEvent(EventSelector::named("done")),
+                ProcessAction::invoke("env_traffic_stop"),
+            ],
+        };
         d.env_processes = vec![env];
 
         d.platform = PlatformSpec::paper_fig8();

@@ -39,7 +39,10 @@ pub struct PlanOptions {
 
 impl Default for PlanOptions {
     fn default() -> Self {
-        Self { design: Design::Ofat, seed: 0 }
+        Self {
+            design: Design::Ofat,
+            seed: 0,
+        }
     }
 }
 
@@ -58,7 +61,9 @@ pub struct Treatment {
 impl Treatment {
     /// Creates a treatment from explicit assignments.
     pub fn from_assignments(assignments: impl IntoIterator<Item = (String, Level)>) -> Self {
-        Self { assignments: assignments.into_iter().collect() }
+        Self {
+            assignments: assignments.into_iter().collect(),
+        }
     }
 
     /// The level assigned to `factor_id`.
@@ -146,8 +151,11 @@ impl TreatmentPlan {
         // Cartesian product in OFAT order: first factor varies least,
         // last factor changes every treatment (odometer, last digit fastest).
         let mut treatments: Vec<Treatment> = Vec::new();
-        let counts: Vec<usize> =
-            factors.factors.iter().map(|f| f.level_count().max(1)).collect();
+        let counts: Vec<usize> = factors
+            .factors
+            .iter()
+            .map(|f| f.level_count().max(1))
+            .collect();
         let total: usize = counts.iter().product();
         for mut idx in 0..total {
             let mut digits = vec![0usize; counts.len()];
@@ -171,7 +179,11 @@ impl TreatmentPlan {
         let mut run_id = 0;
         for t in &treatments {
             for r in 0..reps {
-                runs.push(RunSpec { run_id, treatment: t.clone(), replicate: r });
+                runs.push(RunSpec {
+                    run_id,
+                    treatment: t.clone(),
+                    replicate: r,
+                });
                 run_id += 1;
             }
         }
@@ -185,8 +197,10 @@ impl TreatmentPlan {
             }
             Design::RandomizedWithinBlocks => {
                 // Identify the blocking factor: the first with that usage.
-                let blocking =
-                    factors.factors.iter().find(|f| f.usage == FactorUsage::Blocking);
+                let blocking = factors
+                    .factors
+                    .iter()
+                    .find(|f| f.usage == FactorUsage::Blocking);
                 match blocking {
                     None => {
                         // Without blocks this degenerates to CRD.
@@ -210,10 +224,7 @@ impl TreatmentPlan {
                             }
                         }
                         for (i, (_, group)) in groups.iter_mut().enumerate() {
-                            let mut rng = derive_rng(
-                                options.seed,
-                                &format!("plan:rcbd:block{i}"),
-                            );
+                            let mut rng = derive_rng(options.seed, &format!("plan:rcbd:block{i}"));
                             group.shuffle(&mut rng);
                         }
                         runs = groups.into_iter().flat_map(|(_, g)| g).collect();
@@ -223,7 +234,11 @@ impl TreatmentPlan {
             }
         }
 
-        Self { runs, options_seed: options.seed, design: options.design }
+        Self {
+            runs,
+            options_seed: options.seed,
+            design: options.design,
+        }
     }
 
     /// Generates a plan following a **custom factor level variation plan**
@@ -236,20 +251,34 @@ impl TreatmentPlan {
         options: &PlanOptions,
         order: &[usize],
     ) -> Result<Self, String> {
-        let base = Self::generate(factors, &PlanOptions { design: Design::Ofat, ..options.clone() });
+        let base = Self::generate(
+            factors,
+            &PlanOptions {
+                design: Design::Ofat,
+                ..options.clone()
+            },
+        );
         let treatments = base.distinct_treatments();
         let reps = factors.replication.count.max(1);
         let mut runs = Vec::with_capacity(order.len() * reps as usize);
         for &idx in order {
-            let t = treatments
-                .get(idx)
-                .ok_or_else(|| format!("treatment index {idx} out of range 0..{}", treatments.len()))?;
+            let t = treatments.get(idx).ok_or_else(|| {
+                format!("treatment index {idx} out of range 0..{}", treatments.len())
+            })?;
             for r in 0..reps {
-                runs.push(RunSpec { run_id: 0, treatment: (*t).clone(), replicate: r });
+                runs.push(RunSpec {
+                    run_id: 0,
+                    treatment: (*t).clone(),
+                    replicate: r,
+                });
             }
         }
         renumber(&mut runs);
-        Ok(Self { runs, options_seed: options.seed, design: Design::Ofat })
+        Ok(Self {
+            runs,
+            options_seed: options.seed,
+            design: Design::Ofat,
+        })
     }
 
     /// Number of runs.
@@ -293,10 +322,18 @@ mod tests {
         let plan = TreatmentPlan::generate(&fl, &PlanOptions::default());
         assert_eq!(plan.len(), 12);
         // With 2 replicates per treatment: a=1 stays for 6 runs.
-        let a_vals: Vec<i64> = plan.runs.iter().map(|r| r.treatment.int("a").unwrap()).collect();
+        let a_vals: Vec<i64> = plan
+            .runs
+            .iter()
+            .map(|r| r.treatment.int("a").unwrap())
+            .collect();
         assert_eq!(&a_vals[..6], &[1, 1, 1, 1, 1, 1]);
         assert_eq!(&a_vals[6..], &[2, 2, 2, 2, 2, 2]);
-        let b_vals: Vec<i64> = plan.runs.iter().map(|r| r.treatment.int("b").unwrap()).collect();
+        let b_vals: Vec<i64> = plan
+            .runs
+            .iter()
+            .map(|r| r.treatment.int("b").unwrap())
+            .collect();
         assert_eq!(&b_vals[..6], &[10, 10, 20, 20, 30, 30]);
     }
 
@@ -324,12 +361,38 @@ mod tests {
         let fl = FactorList::new()
             .with_factor(Factor::int("r", FactorUsage::Random, 0..20))
             .with_replication("rep", 1);
-        let p1 = TreatmentPlan::generate(&fl, &PlanOptions { design: Design::Ofat, seed: 7 });
-        let p2 = TreatmentPlan::generate(&fl, &PlanOptions { design: Design::Ofat, seed: 7 });
+        let p1 = TreatmentPlan::generate(
+            &fl,
+            &PlanOptions {
+                design: Design::Ofat,
+                seed: 7,
+            },
+        );
+        let p2 = TreatmentPlan::generate(
+            &fl,
+            &PlanOptions {
+                design: Design::Ofat,
+                seed: 7,
+            },
+        );
         assert_eq!(p1, p2, "same seed, same plan");
-        let p3 = TreatmentPlan::generate(&fl, &PlanOptions { design: Design::Ofat, seed: 8 });
-        let order1: Vec<i64> = p1.runs.iter().map(|r| r.treatment.int("r").unwrap()).collect();
-        let order3: Vec<i64> = p3.runs.iter().map(|r| r.treatment.int("r").unwrap()).collect();
+        let p3 = TreatmentPlan::generate(
+            &fl,
+            &PlanOptions {
+                design: Design::Ofat,
+                seed: 8,
+            },
+        );
+        let order1: Vec<i64> = p1
+            .runs
+            .iter()
+            .map(|r| r.treatment.int("r").unwrap())
+            .collect();
+        let order3: Vec<i64> = p3
+            .runs
+            .iter()
+            .map(|r| r.treatment.int("r").unwrap())
+            .collect();
         assert_ne!(order1, order3, "different seed shuffles differently");
         // All levels still present exactly once.
         let mut sorted = order1.clone();
@@ -340,10 +403,19 @@ mod tests {
     #[test]
     fn completely_randomized_permutes_all_runs() {
         let fl = two_by_three();
-        let ofat = TreatmentPlan::generate(&fl, &PlanOptions { design: Design::Ofat, seed: 3 });
+        let ofat = TreatmentPlan::generate(
+            &fl,
+            &PlanOptions {
+                design: Design::Ofat,
+                seed: 3,
+            },
+        );
         let crd = TreatmentPlan::generate(
             &fl,
-            &PlanOptions { design: Design::CompletelyRandomized, seed: 3 },
+            &PlanOptions {
+                design: Design::CompletelyRandomized,
+                seed: 3,
+            },
         );
         assert_eq!(ofat.len(), crd.len());
         // Same multiset of (treatment, replicate) pairs.
@@ -420,20 +492,37 @@ mod tests {
             .with_replication("rep", 4);
         let plan = TreatmentPlan::generate(
             &fl,
-            &PlanOptions { design: Design::RandomizedWithinBlocks, seed: 9 },
+            &PlanOptions {
+                design: Design::RandomizedWithinBlocks,
+                seed: 9,
+            },
         );
         assert_eq!(plan.len(), 24);
         // First 12 runs all in block A, last 12 in block B.
         let block_of = |r: &RunSpec| r.treatment.level("block").unwrap().to_string();
-        assert!(plan.runs[..12].iter().all(|r| block_of(r) == block_of(&plan.runs[0])));
-        assert!(plan.runs[12..].iter().all(|r| block_of(r) == block_of(&plan.runs[12])));
+        assert!(plan.runs[..12]
+            .iter()
+            .all(|r| block_of(r) == block_of(&plan.runs[0])));
+        assert!(plan.runs[12..]
+            .iter()
+            .all(|r| block_of(r) == block_of(&plan.runs[12])));
         assert_ne!(block_of(&plan.runs[0]), block_of(&plan.runs[12]));
         // Within a block the x sequence is shuffled relative to OFAT.
-        let ofat = TreatmentPlan::generate(&fl, &PlanOptions { design: Design::Ofat, seed: 9 });
-        let xs_rcbd: Vec<i64> =
-            plan.runs[..12].iter().map(|r| r.treatment.int("x").unwrap()).collect();
-        let xs_ofat: Vec<i64> =
-            ofat.runs[..12].iter().map(|r| r.treatment.int("x").unwrap()).collect();
+        let ofat = TreatmentPlan::generate(
+            &fl,
+            &PlanOptions {
+                design: Design::Ofat,
+                seed: 9,
+            },
+        );
+        let xs_rcbd: Vec<i64> = plan.runs[..12]
+            .iter()
+            .map(|r| r.treatment.int("x").unwrap())
+            .collect();
+        let xs_ofat: Vec<i64> = ofat.runs[..12]
+            .iter()
+            .map(|r| r.treatment.int("x").unwrap())
+            .collect();
         assert_ne!(xs_rcbd, xs_ofat, "within-block order must be randomized");
         let mut sorted = xs_rcbd.clone();
         sorted.sort();
@@ -443,7 +532,10 @@ mod tests {
         // Deterministic in the seed.
         let again = TreatmentPlan::generate(
             &fl,
-            &PlanOptions { design: Design::RandomizedWithinBlocks, seed: 9 },
+            &PlanOptions {
+                design: Design::RandomizedWithinBlocks,
+                seed: 9,
+            },
         );
         assert_eq!(plan, again);
     }
@@ -453,7 +545,10 @@ mod tests {
         let fl = two_by_three();
         let plan = TreatmentPlan::generate(
             &fl,
-            &PlanOptions { design: Design::RandomizedWithinBlocks, seed: 5 },
+            &PlanOptions {
+                design: Design::RandomizedWithinBlocks,
+                seed: 5,
+            },
         );
         assert_eq!(plan.len(), 12);
         let ofat = TreatmentPlan::generate(&fl, &PlanOptions::default());
@@ -468,12 +563,8 @@ mod tests {
     #[test]
     fn custom_order_plan_follows_given_sequence() {
         let fl = two_by_three(); // 6 treatments, 2 reps
-        let plan = TreatmentPlan::with_custom_order(
-            &fl,
-            &PlanOptions::default(),
-            &[5, 0, 0, 3],
-        )
-        .unwrap();
+        let plan =
+            TreatmentPlan::with_custom_order(&fl, &PlanOptions::default(), &[5, 0, 0, 3]).unwrap();
         assert_eq!(plan.len(), 8, "4 entries x 2 replications");
         let ofat = TreatmentPlan::generate(&fl, &PlanOptions::default());
         let treatments = ofat.distinct_treatments();
@@ -490,7 +581,11 @@ mod tests {
     #[test]
     fn factor_with_no_levels_is_skipped() {
         let fl = FactorList::new()
-            .with_factor(Factor::int("empty", FactorUsage::Constant, std::iter::empty()))
+            .with_factor(Factor::int(
+                "empty",
+                FactorUsage::Constant,
+                std::iter::empty(),
+            ))
             .with_factor(Factor::int("x", FactorUsage::Constant, [1, 2]));
         let plan = TreatmentPlan::generate(&fl, &PlanOptions::default());
         assert_eq!(plan.len(), 2);

@@ -52,7 +52,11 @@ impl PlatformSpec {
 
     /// Adds an environment node (builder style).
     pub fn with_env_node(mut self, id: impl Into<String>, address: impl Into<String>) -> Self {
-        self.env_nodes.push(NodeSpec { id: id.into(), address: address.into(), abstract_id: None });
+        self.env_nodes.push(NodeSpec {
+            id: id.into(),
+            address: address.into(),
+            abstract_id: None,
+        });
         self
     }
 
@@ -64,12 +68,17 @@ impl PlatformSpec {
 
     /// The platform node realizing the given abstract node id.
     pub fn node_for_abstract(&self, abstract_id: &str) -> Option<&NodeSpec> {
-        self.actor_nodes.iter().find(|n| n.abstract_id.as_deref() == Some(abstract_id))
+        self.actor_nodes
+            .iter()
+            .find(|n| n.abstract_id.as_deref() == Some(abstract_id))
     }
 
     /// Looks up any node (actor or environment) by platform id.
     pub fn node(&self, id: &str) -> Option<&NodeSpec> {
-        self.actor_nodes.iter().chain(&self.env_nodes).find(|n| n.id == id)
+        self.actor_nodes
+            .iter()
+            .chain(&self.env_nodes)
+            .find(|n| n.id == id)
     }
 
     /// All nodes, actors first.
@@ -133,7 +142,10 @@ mod tests {
     #[test]
     fn special_params() {
         let p = PlatformSpec::new().with_param("wifi_channel", "6");
-        assert_eq!(p.special_params, vec![("wifi_channel".to_string(), "6".to_string())]);
+        assert_eq!(
+            p.special_params,
+            vec![("wifi_channel".to_string(), "6".to_string())]
+        );
     }
 
     #[test]

@@ -94,12 +94,18 @@ pub enum InstanceSelector {
 impl NodeSelector {
     /// Selects all instances of `actor`.
     pub fn all(actor: impl Into<String>) -> Self {
-        Self { actor: actor.into(), instance: InstanceSelector::All }
+        Self {
+            actor: actor.into(),
+            instance: InstanceSelector::All,
+        }
     }
 
     /// Selects one instance of `actor`.
     pub fn instance(actor: impl Into<String>, idx: u32) -> Self {
-        Self { actor: actor.into(), instance: InstanceSelector::Index(idx) }
+        Self {
+            actor: actor.into(),
+            instance: InstanceSelector::Index(idx),
+        }
     }
 }
 
@@ -126,7 +132,13 @@ pub struct EventSelector {
 impl EventSelector {
     /// A selector matching `event` from any node, no timeout.
     pub fn named(event: impl Into<String>) -> Self {
-        Self { event: event.into(), from: None, param: None, timeout_s: None, require_all: false }
+        Self {
+            event: event.into(),
+            from: None,
+            param: None,
+            timeout_s: None,
+            require_all: false,
+        }
     }
 
     /// Builder: restrict origin.
@@ -184,7 +196,10 @@ pub enum ProcessAction {
 impl ProcessAction {
     /// Convenience constructor for parameterless invocations.
     pub fn invoke(name: impl Into<String>) -> Self {
-        ProcessAction::Invoke { name: name.into(), params: Vec::new() }
+        ProcessAction::Invoke {
+            name: name.into(),
+            params: Vec::new(),
+        }
     }
 
     /// Convenience constructor with parameters.
@@ -192,7 +207,10 @@ impl ProcessAction {
         name: impl Into<String>,
         params: impl IntoIterator<Item = (String, ValueRef)>,
     ) -> Self {
-        ProcessAction::Invoke { name: name.into(), params: params.into_iter().collect() }
+        ProcessAction::Invoke {
+            name: name.into(),
+            params: params.into_iter().collect(),
+        }
     }
 
     /// The action's display name (element name for invokes).
@@ -267,7 +285,10 @@ mod tests {
     fn factor_ref_resolves_via_treatment() {
         let v = ValueRef::factor("fact_bw");
         assert_eq!(v.resolve(&treatment(), "rep", 0), Some(LevelValue::Int(50)));
-        assert_eq!(ValueRef::factor("missing").resolve(&treatment(), "rep", 0), None);
+        assert_eq!(
+            ValueRef::factor("missing").resolve(&treatment(), "rep", 0),
+            None
+        );
     }
 
     #[test]
@@ -304,10 +325,19 @@ mod tests {
         assert_eq!(ProcessAction::WaitMarker.name(), "wait_marker");
         assert_eq!(ProcessAction::invoke("sd_init").name(), "sd_init");
         assert_eq!(
-            ProcessAction::WaitForTime { seconds: ValueRef::int(1) }.name(),
+            ProcessAction::WaitForTime {
+                seconds: ValueRef::int(1)
+            }
+            .name(),
             "wait_for_time"
         );
-        assert_eq!(ProcessAction::EventFlag { value: "done".into() }.name(), "event_flag");
+        assert_eq!(
+            ProcessAction::EventFlag {
+                value: "done".into()
+            }
+            .name(),
+            "event_flag"
+        );
         assert_eq!(
             ProcessAction::WaitForEvent(EventSelector::named("x")).name(),
             "wait_for_event"

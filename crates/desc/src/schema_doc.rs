@@ -71,24 +71,32 @@ pub fn schema_document() -> Element {
 
     // design enumeration
     root = root.child(
-        ElementBuilder::new(format!("{XS}:simpleType")).attr("name", "DesignType").child(
-            ElementBuilder::new(format!("{XS}:restriction"))
-                .attr("base", "xs:string")
-                .children(["ofat", "crd", "rcbd"].iter().map(|v| {
-                    ElementBuilder::new(format!("{XS}:enumeration")).attr("value", *v)
-                })),
-        ),
+        ElementBuilder::new(format!("{XS}:simpleType"))
+            .attr("name", "DesignType")
+            .child(
+                ElementBuilder::new(format!("{XS}:restriction"))
+                    .attr("base", "xs:string")
+                    .children(["ofat", "crd", "rcbd"].iter().map(|v| {
+                        ElementBuilder::new(format!("{XS}:enumeration")).attr("value", *v)
+                    })),
+            ),
     );
 
     // usage enumeration (Fig. 5)
     root = root.child(
-        ElementBuilder::new(format!("{XS}:simpleType")).attr("name", "UsageType").child(
-            ElementBuilder::new(format!("{XS}:restriction"))
-                .attr("base", "xs:string")
-                .children(["blocking", "random", "constant", "replication"].iter().map(|v| {
-                    ElementBuilder::new(format!("{XS}:enumeration")).attr("value", *v)
-                })),
-        ),
+        ElementBuilder::new(format!("{XS}:simpleType"))
+            .attr("name", "UsageType")
+            .child(
+                ElementBuilder::new(format!("{XS}:restriction"))
+                    .attr("base", "xs:string")
+                    .children(
+                        ["blocking", "random", "constant", "replication"]
+                            .iter()
+                            .map(|v| {
+                                ElementBuilder::new(format!("{XS}:enumeration")).attr("value", *v)
+                            }),
+                    ),
+            ),
     );
 
     // nodes / params (Fig. 4)
@@ -110,7 +118,10 @@ pub fn schema_document() -> Element {
     root = root.child_element(complex_type(
         "ParamType",
         vec![],
-        vec![attribute("key", "xs:string", true), attribute("value", "xs:string", true)],
+        vec![
+            attribute("key", "xs:string", true),
+            attribute("value", "xs:string", true),
+        ],
     ));
 
     // factor list (Fig. 5)
@@ -144,10 +155,12 @@ pub fn schema_document() -> Element {
         ElementBuilder::new(format!("{XS}:complexType"))
             .attr("name", "LevelType")
             .attr("mixed", "true")
-            .child(
-                ElementBuilder::new(format!("{XS}:sequence"))
-                    .child(element("actor", "ActorAssignmentType", 0, None)),
-            ),
+            .child(ElementBuilder::new(format!("{XS}:sequence")).child(element(
+                "actor",
+                "ActorAssignmentType",
+                0,
+                None,
+            ))),
     );
     root = root.child_element(complex_type(
         "ActorAssignmentType",
@@ -200,14 +213,16 @@ pub fn schema_document() -> Element {
         vec![attribute("id", "xs:string", true)],
     ));
     root = root.child(
-        ElementBuilder::new(format!("{XS}:complexType")).attr("name", "ActionsType").child(
-            ElementBuilder::new(format!("{XS}:sequence")).child(
-                ElementBuilder::new(format!("{XS}:any"))
-                    .attr("minOccurs", 0)
-                    .attr("maxOccurs", "unbounded")
-                    .attr("processContents", "lax"),
+        ElementBuilder::new(format!("{XS}:complexType"))
+            .attr("name", "ActionsType")
+            .child(
+                ElementBuilder::new(format!("{XS}:sequence")).child(
+                    ElementBuilder::new(format!("{XS}:any"))
+                        .attr("minOccurs", 0)
+                        .attr("maxOccurs", "unbounded")
+                        .attr("processContents", "lax"),
+                ),
             ),
-        ),
     );
     root = root.child_element(complex_type(
         "EnvProcessType",
@@ -283,7 +298,10 @@ mod tests {
             "PlatformType",
             "PlatformNodeType",
         ] {
-            assert!(names.contains(&expected), "schema lacks {expected}: {names:?}");
+            assert!(
+                names.contains(&expected),
+                "schema lacks {expected}: {names:?}"
+            );
         }
     }
 

@@ -22,10 +22,16 @@ pub struct Finding {
 
 impl Finding {
     fn fatal(msg: impl Into<String>) -> Self {
-        Self { fatal: true, message: msg.into() }
+        Self {
+            fatal: true,
+            message: msg.into(),
+        }
     }
     fn warn(msg: impl Into<String>) -> Self {
-        Self { fatal: false, message: msg.into() }
+        Self {
+            fatal: false,
+            message: msg.into(),
+        }
     }
 }
 
@@ -71,7 +77,10 @@ pub fn validate(desc: &ExperimentDescription) -> Vec<Finding> {
     let mut actor_ids = HashSet::new();
     for p in &desc.node_processes {
         if !actor_ids.insert(p.actor_id.as_str()) {
-            findings.push(Finding::fatal(format!("duplicate actor process '{}'", p.actor_id)));
+            findings.push(Finding::fatal(format!(
+                "duplicate actor process '{}'",
+                p.actor_id
+            )));
         }
         if let Some(nf) = &p.nodes_factor {
             match desc.factors.factor(nf) {
@@ -100,10 +109,22 @@ pub fn validate(desc: &ExperimentDescription) -> Vec<Finding> {
                 }
             }
         }
-        check_actions(desc, &p.actions, &replication_id, &mut findings, &p.actor_id);
+        check_actions(
+            desc,
+            &p.actions,
+            &replication_id,
+            &mut findings,
+            &p.actor_id,
+        );
     }
     for (i, env) in desc.env_processes.iter().enumerate() {
-        check_actions(desc, &env.actions, &replication_id, &mut findings, &format!("env#{i}"));
+        check_actions(
+            desc,
+            &env.actions,
+            &replication_id,
+            &mut findings,
+            &format!("env#{i}"),
+        );
     }
 
     // Actor maps reference known abstract nodes; abstract nodes map to the
@@ -137,7 +158,10 @@ pub fn validate(desc: &ExperimentDescription) -> Vec<Finding> {
     let mut platform_ids = HashSet::new();
     for n in desc.platform.all_nodes() {
         if !platform_ids.insert(n.id.as_str()) {
-            findings.push(Finding::fatal(format!("duplicate platform node id '{}'", n.id)));
+            findings.push(Finding::fatal(format!(
+                "duplicate platform node id '{}'",
+                n.id
+            )));
         }
     }
 
@@ -151,8 +175,7 @@ fn check_actions(
     findings: &mut Vec<Finding>,
     ctx: &str,
 ) {
-    let known_actor =
-        |actor: &str| desc.node_processes.iter().any(|p| p.actor_id == actor);
+    let known_actor = |actor: &str| desc.node_processes.iter().any(|p| p.actor_id == actor);
     let check_ref = |v: &ValueRef, findings: &mut Vec<Finding>| {
         if let Some(id) = v.factor_id() {
             if id != replication_id && desc.factors.factor(id).is_none() {
@@ -167,7 +190,9 @@ fn check_actions(
             ProcessAction::WaitForTime { seconds } => check_ref(seconds, findings),
             ProcessAction::WaitForEvent(sel) => {
                 if sel.event.is_empty() {
-                    findings.push(Finding::fatal(format!("{ctx}: wait_for_event without name")));
+                    findings.push(Finding::fatal(format!(
+                        "{ctx}: wait_for_event without name"
+                    )));
                 }
                 if let Some(t) = &sel.timeout_s {
                     check_ref(t, findings);
@@ -204,7 +229,11 @@ pub fn validate_strict(desc: &ExperimentDescription) -> Result<Vec<Finding>, Des
         Ok(findings)
     } else {
         Err(DescError(
-            fatal.iter().map(|f| f.message.clone()).collect::<Vec<_>>().join("; "),
+            fatal
+                .iter()
+                .map(|f| f.message.clone())
+                .collect::<Vec<_>>()
+                .join("; "),
         ))
     }
 }
@@ -231,16 +260,22 @@ mod tests {
         d.factors = FactorList::new()
             .with_factor(Factor::int("f", FactorUsage::Constant, [1]))
             .with_factor(Factor::int("f", FactorUsage::Constant, [2]));
-        assert!(validate(&d).iter().any(|f| f.fatal && f.message.contains("duplicate factor")));
+        assert!(validate(&d)
+            .iter()
+            .any(|f| f.fatal && f.message.contains("duplicate factor")));
     }
 
     #[test]
     fn unknown_factorref_is_fatal() {
         let mut d = ExperimentDescription::new("x");
         let mut p = ActorProcess::new("a0");
-        p.actions = vec![ProcessAction::WaitForTime { seconds: ValueRef::factor("missing") }];
+        p.actions = vec![ProcessAction::WaitForTime {
+            seconds: ValueRef::factor("missing"),
+        }];
         d.node_processes.push(p);
-        assert!(validate(&d).iter().any(|f| f.fatal && f.message.contains("missing")));
+        assert!(validate(&d)
+            .iter()
+            .any(|f| f.fatal && f.message.contains("missing")));
     }
 
     #[test]
@@ -263,7 +298,9 @@ mod tests {
             EventSelector::named("e").from_nodes(NodeSelector::all("ghost")),
         )];
         d.node_processes.push(p);
-        assert!(validate(&d).iter().any(|f| f.fatal && f.message.contains("ghost")));
+        assert!(validate(&d)
+            .iter()
+            .any(|f| f.fatal && f.message.contains("ghost")));
     }
 
     #[test]
@@ -272,14 +309,18 @@ mod tests {
         let mut f = Factor::int("f", FactorUsage::Constant, [1]);
         f.levels.push(LevelValue::Text("oops".into()));
         d.factors = FactorList::new().with_factor(f);
-        assert!(validate(&d).iter().any(|x| x.fatal && x.message.contains("declares type")));
+        assert!(validate(&d)
+            .iter()
+            .any(|x| x.fatal && x.message.contains("declares type")));
     }
 
     #[test]
     fn unmapped_abstract_node_is_fatal() {
         let mut d = ExperimentDescription::paper_two_party_sd(1);
         // Remove the platform mapping for B.
-        d.platform.actor_nodes.retain(|n| n.abstract_id.as_deref() != Some("B"));
+        d.platform
+            .actor_nodes
+            .retain(|n| n.abstract_id.as_deref() != Some("B"));
         assert!(validate(&d)
             .iter()
             .any(|f| f.fatal && f.message.contains("no platform mapping")));
@@ -288,10 +329,15 @@ mod tests {
     #[test]
     fn empty_levels_is_warning_only() {
         let mut d = ExperimentDescription::new("x");
-        d.factors = FactorList::new()
-            .with_factor(Factor::int("f", FactorUsage::Constant, std::iter::empty()));
+        d.factors = FactorList::new().with_factor(Factor::int(
+            "f",
+            FactorUsage::Constant,
+            std::iter::empty(),
+        ));
         let findings = validate(&d);
-        assert!(findings.iter().any(|f| !f.fatal && f.message.contains("no levels")));
+        assert!(findings
+            .iter()
+            .any(|f| !f.fatal && f.message.contains("no levels")));
         assert!(validate_strict(&d).is_ok());
     }
 
@@ -302,7 +348,9 @@ mod tests {
             .with_factor(Factor::int("f", FactorUsage::Constant, [1]))
             .with_factor(Factor::int("f", FactorUsage::Constant, [1]));
         let mut p = ActorProcess::new("a0");
-        p.actions = vec![ProcessAction::EventFlag { value: String::new() }];
+        p.actions = vec![ProcessAction::EventFlag {
+            value: String::new(),
+        }];
         d.node_processes.push(p);
         let err = validate_strict(&d).unwrap_err();
         assert!(err.0.contains("duplicate factor") && err.0.contains("event_flag"));
@@ -314,6 +362,8 @@ mod tests {
         d.platform = crate::platform::PlatformSpec::new()
             .with_env_node("n1", "10.0.0.1")
             .with_env_node("n1", "10.0.0.2");
-        assert!(validate(&d).iter().any(|f| f.fatal && f.message.contains("duplicate platform")));
+        assert!(validate(&d)
+            .iter()
+            .any(|f| f.fatal && f.message.contains("duplicate platform")));
     }
 }

@@ -61,13 +61,24 @@ struct DotProcess<'a> {
 fn collect<'a>(desc: &'a ExperimentDescription) -> Vec<DotProcess<'a>> {
     let mut out = Vec::new();
     for (i, p) in desc.node_processes.iter().enumerate() {
-        let ActorProcess { actor_id, name, is_manipulation, .. } = p;
-        let kind = if *is_manipulation { "manipulation" } else { "process" };
+        let ActorProcess {
+            actor_id,
+            name,
+            is_manipulation,
+            ..
+        } = p;
+        let kind = if *is_manipulation {
+            "manipulation"
+        } else {
+            "process"
+        };
         out.push(DotProcess {
             id: format!("np{i}"),
             title: format!(
                 "{actor_id}{} [{kind}]",
-                name.as_deref().map(|n| format!(" ({n})")).unwrap_or_default()
+                name.as_deref()
+                    .map(|n| format!(" ({n})"))
+                    .unwrap_or_default()
             ),
             actions: &p.actions,
         });
@@ -92,7 +103,10 @@ pub fn to_dot(desc: &ExperimentDescription) -> String {
 
     // Emit clusters with sequential edges.
     for p in &procs {
-        dot.push_str(&format!("  subgraph cluster_{} {{\n    label=\"{}\";\n", p.id, p.title));
+        dot.push_str(&format!(
+            "  subgraph cluster_{} {{\n    label=\"{}\";\n",
+            p.id, p.title
+        ));
         for (j, a) in p.actions.iter().enumerate() {
             let shape = match a {
                 ProcessAction::WaitForEvent(_) | ProcessAction::WaitForTime { .. } => {
@@ -116,7 +130,9 @@ pub fn to_dot(desc: &ExperimentDescription) -> String {
     // Dashed dependency edges: emitter -> wait.
     for waiter in &procs {
         for (j, a) in waiter.actions.iter().enumerate() {
-            let ProcessAction::WaitForEvent(sel) = a else { continue };
+            let ProcessAction::WaitForEvent(sel) = a else {
+                continue;
+            };
             for emitter in &procs {
                 for (k, b) in emitter.actions.iter().enumerate() {
                     if std::ptr::eq(a, b) {
@@ -148,7 +164,10 @@ pub fn to_outline(desc: &ExperimentDescription) -> String {
                 ProcessAction::WaitMarker => "▸",
                 ProcessAction::Invoke { .. } => "→",
             };
-            out.push_str(&format!("    {marker} {}\n", action_label(a).replace("\\\"", "\"")));
+            out.push_str(&format!(
+                "    {marker} {}\n",
+                action_label(a).replace("\\\"", "\"")
+            ));
         }
     }
     out
@@ -198,7 +217,10 @@ mod tests {
             .lines()
             .filter(|l| {
                 let t = l.trim_start();
-                t.starts_with('→') || t.starts_with('⏳') || t.starts_with('⚑') || t.starts_with('▸')
+                t.starts_with('→')
+                    || t.starts_with('⏳')
+                    || t.starts_with('⚑')
+                    || t.starts_with('▸')
             })
             .count();
         assert_eq!(action_lines, total_actions);

@@ -6,9 +6,7 @@
 //! lossless for every construct the model represents; the schema-style
 //! structural checks live in [`crate::validate`].
 
-use crate::factors::{
-    ActorAssignment, Factor, FactorList, FactorUsage, LevelValue, Replication,
-};
+use crate::factors::{ActorAssignment, Factor, FactorList, FactorUsage, LevelValue, Replication};
 use crate::model::{DescError, ExperimentDescription};
 use crate::plan::Design;
 use crate::platform::{NodeSpec, PlatformSpec};
@@ -44,12 +42,18 @@ pub fn experiment_element(desc: &ExperimentDescription) -> Element {
     // Fig. 4: abstract nodes and informative parameters.
     root = root.child(
         ElementBuilder::new("nodes").children(
-            desc.abstract_nodes.iter().map(|n| ElementBuilder::new("node").attr("id", n)),
+            desc.abstract_nodes
+                .iter()
+                .map(|n| ElementBuilder::new("node").attr("id", n)),
         ),
     );
-    root = root.child(ElementBuilder::new("params").children(desc.params.iter().map(
-        |(k, v)| ElementBuilder::new("param").attr("key", k).attr("value", v),
-    )));
+    root = root.child(
+        ElementBuilder::new("params").children(
+            desc.params
+                .iter()
+                .map(|(k, v)| ElementBuilder::new("param").attr("key", k).attr("value", v)),
+        ),
+    );
     root = root.child_element(factorlist_element(&desc.factors));
     root = root.child(
         ElementBuilder::new("node_processes")
@@ -165,7 +169,10 @@ pub fn action_element(a: &ProcessAction) -> Element {
                 f.push(node_selector_element(from));
                 e.push(f);
             }
-            e.push(Element::with_text("event_dependency", format!("\"{}\"", sel.event)));
+            e.push(Element::with_text(
+                "event_dependency",
+                format!("\"{}\"", sel.event),
+            ));
             if let Some(param) = &sel.param {
                 let mut pe = Element::new("param_dependency");
                 pe.push(node_selector_element(param));
@@ -173,9 +180,7 @@ pub fn action_element(a: &ProcessAction) -> Element {
             }
             if let Some(t) = &sel.timeout_s {
                 match t {
-                    ValueRef::Lit(l) => {
-                        e.push(Element::with_text("timeout", format!("\"{l}\"")))
-                    }
+                    ValueRef::Lit(l) => e.push(Element::with_text("timeout", format!("\"{l}\""))),
                     ValueRef::FactorRef(_) => e.push(value_ref_child("timeout", t)),
                 }
             }
@@ -217,16 +222,21 @@ pub fn platform_element(p: &PlatformSpec) -> Element {
     b = b.child(actors);
     let mut envs = ElementBuilder::new("env_nodes");
     for n in &p.env_nodes {
-        envs = envs
-            .child(ElementBuilder::new("node").attr("id", &n.id).attr("address", &n.address));
+        envs = envs.child(
+            ElementBuilder::new("node")
+                .attr("id", &n.id)
+                .attr("address", &n.address),
+        );
     }
     b = b.child(envs);
     if !p.special_params.is_empty() {
-        b = b.child(ElementBuilder::new("special_params").children(
-            p.special_params.iter().map(|(k, v)| {
-                ElementBuilder::new("param").attr("key", k).attr("value", v)
-            }),
-        ));
+        b = b.child(
+            ElementBuilder::new("special_params").children(
+                p.special_params
+                    .iter()
+                    .map(|(k, v)| ElementBuilder::new("param").attr("key", k).attr("value", v)),
+            ),
+        );
     }
     b.build()
 }
@@ -242,11 +252,12 @@ pub fn from_xml(text: &str) -> Result<ExperimentDescription, DescError> {
 /// Parses a description from a parsed `<experiment>` element.
 pub fn from_element(root: &Element) -> Result<ExperimentDescription, DescError> {
     if root.name != "experiment" {
-        return Err(DescError(format!("expected <experiment>, found <{}>", root.name)));
+        return Err(DescError(format!(
+            "expected <experiment>, found <{}>",
+            root.name
+        )));
     }
-    let mut desc = ExperimentDescription::new(
-        root.attr("name").unwrap_or("unnamed").to_string(),
-    );
+    let mut desc = ExperimentDescription::new(root.attr("name").unwrap_or("unnamed").to_string());
     desc.seed = root
         .attr("seed")
         .map(|s| s.parse().map_err(|_| DescError(format!("bad seed '{s}'"))))
@@ -267,9 +278,7 @@ pub fn from_element(root: &Element) -> Result<ExperimentDescription, DescError> 
     if let Some(params) = root.child("params") {
         desc.params = params
             .elements_named("param")
-            .filter_map(|p| {
-                Some((p.attr("key")?.to_string(), p.attr("value")?.to_string()))
-            })
+            .filter_map(|p| Some((p.attr("key")?.to_string(), p.attr("value")?.to_string())))
             .collect();
     }
     if let Some(fl) = root.child("factorlist") {
@@ -293,7 +302,9 @@ pub fn from_element(root: &Element) -> Result<ExperimentDescription, DescError> 
 pub fn parse_factorlist(e: &Element) -> Result<FactorList, DescError> {
     let mut fl = FactorList::new();
     for f in e.elements_named("factor") {
-        let id = f.attr("id").ok_or_else(|| DescError("factor without id".into()))?;
+        let id = f
+            .attr("id")
+            .ok_or_else(|| DescError("factor without id".into()))?;
         let usage_raw = f.attr("usage").unwrap_or("constant");
         let usage = FactorUsage::parse(usage_raw)
             .ok_or_else(|| DescError(format!("factor '{id}': unknown usage '{usage_raw}'")))?;
@@ -364,7 +375,8 @@ fn parse_level(l: &Element, level_type: &str, factor_id: &str) -> Result<LevelVa
 
 fn parse_actor_process(e: &Element) -> Result<ActorProcess, DescError> {
     let mut p = ActorProcess::new(
-        e.attr("id").ok_or_else(|| DescError("actor process without id".into()))?,
+        e.attr("id")
+            .ok_or_else(|| DescError("actor process without id".into()))?,
     );
     p.name = e.attr("name").map(str::to_string);
     p.is_manipulation = e.attr("kind") == Some("manipulation");
@@ -420,7 +432,8 @@ fn parse_node_selector(e: &Element) -> Result<NodeSelector, DescError> {
     let instance = match node.attr("instance") {
         None | Some("all") => InstanceSelector::All,
         Some(s) => InstanceSelector::Index(
-            s.parse().map_err(|_| DescError(format!("bad instance '{s}'")))?,
+            s.parse()
+                .map_err(|_| DescError(format!("bad instance '{s}'")))?,
         ),
     };
     Ok(NodeSelector { actor, instance })
@@ -428,7 +441,9 @@ fn parse_node_selector(e: &Element) -> Result<NodeSelector, DescError> {
 
 fn parse_action(e: &Element) -> Result<ProcessAction, DescError> {
     match e.name.as_str() {
-        "wait_for_time" => Ok(ProcessAction::WaitForTime { seconds: parse_value_ref(e) }),
+        "wait_for_time" => Ok(ProcessAction::WaitForTime {
+            seconds: parse_value_ref(e),
+        }),
         "wait_marker" => Ok(ProcessAction::WaitMarker),
         "event_flag" => {
             let value = e
@@ -459,7 +474,10 @@ fn parse_action(e: &Element) -> Result<ProcessAction, DescError> {
                 .elements()
                 .map(|child| (child.name.clone(), parse_value_ref(child)))
                 .collect();
-            Ok(ProcessAction::Invoke { name: e.name.clone(), params })
+            Ok(ProcessAction::Invoke {
+                name: e.name.clone(),
+                params,
+            })
         }
     }
 }
@@ -604,7 +622,12 @@ mod tests {
             }
             other => panic!("unexpected action {other:?}"),
         }
-        assert_eq!(su.actions[6], ProcessAction::EventFlag { value: "done".into() });
+        assert_eq!(
+            su.actions[6],
+            ProcessAction::EventFlag {
+                value: "done".into()
+            }
+        );
     }
 
     #[test]
@@ -638,7 +661,10 @@ mod tests {
                 assert_eq!(name, "env_traffic_start");
                 assert_eq!(params.len(), 6);
                 assert_eq!(params[0], ("bw".to_string(), ValueRef::factor("fact_bw")));
-                assert_eq!(params[2], ("random_switch_amount".to_string(), ValueRef::int(1)));
+                assert_eq!(
+                    params[2],
+                    ("random_switch_amount".to_string(), ValueRef::int(1))
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -710,9 +736,14 @@ mod tests {
         p.actions = vec![
             ProcessAction::invoke_with(
                 "fault_message_loss_start",
-                [("probability".to_string(), ValueRef::Lit(LevelValue::Float(0.25)))],
+                [(
+                    "probability".to_string(),
+                    ValueRef::Lit(LevelValue::Float(0.25)),
+                )],
             ),
-            ProcessAction::WaitForTime { seconds: ValueRef::int(5) },
+            ProcessAction::WaitForTime {
+                seconds: ValueRef::int(5),
+            },
             ProcessAction::invoke("fault_message_loss_stop"),
         ];
         d.node_processes.push(p);

@@ -16,15 +16,20 @@ fn usage_strategy() -> impl Strategy<Value = FactorUsage> {
 }
 
 fn factor_strategy(idx: usize) -> impl Strategy<Value = Factor> {
-    (usage_strategy(), prop::collection::vec(-1000i64..1000, 1..5)).prop_map(
-        move |(usage, levels)| Factor::int(format!("f{idx}"), usage, levels),
+    (
+        usage_strategy(),
+        prop::collection::vec(-1000i64..1000, 1..5),
     )
+        .prop_map(move |(usage, levels)| Factor::int(format!("f{idx}"), usage, levels))
 }
 
 fn factor_list_strategy() -> impl Strategy<Value = FactorList> {
     (prop::collection::vec(any::<u8>(), 0..4), 1u64..6).prop_flat_map(|(shape, reps)| {
-        let factors: Vec<_> =
-            shape.iter().enumerate().map(|(i, _)| factor_strategy(i)).collect();
+        let factors: Vec<_> = shape
+            .iter()
+            .enumerate()
+            .map(|(i, _)| factor_strategy(i))
+            .collect();
         (factors, Just(reps)).prop_map(|(fs, reps)| {
             let mut fl = FactorList::new().with_replication("rep", reps);
             for f in fs {

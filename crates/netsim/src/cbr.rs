@@ -96,8 +96,16 @@ pub fn install_cbr_flows(
         let port_ba = port_ab + 1;
         sim.install_agent(b, port_ab, Box::new(CbrSink));
         sim.install_agent(a, port_ba, Box::new(CbrSink));
-        sim.install_agent(a, port_ab, Box::new(CbrSender::new(b, port_ab, rate_kbps, size_bytes)));
-        sim.install_agent(b, port_ba, Box::new(CbrSender::new(a, port_ba, rate_kbps, size_bytes)));
+        sim.install_agent(
+            a,
+            port_ab,
+            Box::new(CbrSender::new(b, port_ab, rate_kbps, size_bytes)),
+        );
+        sim.install_agent(
+            b,
+            port_ba,
+            Box::new(CbrSender::new(a, port_ba, rate_kbps, size_bytes)),
+        );
         installed.extend([(a, port_ab), (b, port_ab), (a, port_ba), (b, port_ba)]);
     }
     installed
@@ -121,7 +129,10 @@ mod tests {
 
     fn sim(loss: f64, seed: u64) -> Simulator {
         let cfg = SimulatorConfig {
-            link_model: LinkModel { base_loss: loss, ..LinkModel::default() },
+            link_model: LinkModel {
+                base_loss: loss,
+                ..LinkModel::default()
+            },
             ..SimulatorConfig::perfect_clocks(seed)
         };
         Simulator::new(Topology::chain(2), cfg)
@@ -138,7 +149,10 @@ mod tests {
             .iter()
             .filter(|c| c.kind == CaptureKind::Sent)
             .count();
-        assert!((95..=105).contains(&sent_a), "≈100 packets in 10 s, got {sent_a}");
+        assert!(
+            (95..=105).contains(&sent_a),
+            "≈100 packets in 10 s, got {sent_a}"
+        );
     }
 
     #[test]

@@ -21,11 +21,17 @@ pub struct NodeClock {
 
 impl NodeClock {
     /// A perfectly synchronized clock.
-    pub const PERFECT: NodeClock = NodeClock { offset_ns: 0, drift_ppm: 0.0 };
+    pub const PERFECT: NodeClock = NodeClock {
+        offset_ns: 0,
+        drift_ppm: 0.0,
+    };
 
     /// Creates a clock with the given offset and drift.
     pub fn new(offset_ns: i64, drift_ppm: f64) -> Self {
-        Self { offset_ns, drift_ppm }
+        Self {
+            offset_ns,
+            drift_ppm,
+        }
     }
 
     /// Converts a reference instant to this node's local reading.

@@ -39,7 +39,10 @@ pub struct EventQueue<T: Eq> {
 impl<T: Eq> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `payload` at absolute time `due`.

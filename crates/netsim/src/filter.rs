@@ -165,7 +165,11 @@ impl FilterSet {
                     }
                 }
                 FilterRule::MessageDelay { delay, .. } => extra_delay += *delay,
-                FilterRule::PathLoss { peer: p, probability, .. } => {
+                FilterRule::PathLoss {
+                    peer: p,
+                    probability,
+                    ..
+                } => {
                     if peer == Some(*p) && rng.gen::<f64>() < *probability {
                         return Verdict::Drop;
                     }
@@ -196,30 +200,51 @@ mod tests {
         let f = FilterSet::new();
         assert_eq!(
             f.evaluate(Direction::Receive, None, &mut rng()),
-            Verdict::Pass { extra_delay: SimDuration::ZERO }
+            Verdict::Pass {
+                extra_delay: SimDuration::ZERO
+            }
         );
     }
 
     #[test]
     fn interface_down_blocks_matching_direction_only() {
         let mut f = FilterSet::new();
-        f.install(FilterRule::InterfaceDown { direction: Direction::Transmit });
-        assert_eq!(f.evaluate(Direction::Transmit, None, &mut rng()), Verdict::Drop);
-        assert!(matches!(f.evaluate(Direction::Receive, None, &mut rng()), Verdict::Pass { .. }));
+        f.install(FilterRule::InterfaceDown {
+            direction: Direction::Transmit,
+        });
+        assert_eq!(
+            f.evaluate(Direction::Transmit, None, &mut rng()),
+            Verdict::Drop
+        );
+        assert!(matches!(
+            f.evaluate(Direction::Receive, None, &mut rng()),
+            Verdict::Pass { .. }
+        ));
     }
 
     #[test]
     fn both_direction_matches_either() {
         let mut f = FilterSet::new();
-        f.install(FilterRule::InterfaceDown { direction: Direction::Both });
-        assert_eq!(f.evaluate(Direction::Transmit, None, &mut rng()), Verdict::Drop);
-        assert_eq!(f.evaluate(Direction::Receive, None, &mut rng()), Verdict::Drop);
+        f.install(FilterRule::InterfaceDown {
+            direction: Direction::Both,
+        });
+        assert_eq!(
+            f.evaluate(Direction::Transmit, None, &mut rng()),
+            Verdict::Drop
+        );
+        assert_eq!(
+            f.evaluate(Direction::Receive, None, &mut rng()),
+            Verdict::Drop
+        );
     }
 
     #[test]
     fn message_loss_is_probabilistic() {
         let mut f = FilterSet::new();
-        f.install(FilterRule::MessageLoss { probability: 0.5, direction: Direction::Both });
+        f.install(FilterRule::MessageLoss {
+            probability: 0.5,
+            direction: Direction::Both,
+        });
         let mut r = rng();
         let drops = (0..10_000)
             .filter(|_| f.evaluate(Direction::Receive, None, &mut r) == Verdict::Drop)
@@ -230,11 +255,20 @@ mod tests {
     #[test]
     fn loss_probability_zero_and_one() {
         let mut f = FilterSet::new();
-        let id = f.install(FilterRule::MessageLoss { probability: 0.0, direction: Direction::Both });
+        let id = f.install(FilterRule::MessageLoss {
+            probability: 0.0,
+            direction: Direction::Both,
+        });
         let mut r = rng();
-        assert!(matches!(f.evaluate(Direction::Receive, None, &mut r), Verdict::Pass { .. }));
+        assert!(matches!(
+            f.evaluate(Direction::Receive, None, &mut r),
+            Verdict::Pass { .. }
+        ));
         f.remove(id);
-        f.install(FilterRule::MessageLoss { probability: 1.0, direction: Direction::Both });
+        f.install(FilterRule::MessageLoss {
+            probability: 1.0,
+            direction: Direction::Both,
+        });
         assert_eq!(f.evaluate(Direction::Receive, None, &mut r), Verdict::Drop);
     }
 
@@ -251,7 +285,9 @@ mod tests {
         });
         assert_eq!(
             f.evaluate(Direction::Transmit, None, &mut rng()),
-            Verdict::Pass { extra_delay: SimDuration::from_millis(15) }
+            Verdict::Pass {
+                extra_delay: SimDuration::from_millis(15)
+            }
         );
     }
 
@@ -269,26 +305,39 @@ mod tests {
             direction: Direction::Both,
         });
         let mut r = rng();
-        assert_eq!(f.evaluate(Direction::Transmit, Some(NodeId(3)), &mut r), Verdict::Drop);
+        assert_eq!(
+            f.evaluate(Direction::Transmit, Some(NodeId(3)), &mut r),
+            Verdict::Drop
+        );
         assert_eq!(
             f.evaluate(Direction::Transmit, Some(NodeId(4)), &mut r),
-            Verdict::Pass { extra_delay: SimDuration::from_millis(7) }
+            Verdict::Pass {
+                extra_delay: SimDuration::from_millis(7)
+            }
         );
         assert_eq!(
             f.evaluate(Direction::Transmit, Some(NodeId(9)), &mut r),
-            Verdict::Pass { extra_delay: SimDuration::ZERO }
+            Verdict::Pass {
+                extra_delay: SimDuration::ZERO
+            }
         );
     }
 
     #[test]
     fn remove_and_clear() {
         let mut f = FilterSet::new();
-        let a = f.install(FilterRule::InterfaceDown { direction: Direction::Both });
+        let a = f.install(FilterRule::InterfaceDown {
+            direction: Direction::Both,
+        });
         assert_eq!(f.len(), 1);
         assert!(f.remove(a));
         assert!(!f.remove(a), "second removal must report absence");
-        f.install(FilterRule::InterfaceDown { direction: Direction::Both });
-        f.install(FilterRule::InterfaceDown { direction: Direction::Both });
+        f.install(FilterRule::InterfaceDown {
+            direction: Direction::Both,
+        });
+        f.install(FilterRule::InterfaceDown {
+            direction: Direction::Both,
+        });
         f.clear();
         assert!(f.is_empty());
     }

@@ -103,8 +103,14 @@ mod tests {
 
     #[test]
     fn wire_size_adds_header() {
-        assert_eq!(Packet::wire_size(&Payload::from("abcd")), 4 + HEADER_OVERHEAD_BYTES);
-        assert_eq!(Packet::wire_size(&Payload::default()), HEADER_OVERHEAD_BYTES);
+        assert_eq!(
+            Packet::wire_size(&Payload::from("abcd")),
+            4 + HEADER_OVERHEAD_BYTES
+        );
+        assert_eq!(
+            Packet::wire_size(&Payload::default()),
+            HEADER_OVERHEAD_BYTES
+        );
     }
 
     #[test]
@@ -119,6 +125,9 @@ mod tests {
     #[test]
     fn destination_equality() {
         assert_eq!(Destination::Multicast, Destination::Multicast);
-        assert_ne!(Destination::Unicast(NodeId(1)), Destination::Unicast(NodeId(2)));
+        assert_ne!(
+            Destination::Unicast(NodeId(1)),
+            Destination::Unicast(NodeId(2))
+        );
     }
 }

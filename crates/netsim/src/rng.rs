@@ -75,7 +75,10 @@ mod tests {
         let a = derive_seed(1, "stream_a");
         let b = derive_seed(1, "stream_b");
         let differing = (a ^ b).count_ones();
-        assert!((16..=48).contains(&differing), "only {differing} bits differ");
+        assert!(
+            (16..=48).contains(&differing),
+            "only {differing} bits differ"
+        );
     }
 
     #[test]

@@ -79,9 +79,18 @@ pub struct ProtocolEvent {
 
 /// What an agent asked the simulator to do during a callback.
 enum Action {
-    Send { dst: Destination, port: Port, payload: Payload },
-    SetTimer { delay: SimDuration, token: u64 },
-    CancelTimer { token: u64 },
+    Send {
+        dst: Destination,
+        port: Port,
+        payload: Payload,
+    },
+    SetTimer {
+        delay: SimDuration,
+        token: u64,
+    },
+    CancelTimer {
+        token: u64,
+    },
 }
 
 /// The interface through which agents act on the simulated world.
@@ -112,7 +121,11 @@ impl<'a> AgentCtx<'a> {
 
     /// Sends a packet from this node.
     pub fn send(&mut self, dst: Destination, port: Port, payload: impl Into<Payload>) {
-        self.actions.push(Action::Send { dst, port, payload: payload.into() });
+        self.actions.push(Action::Send {
+            dst,
+            port,
+            payload: payload.into(),
+        });
     }
 
     /// Arms a timer that calls [`Agent::on_timer`] with `token` after `delay`.
@@ -146,14 +159,28 @@ impl<'a> AgentCtx<'a> {
 enum Ev {
     /// A unicast packet finishes crossing the link `from → to`;
     /// `rest` is the remaining path after `to`.
-    UnicastTransit { packet: Packet, from: NodeId, to: NodeId, rest: Vec<NodeId> },
+    UnicastTransit {
+        packet: Packet,
+        from: NodeId,
+        to: NodeId,
+        rest: Vec<NodeId>,
+    },
     /// A flooded packet finishes crossing the link `from → to`.
-    FloodTransit { packet: Packet, from: NodeId, to: NodeId },
+    FloodTransit {
+        packet: Packet,
+        from: NodeId,
+        to: NodeId,
+    },
     /// Final delivery deferred by an injected receive delay; filters were
     /// already evaluated.
     Deliver { packet: Packet, at: NodeId },
     /// A timer armed by the agent at `(node, port)` fires.
-    Timer { node: NodeId, port: Port, token: u64, tid: u64 },
+    Timer {
+        node: NodeId,
+        port: Port,
+        token: u64,
+        tid: u64,
+    },
 }
 
 /// Counters of transport activity, useful for tests and benches.
@@ -228,6 +255,11 @@ struct SimNode {
     tagger: Tagger,
     drop_all: bool,
     rng: StdRng,
+    /// Per-node sync-measurement error stream. Node-local (rather than a
+    /// simulator-wide stream) so the master may fan `measure_sync` calls
+    /// out to nodes in any order — or in parallel — without changing the
+    /// drawn errors.
+    sync_rng: StdRng,
     agents: HashMap<Port, Box<dyn Agent>>,
 }
 
@@ -254,7 +286,6 @@ pub struct Simulator {
     next_packet_id: u64,
     next_tid: u64,
     channel_rng: StdRng,
-    sync_rng: StdRng,
     link_load: LinkLoad,
     flood_seen: HashSet<(PacketId, u16)>,
     active_timers: HashMap<(u16, Port, u64), HashSet<u64>>,
@@ -288,13 +319,13 @@ impl Simulator {
                     tagger: Tagger::new(),
                     drop_all: false,
                     rng: derive_rng_indexed(cfg.seed, "agent", i as u64),
+                    sync_rng: derive_rng_indexed(cfg.seed, "sync", i as u64),
                     agents: HashMap::new(),
                 }
             })
             .collect();
         Self {
             channel_rng: derive_rng(cfg.seed, "channel"),
-            sync_rng: derive_rng(cfg.seed, "sync"),
             topology,
             cfg,
             nodes,
@@ -415,14 +446,19 @@ impl Simulator {
     // ---- measurement ------------------------------------------------------
 
     /// Measures the clock offset of `node` against the reference clock,
-    /// with a seeded measurement error (paper §IV-B3).
+    /// with a seeded measurement error (paper §IV-B3). The error is drawn
+    /// from the node's own `sync` stream, so the result for a given
+    /// (seed, node, draw count) does not depend on when other nodes are
+    /// measured.
     pub fn measure_sync(&mut self, node: NodeId) -> SyncMeasurement {
+        let n = &mut self.nodes[node.0 as usize];
         let err = if self.cfg.max_sync_error_ns > 0 {
-            self.sync_rng.gen_range(-self.cfg.max_sync_error_ns..=self.cfg.max_sync_error_ns)
+            n.sync_rng
+                .gen_range(-self.cfg.max_sync_error_ns..=self.cfg.max_sync_error_ns)
         } else {
             0
         };
-        SyncMeasurement::measure(&self.nodes[node.0 as usize].clock, self.time, err)
+        SyncMeasurement::measure(&n.clock, self.time, err)
     }
 
     /// Capture buffer of a node.
@@ -457,7 +493,12 @@ impl Simulator {
         params: Vec<(String, String)>,
     ) {
         let local_time = self.nodes[node.0 as usize].clock.local_time(self.time);
-        self.protocol_events.push(ProtocolEvent { node, local_time, name: name.into(), params });
+        self.protocol_events.push(ProtocolEvent {
+            node,
+            local_time,
+            name: name.into(),
+            params,
+        });
     }
 
     /// Hop count between two nodes (the paper's topology measurement).
@@ -505,12 +546,20 @@ impl Simulator {
         debug_assert!(due >= self.time, "time must be monotone");
         self.time = due;
         match ev {
-            Ev::UnicastTransit { packet, from, to, rest } => {
-                self.handle_unicast_transit(packet, from, to, rest)
-            }
+            Ev::UnicastTransit {
+                packet,
+                from,
+                to,
+                rest,
+            } => self.handle_unicast_transit(packet, from, to, rest),
             Ev::FloodTransit { packet, from, to } => self.handle_flood_transit(packet, from, to),
             Ev::Deliver { packet, at } => self.deliver(packet, at),
-            Ev::Timer { node, port, token, tid } => self.handle_timer(node, port, token, tid),
+            Ev::Timer {
+                node,
+                port,
+                token,
+                tid,
+            } => self.handle_timer(node, port, token, tid),
         }
         true
     }
@@ -592,21 +641,36 @@ impl Simulator {
             rng: &mut self.nodes[node.0 as usize].rng,
         };
         f(agent.as_mut(), &mut ctx);
-        let AgentCtx { actions, events, .. } = ctx;
+        let AgentCtx {
+            actions, events, ..
+        } = ctx;
         // Reinstall unless the agent replaced/removed itself meanwhile
         // (it cannot — only the simulator mutates the map — so insert).
         self.nodes[node.0 as usize].agents.insert(port, agent);
         self.protocol_events.extend(events);
         for action in actions {
             match action {
-                Action::Send { dst, port: p, payload } => {
-                    self.process_send(node, dst, p, payload)
-                }
+                Action::Send {
+                    dst,
+                    port: p,
+                    payload,
+                } => self.process_send(node, dst, p, payload),
                 Action::SetTimer { delay, token } => {
                     let tid = self.next_tid;
                     self.next_tid += 1;
-                    self.active_timers.entry((node.0, port, token)).or_default().insert(tid);
-                    self.queue.schedule(self.time + delay, Ev::Timer { node, port, token, tid });
+                    self.active_timers
+                        .entry((node.0, port, token))
+                        .or_default()
+                        .insert(tid);
+                    self.queue.schedule(
+                        self.time + delay,
+                        Ev::Timer {
+                            node,
+                            port,
+                            token,
+                            tid,
+                        },
+                    );
                 }
                 Action::CancelTimer { token } => {
                     self.active_timers.remove(&(node.0, port, token));
@@ -739,8 +803,15 @@ impl Simulator {
         let delay = self.cfg.link_model.jittered(base, jitter_draw)
             + self.cfg.link_model.serialization_delay(packet.size_bytes)
             + extra_delay;
-        self.queue
-            .schedule(self.time + delay, Ev::UnicastTransit { packet, from, to, rest });
+        self.queue.schedule(
+            self.time + delay,
+            Ev::UnicastTransit {
+                packet,
+                from,
+                to,
+                rest,
+            },
+        );
     }
 
     fn handle_unicast_transit(
@@ -765,7 +836,8 @@ impl Simulator {
                 Verdict::Drop => self.stats.dropped_filter += 1,
                 Verdict::Pass { extra_delay } if extra_delay > SimDuration::ZERO => {
                     // Defer the (already filter-approved) delivery.
-                    self.queue.schedule(self.time + extra_delay, Ev::Deliver { packet, at: to });
+                    self.queue
+                        .schedule(self.time + extra_delay, Ev::Deliver { packet, at: to });
                 }
                 Verdict::Pass { .. } => self.deliver(packet, to),
             }
@@ -792,8 +864,15 @@ impl Simulator {
         // blocks (InterfaceDown, total loss) force a Drop verdict.
         let mut probe_rng = rand::rngs::mock::StepRng::new(u64::MAX, 0);
         n.drop_all
-            || matches!(n.filters.evaluate(Direction::Transmit, None, &mut probe_rng), Verdict::Drop)
-            || matches!(n.filters.evaluate(Direction::Receive, None, &mut probe_rng), Verdict::Drop)
+            || matches!(
+                n.filters
+                    .evaluate(Direction::Transmit, None, &mut probe_rng),
+                Verdict::Drop
+            )
+            || matches!(
+                n.filters.evaluate(Direction::Receive, None, &mut probe_rng),
+                Verdict::Drop
+            )
     }
 
     fn flood_from(
@@ -821,7 +900,11 @@ impl Simulator {
                 + extra_delay;
             self.queue.schedule(
                 self.time + delay,
-                Ev::FloodTransit { packet: packet.clone(), from: at, to: nb },
+                Ev::FloodTransit {
+                    packet: packet.clone(),
+                    from: at,
+                    to: nb,
+                },
             );
         }
     }
@@ -889,18 +972,27 @@ mod tests {
 
     impl Agent for Probe {
         fn on_start(&mut self, ctx: &mut AgentCtx) {
-            self.log.lock().unwrap().push(format!("start@{}", ctx.node()));
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("start@{}", ctx.node()));
         }
         fn on_packet(&mut self, ctx: &mut AgentCtx, pkt: &Packet) {
-            self.log
-                .lock().unwrap()
-                .push(format!("pkt@{} from {} t={}", ctx.node(), pkt.src, ctx.now()));
+            self.log.lock().unwrap().push(format!(
+                "pkt@{} from {} t={}",
+                ctx.node(),
+                pkt.src,
+                ctx.now()
+            ));
             if let Some(port) = self.reply_to {
                 ctx.send(Destination::Unicast(pkt.src), port, Payload::from("reply"));
             }
         }
         fn on_timer(&mut self, ctx: &mut AgentCtx, token: u64) {
-            self.log.lock().unwrap().push(format!("timer@{} tok={token}", ctx.node()));
+            self.log
+                .lock()
+                .unwrap()
+                .push(format!("timer@{} tok={token}", ctx.node()));
         }
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
@@ -908,7 +1000,10 @@ mod tests {
     }
 
     fn quiet_model() -> LinkModel {
-        LinkModel { base_loss: 0.0, ..LinkModel::default() }
+        LinkModel {
+            base_loss: 0.0,
+            ..LinkModel::default()
+        }
     }
 
     fn sim(n_chain: usize, seed: u64) -> Simulator {
@@ -923,11 +1018,26 @@ mod tests {
     fn unicast_delivery_over_multiple_hops() {
         let mut s = sim(4, 1);
         let log = Arc::new(Mutex::new(vec![]));
-        s.install_agent(NodeId(3), 99, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
-        s.send_from(NodeId(0), 99, Destination::Unicast(NodeId(3)), Payload::from("hi"));
+        s.install_agent(
+            NodeId(3),
+            99,
+            Box::new(Probe {
+                log: Arc::clone(&log),
+                reply_to: None,
+            }),
+        );
+        s.send_from(
+            NodeId(0),
+            99,
+            Destination::Unicast(NodeId(3)),
+            Payload::from("hi"),
+        );
         s.run_until_idle(1_000);
         let entries = log.lock().unwrap();
-        assert!(entries.iter().any(|e| e.starts_with("pkt@n3 from n0")), "{entries:?}");
+        assert!(
+            entries.iter().any(|e| e.starts_with("pkt@n3 from n0")),
+            "{entries:?}"
+        );
         // Relays captured Forwarded records.
         assert_eq!(s.captures(NodeId(1)).len(), 1);
         assert_eq!(s.captures(NodeId(2)).len(), 1);
@@ -940,11 +1050,28 @@ mod tests {
         let mut s = sim(5, 2);
         let log = Arc::new(Mutex::new(vec![]));
         for n in [1u16, 2, 4] {
-            s.install_agent(NodeId(n), 5353, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
+            s.install_agent(
+                NodeId(n),
+                5353,
+                Box::new(Probe {
+                    log: Arc::clone(&log),
+                    reply_to: None,
+                }),
+            );
         }
-        s.send_from(NodeId(0), 5353, Destination::Multicast, Payload::from("query"));
+        s.send_from(
+            NodeId(0),
+            5353,
+            Destination::Multicast,
+            Payload::from("query"),
+        );
         s.run_until_idle(10_000);
-        let pkts = log.lock().unwrap().iter().filter(|e| e.starts_with("pkt@")).count();
+        let pkts = log
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| e.starts_with("pkt@"))
+            .count();
         assert_eq!(pkts, 3, "{:?}", log.lock().unwrap());
         assert_eq!(s.stats().delivered, 3);
     }
@@ -954,12 +1081,35 @@ mod tests {
         let mut s = sim(3, 3);
         let log_a = Arc::new(Mutex::new(vec![]));
         let log_b = Arc::new(Mutex::new(vec![]));
-        s.install_agent(NodeId(0), 7, Box::new(Probe { log: log_a.clone(), reply_to: None }));
-        s.install_agent(NodeId(2), 7, Box::new(Probe { log: log_b.clone(), reply_to: Some(7) }));
-        s.send_from(NodeId(0), 7, Destination::Unicast(NodeId(2)), Payload::from("ping"));
+        s.install_agent(
+            NodeId(0),
+            7,
+            Box::new(Probe {
+                log: log_a.clone(),
+                reply_to: None,
+            }),
+        );
+        s.install_agent(
+            NodeId(2),
+            7,
+            Box::new(Probe {
+                log: log_b.clone(),
+                reply_to: Some(7),
+            }),
+        );
+        s.send_from(
+            NodeId(0),
+            7,
+            Destination::Unicast(NodeId(2)),
+            Payload::from("ping"),
+        );
         s.run_until_idle(1_000);
         assert!(log_b.lock().unwrap().iter().any(|e| e.contains("from n0")));
-        assert!(log_a.lock().unwrap().iter().any(|e| e.contains("from n2")), "{:?}", log_a.lock().unwrap());
+        assert!(
+            log_a.lock().unwrap().iter().any(|e| e.contains("from n2")),
+            "{:?}",
+            log_a.lock().unwrap()
+        );
     }
 
     #[test]
@@ -982,7 +1132,13 @@ mod tests {
         }
         let mut s = sim(1, 4);
         let fired = Arc::new(Mutex::new(vec![]));
-        s.install_agent(NodeId(0), 1, Box::new(T { fired: Arc::clone(&fired) }));
+        s.install_agent(
+            NodeId(0),
+            1,
+            Box::new(T {
+                fired: Arc::clone(&fired),
+            }),
+        );
         s.run_until_idle(100);
         assert_eq!(*fired.lock().unwrap(), vec![2]);
     }
@@ -991,9 +1147,26 @@ mod tests {
     fn interface_fault_blocks_transmission() {
         let mut s = sim(2, 5);
         let log = Arc::new(Mutex::new(vec![]));
-        s.install_agent(NodeId(1), 9, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
-        s.install_filter(NodeId(0), FilterRule::InterfaceDown { direction: Direction::Transmit });
-        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+        s.install_agent(
+            NodeId(1),
+            9,
+            Box::new(Probe {
+                log: Arc::clone(&log),
+                reply_to: None,
+            }),
+        );
+        s.install_filter(
+            NodeId(0),
+            FilterRule::InterfaceDown {
+                direction: Direction::Transmit,
+            },
+        );
+        s.send_from(
+            NodeId(0),
+            9,
+            Destination::Unicast(NodeId(1)),
+            Payload::from("x"),
+        );
         s.run_until_idle(100);
         assert!(log.lock().unwrap().iter().all(|e| !e.starts_with("pkt@")));
         assert_eq!(s.stats().dropped_filter, 1);
@@ -1005,9 +1178,26 @@ mod tests {
     fn interface_fault_blocks_relay() {
         let mut s = sim(3, 6);
         let log = Arc::new(Mutex::new(vec![]));
-        s.install_agent(NodeId(2), 9, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
-        s.install_filter(NodeId(1), FilterRule::InterfaceDown { direction: Direction::Both });
-        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(2)), Payload::from("x"));
+        s.install_agent(
+            NodeId(2),
+            9,
+            Box::new(Probe {
+                log: Arc::clone(&log),
+                reply_to: None,
+            }),
+        );
+        s.install_filter(
+            NodeId(1),
+            FilterRule::InterfaceDown {
+                direction: Direction::Both,
+            },
+        );
+        s.send_from(
+            NodeId(0),
+            9,
+            Destination::Unicast(NodeId(2)),
+            Payload::from("x"),
+        );
         s.run_until_idle(100);
         assert!(log.lock().unwrap().iter().all(|e| !e.starts_with("pkt@")));
     }
@@ -1016,22 +1206,53 @@ mod tests {
     fn drop_all_partitions_everything() {
         let mut s = sim(3, 7);
         let log = Arc::new(Mutex::new(vec![]));
-        s.install_agent(NodeId(2), 9, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
+        s.install_agent(
+            NodeId(2),
+            9,
+            Box::new(Probe {
+                log: Arc::clone(&log),
+                reply_to: None,
+            }),
+        );
         s.set_drop_all_everywhere(true);
-        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(2)), Payload::from("x"));
+        s.send_from(
+            NodeId(0),
+            9,
+            Destination::Unicast(NodeId(2)),
+            Payload::from("x"),
+        );
         s.run_until_idle(100);
         assert!(log.lock().unwrap().iter().all(|e| !e.starts_with("pkt@")));
         s.set_drop_all_everywhere(false);
-        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(2)), Payload::from("y"));
+        s.send_from(
+            NodeId(0),
+            9,
+            Destination::Unicast(NodeId(2)),
+            Payload::from("y"),
+        );
         s.run_until_idle(100);
-        assert_eq!(log.lock().unwrap().iter().filter(|e| e.starts_with("pkt@")).count(), 1);
+        assert_eq!(
+            log.lock()
+                .unwrap()
+                .iter()
+                .filter(|e| e.starts_with("pkt@"))
+                .count(),
+            1
+        );
     }
 
     #[test]
     fn message_delay_fault_defers_delivery() {
         let mut s = sim(2, 8);
         let log = Arc::new(Mutex::new(vec![]));
-        s.install_agent(NodeId(1), 9, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
+        s.install_agent(
+            NodeId(1),
+            9,
+            Box::new(Probe {
+                log: Arc::clone(&log),
+                reply_to: None,
+            }),
+        );
         s.install_filter(
             NodeId(0),
             FilterRule::MessageDelay {
@@ -1039,14 +1260,26 @@ mod tests {
                 direction: Direction::Transmit,
             },
         );
-        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+        s.send_from(
+            NodeId(0),
+            9,
+            Destination::Unicast(NodeId(1)),
+            Payload::from("x"),
+        );
         s.run_until(SimTime::from_nanos(900_000_000));
         assert!(
             log.lock().unwrap().iter().all(|e| !e.starts_with("pkt@")),
             "not yet delivered"
         );
         s.run_until_idle(100);
-        assert_eq!(log.lock().unwrap().iter().filter(|e| e.starts_with("pkt@")).count(), 1);
+        assert_eq!(
+            log.lock()
+                .unwrap()
+                .iter()
+                .filter(|e| e.starts_with("pkt@"))
+                .count(),
+            1
+        );
         assert!(s.now().as_secs_f64() >= 1.0);
     }
 
@@ -1060,7 +1293,10 @@ mod tests {
                 s.install_agent(
                     NodeId(n),
                     5353,
-                    Box::new(Probe { log: Arc::clone(&log), reply_to: None }),
+                    Box::new(Probe {
+                        log: Arc::clone(&log),
+                        reply_to: None,
+                    }),
                 );
             }
             s.send_from(NodeId(0), 5353, Destination::Multicast, Payload::from("q"));
@@ -1097,12 +1333,23 @@ mod tests {
         let cfg = SimulatorConfig::default().with_seed(12);
         let mut s = Simulator::new(Topology::chain(2), cfg);
         s.run_until(SimTime::from_nanos(500_000_000));
-        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+        s.send_from(
+            NodeId(0),
+            9,
+            Destination::Unicast(NodeId(1)),
+            Payload::from("x"),
+        );
         let sent = &s.captures(NodeId(0))[0];
-        let expected = s.clock(NodeId(0)).local_time(SimTime::from_nanos(500_000_000));
+        let expected = s
+            .clock(NodeId(0))
+            .local_time(SimTime::from_nanos(500_000_000));
         assert_eq!(sent.local_time, expected);
         // And with ±5 ms offsets the local reading differs from reference.
-        assert_ne!(sent.local_time, SimTime::from_nanos(500_000_000), "{sent:?}");
+        assert_ne!(
+            sent.local_time,
+            SimTime::from_nanos(500_000_000),
+            "{sent:?}"
+        );
     }
 
     #[test]
@@ -1113,7 +1360,12 @@ mod tests {
             ..SimulatorConfig::perfect_clocks(1)
         };
         let mut s = Simulator::new(topo, cfg);
-        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+        s.send_from(
+            NodeId(0),
+            9,
+            Destination::Unicast(NodeId(1)),
+            Payload::from("x"),
+        );
         s.run_until_idle(10);
         assert_eq!(s.stats().dropped_loss, 1);
         assert_eq!(s.stats().delivered, 0);
@@ -1123,10 +1375,29 @@ mod tests {
     fn loopback_unicast_delivers_locally() {
         let mut s = sim(1, 13);
         let log = Arc::new(Mutex::new(vec![]));
-        s.install_agent(NodeId(0), 9, Box::new(Probe { log: Arc::clone(&log), reply_to: None }));
-        s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(0)), Payload::from("self"));
+        s.install_agent(
+            NodeId(0),
+            9,
+            Box::new(Probe {
+                log: Arc::clone(&log),
+                reply_to: None,
+            }),
+        );
+        s.send_from(
+            NodeId(0),
+            9,
+            Destination::Unicast(NodeId(0)),
+            Payload::from("self"),
+        );
         s.run_until_idle(10);
-        assert_eq!(log.lock().unwrap().iter().filter(|e| e.starts_with("pkt@")).count(), 1);
+        assert_eq!(
+            log.lock()
+                .unwrap()
+                .iter()
+                .filter(|e| e.starts_with("pkt@"))
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -1139,7 +1410,12 @@ mod tests {
             }
             let n = 2_000;
             for _ in 0..n {
-                s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+                s.send_from(
+                    NodeId(0),
+                    9,
+                    Destination::Unicast(NodeId(1)),
+                    Payload::from("x"),
+                );
             }
             s.run_until_idle(100_000);
             s.captures(NodeId(1)).len() as f64 / n as f64
@@ -1163,7 +1439,12 @@ mod tests {
     fn tagger_ids_increment_per_source_node() {
         let mut s = sim(2, 15);
         for _ in 0..3 {
-            s.send_from(NodeId(0), 9, Destination::Unicast(NodeId(1)), Payload::from("x"));
+            s.send_from(
+                NodeId(0),
+                9,
+                Destination::Unicast(NodeId(1)),
+                Payload::from("x"),
+            );
         }
         let tags: Vec<u16> = s.captures(NodeId(0)).iter().map(|c| c.tag).collect();
         assert_eq!(tags, vec![0, 1, 2]);

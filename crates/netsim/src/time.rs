@@ -215,7 +215,11 @@ mod tests {
 
     #[test]
     fn ordering_is_chronological() {
-        let mut v = [SimTime::from_nanos(30), SimTime::from_nanos(10), SimTime::from_nanos(20)];
+        let mut v = [
+            SimTime::from_nanos(30),
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(20),
+        ];
         v.sort();
         assert_eq!(v[0].as_nanos(), 10);
         assert_eq!(v[2].as_nanos(), 30);

@@ -32,7 +32,11 @@ impl Topology {
                 }
             }
         }
-        Self { positions, range, adjacency }
+        Self {
+            positions,
+            range,
+            adjacency,
+        }
     }
 
     /// A chain of `n` nodes spaced exactly one radio range apart: node `i`
@@ -57,14 +61,10 @@ impl Topology {
 
     /// A random geometric graph: `n` nodes uniform in a `side × side` square
     /// with the given radio `range`, positions drawn from `rng`.
-    pub fn random_geometric(
-        n: usize,
-        side: f64,
-        range: f64,
-        rng: &mut impl rand::Rng,
-    ) -> Self {
-        let positions =
-            (0..n).map(|_| (rng.gen::<f64>() * side, rng.gen::<f64>() * side)).collect();
+    pub fn random_geometric(n: usize, side: f64, range: f64, rng: &mut impl rand::Rng) -> Self {
+        let positions = (0..n)
+            .map(|_| (rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+            .collect();
         Self::from_positions(positions, range)
     }
 
@@ -231,7 +231,10 @@ mod tests {
         let p = t.shortest_path(NodeId(0), NodeId(15)).unwrap();
         assert_eq!(p.first(), Some(&NodeId(0)));
         assert_eq!(p.last(), Some(&NodeId(15)));
-        assert_eq!(p.len() as u32 - 1, t.hop_count(NodeId(0), NodeId(15)).unwrap());
+        assert_eq!(
+            p.len() as u32 - 1,
+            t.hop_count(NodeId(0), NodeId(15)).unwrap()
+        );
         // Consecutive nodes are adjacent.
         for w in p.windows(2) {
             assert!(t.neighbors(w[0]).contains(&w[1]));

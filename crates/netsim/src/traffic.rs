@@ -76,7 +76,13 @@ impl TrafficGenerator {
     /// (used by [`PairChoice::ActingNodes`]/[`PairChoice::NonActingNodes`]).
     /// The initial pair set is drawn immediately from `spec.seed`.
     pub fn new(spec: TrafficSpec, sim: &Simulator, acting: Vec<NodeId>) -> Self {
-        let mut gen = Self { spec, acting, pairs: Vec::new(), applied: Vec::new(), active: false };
+        let mut gen = Self {
+            spec,
+            acting,
+            pairs: Vec::new(),
+            applied: Vec::new(),
+            active: false,
+        };
         let mut rng = derive_rng_indexed(gen.spec.seed, "traffic_pairs", 0);
         gen.pairs = gen.draw_pairs(sim, gen.spec.pairs, &mut rng);
         gen
@@ -87,9 +93,11 @@ impl TrafficGenerator {
         match self.spec.choice {
             PairChoice::AllNodes => sim.topology().nodes().collect(),
             PairChoice::ActingNodes => self.acting.clone(),
-            PairChoice::NonActingNodes => {
-                sim.topology().nodes().filter(|n| !self.acting.contains(n)).collect()
-            }
+            PairChoice::NonActingNodes => sim
+                .topology()
+                .nodes()
+                .filter(|n| !self.acting.contains(n))
+                .collect(),
         }
     }
 
@@ -202,8 +210,12 @@ mod tests {
         };
         assert!(total > 0.0, "load applied");
         g.stop(&mut s);
-        let total_after: f64 =
-            s.topology().edges().iter().map(|&(a, b)| s.link_load(a, b)).sum();
+        let total_after: f64 = s
+            .topology()
+            .edges()
+            .iter()
+            .map(|&(a, b)| s.link_load(a, b))
+            .sum();
         assert_eq!(total_after, 0.0);
     }
 
@@ -212,9 +224,19 @@ mod tests {
         let mut s = sim();
         let mut g = TrafficGenerator::new(spec(2), &s, vec![]);
         g.start(&mut s);
-        let t1: f64 = s.topology().edges().iter().map(|&(a, b)| s.link_load(a, b)).sum();
+        let t1: f64 = s
+            .topology()
+            .edges()
+            .iter()
+            .map(|&(a, b)| s.link_load(a, b))
+            .sum();
         g.start(&mut s);
-        let t2: f64 = s.topology().edges().iter().map(|&(a, b)| s.link_load(a, b)).sum();
+        let t2: f64 = s
+            .topology()
+            .edges()
+            .iter()
+            .map(|&(a, b)| s.link_load(a, b))
+            .sum();
         assert_eq!(t1, t2);
     }
 
@@ -225,7 +247,10 @@ mod tests {
         let g2 = TrafficGenerator::new(spec(4), &s, vec![]);
         assert_eq!(g1.pairs(), g2.pairs());
         let other = TrafficGenerator::new(
-            TrafficSpec { seed: 100, ..spec(4) },
+            TrafficSpec {
+                seed: 100,
+                ..spec(4)
+            },
             &s,
             vec![],
         );
@@ -278,7 +303,10 @@ mod tests {
         let s = sim();
         let acting = vec![NodeId(0), NodeId(1), NodeId(2)];
         let g = TrafficGenerator::new(
-            TrafficSpec { choice: PairChoice::ActingNodes, ..spec(10) },
+            TrafficSpec {
+                choice: PairChoice::ActingNodes,
+                ..spec(10)
+            },
             &s,
             acting.clone(),
         );
@@ -286,7 +314,10 @@ mod tests {
             assert!(acting.contains(a) && acting.contains(b));
         }
         let g2 = TrafficGenerator::new(
-            TrafficSpec { choice: PairChoice::NonActingNodes, ..spec(10) },
+            TrafficSpec {
+                choice: PairChoice::NonActingNodes,
+                ..spec(10)
+            },
             &s,
             acting.clone(),
         );
@@ -299,7 +330,10 @@ mod tests {
     fn too_small_population_yields_no_pairs() {
         let s = sim();
         let g = TrafficGenerator::new(
-            TrafficSpec { choice: PairChoice::ActingNodes, ..spec(3) },
+            TrafficSpec {
+                choice: PairChoice::ActingNodes,
+                ..spec(3)
+            },
             &s,
             vec![NodeId(0)],
         );

@@ -11,17 +11,29 @@
 //! a time."
 //!
 //! The [`value`] and [`message`] modules implement the XML-RPC wire format
-//! (values, method calls, responses, faults) on top of `excovery-xml`; the
-//! [`transport`] module provides the dedicated in-memory control channel —
-//! every call is genuinely serialized to XML and parsed back, so the codec
-//! is exercised end-to-end exactly as on a real wire, while remaining
-//! independent of the simulated experiment network (a platform requirement,
-//! §IV-A1).
+//! (values, method calls, responses, faults) on top of `excovery-xml`. The
+//! control channel itself is pluggable behind the [`Transport`] trait:
+//!
+//! * [`Channel`] — the dedicated in-memory channel. Every call is genuinely
+//!   serialized to XML and parsed back, so the codec is exercised
+//!   end-to-end exactly as on a real wire, while remaining independent of
+//!   the simulated experiment network (a platform requirement, §IV-A1).
+//! * [`TcpTransport`] / [`TcpRpcServer`] — length-prefixed frames over real
+//!   sockets, with per-call deadlines and reconnect with bounded
+//!   exponential backoff.
+//!
+//! [`NodeProxy`] wraps any transport with the per-node lock the paper
+//! mandates, and [`RpcError`] classifies failures (server fault vs. codec
+//! vs. timeout/disconnect) so the engine can decide what is recoverable.
 
+pub mod error;
 pub mod message;
+pub mod tcp;
 pub mod transport;
 pub mod value;
 
+pub use error::{RpcError, FAULT_INTERNAL_ERROR, FAULT_NO_SUCH_METHOD, FAULT_PARSE_ERROR};
 pub use message::{Fault, MethodCall, MethodResponse};
-pub use transport::{Channel, NodeProxy, RpcError, ServerRegistry};
+pub use tcp::{TcpOptions, TcpRpcServer, TcpTransport};
+pub use transport::{response_to_result, Channel, NodeProxy, ServerRegistry, Transport};
 pub use value::Value;

@@ -24,7 +24,10 @@ pub struct Fault {
 impl Fault {
     /// Creates a fault.
     pub fn new(code: i32, message: impl Into<String>) -> Self {
-        Self { code, message: message.into() }
+        Self {
+            code,
+            message: message.into(),
+        }
     }
 }
 
@@ -48,7 +51,10 @@ pub enum MethodResponse {
 impl MethodCall {
     /// Creates a call.
     pub fn new(method: impl Into<String>, params: Vec<Value>) -> Self {
-        Self { method: method.into(), params }
+        Self {
+            method: method.into(),
+            params,
+        }
     }
 
     /// Serializes to the XML wire form.
@@ -168,7 +174,10 @@ mod tests {
     fn call_roundtrip() {
         let call = MethodCall::new(
             "node.sd_init",
-            vec![Value::str("SU"), Value::Struct(vec![("timeout".into(), Value::Int(30))])],
+            vec![
+                Value::str("SU"),
+                Value::Struct(vec![("timeout".into(), Value::Int(30))]),
+            ],
         );
         let xml = call.to_xml();
         assert!(xml.contains("<methodCall>"));
@@ -198,19 +207,29 @@ mod tests {
     #[test]
     fn into_result() {
         assert_eq!(
-            MethodResponse::Success(Value::Int(1)).into_result().unwrap(),
+            MethodResponse::Success(Value::Int(1))
+                .into_result()
+                .unwrap(),
             Value::Int(1)
         );
-        let f = MethodResponse::Fault(Fault::new(1, "x")).into_result().unwrap_err();
+        let f = MethodResponse::Fault(Fault::new(1, "x"))
+            .into_result()
+            .unwrap_err();
         assert_eq!(f.code, 1);
         assert!(f.to_string().contains("fault 1"));
     }
 
     #[test]
     fn rejects_malformed() {
-        assert!(MethodCall::from_xml("<methodCall/>").is_err(), "no methodName");
+        assert!(
+            MethodCall::from_xml("<methodCall/>").is_err(),
+            "no methodName"
+        );
         assert!(MethodCall::from_xml("<other/>").is_err());
-        assert!(MethodResponse::from_xml("<methodResponse/>").is_err(), "empty response");
+        assert!(
+            MethodResponse::from_xml("<methodResponse/>").is_err(),
+            "empty response"
+        );
     }
 
     #[test]

@@ -1,49 +1,51 @@
 //! The dedicated control channel between master and nodes.
 //!
 //! A [`ServerRegistry`] holds the procedures a NodeManager exposes; a
-//! [`Channel`] carries serialized XML-RPC documents between a client and a
-//! registry (in memory, standing in for the testbed's separate management
-//! network, §IV-A1); a [`NodeProxy`] is the master-side object representing
-//! one node, with the per-node locking the prototype uses ("a node object
-//! [...] uses locking to allow only one access at a time", §VI-A).
+//! [`Transport`] carries serialized XML-RPC documents between a client and
+//! a registry. Two backends exist: the in-memory [`Channel`] (standing in
+//! for the testbed's separate management network, §IV-A1, and kept for
+//! tests and benches) and the framed TCP transport in [`crate::tcp`]. A
+//! [`NodeProxy`] is the master-side object representing one node, with the
+//! per-node locking the prototype uses ("a node object [...] uses locking
+//! to allow only one access at a time", §VI-A).
 
+use crate::error::{RpcError, FAULT_INTERNAL_ERROR, FAULT_NO_SUCH_METHOD, FAULT_PARSE_ERROR};
 use crate::message::{Fault, MethodCall, MethodResponse};
 use crate::value::Value;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-
-/// Error returned by client-side calls.
-#[derive(Debug, Clone, PartialEq)]
-pub enum RpcError {
-    /// The server raised a fault.
-    Fault(Fault),
-    /// The wire payload could not be parsed.
-    Codec(String),
-    /// No procedure registered under the called name.
-    NoSuchMethod(String),
-}
-
-impl std::fmt::Display for RpcError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            RpcError::Fault(fault) => write!(f, "{fault}"),
-            RpcError::Codec(m) => write!(f, "codec error: {m}"),
-            RpcError::NoSuchMethod(m) => write!(f, "no such method: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for RpcError {}
-
-/// Fault code used when dispatch fails to find a method.
-pub const FAULT_NO_SUCH_METHOD: i32 = -32601;
 
 /// A procedure handler.
 pub type Handler = Box<dyn FnMut(&[Value]) -> Result<Value, Fault> + Send>;
 
 /// Observer invoked for every dispatched call (wire tracing, node logs).
 pub type CallObserver = Box<dyn FnMut(&MethodCall) + Send>;
+
+/// One side of the control channel: sends a call, returns the response.
+///
+/// Implementations must be shareable across the master's experiment,
+/// fault and management threads — all methods take `&self`.
+pub trait Transport: Send + Sync {
+    /// Performs one synchronous remote procedure call.
+    fn call(&self, call: &MethodCall) -> Result<MethodResponse, RpcError>;
+
+    /// Human-readable endpoint description (diagnostics).
+    fn endpoint(&self) -> String {
+        "memory".into()
+    }
+
+    /// Releases any underlying connection. Further calls may fail with
+    /// [`RpcError::Disconnected`]. Default: nothing to release.
+    fn close(&self) {}
+}
+
+/// Maps a parsed response into the caller-facing result, classifying
+/// well-known fault codes via `From<Fault> for RpcError`.
+pub fn response_to_result(response: MethodResponse) -> Result<Value, RpcError> {
+    response.into_result().map_err(RpcError::from)
+}
 
 /// Registry of procedures exposed by one server (NodeManager).
 #[derive(Default)]
@@ -81,14 +83,19 @@ impl ServerRegistry {
     }
 
     /// Dispatches a parsed call. The XML-RPC introspection convention
-    /// `system.listMethods` is answered built-in.
+    /// `system.listMethods` is answered built-in. A panicking handler is
+    /// contained server-side and reported as an internal fault, so the
+    /// registry (and every lock guarding it) stays usable afterwards.
     pub fn dispatch(&mut self, call: &MethodCall) -> MethodResponse {
         if let Some(observer) = &mut self.observer {
             observer(call);
         }
         if call.method == "system.listMethods" {
-            let names =
-                self.method_names().into_iter().map(Value::str).collect::<Vec<_>>();
+            let names = self
+                .method_names()
+                .into_iter()
+                .map(Value::str)
+                .collect::<Vec<_>>();
             return MethodResponse::Success(Value::Array(names));
         }
         match self.handlers.get_mut(&call.method) {
@@ -96,21 +103,41 @@ impl ServerRegistry {
                 FAULT_NO_SUCH_METHOD,
                 format!("no such method: {}", call.method),
             )),
-            Some(h) => match h(&call.params) {
-                Ok(v) => MethodResponse::Success(v),
-                Err(f) => MethodResponse::Fault(f),
+            Some(h) => match catch_unwind(AssertUnwindSafe(|| h(&call.params))) {
+                Ok(Ok(v)) => MethodResponse::Success(v),
+                Ok(Err(f)) => MethodResponse::Fault(f),
+                Err(panic) => MethodResponse::Fault(Fault::new(
+                    FAULT_INTERNAL_ERROR,
+                    format!(
+                        "handler '{}' panicked: {}",
+                        call.method,
+                        panic_message(panic.as_ref())
+                    ),
+                )),
             },
         }
     }
 
     /// Handles a raw XML request and produces a raw XML response — the full
-    /// wire path of a real XML-RPC HTTP endpoint.
+    /// wire path of a real XML-RPC endpoint (shared by every transport).
     pub fn handle_wire(&mut self, request_xml: &str) -> String {
         match MethodCall::from_xml(request_xml) {
-            Err(e) => MethodResponse::Fault(Fault::new(-32700, format!("parse error: {e}")))
-                .to_xml(),
+            Err(e) => {
+                MethodResponse::Fault(Fault::new(FAULT_PARSE_ERROR, format!("parse error: {e}")))
+                    .to_xml()
+            }
             Ok(call) => self.dispatch(&call).to_xml(),
         }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "unknown panic payload"
     }
 }
 
@@ -126,27 +153,29 @@ pub struct Channel {
 impl Channel {
     /// Wraps a registry into a channel endpoint.
     pub fn new(server: ServerRegistry) -> Self {
-        Self { server: Arc::new(Mutex::new(server)) }
+        Self {
+            server: Arc::new(Mutex::new(server)),
+        }
     }
 
-    /// Access to the server side (to register more procedures later).
+    /// Access to the server side (to register more procedures later, or
+    /// to serve the same registry over another transport).
     pub fn server(&self) -> Arc<Mutex<ServerRegistry>> {
         Arc::clone(&self.server)
     }
 
-    /// Performs a synchronous call over the wire format.
+    /// Performs a synchronous call over the wire format (convenience
+    /// wrapper around the [`Transport`] impl).
     pub fn call(&self, method: &str, params: Vec<Value>) -> Result<Value, RpcError> {
-        let request = MethodCall::new(method, params).to_xml();
+        response_to_result(Transport::call(self, &MethodCall::new(method, params))?)
+    }
+}
+
+impl Transport for Channel {
+    fn call(&self, call: &MethodCall) -> Result<MethodResponse, RpcError> {
+        let request = call.to_xml();
         let response_xml = self.server.lock().handle_wire(&request);
-        let response = MethodResponse::from_xml(&response_xml)
-            .map_err(|e| RpcError::Codec(e.to_string()))?;
-        match response.into_result() {
-            Ok(v) => Ok(v),
-            Err(f) if f.code == FAULT_NO_SUCH_METHOD => {
-                Err(RpcError::NoSuchMethod(f.message))
-            }
-            Err(f) => Err(RpcError::Fault(f)),
-        }
+        MethodResponse::from_xml(&response_xml).map_err(|e| RpcError::Codec(e.to_string()))
     }
 }
 
@@ -154,25 +183,58 @@ impl Channel {
 ///
 /// Serializes all access to the node with a lock so concurrent experiment
 /// process threads, fault threads and management actions cannot interleave
-/// calls to the same node.
+/// calls to the same node. The lock is held only for the duration of one
+/// call and is released cleanly on every outcome — error, timeout, or a
+/// panic unwinding out of the transport — so one failed call can never
+/// wedge subsequent calls to the node.
 pub struct NodeProxy {
     /// Node identifier (host name).
     pub node_id: String,
-    channel: Channel,
+    transport: Arc<dyn Transport>,
     lock: Mutex<()>,
 }
 
 impl NodeProxy {
-    /// Creates a proxy for `node_id` over `channel`.
-    pub fn new(node_id: impl Into<String>, channel: Channel) -> Self {
-        Self { node_id: node_id.into(), channel, lock: Mutex::new(()) }
+    /// Creates a proxy for `node_id` over `transport`.
+    pub fn new(node_id: impl Into<String>, transport: impl Transport + 'static) -> Self {
+        Self::from_arc(node_id, Arc::new(transport))
+    }
+
+    /// Creates a proxy over an already-shared transport object.
+    pub fn from_arc(node_id: impl Into<String>, transport: Arc<dyn Transport>) -> Self {
+        Self {
+            node_id: node_id.into(),
+            transport,
+            lock: Mutex::new(()),
+        }
     }
 
     /// Calls a procedure on the node, holding the node lock for the
-    /// duration of the call.
+    /// duration of the call. A transport that panics is contained here
+    /// and surfaces as [`RpcError::Io`]; the node lock is released either
+    /// way (it does not poison).
     pub fn call(&self, method: &str, params: Vec<Value>) -> Result<Value, RpcError> {
         let _guard = self.lock.lock();
-        self.channel.call(method, params)
+        let call = MethodCall::new(method, params);
+        let outcome = catch_unwind(AssertUnwindSafe(|| self.transport.call(&call)));
+        match outcome {
+            Ok(result) => response_to_result(result?),
+            Err(panic) => Err(RpcError::Io(format!(
+                "transport panicked during '{}': {}",
+                method,
+                panic_message(panic.as_ref())
+            ))),
+        }
+    }
+
+    /// Endpoint description of the underlying transport.
+    pub fn endpoint(&self) -> String {
+        self.transport.endpoint()
+    }
+
+    /// Closes the underlying transport.
+    pub fn close(&self) {
+        self.transport.close();
     }
 }
 
@@ -202,14 +264,19 @@ mod tests {
     #[test]
     fn call_roundtrips_through_wire_format() {
         let ch = Channel::new(echo_registry());
-        let result = ch.call("echo", vec![Value::str("x"), Value::Int(2)]).unwrap();
+        let result = ch
+            .call("echo", vec![Value::str("x"), Value::Int(2)])
+            .unwrap();
         assert_eq!(result, Value::Array(vec![Value::str("x"), Value::Int(2)]));
     }
 
     #[test]
     fn add_and_fault_paths() {
         let ch = Channel::new(echo_registry());
-        assert_eq!(ch.call("add", vec![Value::Int(2), Value::Int(3)]).unwrap(), Value::Int(5));
+        assert_eq!(
+            ch.call("add", vec![Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::Int(5)
+        );
         match ch.call("add", vec![Value::Int(2)]) {
             Err(RpcError::Fault(f)) => assert_eq!(f.code, 1),
             other => panic!("{other:?}"),
@@ -266,8 +333,12 @@ mod tests {
     fn system_list_methods_over_the_wire() {
         let ch = Channel::new(echo_registry());
         let v = ch.call("system.listMethods", vec![]).unwrap();
-        let names: Vec<&str> =
-            v.as_array().unwrap().iter().filter_map(Value::as_str).collect();
+        let names: Vec<&str> = v
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(Value::as_str)
+            .collect();
         assert_eq!(names, vec!["add", "echo", "fail"]);
     }
 
@@ -277,7 +348,7 @@ mod tests {
         let resp = reg.handle_wire("this is not xml");
         let parsed = MethodResponse::from_xml(&resp).unwrap();
         match parsed {
-            MethodResponse::Fault(f) => assert_eq!(f.code, -32700),
+            MethodResponse::Fault(f) => assert_eq!(f.code, FAULT_PARSE_ERROR),
             other => panic!("{other:?}"),
         }
     }
@@ -307,14 +378,81 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "node lock must serialize calls");
+        assert_eq!(
+            max_seen.load(Ordering::SeqCst),
+            1,
+            "node lock must serialize calls"
+        );
     }
 
     #[test]
     fn channel_clone_shares_server() {
         let ch = Channel::new(ServerRegistry::new());
-        ch.server().lock().register("ping", |_| Ok(Value::str("pong")));
+        ch.server()
+            .lock()
+            .register("ping", |_| Ok(Value::str("pong")));
         let ch2 = ch.clone();
         assert_eq!(ch2.call("ping", vec![]).unwrap(), Value::str("pong"));
+    }
+
+    #[test]
+    fn panicking_handler_is_contained_as_internal_fault() {
+        let mut reg = echo_registry();
+        reg.register("explode", |_| panic!("kaboom"));
+        let proxy = NodeProxy::new("t9-105", Channel::new(reg));
+        match proxy.call("explode", vec![]) {
+            Err(RpcError::Fault(f)) => {
+                assert_eq!(f.code, FAULT_INTERNAL_ERROR);
+                assert!(f.message.contains("kaboom"), "{}", f.message);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The failed call released both the node lock and the registry
+        // lock: subsequent calls on the same proxy still work.
+        assert_eq!(
+            proxy
+                .call("add", vec![Value::Int(1), Value::Int(2)])
+                .unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn panicking_transport_releases_the_node_lock() {
+        struct Bomb {
+            armed: std::sync::atomic::AtomicBool,
+            inner: Channel,
+        }
+        impl Transport for Bomb {
+            fn call(&self, call: &MethodCall) -> Result<MethodResponse, RpcError> {
+                if self.armed.swap(false, Ordering::SeqCst) {
+                    panic!("wire melted");
+                }
+                Transport::call(&self.inner, call)
+            }
+        }
+        let bomb = Bomb {
+            armed: std::sync::atomic::AtomicBool::new(true),
+            inner: Channel::new(echo_registry()),
+        };
+        let proxy = NodeProxy::new("t9-105", bomb);
+        match proxy.call("echo", vec![]) {
+            Err(RpcError::Io(m)) => assert!(m.contains("wire melted"), "{m}"),
+            other => panic!("{other:?}"),
+        }
+        // The poisoned first call must not wedge the per-node lock.
+        proxy.call("echo", vec![Value::Int(7)]).unwrap();
+    }
+
+    #[test]
+    fn transport_object_is_usable_behind_dyn() {
+        let t: Arc<dyn Transport> = Arc::new(Channel::new(echo_registry()));
+        let proxy = NodeProxy::from_arc("t9-105", Arc::clone(&t));
+        assert_eq!(proxy.endpoint(), "memory");
+        let resp = t
+            .call(&MethodCall::new("add", vec![Value::Int(4), Value::Int(5)]))
+            .unwrap();
+        assert_eq!(response_to_result(resp).unwrap(), Value::Int(9));
+        proxy.close();
     }
 }

@@ -153,7 +153,10 @@ impl Value {
                 let data = inner
                     .child("data")
                     .ok_or_else(|| XmlError::validation("<array> without <data>"))?;
-                data.elements_named("value").map(Value::from_element).collect::<Result<_, _>>().map(Value::Array)
+                data.elements_named("value")
+                    .map(Value::from_element)
+                    .collect::<Result<_, _>>()
+                    .map(Value::Array)
             }
             "struct" => {
                 let mut members = Vec::new();
@@ -169,7 +172,9 @@ impl Value {
                 }
                 Ok(Value::Struct(members))
             }
-            other => Err(XmlError::validation(format!("unknown value type <{other}>"))),
+            other => Err(XmlError::validation(format!(
+                "unknown value type <{other}>"
+            ))),
         }
     }
 }
@@ -191,12 +196,24 @@ const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz012
 pub fn base64_encode(data: &[u8]) -> String {
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
-        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
         let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
         out.push(B64[(n >> 18) as usize & 63] as char);
         out.push(B64[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 { B64[(n >> 6) as usize & 63] as char } else { '=' });
-        out.push(if chunk.len() > 2 { B64[n as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            B64[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64[n as usize & 63] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -213,8 +230,7 @@ pub fn base64_decode(text: &str) -> Option<Vec<u8>> {
             _ => None,
         }
     }
-    let clean: Vec<u8> =
-        text.bytes().filter(|b| !b" \t\r\n".contains(b)).collect();
+    let clean: Vec<u8> = text.bytes().filter(|b| !b" \t\r\n".contains(b)).collect();
     if !clean.len().is_multiple_of(4) {
         return None;
     }
@@ -264,7 +280,11 @@ mod tests {
 
     #[test]
     fn composite_roundtrips() {
-        roundtrip(Value::Array(vec![Value::Int(1), Value::str("two"), Value::Bool(false)]));
+        roundtrip(Value::Array(vec![
+            Value::Int(1),
+            Value::str("two"),
+            Value::Bool(false),
+        ]));
         roundtrip(Value::Struct(vec![
             ("run_id".into(), Value::Int(7)),
             (

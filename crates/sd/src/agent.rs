@@ -57,7 +57,11 @@ struct Search {
 enum TimerPurpose {
     Announce(ServiceType),
     QueryRetry(ServiceType),
-    ResponseJitter { qid: u64, to: Option<NodeId>, records: Vec<ServiceDescription> },
+    ResponseJitter {
+        qid: u64,
+        to: Option<NodeId>,
+        records: Vec<ServiceDescription>,
+    },
     Probe(ServiceType),
     CacheExpiry,
     ScmAdvert,
@@ -127,7 +131,11 @@ impl SdAgent {
 
     /// Live records this agent has cached for a service type.
     pub fn cached(&self, stype: &ServiceType, ctx: &AgentCtx) -> Vec<ServiceDescription> {
-        self.cache.lookup(stype, ctx.now()).into_iter().cloned().collect()
+        self.cache
+            .lookup(stype, ctx.now())
+            .into_iter()
+            .cloned()
+            .collect()
     }
 
     fn arm(&mut self, ctx: &mut AgentCtx, delay: SimDuration, purpose: TimerPurpose) -> u64 {
@@ -139,11 +147,17 @@ impl SdAgent {
     }
 
     fn uses_multicast(&self) -> bool {
-        matches!(self.cfg.architecture, Architecture::TwoParty | Architecture::Hybrid)
+        matches!(
+            self.cfg.architecture,
+            Architecture::TwoParty | Architecture::Hybrid
+        )
     }
 
     fn uses_directory(&self) -> bool {
-        matches!(self.cfg.architecture, Architecture::ThreeParty | Architecture::Hybrid)
+        matches!(
+            self.cfg.architecture,
+            Architecture::ThreeParty | Architecture::Hybrid
+        )
     }
 
     // ---- SD actions (paper §V) -------------------------------------------
@@ -186,22 +200,33 @@ impl SdAgent {
     pub fn start_search(&mut self, ctx: &mut AgentCtx, stype: ServiceType) {
         ctx.emit("sd_start_search", vec![("stype".into(), stype.0.clone())]);
         // Passively cached records count as discovered immediately.
-        let already: Vec<ServiceDescription> =
-            self.cache.lookup(&stype, ctx.now()).into_iter().cloned().collect();
+        let already: Vec<ServiceDescription> = self
+            .cache
+            .lookup(&stype, ctx.now())
+            .into_iter()
+            .cloned()
+            .collect();
         for d in already {
             self.emit_service_event(ctx, "sd_service_add", &d);
         }
-        self.searches
-            .insert(stype.clone(), Search { current_interval: self.cfg.query_interval });
-        self.arm(ctx, self.cfg.first_query_delay, TimerPurpose::QueryRetry(stype));
+        self.searches.insert(
+            stype.clone(),
+            Search {
+                current_interval: self.cfg.query_interval,
+            },
+        );
+        self.arm(
+            ctx,
+            self.cfg.first_query_delay,
+            TimerPurpose::QueryRetry(stype),
+        );
     }
 
     /// `Stop searching`. Emits `sd_stop_search`.
     pub fn stop_search(&mut self, ctx: &mut AgentCtx, stype: &ServiceType) {
         if self.searches.remove(stype).is_some() {
-            self.timers.retain(|_, p| {
-                !matches!(p, TimerPurpose::QueryRetry(st) if st == stype)
-            });
+            self.timers
+                .retain(|_, p| !matches!(p, TimerPurpose::QueryRetry(st) if st == stype));
             ctx.emit("sd_stop_search", vec![("stype".into(), stype.0.clone())]);
         }
     }
@@ -211,7 +236,10 @@ impl SdAgent {
     pub fn start_publish(&mut self, ctx: &mut AgentCtx, desc: ServiceDescription) {
         ctx.emit(
             "sd_start_publish",
-            vec![("service".into(), desc.instance.clone()), ("stype".into(), desc.stype.0.clone())],
+            vec![
+                ("service".into(), desc.instance.clone()),
+                ("stype".into(), desc.stype.0.clone()),
+            ],
         );
         let stype = desc.stype.clone();
         let probing = self.cfg.probe_before_announce && self.uses_multicast();
@@ -249,7 +277,9 @@ impl SdAgent {
             return;
         };
         if self.uses_multicast() {
-            let goodbye = SdMessage::Announce { record: publication.desc.goodbye() };
+            let goodbye = SdMessage::Announce {
+                record: publication.desc.goodbye(),
+            };
             ctx.send(Destination::Multicast, self.port, goodbye.encode());
             self.stats.announces_sent += 1;
         }
@@ -277,7 +307,10 @@ impl SdAgent {
     pub fn update_publication(&mut self, ctx: &mut AgentCtx, desc: ServiceDescription) {
         ctx.emit(
             "sd_service_upd",
-            vec![("service".into(), desc.instance.clone()), ("stype".into(), desc.stype.0.clone())],
+            vec![
+                ("service".into(), desc.instance.clone()),
+                ("stype".into(), desc.stype.0.clone()),
+            ],
         );
         let stype = desc.stype.clone();
         if let Some(p) = self.publications.get_mut(&stype) {
@@ -289,7 +322,11 @@ impl SdAgent {
             return;
         }
         if self.uses_multicast() {
-            self.arm(ctx, SimDuration::ZERO, TimerPurpose::Announce(stype.clone()));
+            self.arm(
+                ctx,
+                SimDuration::ZERO,
+                TimerPurpose::Announce(stype.clone()),
+            );
         }
         if self.uses_directory() && self.scm_known.is_some() {
             self.register_publication(ctx, &stype);
@@ -322,13 +359,20 @@ impl SdAgent {
             } else {
                 Vec::new()
             };
-            let msg = SdMessage::Query { qid, stype: stype.clone(), known };
+            let msg = SdMessage::Query {
+                qid,
+                stype: stype.clone(),
+                known,
+            };
             ctx.send(Destination::Multicast, self.port, msg.encode());
             self.stats.queries_sent += 1;
         }
         if let (true, Some(scm)) = (self.uses_directory(), self.scm_known) {
             let qid = self.alloc_qid(ctx);
-            let msg = SdMessage::DirectedQuery { qid, stype: stype.clone() };
+            let msg = SdMessage::DirectedQuery {
+                qid,
+                stype: stype.clone(),
+            };
             ctx.send(Destination::Unicast(scm), self.port, msg.encode());
             self.stats.directed_queries_sent += 1;
         }
@@ -342,15 +386,30 @@ impl SdAgent {
 
     fn register_publication(&mut self, ctx: &mut AgentCtx, stype: &ServiceType) {
         let Some(scm) = self.scm_known else { return };
-        let Some(p) = self.publications.get(stype) else { return };
+        let Some(p) = self.publications.get(stype) else {
+            return;
+        };
         let rid = self.next_rid;
         self.next_rid += 1;
         let lease_s = (self.cfg.registration_lease.as_millis() / 1000).max(1) as u32;
-        let msg = SdMessage::Register { rid, record: p.desc.clone(), lease_s };
+        let msg = SdMessage::Register {
+            rid,
+            record: p.desc.clone(),
+            lease_s,
+        };
         ctx.send(Destination::Unicast(scm), self.port, msg.encode());
         self.stats.registrations_sent += 1;
-        self.pending_regs.insert(rid, PendingReg { stype: stype.clone() });
-        self.arm(ctx, self.cfg.registration_retry, TimerPurpose::RegRetry(rid));
+        self.pending_regs.insert(
+            rid,
+            PendingReg {
+                stype: stype.clone(),
+            },
+        );
+        self.arm(
+            ctx,
+            self.cfg.registration_retry,
+            TimerPurpose::RegRetry(rid),
+        );
     }
 
     fn rearm_cache_expiry(&mut self, ctx: &mut AgentCtx) {
@@ -367,7 +426,9 @@ impl SdAgent {
         if record.is_goodbye() || record.provider == ctx.node() {
             return;
         }
-        let Some(p) = self.publications.get_mut(&record.stype) else { return };
+        let Some(p) = self.publications.get_mut(&record.stype) else {
+            return;
+        };
         if p.desc.instance != record.instance || p.desc.provider == record.provider {
             return;
         }
@@ -406,7 +467,11 @@ impl SdAgent {
             if probing {
                 self.arm(ctx, SimDuration::ZERO, TimerPurpose::Probe(stype));
             } else {
-                self.arm(ctx, self.cfg.first_announce_delay, TimerPurpose::Announce(stype));
+                self.arm(
+                    ctx,
+                    self.cfg.first_announce_delay,
+                    TimerPurpose::Announce(stype),
+                );
             }
         }
     }
@@ -429,10 +494,18 @@ impl SdAgent {
         self.rearm_cache_expiry(ctx);
     }
 
-    fn handle_query(&mut self, ctx: &mut AgentCtx, qid: u64, stype: &ServiceType, known: &[String]) {
+    fn handle_query(
+        &mut self,
+        ctx: &mut AgentCtx,
+        qid: u64,
+        stype: &ServiceType,
+        known: &[String],
+    ) {
         // Only publishing SMs answer multicast queries; SCMs answer only
         // directed queries (three-party discovery is directed by design).
-        let Some(p) = self.publications.get(stype) else { return };
+        let Some(p) = self.publications.get(stype) else {
+            return;
+        };
         if p.probes_left > 0 {
             return; // name not established yet (probing phase)
         }
@@ -442,7 +515,8 @@ impl SdAgent {
         }
         // Response jitter avoids synchronized responder collisions.
         let jitter_ns = if self.cfg.response_jitter_max > SimDuration::ZERO {
-            ctx.rng().gen_range(0..=self.cfg.response_jitter_max.as_nanos())
+            ctx.rng()
+                .gen_range(0..=self.cfg.response_jitter_max.as_nanos())
         } else {
             0
         };
@@ -450,16 +524,30 @@ impl SdAgent {
         self.arm(
             ctx,
             SimDuration::from_nanos(jitter_ns),
-            TimerPurpose::ResponseJitter { qid, to: None, records },
+            TimerPurpose::ResponseJitter {
+                qid,
+                to: None,
+                records,
+            },
         );
     }
 
-    fn handle_directed_query(&mut self, ctx: &mut AgentCtx, qid: u64, stype: &ServiceType, from: NodeId) {
+    fn handle_directed_query(
+        &mut self,
+        ctx: &mut AgentCtx,
+        qid: u64,
+        stype: &ServiceType,
+        from: NodeId,
+    ) {
         if self.role != Some(Role::CacheManager) {
             return;
         }
-        let records: Vec<ServiceDescription> =
-            self.registry.lookup(stype, ctx.now()).into_iter().cloned().collect();
+        let records: Vec<ServiceDescription> = self
+            .registry
+            .lookup(stype, ctx.now())
+            .into_iter()
+            .cloned()
+            .collect();
         let msg = SdMessage::Response { qid, records };
         ctx.send(Destination::Unicast(from), self.port, msg.encode());
         self.stats.responses_sent += 1;
@@ -493,17 +581,24 @@ impl SdAgent {
                 ],
             );
         }
-        ctx.send(Destination::Unicast(from), self.port, SdMessage::RegisterAck { rid }.encode());
+        ctx.send(
+            Destination::Unicast(from),
+            self.port,
+            SdMessage::RegisterAck { rid }.encode(),
+        );
     }
 
     fn handle_deregister(&mut self, ctx: &mut AgentCtx, instance: &str, stype: &ServiceType) {
         if self.role != Some(Role::CacheManager) {
             return;
         }
-        let mut goodbye =
-            ServiceDescription::new(instance.to_string(), stype.clone(), NodeId(0));
+        let mut goodbye = ServiceDescription::new(instance.to_string(), stype.clone(), NodeId(0));
         goodbye.ttl_s = 0;
-        if self.registry.merge(&goodbye, excovery_netsim::SimTime::ZERO) == CacheChange::Removed {
+        if self
+            .registry
+            .merge(&goodbye, excovery_netsim::SimTime::ZERO)
+            == CacheChange::Removed
+        {
             ctx.emit(
                 "scm_registration_del",
                 vec![("service".into(), instance.to_string())],
@@ -546,15 +641,15 @@ impl Agent for SdAgent {
             return; // garbage is dropped, as a real stack would
         };
         match msg {
-            SdMessage::Query { qid, stype, known } => {
-                self.handle_query(ctx, qid, &stype, &known)
-            }
+            SdMessage::Query { qid, stype, known } => self.handle_query(ctx, qid, &stype, &known),
             SdMessage::Response { qid: _, records } => self.absorb_records(ctx, &records),
             SdMessage::Announce { record } => self.absorb_records(ctx, &[record]),
             SdMessage::ScmAdvert { scm } => self.handle_scm_advert(ctx, scm),
-            SdMessage::Register { rid, record, lease_s } => {
-                self.handle_register(ctx, rid, &record, lease_s, pkt.src)
-            }
+            SdMessage::Register {
+                rid,
+                record,
+                lease_s,
+            } => self.handle_register(ctx, rid, &record, lease_s, pkt.src),
             SdMessage::RegisterAck { rid } => {
                 if let Some(pending) = self.pending_regs.remove(&rid) {
                     if let Some(p) = self.publications.get_mut(&pending.stype) {
@@ -580,7 +675,9 @@ impl Agent for SdAgent {
         };
         match purpose {
             TimerPurpose::Announce(stype) => {
-                let Some(p) = self.publications.get_mut(&stype) else { return };
+                let Some(p) = self.publications.get_mut(&stype) else {
+                    return;
+                };
                 if p.announces_left == 0 {
                     return;
                 }
@@ -615,18 +712,28 @@ impl Agent for SdAgent {
                     Some(node) => Destination::Unicast(node),
                     None => Destination::Multicast,
                 };
-                ctx.send(dst, self.port, SdMessage::Response { qid, records }.encode());
+                ctx.send(
+                    dst,
+                    self.port,
+                    SdMessage::Response { qid, records }.encode(),
+                );
                 self.stats.responses_sent += 1;
             }
             TimerPurpose::Probe(stype) => {
-                let Some(p) = self.publications.get_mut(&stype) else { return };
+                let Some(p) = self.publications.get_mut(&stype) else {
+                    return;
+                };
                 if p.probes_left == 0 {
                     return; // superseded (e.g. renamed meanwhile)
                 }
                 p.probes_left -= 1;
                 let remaining = p.probes_left;
                 let qid = self.alloc_qid(ctx);
-                let msg = SdMessage::Query { qid, stype: stype.clone(), known: Vec::new() };
+                let msg = SdMessage::Query {
+                    qid,
+                    stype: stype.clone(),
+                    known: Vec::new(),
+                };
                 ctx.send(Destination::Multicast, self.port, msg.encode());
                 self.stats.probes_sent += 1;
                 if remaining > 0 {
@@ -686,7 +793,10 @@ mod tests {
 
     fn quiet_sim(n: usize, seed: u64) -> Simulator {
         let cfg = SimulatorConfig {
-            link_model: LinkModel { base_loss: 0.0, ..LinkModel::default() },
+            link_model: LinkModel {
+                base_loss: 0.0,
+                ..LinkModel::default()
+            },
             ..SimulatorConfig::perfect_clocks(seed)
         };
         Simulator::new(Topology::chain(n), cfg)
@@ -701,7 +811,10 @@ mod tests {
     }
 
     fn names_on(evts: &[ProtocolEvent], node: u16) -> Vec<&str> {
-        evts.iter().filter(|e| e.node == NodeId(node)).map(|e| e.name.as_str()).collect()
+        evts.iter()
+            .filter(|e| e.node == NodeId(node))
+            .map(|e| e.name.as_str())
+            .collect()
     }
 
     fn http() -> ServiceType {
@@ -731,7 +844,10 @@ mod tests {
             .iter()
             .find(|e| e.name == "sd_service_add" && e.node == NodeId(1))
             .unwrap();
-        assert!(add.params.iter().any(|(k, v)| k == "service" && v == "sm-A"));
+        assert!(add
+            .params
+            .iter()
+            .any(|(k, v)| k == "service" && v == "sm-A"));
     }
 
     #[test]
@@ -749,11 +865,17 @@ mod tests {
         sd_command(&mut sim, NodeId(1), SdCommand::StartSearch(http()));
         sim.run_for(SimDuration::from_secs(2));
         let evts = events(&mut sim);
-        let add = evts.iter().find(|e| e.name == "sd_service_add").expect("discovered");
+        let add = evts
+            .iter()
+            .find(|e| e.name == "sd_service_add")
+            .expect("discovered");
         let t_r = add.local_time.saturating_since(SimTime::ZERO).as_nanos() as i64
             - search_start.as_nanos() as i64;
         assert!(t_r >= 0, "clock is perfect, local == reference");
-        assert!(t_r < 1_000_000_000, "t_R = {t_r} ns, expected < 1 s when idle");
+        assert!(
+            t_r < 1_000_000_000,
+            "t_R = {t_r} ns, expected < 1 s when idle"
+        );
     }
 
     #[test]
@@ -793,7 +915,10 @@ mod tests {
     #[test]
     fn ttl_expiry_triggers_service_del() {
         let mut sim = quiet_sim(2, 5);
-        let cfg = SdConfig { announce_count: 1, ..SdConfig::two_party() };
+        let cfg = SdConfig {
+            announce_count: 1,
+            ..SdConfig::two_party()
+        };
         install(&mut sim, 0, cfg.clone());
         install(&mut sim, 1, cfg);
         sd_command(&mut sim, NodeId(0), SdCommand::Init(Role::ServiceManager));
@@ -814,7 +939,10 @@ mod tests {
     fn known_answer_suppression_reduces_responses() {
         fn responses_with(kas: bool) -> u64 {
             let mut sim = quiet_sim(2, 6);
-            let cfg = SdConfig { known_answer_suppression: kas, ..SdConfig::two_party() };
+            let cfg = SdConfig {
+                known_answer_suppression: kas,
+                ..SdConfig::two_party()
+            };
             install(&mut sim, 0, cfg.clone());
             install(&mut sim, 1, cfg);
             sd_command(&mut sim, NodeId(0), SdCommand::Init(Role::ServiceManager));
@@ -823,7 +951,12 @@ mod tests {
             sd_command(&mut sim, NodeId(1), SdCommand::StartSearch(http()));
             sim.run_for(SimDuration::from_secs(30));
             sim.with_agent_mut(NodeId(0), SD_PORT, |agent, _| {
-                agent.as_any_mut().downcast_ref::<SdAgent>().unwrap().stats().responses_sent
+                agent
+                    .as_any_mut()
+                    .downcast_ref::<SdAgent>()
+                    .unwrap()
+                    .stats()
+                    .responses_sent
             })
             .unwrap()
         }
@@ -848,14 +981,21 @@ mod tests {
         sim.run_for(SimDuration::from_secs(5));
         let evts = events(&mut sim);
         assert!(names_on(&evts, 1).contains(&"scm_started"));
-        assert!(names_on(&evts, 1).contains(&"scm_registration_add"), "{evts:?}");
+        assert!(
+            names_on(&evts, 1).contains(&"scm_registration_add"),
+            "{evts:?}"
+        );
         assert!(names_on(&evts, 0).contains(&"scm_found"));
         assert!(names_on(&evts, 2).contains(&"scm_found"));
         assert!(names_on(&evts, 2).contains(&"sd_service_add"), "{evts:?}");
         // Pure three-party SU must not have sent multicast queries.
         let stats = sim
             .with_agent_mut(NodeId(2), SD_PORT, |agent, _| {
-                agent.as_any_mut().downcast_ref::<SdAgent>().unwrap().stats()
+                agent
+                    .as_any_mut()
+                    .downcast_ref::<SdAgent>()
+                    .unwrap()
+                    .stats()
             })
             .unwrap();
         assert_eq!(stats.queries_sent, 0);
@@ -936,8 +1076,14 @@ mod tests {
         sd_command(&mut sim, NodeId(0), SdCommand::UpdatePublication(updated));
         sim.run_for(SimDuration::from_secs(2));
         let evts = events(&mut sim);
-        assert!(names_on(&evts, 0).contains(&"sd_service_upd"), "SM-side event");
-        assert!(names_on(&evts, 1).contains(&"sd_service_upd"), "SU-side event: {evts:?}");
+        assert!(
+            names_on(&evts, 0).contains(&"sd_service_upd"),
+            "SM-side event"
+        );
+        assert!(
+            names_on(&evts, 1).contains(&"sd_service_upd"),
+            "SU-side event: {evts:?}"
+        );
     }
 
     #[test]
@@ -960,7 +1106,12 @@ mod tests {
         sim.run_for(SimDuration::from_secs(16));
         let queries = sim
             .with_agent_mut(NodeId(0), SD_PORT, |agent, _| {
-                agent.as_any_mut().downcast_ref::<SdAgent>().unwrap().stats().queries_sent
+                agent
+                    .as_any_mut()
+                    .downcast_ref::<SdAgent>()
+                    .unwrap()
+                    .stats()
+                    .queries_sent
             })
             .unwrap();
         // Queries at ~0.02, 1.02, 3.02, 7.02, 15.02 s → 5 within 16 s.

@@ -55,7 +55,13 @@ impl ServiceCache {
         let expires = now + SimDuration::from_secs(u64::from(desc.ttl_s));
         match self.entries.get_mut(&key) {
             None => {
-                self.entries.insert(key, Entry { desc: desc.clone(), expires });
+                self.entries.insert(
+                    key,
+                    Entry {
+                        desc: desc.clone(),
+                        expires,
+                    },
+                );
                 CacheChange::Added
             }
             Some(e) => {
@@ -142,8 +148,12 @@ impl ServiceCache {
 
     /// All live records regardless of type (SCM responses, diagnostics).
     pub fn all(&self, now: SimTime) -> Vec<&ServiceDescription> {
-        let mut out: Vec<&ServiceDescription> =
-            self.entries.values().filter(|e| e.expires > now).map(|e| &e.desc).collect();
+        let mut out: Vec<&ServiceDescription> = self
+            .entries
+            .values()
+            .filter(|e| e.expires > now)
+            .map(|e| &e.desc)
+            .collect();
         out.sort_by(|a, b| (&a.stype, &a.instance).cmp(&(&b.stype, &b.instance)));
         out
     }

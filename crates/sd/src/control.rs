@@ -36,12 +36,7 @@ pub fn sd_command(sim: &mut Simulator, node: NodeId, cmd: SdCommand) -> bool {
 }
 
 /// Applies a command to the SD agent on an explicit port.
-pub fn sd_command_on_port(
-    sim: &mut Simulator,
-    node: NodeId,
-    port: u16,
-    cmd: SdCommand,
-) -> bool {
+pub fn sd_command_on_port(sim: &mut Simulator, node: NodeId, port: u16, cmd: SdCommand) -> bool {
     sim.with_agent_mut(node, port, move |agent, ctx| {
         let Some(sd) = agent.as_any_mut().downcast_mut::<SdAgent>() else {
             return false;
@@ -94,7 +89,11 @@ mod tests {
             SD_PORT,
             Box::new(SdAgent::new(SdConfig::two_party(), SD_PORT)),
         );
-        assert!(sd_command(&mut sim, NodeId(0), SdCommand::Init(Role::ServiceUser)));
+        assert!(sd_command(
+            &mut sim,
+            NodeId(0),
+            SdCommand::Init(Role::ServiceUser)
+        ));
         let evts = sim.drain_protocol_events();
         assert!(evts.iter().any(|e| e.name == "sd_init_done"));
     }

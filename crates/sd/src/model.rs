@@ -117,7 +117,10 @@ impl ServiceDescription {
 
     /// The same record with TTL 0 — the goodbye form.
     pub fn goodbye(&self) -> Self {
-        Self { ttl_s: 0, ..self.clone() }
+        Self {
+            ttl_s: 0,
+            ..self.clone()
+        }
     }
 
     /// True if this record announces removal.
@@ -202,12 +205,18 @@ impl SdConfig {
 
     /// Three-party defaults.
     pub fn three_party() -> Self {
-        Self { architecture: Architecture::ThreeParty, ..Self::default() }
+        Self {
+            architecture: Architecture::ThreeParty,
+            ..Self::default()
+        }
     }
 
     /// Hybrid defaults.
     pub fn hybrid() -> Self {
-        Self { architecture: Architecture::Hybrid, ..Self::default() }
+        Self {
+            architecture: Architecture::Hybrid,
+            ..Self::default()
+        }
     }
 }
 
@@ -225,7 +234,11 @@ mod tests {
 
     #[test]
     fn architecture_roundtrip() {
-        for a in [Architecture::TwoParty, Architecture::ThreeParty, Architecture::Hybrid] {
+        for a in [
+            Architecture::TwoParty,
+            Architecture::ThreeParty,
+            Architecture::Hybrid,
+        ] {
             assert_eq!(Architecture::parse(a.as_str()), Some(a));
         }
         assert_eq!(Architecture::parse("four-party"), None);
@@ -244,7 +257,10 @@ mod tests {
     #[test]
     fn config_presets() {
         assert_eq!(SdConfig::two_party().architecture, Architecture::TwoParty);
-        assert_eq!(SdConfig::three_party().architecture, Architecture::ThreeParty);
+        assert_eq!(
+            SdConfig::three_party().architecture,
+            Architecture::ThreeParty
+        );
         assert_eq!(SdConfig::hybrid().architecture, Architecture::Hybrid);
     }
 

@@ -142,7 +142,14 @@ fn decode_record(s: &str) -> Option<Record> {
             attributes.push((unesc(k)?, unesc(v)?));
         }
     }
-    Some(Record { instance, stype, provider, service_port, attributes, ttl_s })
+    Some(Record {
+        instance,
+        stype,
+        provider,
+        service_port,
+        attributes,
+        ttl_s,
+    })
 }
 
 impl SdMessage {
@@ -156,13 +163,20 @@ impl SdMessage {
                 format!("QRY|{qid}|{}|{}|{joined}", esc(&stype.0), known.len())
             }
             SdMessage::Response { qid, records } => {
-                let recs =
-                    records.iter().map(encode_record).collect::<Vec<_>>().join("\n");
+                let recs = records
+                    .iter()
+                    .map(encode_record)
+                    .collect::<Vec<_>>()
+                    .join("\n");
                 format!("RSP|{qid}|{recs}")
             }
             SdMessage::Announce { record } => format!("ANN|{}", encode_record(record)),
             SdMessage::ScmAdvert { scm } => format!("ADV|{}", scm.0),
-            SdMessage::Register { rid, record, lease_s } => {
+            SdMessage::Register {
+                rid,
+                record,
+                lease_s,
+            } => {
                 format!("REG|{rid}|{lease_s}|{}", encode_record(record))
             }
             SdMessage::RegisterAck { rid } => format!("ACK|{rid}"),
@@ -206,20 +220,33 @@ impl SdMessage {
                 let records = if recs_raw.is_empty() {
                     Vec::new()
                 } else {
-                    recs_raw.split('\n').map(decode_record).collect::<Option<Vec<_>>>()?
+                    recs_raw
+                        .split('\n')
+                        .map(decode_record)
+                        .collect::<Option<Vec<_>>>()?
                 };
                 Some(SdMessage::Response { qid, records })
             }
-            "ANN" => Some(SdMessage::Announce { record: decode_record(rest)? }),
-            "ADV" => Some(SdMessage::ScmAdvert { scm: NodeId(rest.parse().ok()?) }),
+            "ANN" => Some(SdMessage::Announce {
+                record: decode_record(rest)?,
+            }),
+            "ADV" => Some(SdMessage::ScmAdvert {
+                scm: NodeId(rest.parse().ok()?),
+            }),
             "REG" => {
                 let mut p = rest.splitn(3, '|');
                 let rid = p.next()?.parse().ok()?;
                 let lease_s = p.next()?.parse().ok()?;
                 let record = decode_record(p.next()?)?;
-                Some(SdMessage::Register { rid, record, lease_s })
+                Some(SdMessage::Register {
+                    rid,
+                    record,
+                    lease_s,
+                })
             }
-            "ACK" => Some(SdMessage::RegisterAck { rid: rest.parse().ok()? }),
+            "ACK" => Some(SdMessage::RegisterAck {
+                rid: rest.parse().ok()?,
+            }),
             "DRG" => {
                 let (inst, st) = rest.split_once('|')?;
                 Some(SdMessage::Deregister {
@@ -244,9 +271,16 @@ mod tests {
     use super::*;
 
     fn record() -> Record {
-        let mut r = ServiceDescription::new("printer, 2nd floor", ServiceType::new("_ipp._tcp"), NodeId(7));
+        let mut r = ServiceDescription::new(
+            "printer, 2nd floor",
+            ServiceType::new("_ipp._tcp"),
+            NodeId(7),
+        );
         r.service_port = 631;
-        r.attributes = vec![("paper".into(), "A4|letter".into()), ("duplex".into(), "yes".into())];
+        r.attributes = vec![
+            ("paper".into(), "A4|letter".into()),
+            ("duplex".into(), "yes".into()),
+        ];
         r.ttl_s = 120;
         r
     }
@@ -265,19 +299,40 @@ mod tests {
             stype: ServiceType::new("_http._tcp"),
             known: vec!["web-1".into(), "web,2".into()],
         });
-        roundtrip(SdMessage::Query { qid: 0, stype: ServiceType::new("t"), known: vec![] });
-        roundtrip(SdMessage::Response { qid: 42, records: vec![record(), record()] });
-        roundtrip(SdMessage::Response { qid: 1, records: vec![] });
+        roundtrip(SdMessage::Query {
+            qid: 0,
+            stype: ServiceType::new("t"),
+            known: vec![],
+        });
+        roundtrip(SdMessage::Response {
+            qid: 42,
+            records: vec![record(), record()],
+        });
+        roundtrip(SdMessage::Response {
+            qid: 1,
+            records: vec![],
+        });
         roundtrip(SdMessage::Announce { record: record() });
-        roundtrip(SdMessage::Announce { record: record().goodbye() });
-        roundtrip(SdMessage::ScmAdvert { scm: NodeId(65_000) });
-        roundtrip(SdMessage::Register { rid: 9, record: record(), lease_s: 60 });
+        roundtrip(SdMessage::Announce {
+            record: record().goodbye(),
+        });
+        roundtrip(SdMessage::ScmAdvert {
+            scm: NodeId(65_000),
+        });
+        roundtrip(SdMessage::Register {
+            rid: 9,
+            record: record(),
+            lease_s: 60,
+        });
         roundtrip(SdMessage::RegisterAck { rid: 9 });
         roundtrip(SdMessage::Deregister {
             instance: "printer, 2nd floor".into(),
             stype: ServiceType::new("_ipp._tcp"),
         });
-        roundtrip(SdMessage::DirectedQuery { qid: 3, stype: ServiceType::new("_x|y._udp") });
+        roundtrip(SdMessage::DirectedQuery {
+            qid: 3,
+            stype: ServiceType::new("_x|y._udp"),
+        });
     }
 
     #[test]
@@ -293,7 +348,11 @@ mod tests {
         assert_eq!(SdMessage::decode(b"HELLO"), None);
         assert_eq!(SdMessage::decode(b"XXX|1|2"), None);
         assert_eq!(SdMessage::decode(b"QRY|notanumber|t|0|"), None);
-        assert_eq!(SdMessage::decode(b"QRY|1|t|2|onlyone"), None, "count mismatch");
+        assert_eq!(
+            SdMessage::decode(b"QRY|1|t|2|onlyone"),
+            None,
+            "count mismatch"
+        );
         assert_eq!(SdMessage::decode(b"ANN|broken"), None);
         assert_eq!(SdMessage::decode(&[0xFF, 0xFE, b'|']), None);
         assert_eq!(SdMessage::decode(b"ACK|"), None);
@@ -311,13 +370,20 @@ mod tests {
     fn qid_is_preserved_for_association() {
         // The whole point of the Avahi modification: responses must carry
         // the query id so request/response pairs can be matched.
-        let q = SdMessage::Query { qid: 77, stype: ServiceType::new("_t"), known: vec![] };
+        let q = SdMessage::Query {
+            qid: 77,
+            stype: ServiceType::new("_t"),
+            known: vec![],
+        };
         let bytes = q.encode();
         let qid = match SdMessage::decode(&bytes).unwrap() {
             SdMessage::Query { qid, .. } => qid,
             _ => unreachable!(),
         };
-        let r = SdMessage::Response { qid, records: vec![] };
+        let r = SdMessage::Response {
+            qid,
+            records: vec![],
+        };
         match SdMessage::decode(&r.encode()).unwrap() {
             SdMessage::Response { qid, .. } => assert_eq!(qid, 77),
             _ => unreachable!(),

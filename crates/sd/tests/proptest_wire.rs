@@ -20,27 +20,38 @@ fn record_strategy() -> impl Strategy<Value = ServiceDescription> {
         any::<u32>(),
         prop::collection::vec((text(), text()), 0..4),
     )
-        .prop_map(|(instance, stype, node, port, ttl, attributes)| ServiceDescription {
-            instance,
-            stype: ServiceType::new(stype),
-            provider: NodeId(node),
-            service_port: port,
-            attributes,
-            ttl_s: ttl,
-        })
+        .prop_map(
+            |(instance, stype, node, port, ttl, attributes)| ServiceDescription {
+                instance,
+                stype: ServiceType::new(stype),
+                provider: NodeId(node),
+                service_port: port,
+                attributes,
+                ttl_s: ttl,
+            },
+        )
 }
 
 fn message_strategy() -> impl Strategy<Value = SdMessage> {
     prop_oneof![
         (any::<u64>(), text(), prop::collection::vec(text(), 0..4)).prop_map(
-            |(qid, stype, known)| SdMessage::Query { qid, stype: ServiceType::new(stype), known }
+            |(qid, stype, known)| SdMessage::Query {
+                qid,
+                stype: ServiceType::new(stype),
+                known
+            }
         ),
         (any::<u64>(), prop::collection::vec(record_strategy(), 0..4))
             .prop_map(|(qid, records)| SdMessage::Response { qid, records }),
         record_strategy().prop_map(|record| SdMessage::Announce { record }),
         any::<u16>().prop_map(|n| SdMessage::ScmAdvert { scm: NodeId(n) }),
-        (any::<u64>(), record_strategy(), any::<u32>())
-            .prop_map(|(rid, record, lease_s)| SdMessage::Register { rid, record, lease_s }),
+        (any::<u64>(), record_strategy(), any::<u32>()).prop_map(|(rid, record, lease_s)| {
+            SdMessage::Register {
+                rid,
+                record,
+                lease_s,
+            }
+        }),
         any::<u64>().prop_map(|rid| SdMessage::RegisterAck { rid }),
         (text(), text()).prop_map(|(instance, stype)| SdMessage::Deregister {
             instance,

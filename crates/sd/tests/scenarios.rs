@@ -12,7 +12,10 @@ use excovery_sd::{
 
 fn quiet_sim(n: usize, seed: u64) -> Simulator {
     let cfg = SimulatorConfig {
-        link_model: LinkModel { base_loss: 0.0, ..LinkModel::default() },
+        link_model: LinkModel {
+            base_loss: 0.0,
+            ..LinkModel::default()
+        },
         ..SimulatorConfig::perfect_clocks(seed)
     };
     Simulator::new(Topology::grid(n, 1), cfg)
@@ -23,7 +26,10 @@ fn quiet_sim(n: usize, seed: u64) -> Simulator {
 /// the protocol fallback, not a physical partition.
 fn square_sim(seed: u64) -> Simulator {
     let cfg = SimulatorConfig {
-        link_model: LinkModel { base_loss: 0.0, ..LinkModel::default() },
+        link_model: LinkModel {
+            base_loss: 0.0,
+            ..LinkModel::default()
+        },
         ..SimulatorConfig::perfect_clocks(seed)
     };
     Simulator::new(Topology::grid(2, 2), cfg)
@@ -42,7 +48,10 @@ fn publish(name: &str, node: u16) -> SdCommand {
 }
 
 fn names_on(evts: &[ProtocolEvent], node: u16) -> Vec<&str> {
-    evts.iter().filter(|e| e.node == NodeId(node)).map(|e| e.name.as_str()).collect()
+    evts.iter()
+        .filter(|e| e.node == NodeId(node))
+        .map(|e| e.name.as_str())
+        .collect()
 }
 
 #[test]
@@ -61,7 +70,12 @@ fn hybrid_survives_scm_failure() {
     assert!(names_on(&evts, 2).contains(&"scm_found"));
 
     // SCM dies (radio off) before anything was published.
-    sim.install_filter(NodeId(1), FilterRule::InterfaceDown { direction: Direction::Both });
+    sim.install_filter(
+        NodeId(1),
+        FilterRule::InterfaceDown {
+            direction: Direction::Both,
+        },
+    );
     sd_command(&mut sim, NodeId(0), publish("sm-A", 0));
     sd_command(&mut sim, NodeId(2), SdCommand::StartSearch(http()));
     sim.run_for(SimDuration::from_secs(5));
@@ -84,7 +98,12 @@ fn pure_three_party_is_defeated_by_scm_failure() {
     sd_command(&mut sim, NodeId(0), SdCommand::Init(Role::ServiceManager));
     sd_command(&mut sim, NodeId(2), SdCommand::Init(Role::ServiceUser));
     sim.run_for(SimDuration::from_secs(2));
-    sim.install_filter(NodeId(1), FilterRule::InterfaceDown { direction: Direction::Both });
+    sim.install_filter(
+        NodeId(1),
+        FilterRule::InterfaceDown {
+            direction: Direction::Both,
+        },
+    );
     sd_command(&mut sim, NodeId(0), publish("sm-A", 0));
     sd_command(&mut sim, NodeId(2), SdCommand::StartSearch(http()));
     sim.run_for(SimDuration::from_secs(10));
@@ -224,13 +243,19 @@ fn restart_after_exit_works() {
         .iter()
         .find(|e| e.node == NodeId(1) && e.name == "sd_service_add")
         .expect("re-discovery after exit");
-    assert!(add.params.iter().any(|(k, v)| k == "service" && v == "sm-A2"));
+    assert!(add
+        .params
+        .iter()
+        .any(|(k, v)| k == "service" && v == "sm-A2"));
 }
 
 #[test]
 fn probing_delays_announcements_but_discovery_succeeds() {
     let mut sim = quiet_sim(2, 8);
-    let cfg = SdConfig { probe_before_announce: true, ..SdConfig::two_party() };
+    let cfg = SdConfig {
+        probe_before_announce: true,
+        ..SdConfig::two_party()
+    };
     install(&mut sim, 0, cfg.clone());
     install(&mut sim, 1, cfg);
     sd_command(&mut sim, NodeId(0), SdCommand::Init(Role::ServiceManager));
@@ -253,7 +278,10 @@ fn probing_delays_announcements_but_discovery_succeeds() {
 #[test]
 fn name_conflict_is_resolved_by_renaming_one_side() {
     let mut sim = quiet_sim(3, 9);
-    let cfg = SdConfig { probe_before_announce: true, ..SdConfig::two_party() };
+    let cfg = SdConfig {
+        probe_before_announce: true,
+        ..SdConfig::two_party()
+    };
     for n in 0..3 {
         install(&mut sim, n, cfg.clone());
     }
@@ -267,7 +295,10 @@ fn name_conflict_is_resolved_by_renaming_one_side() {
     sim.run_for(SimDuration::from_secs(10));
     let evts = sim.drain_protocol_events();
     // Exactly one conflict event fired.
-    let conflicts: Vec<_> = evts.iter().filter(|e| e.name == "sd_name_conflict").collect();
+    let conflicts: Vec<_> = evts
+        .iter()
+        .filter(|e| e.name == "sd_name_conflict")
+        .collect();
     assert_eq!(conflicts.len(), 1, "{conflicts:?}");
     // The SU discovered two distinct instance names.
     let found: std::collections::HashSet<&str> = evts
@@ -276,8 +307,15 @@ fn name_conflict_is_resolved_by_renaming_one_side() {
         .filter_map(|e| e.params.iter().find(|(k, _)| k == "service"))
         .map(|(_, v)| v.as_str())
         .collect();
-    assert_eq!(found.len(), 2, "two distinct services after renaming: {found:?}");
-    assert!(found.contains("printer"), "the winner keeps the name: {found:?}");
+    assert_eq!(
+        found.len(),
+        2,
+        "two distinct services after renaming: {found:?}"
+    );
+    assert!(
+        found.contains("printer"),
+        "the winner keeps the name: {found:?}"
+    );
     assert!(
         found.iter().any(|n| n.starts_with("printer-")),
         "the loser renamed: {found:?}"

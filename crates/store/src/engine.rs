@@ -185,7 +185,10 @@ pub struct Column {
 impl Column {
     /// Creates a column.
     pub fn new(name: impl Into<String>, ctype: ColumnType) -> Self {
-        Self { name: name.into(), ctype }
+        Self {
+            name: name.into(),
+            ctype,
+        }
     }
 }
 
@@ -304,9 +307,7 @@ impl Table {
         let idx = self.column_index(column)?;
         match self.columns[idx].ctype {
             ColumnType::Integer | ColumnType::Text => {}
-            other => {
-                return Err(err(format!("cannot index {other:?} column '{column}'")))
-            }
+            other => return Err(err(format!("cannot index {other:?} column '{column}'"))),
         }
         if !self.indexed_columns.contains(&column.to_string()) {
             self.indexed_columns.push(column.to_string());
@@ -457,7 +458,11 @@ impl Table {
         predicate: &Predicate,
     ) -> Result<Vec<SqlValue>, StoreError> {
         let idx = self.column_index(column)?;
-        Ok(self.select(predicate, None)?.into_iter().map(|r| r[idx].clone()).collect())
+        Ok(self
+            .select(predicate, None)?
+            .into_iter()
+            .map(|r| r[idx].clone())
+            .collect())
     }
 
     /// Number of matching rows.
@@ -543,12 +548,16 @@ impl Database {
 
     /// Immutable table access.
     pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
-        self.tables.get(name).ok_or_else(|| err(format!("no such table: {name}")))
+        self.tables
+            .get(name)
+            .ok_or_else(|| err(format!("no such table: {name}")))
     }
 
     /// Mutable table access.
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
-        self.tables.get_mut(name).ok_or_else(|| err(format!("no such table: {name}")))
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| err(format!("no such table: {name}")))
     }
 
     /// Inserts a row into a named table.
@@ -573,10 +582,8 @@ impl Database {
     /// Loads a database from a file written by [`Self::save`]; declared
     /// indexes are rebuilt.
     pub fn load(path: &Path) -> Result<Self, StoreError> {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| err(format!("read {path:?}: {e}")))?;
-        let mut db: Self =
-            serde_json::from_str(&json).map_err(|e| err(format!("parse: {e}")))?;
+        let json = std::fs::read_to_string(path).map_err(|e| err(format!("read {path:?}: {e}")))?;
+        let mut db: Self = serde_json::from_str(&json).map_err(|e| err(format!("parse: {e}")))?;
         for table in db.tables.values_mut() {
             table.rebuild_indexes();
         }
@@ -594,9 +601,12 @@ mod tests {
             Column::new("age", ColumnType::Integer),
             Column::new("height", ColumnType::Real),
         ]);
-        t.insert(vec!["ada".into(), SqlValue::Int(36), SqlValue::Real(1.70)]).unwrap();
-        t.insert(vec!["bob".into(), SqlValue::Int(25), SqlValue::Real(1.85)]).unwrap();
-        t.insert(vec!["cyd".into(), SqlValue::Null, SqlValue::Real(1.60)]).unwrap();
+        t.insert(vec!["ada".into(), SqlValue::Int(36), SqlValue::Real(1.70)])
+            .unwrap();
+        t.insert(vec!["bob".into(), SqlValue::Int(25), SqlValue::Real(1.85)])
+            .unwrap();
+        t.insert(vec!["cyd".into(), SqlValue::Null, SqlValue::Real(1.60)])
+            .unwrap();
         t
     }
 
@@ -604,12 +614,24 @@ mod tests {
     fn insert_checks_arity_and_types() {
         let mut t = people();
         assert!(t.insert(vec!["x".into()]).is_err(), "arity");
-        assert!(t
-            .insert(vec![SqlValue::Int(1), SqlValue::Int(1), SqlValue::Real(1.0)])
-            .is_err(), "type");
-        assert!(t.insert(vec![SqlValue::Null, SqlValue::Null, SqlValue::Null]).is_ok(), "NULLs");
+        assert!(
+            t.insert(vec![
+                SqlValue::Int(1),
+                SqlValue::Int(1),
+                SqlValue::Real(1.0)
+            ])
+            .is_err(),
+            "type"
+        );
+        assert!(
+            t.insert(vec![SqlValue::Null, SqlValue::Null, SqlValue::Null])
+                .is_ok(),
+            "NULLs"
+        );
         // Int accepted into Real column (affinity).
-        assert!(t.insert(vec!["dee".into(), SqlValue::Int(40), SqlValue::Int(2)]).is_ok());
+        assert!(t
+            .insert(vec!["dee".into(), SqlValue::Int(40), SqlValue::Int(2)])
+            .is_ok());
     }
 
     #[test]
@@ -632,7 +654,10 @@ mod tests {
         assert_eq!(both[0][0].as_text(), Some("bob"));
 
         let not_bob = t
-            .select(&Predicate::Not(Box::new(Predicate::Eq("name".into(), "bob".into()))), None)
+            .select(
+                &Predicate::Not(Box::new(Predicate::Eq("name".into(), "bob".into()))),
+                None,
+            )
             .unwrap();
         assert_eq!(not_bob.len(), 2);
     }
@@ -643,14 +668,18 @@ mod tests {
         let sorted = t.select(&Predicate::True, Some("age")).unwrap();
         assert_eq!(sorted[0][1], SqlValue::Null);
         // NULL = NULL is true under cmp_sql (simplified tri-state logic).
-        let nulls = t.count(&Predicate::Eq("age".into(), SqlValue::Null)).unwrap();
+        let nulls = t
+            .count(&Predicate::Eq("age".into(), SqlValue::Null))
+            .unwrap();
         assert_eq!(nulls, 1);
     }
 
     #[test]
     fn unknown_column_is_error() {
         let t = people();
-        assert!(t.select(&Predicate::Eq("nope".into(), SqlValue::Int(1)), None).is_err());
+        assert!(t
+            .select(&Predicate::Eq("nope".into(), SqlValue::Int(1)), None)
+            .is_err());
         assert!(t.select(&Predicate::True, Some("nope")).is_err());
     }
 
@@ -659,19 +688,30 @@ mod tests {
         let t = people();
         let names = t.column_values("name", &Predicate::True).unwrap();
         assert_eq!(names.len(), 3);
-        assert_eq!(t.count(&Predicate::Lt("height".into(), SqlValue::Real(1.8))).unwrap(), 2);
+        assert_eq!(
+            t.count(&Predicate::Lt("height".into(), SqlValue::Real(1.8)))
+                .unwrap(),
+            2
+        );
     }
 
     #[test]
     fn mixed_numeric_comparison() {
-        assert_eq!(SqlValue::Int(2).cmp_sql(&SqlValue::Real(2.0)), std::cmp::Ordering::Equal);
-        assert_eq!(SqlValue::Int(1).cmp_sql(&SqlValue::Real(1.5)), std::cmp::Ordering::Less);
+        assert_eq!(
+            SqlValue::Int(2).cmp_sql(&SqlValue::Real(2.0)),
+            std::cmp::Ordering::Equal
+        );
+        assert_eq!(
+            SqlValue::Int(1).cmp_sql(&SqlValue::Real(1.5)),
+            std::cmp::Ordering::Less
+        );
     }
 
     #[test]
     fn database_create_insert_query() {
         let mut db = Database::new();
-        db.create_table("t", vec![Column::new("x", ColumnType::Integer)]).unwrap();
+        db.create_table("t", vec![Column::new("x", ColumnType::Integer)])
+            .unwrap();
         assert!(db.create_table("t", vec![]).is_err(), "duplicate");
         db.insert("t", vec![SqlValue::Int(5)]).unwrap();
         assert_eq!(db.table("t").unwrap().len(), 1);
@@ -693,7 +733,11 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert("Packets", vec![SqlValue::Int(1), SqlValue::Blob(vec![1, 2, 255])]).unwrap();
+        db.insert(
+            "Packets",
+            vec![SqlValue::Int(1), SqlValue::Blob(vec![1, 2, 255])],
+        )
+        .unwrap();
         db.save(&path).unwrap();
         let loaded = Database::load(&path).unwrap();
         assert_eq!(loaded, db);
@@ -714,31 +758,48 @@ mod tests {
     #[test]
     fn aggregates_and_distinct() {
         let t = people();
-        let avg = t.aggregate("age", &Predicate::True, Aggregate::Avg).unwrap().unwrap();
-        assert!((avg - 30.5).abs() < 1e-12, "mean of 36 and 25 (NULL skipped)");
+        let avg = t
+            .aggregate("age", &Predicate::True, Aggregate::Avg)
+            .unwrap()
+            .unwrap();
+        assert!(
+            (avg - 30.5).abs() < 1e-12,
+            "mean of 36 and 25 (NULL skipped)"
+        );
         assert_eq!(
-            t.aggregate("age", &Predicate::True, Aggregate::Min).unwrap(),
+            t.aggregate("age", &Predicate::True, Aggregate::Min)
+                .unwrap(),
             Some(25.0)
         );
         assert_eq!(
-            t.aggregate("age", &Predicate::True, Aggregate::Max).unwrap(),
+            t.aggregate("age", &Predicate::True, Aggregate::Max)
+                .unwrap(),
             Some(36.0)
         );
         assert_eq!(
-            t.aggregate("age", &Predicate::True, Aggregate::Sum).unwrap(),
+            t.aggregate("age", &Predicate::True, Aggregate::Sum)
+                .unwrap(),
             Some(61.0)
         );
         // Empty match yields None.
         assert_eq!(
-            t.aggregate("age", &Predicate::Gt("age".into(), SqlValue::Int(99)), Aggregate::Avg)
-                .unwrap(),
+            t.aggregate(
+                "age",
+                &Predicate::Gt("age".into(), SqlValue::Int(99)),
+                Aggregate::Avg
+            )
+            .unwrap(),
             None
         );
         // Distinct on text column.
         let names = t.distinct("name", &Predicate::True).unwrap();
         assert_eq!(names.len(), 3);
         // Text aggregate yields None (non-numeric skipped).
-        assert_eq!(t.aggregate("name", &Predicate::True, Aggregate::Avg).unwrap(), None);
+        assert_eq!(
+            t.aggregate("name", &Predicate::True, Aggregate::Avg)
+                .unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -748,7 +809,8 @@ mod tests {
             Column::new("name", ColumnType::Text),
         ]);
         for i in 0..500i64 {
-            t.insert(vec![SqlValue::Int(i % 10), format!("n{}", i % 7).into()]).unwrap();
+            t.insert(vec![SqlValue::Int(i % 10), format!("n{}", i % 7).into()])
+                .unwrap();
         }
         let scan: Vec<Row> = t
             .select(&Predicate::Eq("run".into(), SqlValue::Int(3)), None)
@@ -771,10 +833,15 @@ mod tests {
         let mut t2 = t.clone();
         t2.indexed_columns.clear();
         t2.indexes.clear();
-        assert_eq!(t.select(&compound, None).unwrap(), t2.select(&compound, None).unwrap());
+        assert_eq!(
+            t.select(&compound, None).unwrap(),
+            t2.select(&compound, None).unwrap()
+        );
         // Inserts after index creation are covered.
         t.insert(vec![SqlValue::Int(3), "fresh".into()]).unwrap();
-        let after = t.select(&Predicate::Eq("run".into(), SqlValue::Int(3)), None).unwrap();
+        let after = t
+            .select(&Predicate::Eq("run".into(), SqlValue::Int(3)), None)
+            .unwrap();
         assert_eq!(after.len(), indexed.len() + 1);
         // Missing key returns empty fast.
         assert!(t
@@ -795,7 +862,8 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("excovery-idx-{}", std::process::id()));
         let path = dir.join("db.json");
         let mut db = Database::new();
-        db.create_table("t", vec![Column::new("k", ColumnType::Integer)]).unwrap();
+        db.create_table("t", vec![Column::new("k", ColumnType::Integer)])
+            .unwrap();
         db.table_mut("t").unwrap().create_index("k").unwrap();
         for i in 0..50 {
             db.insert("t", vec![SqlValue::Int(i % 5)]).unwrap();
@@ -806,7 +874,9 @@ mod tests {
         let t = loaded.table("t").unwrap();
         assert!(t.is_indexed("k"));
         assert_eq!(
-            t.select(&Predicate::Eq("k".into(), SqlValue::Int(2)), None).unwrap().len(),
+            t.select(&Predicate::Eq("k".into(), SqlValue::Int(2)), None)
+                .unwrap()
+                .len(),
             10
         );
         std::fs::remove_dir_all(&dir).ok();

@@ -43,7 +43,11 @@ impl Level2Store {
     }
 
     fn run_path(&self, run_id: u64, node: &str, name: &str) -> PathBuf {
-        self.root.join("runs").join(run_id.to_string()).join(node).join(name)
+        self.root
+            .join("runs")
+            .join(run_id.to_string())
+            .join(node)
+            .join(name)
     }
 
     fn write(path: &Path, data: &[u8]) -> Result<(), StoreError> {
@@ -108,7 +112,10 @@ impl Level2Store {
             let node_name = node.file_name().to_string_lossy().into_owned();
             for file in fs::read_dir(node.path()).map_err(|e| StoreError(e.to_string()))? {
                 let file = file.map_err(|e| StoreError(e.to_string()))?;
-                out.push((node_name.clone(), file.file_name().to_string_lossy().into_owned()));
+                out.push((
+                    node_name.clone(),
+                    file.file_name().to_string_lossy().into_owned(),
+                ));
             }
         }
         out.sort();
@@ -129,7 +136,9 @@ impl Level2Store {
     /// Lowest run id without a completion marker, given the total planned
     /// runs — where a resumed experiment continues.
     pub fn first_incomplete_run(&self, total_runs: u64) -> u64 {
-        (0..total_runs).find(|&r| !self.is_run_complete(r)).unwrap_or(total_runs)
+        (0..total_runs)
+            .find(|&r| !self.is_run_complete(r))
+            .unwrap_or(total_runs)
     }
 
     /// Removes the whole hierarchy (after successful packaging to level 3).
@@ -143,8 +152,7 @@ mod tests {
     use super::*;
 
     fn temp_store(tag: &str) -> Level2Store {
-        let root = std::env::temp_dir()
-            .join(format!("excovery-l2-{}-{}", tag, std::process::id()));
+        let root = std::env::temp_dir().join(format!("excovery-l2-{}-{}", tag, std::process::id()));
         fs::remove_dir_all(&root).ok();
         Level2Store::open(root).unwrap()
     }
@@ -152,8 +160,12 @@ mod tests {
     #[test]
     fn experiment_data_roundtrip() {
         let s = temp_store("exp");
-        s.put_experiment("t9-105", "topology_before", b"hopcounts").unwrap();
-        assert_eq!(s.get_experiment("t9-105", "topology_before").unwrap(), b"hopcounts");
+        s.put_experiment("t9-105", "topology_before", b"hopcounts")
+            .unwrap();
+        assert_eq!(
+            s.get_experiment("t9-105", "topology_before").unwrap(),
+            b"hopcounts"
+        );
         assert!(s.get_experiment("t9-105", "missing").is_err());
         s.destroy().unwrap();
     }
@@ -162,7 +174,8 @@ mod tests {
     fn run_data_roundtrip_and_listing() {
         let s = temp_store("run");
         s.put_run(0, "t9-105", "events.jsonl", b"[]").unwrap();
-        s.put_run(0, "t9-157", "capture.pcapish", b"\x01\x02").unwrap();
+        s.put_run(0, "t9-157", "capture.pcapish", b"\x01\x02")
+            .unwrap();
         s.put_run(3, "t9-105", "events.jsonl", b"[]").unwrap();
         assert_eq!(s.run_ids().unwrap(), vec![0, 3]);
         let entries = s.run_entries(0).unwrap();

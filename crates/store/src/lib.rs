@@ -24,6 +24,8 @@ pub mod repository;
 pub mod schema;
 pub mod warehouse;
 
-pub use engine::{Aggregate, Column, ColumnType, Database, Predicate, Row, SqlValue, StoreError, Table};
+pub use engine::{
+    Aggregate, Column, ColumnType, Database, Predicate, Row, SqlValue, StoreError, Table,
+};
 pub use records::{EventRow, ExperimentInfo, PacketRow, RunInfoRow};
 pub use repository::Repository;

@@ -60,7 +60,8 @@ fn text(v: &SqlValue) -> Result<String, StoreError> {
 }
 
 fn int(v: &SqlValue) -> Result<i64, StoreError> {
-    v.as_int().ok_or_else(|| StoreError(format!("expected int, found {v:?}")))
+    v.as_int()
+        .ok_or_else(|| StoreError(format!("expected int, found {v:?}")))
 }
 
 /// One `Events` row: a recorded state change (§IV-B1).
@@ -95,7 +96,10 @@ impl EventRow {
         }
         parameter
             .split(';')
-            .filter_map(|kv| kv.split_once('=').map(|(k, v)| (k.to_string(), v.to_string())))
+            .filter_map(|kv| {
+                kv.split_once('=')
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+            })
             .collect()
     }
 
@@ -251,8 +255,7 @@ impl RunInfoRow {
 
     /// Distinct run ids present.
     pub fn run_ids(db: &Database) -> Result<Vec<u64>, StoreError> {
-        let mut ids: Vec<u64> =
-            Self::read_all(db)?.into_iter().map(|r| r.run_id).collect();
+        let mut ids: Vec<u64> = Self::read_all(db)?.into_iter().map(|r| r.run_id).collect();
         ids.dedup();
         Ok(ids)
     }
@@ -286,9 +289,7 @@ mod tests {
     #[test]
     fn event_rows_ordered_by_time_within_run() {
         let mut db = create_level3_database();
-        for (run, t, name) in
-            [(0u64, 30i64, "b"), (0, 10, "a"), (1, 5, "c"), (0, 20, "m")]
-        {
+        for (run, t, name) in [(0u64, 30i64, "b"), (0, 10, "a"), (1, 5, "c"), (0, 20, "m")] {
             EventRow {
                 run_id: run,
                 node_id: "t9-105".into(),

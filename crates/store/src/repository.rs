@@ -74,10 +74,18 @@ impl Repository {
             if path.extension().and_then(|e| e.to_str()) != Some("expdb") {
                 continue;
             }
-            let id = path.file_stem().unwrap_or_default().to_string_lossy().into_owned();
+            let id = path
+                .file_stem()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned();
             let db = Database::load(&path)?;
             let info = ExperimentInfo::read(&db)?;
-            out.push(RepoEntry { id, name: info.name, comment: info.comment });
+            out.push(RepoEntry {
+                id,
+                name: info.name,
+                comment: info.comment,
+            });
         }
         out.sort_by(|a, b| a.id.cmp(&b.id));
         Ok(out)
@@ -159,9 +167,7 @@ mod tests {
         repo.store("e1", &package("one")).unwrap();
         repo.store("e2", &package("two")).unwrap();
         let names = repo
-            .map_experiments(|id, db| {
-                Ok(format!("{id}:{}", ExperimentInfo::read(db)?.name))
-            })
+            .map_experiments(|id, db| Ok(format!("{id}:{}", ExperimentInfo::read(db)?.name)))
             .unwrap();
         assert_eq!(names, vec!["e1:one", "e2:two"]);
         fs::remove_dir_all(repo.root()).ok();

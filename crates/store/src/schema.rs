@@ -96,10 +96,14 @@ fn columns(table: &str) -> Vec<Column> {
 pub fn create_level3_database() -> Database {
     let mut db = Database::new();
     for name in TABLE_NAMES {
-        db.create_table(name, columns(name)).expect("fresh database");
+        db.create_table(name, columns(name))
+            .expect("fresh database");
     }
     for name in ["RunInfos", "ExtraRunMeasurements", "Events", "Packets"] {
-        db.table_mut(name).unwrap().create_index("RunID").expect("indexable");
+        db.table_mut(name)
+            .unwrap()
+            .create_index("RunID")
+            .expect("indexable");
     }
     db
 }

@@ -14,8 +14,7 @@ use crate::records::{EventRow, ExperimentInfo, RunInfoRow};
 use std::collections::BTreeMap;
 
 /// Table names of the warehouse schema.
-pub const WAREHOUSE_TABLES: [&str; 4] =
-    ["DimExperiment", "DimRun", "DimNode", "FactDiscovery"];
+pub const WAREHOUSE_TABLES: [&str; 4] = ["DimExperiment", "DimRun", "DimNode", "FactDiscovery"];
 
 fn warehouse_schema() -> Database {
     use ColumnType::*;
@@ -133,7 +132,9 @@ pub fn build_warehouse(packages: &[(&str, &Database)]) -> Result<Database, Store
                         open.remove(e.node_id.as_str());
                     }
                     "sd_service_add" => {
-                        let Some(&start) = open.get(e.node_id.as_str()) else { continue };
+                        let Some(&start) = open.get(e.node_id.as_str()) else {
+                            continue;
+                        };
                         let su_key = *node_keys.entry(e.node_id.clone()).or_insert_with(|| {
                             let k = next_node_key;
                             next_node_key += 1;
@@ -165,9 +166,7 @@ pub fn build_warehouse(packages: &[(&str, &Database)]) -> Result<Database, Store
 }
 
 /// Convenience slice: mean response time (seconds) per experiment key.
-pub fn mean_response_time_by_experiment(
-    wh: &Database,
-) -> Result<BTreeMap<i64, f64>, StoreError> {
+pub fn mean_response_time_by_experiment(wh: &Database) -> Result<BTreeMap<i64, f64>, StoreError> {
     let facts = wh.table("FactDiscovery")?;
     let mut out = BTreeMap::new();
     for exp in facts.distinct("ExpKey", &Predicate::True)? {
@@ -198,9 +197,14 @@ mod tests {
         }
         .insert(&mut db)
         .unwrap();
-        RunInfoRow { run_id: 0, node_id: "su".into(), start_time_ns: 0, time_diff_ns: 0 }
-            .insert(&mut db)
-            .unwrap();
+        RunInfoRow {
+            run_id: 0,
+            node_id: "su".into(),
+            start_time_ns: 0,
+            time_diff_ns: 0,
+        }
+        .insert(&mut db)
+        .unwrap();
         for (t, name, param) in [
             (100, "sd_start_search", ""),
             (100 + t_r_ns, "sd_service_add", "service=sm"),

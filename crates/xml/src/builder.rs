@@ -23,7 +23,9 @@ pub struct ElementBuilder {
 impl ElementBuilder {
     /// Starts a builder for an element with the given tag name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { element: Element::new(name) }
+        Self {
+            element: Element::new(name),
+        }
     }
 
     /// Adds an attribute.
@@ -52,7 +54,8 @@ impl ElementBuilder {
 
     /// Convenience: appends `<name>text</name>`.
     pub fn text_child(mut self, name: impl Into<String>, text: impl ToString) -> Self {
-        self.element.push(Element::with_text(name, text.to_string()));
+        self.element
+            .push(Element::with_text(name, text.to_string()));
         self
     }
 
@@ -114,8 +117,12 @@ mod tests {
 
     #[test]
     fn when_branches() {
-        let with = ElementBuilder::new("a").when(true, |b| b.attr("x", 1)).build();
-        let without = ElementBuilder::new("a").when(false, |b| b.attr("x", 1)).build();
+        let with = ElementBuilder::new("a")
+            .when(true, |b| b.attr("x", 1))
+            .build();
+        let without = ElementBuilder::new("a")
+            .when(false, |b| b.attr("x", 1))
+            .build();
         assert_eq!(with.attr("x"), Some("1"));
         assert_eq!(without.attr("x"), None);
     }
@@ -131,7 +138,9 @@ mod tests {
 
     #[test]
     fn comment_is_preserved_in_output() {
-        let e = ElementBuilder::new("f").comment(" datarate generated load ").build();
+        let e = ElementBuilder::new("f")
+            .comment(" datarate generated load ")
+            .build();
         let s = write_element_string(&e, &WriteOptions::compact());
         assert!(s.contains("<!-- datarate generated load -->"), "{s}");
     }

@@ -39,7 +39,12 @@ pub enum XmlErrorKind {
 impl XmlError {
     /// Creates a new error at the given position.
     pub fn new(kind: XmlErrorKind, message: impl Into<String>, line: usize, column: usize) -> Self {
-        Self { kind, message: message.into(), line, column }
+        Self {
+            kind,
+            message: message.into(),
+            line,
+            column,
+        }
     }
 
     /// Creates a validation error without position information.
@@ -51,7 +56,11 @@ impl XmlError {
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "{:?} at {}:{}: {}", self.kind, self.line, self.column, self.message)
+            write!(
+                f,
+                "{:?} at {}:{}: {}",
+                self.kind, self.line, self.column, self.message
+            )
         } else {
             write!(f, "{:?}: {}", self.kind, self.message)
         }

@@ -56,7 +56,12 @@ pub fn unescape(s: &str, line: usize, column: usize) -> XmlResult<String> {
         }
         let rest = &s[i + 1..];
         let end = rest.find(';').ok_or_else(|| {
-            XmlError::new(XmlErrorKind::BadReference, "unterminated entity reference", line, column)
+            XmlError::new(
+                XmlErrorKind::BadReference,
+                "unterminated entity reference",
+                line,
+                column,
+            )
         })?;
         let name = &rest[..end];
         let resolved = resolve_entity(name).ok_or_else(|| {

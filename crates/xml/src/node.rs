@@ -13,12 +13,20 @@ pub struct Document {
 impl Document {
     /// Wraps `root` into a document without a declaration.
     pub fn new(root: Element) -> Self {
-        Self { version: None, encoding: None, root }
+        Self {
+            version: None,
+            encoding: None,
+            root,
+        }
     }
 
     /// Wraps `root` into a document with a standard `1.0`/`UTF-8` declaration.
     pub fn with_declaration(root: Element) -> Self {
-        Self { version: Some("1.0".into()), encoding: Some("UTF-8".into()), root }
+        Self {
+            version: Some("1.0".into()),
+            encoding: Some("UTF-8".into()),
+            root,
+        }
     }
 
     /// The root element.
@@ -80,7 +88,11 @@ pub struct Element {
 impl Element {
     /// Creates an element with the given tag name and no content.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Self {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Creates an element containing a single text node.
@@ -92,7 +104,10 @@ impl Element {
 
     /// Looks up an attribute value by name.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Sets an attribute, replacing any existing value of the same name.
@@ -171,8 +186,7 @@ impl Element {
 
     /// True if the element has no attributes and no non-comment children.
     pub fn is_empty(&self) -> bool {
-        self.attributes.is_empty()
-            && self.children.iter().all(|c| matches!(c, Node::Comment(_)))
+        self.attributes.is_empty() && self.children.iter().all(|c| matches!(c, Node::Comment(_)))
     }
 
     /// Counts all descendant elements, including `self`.
@@ -210,8 +224,7 @@ mod tests {
     fn child_navigation() {
         let e = sample();
         let levels = e.child("levels").unwrap();
-        let texts: Vec<String> =
-            levels.elements_named("level").map(|l| l.text()).collect();
+        let texts: Vec<String> = levels.elements_named("level").map(|l| l.text()).collect();
         assert_eq!(texts, vec!["10", "50"]);
     }
 

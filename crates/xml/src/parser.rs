@@ -38,7 +38,12 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Self { bytes: input.as_bytes(), pos: 0, line: 1, col: 1 }
+        Self {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err(&self, kind: XmlErrorKind, msg: impl Into<String>) -> XmlError {
@@ -143,7 +148,10 @@ impl<'a> Parser<'a> {
                 return Ok(());
             }
             if self.bump().is_none() {
-                return Err(self.err(XmlErrorKind::UnexpectedEof, "unterminated processing instruction"));
+                return Err(self.err(
+                    XmlErrorKind::UnexpectedEof,
+                    "unterminated processing instruction",
+                ));
             }
         }
     }
@@ -157,9 +165,7 @@ impl<'a> Parser<'a> {
                 Some(b']') => depth = depth.saturating_sub(1),
                 Some(b'>') if depth == 0 => return Ok(()),
                 Some(_) => {}
-                None => {
-                    return Err(self.err(XmlErrorKind::UnexpectedEof, "unterminated DOCTYPE"))
-                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof, "unterminated DOCTYPE")),
             }
         }
     }
@@ -189,7 +195,11 @@ impl<'a> Parser<'a> {
         } else {
             Err(self.err(
                 XmlErrorKind::Syntax,
-                format!("expected '{}', found {:?}", b as char, self.peek().map(|c| c as char)),
+                format!(
+                    "expected '{}', found {:?}",
+                    b as char,
+                    self.peek().map(|c| c as char)
+                ),
             ))
         }
     }
@@ -241,7 +251,9 @@ impl<'a> Parser<'a> {
                     self.bump();
                 }
                 None => {
-                    return Err(self.err(XmlErrorKind::UnexpectedEof, "unterminated attribute value"))
+                    return Err(
+                        self.err(XmlErrorKind::UnexpectedEof, "unterminated attribute value")
+                    )
                 }
             }
         }
@@ -284,9 +296,7 @@ impl<'a> Parser<'a> {
                         format!("unexpected character '{}' in tag", c as char),
                     ))
                 }
-                None => {
-                    return Err(self.err(XmlErrorKind::UnexpectedEof, "unterminated start tag"))
-                }
+                None => return Err(self.err(XmlErrorKind::UnexpectedEof, "unterminated start tag")),
             }
         }
         // Content
@@ -310,8 +320,10 @@ impl<'a> Parser<'a> {
                 // Whitespace-only text between child elements is layout,
                 // not data; but if the element holds *only* whitespace
                 // text, that text is its (significant) content.
-                let has_elements =
-                    element.children.iter().any(|c| matches!(c, Node::Element(_)));
+                let has_elements = element
+                    .children
+                    .iter()
+                    .any(|c| matches!(c, Node::Element(_)));
                 if has_elements {
                     element
                         .children
@@ -447,9 +459,8 @@ mod tests {
 
     #[test]
     fn doctype_and_pi_skipped() {
-        let doc =
-            parse("<?xml version=\"1.0\"?><!DOCTYPE exp [<!ENTITY x \"y\">]><?pi data?><r/>")
-                .unwrap();
+        let doc = parse("<?xml version=\"1.0\"?><!DOCTYPE exp [<!ENTITY x \"y\">]><?pi data?><r/>")
+            .unwrap();
         assert_eq!(doc.root().name, "r");
     }
 

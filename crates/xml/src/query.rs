@@ -15,7 +15,11 @@ enum Step<'a> {
     /// The n-th (0-based) child of the given name.
     Indexed(&'a str, usize),
     /// Children of the given name with attribute `key` equal to `value`.
-    AttrEq { name: &'a str, key: &'a str, value: &'a str },
+    AttrEq {
+        name: &'a str,
+        key: &'a str,
+        value: &'a str,
+    },
 }
 
 fn parse_step(raw: &str) -> Step<'_> {
@@ -24,7 +28,11 @@ fn parse_step(raw: &str) -> Step<'_> {
         let body = raw[open + 1..].trim_end_matches(']');
         if let Some(rest) = body.strip_prefix('@') {
             if let Some((key, value)) = rest.split_once('=') {
-                return Step::AttrEq { name, key, value: value.trim_matches(&['"', '\''][..]) };
+                return Step::AttrEq {
+                    name,
+                    key,
+                    value: value.trim_matches(&['"', '\''][..]),
+                };
             }
         }
         if let Ok(idx) = body.parse::<usize>() {
@@ -62,7 +70,8 @@ impl Element {
                         }
                     }
                     Step::AttrEq { name, key, value } => next.extend(
-                        el.elements_named(name).filter(|e| e.attr(key) == Some(*value)),
+                        el.elements_named(name)
+                            .filter(|e| e.attr(key) == Some(*value)),
                     ),
                 }
             }
@@ -81,7 +90,8 @@ impl Element {
 
     /// Parses the text of the element at `path` into `T`.
     pub fn find_parsed<T: std::str::FromStr>(&self, path: &str) -> Option<T> {
-        self.find_text(path).and_then(|t| t.trim_matches('"').parse().ok())
+        self.find_text(path)
+            .and_then(|t| t.trim_matches('"').parse().ok())
     }
 }
 
@@ -128,7 +138,10 @@ mod tests {
     fn find_text_and_parsed() {
         let doc = parse(SRC).unwrap();
         let root = doc.root();
-        assert_eq!(root.find_text("factor[@id=fact_pairs]/levels/level"), Some("5".into()));
+        assert_eq!(
+            root.find_text("factor[@id=fact_pairs]/levels/level"),
+            Some("5".into())
+        );
         let v: Option<u32> = root.find_parsed("factor[@id=fact_pairs]/levels/level[1]");
         assert_eq!(v, Some(20));
     }

@@ -16,14 +16,22 @@ pub struct WriteOptions {
 
 impl Default for WriteOptions {
     fn default() -> Self {
-        Self { indent: Some("  ".into()), declaration: true, self_close_empty: true }
+        Self {
+            indent: Some("  ".into()),
+            declaration: true,
+            self_close_empty: true,
+        }
     }
 }
 
 impl WriteOptions {
     /// Compact output: no indentation, no declaration.
     pub fn compact() -> Self {
-        Self { indent: None, declaration: false, self_close_empty: true }
+        Self {
+            indent: None,
+            declaration: false,
+            self_close_empty: true,
+        }
     }
 }
 

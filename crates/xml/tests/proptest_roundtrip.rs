@@ -15,7 +15,10 @@ fn text_strategy() -> impl Strategy<Value = String> {
 }
 
 fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), prop::collection::vec((name_strategy(), text_strategy()), 0..3))
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), text_strategy()), 0..3),
+    )
         .prop_map(|(name, attrs)| {
             let mut e = Element::new(name);
             for (k, v) in attrs {

@@ -28,7 +28,11 @@ fn main() -> Result<(), String> {
     let back = from_xml(&xml).map_err(|e| e.to_string())?;
     assert_eq!(back, desc, "round-trip must be lossless");
     let plan = back.plan();
-    println!("-- plan: {} runs, {} distinct treatments", plan.len(), plan.distinct_treatments().len());
+    println!(
+        "-- plan: {} runs, {} distinct treatments",
+        plan.len(),
+        plan.distinct_treatments().len()
+    );
     for t in plan.distinct_treatments() {
         println!("   {}", t.key());
     }

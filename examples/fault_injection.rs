@@ -28,8 +28,11 @@ fn main() -> Result<(), String> {
     let outcome = master.execute()?;
 
     // Map run ids back to their treatment (the engine reports them).
-    let by_run: HashMap<u64, String> =
-        outcome.runs.iter().map(|r| (r.run_id, r.treatment_key.clone())).collect();
+    let by_run: HashMap<u64, String> = outcome
+        .runs
+        .iter()
+        .map(|r| (r.run_id, r.treatment_key.clone()))
+        .collect();
     let curves = responsiveness_by_treatment(
         &outcome.database,
         &|run| by_run.get(&run).cloned().unwrap_or_default(),

@@ -30,7 +30,11 @@ fn main() -> Result<(), String> {
     // 3. Execute: run lifecycle, measurement, conditioning, storage.
     let outcome = master.execute()?;
     let completed = outcome.runs.iter().filter(|r| r.completed).count();
-    println!("executed {} runs ({} completed)", outcome.runs.len(), completed);
+    println!(
+        "executed {} runs ({} completed)",
+        outcome.runs.len(),
+        completed
+    );
 
     // 4. The result is a single relational package with the paper's
     //    Table I schema.
@@ -41,12 +45,18 @@ fn main() -> Result<(), String> {
     let events = EventRow::read_run(&outcome.database, 0).map_err(|e| e.to_string())?;
     println!("run 0 events:");
     for e in &events {
-        println!("  {:>12} ns  {:<10} {}", e.common_time_ns, e.node_id, e.event_type);
+        println!(
+            "  {:>12} ns  {:<10} {}",
+            e.common_time_ns, e.node_id, e.event_type
+        );
     }
 
     // 6. Extract the headline metric: responsiveness R(deadline).
     let episodes = RunView::all_episodes(&outcome.database).map_err(|e| e.to_string())?;
     let curve = responsiveness_curve(&episodes, 1, &[0.1, 0.25, 0.5, 1.0, 5.0, 30.0]);
-    println!("\n{}", format_curve("two-party, all treatments pooled", &curve));
+    println!(
+        "\n{}",
+        format_curve("two-party, all treatments pooled", &curve)
+    );
     Ok(())
 }

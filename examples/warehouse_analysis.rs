@@ -65,7 +65,10 @@ fn main() -> Result<(), String> {
     let slow = wh
         .table("FactDiscovery")
         .map_err(|e| e.to_string())?
-        .count(&Predicate::Gt("ResponseTimeNs".into(), SqlValue::Int(100_000_000)))
+        .count(&Predicate::Gt(
+            "ResponseTimeNs".into(),
+            SqlValue::Int(100_000_000),
+        ))
         .map_err(|e| e.to_string())?;
     println!("\ndiscoveries slower than 100 ms across both platforms: {slow}");
     std::fs::remove_dir_all(&dir).ok();

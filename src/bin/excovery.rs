@@ -11,6 +11,7 @@
 //! excovery dot <desc.xml>
 //! excovery run <desc.xml> [--topology grid:WxH | chain:N] [--max-runs N]
 //!              [--out results.expdb] [--l2 DIR] [--resume] [--keep-l2]
+//!              [--transport memory|tcp]
 //! excovery inspect <results.expdb>
 //! excovery events <results.expdb> --run N
 //! excovery timeline <results.expdb> --run N [--svg out.svg]
@@ -22,7 +23,7 @@ use excovery::analysis::runs::RunView;
 use excovery::analysis::timeline::Timeline;
 use excovery::desc::xmlio::from_xml;
 use excovery::desc::ExperimentDescription;
-use excovery::engine::{EngineConfig, ExperiMaster};
+use excovery::engine::{EngineConfig, ExperiMaster, TransportKind};
 use excovery::netsim::topology::Topology;
 use excovery::store::records::{EventRow, ExperimentInfo};
 use excovery::store::Database;
@@ -83,6 +84,7 @@ fn print_usage() {
          \x20 excovery dot <desc.xml>\n\
          \x20 excovery run <desc.xml> [--topology grid:WxH|chain:N] [--max-runs N]\n\
          \x20          [--out results.expdb] [--l2 DIR] [--resume] [--keep-l2]\n\
+         \x20          [--transport memory|tcp]\n\
          \x20 excovery inspect <results.expdb>\n\
          \x20 excovery events <results.expdb> --run N\n\
          \x20 excovery timeline <results.expdb> --run N [--svg out.svg]\n\
@@ -106,7 +108,10 @@ fn positional<'a>(args: &'a [String], what: &str) -> Result<&'a str, String> {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
 }
 
 fn flag_present(args: &[String], flag: &str) -> bool {
@@ -134,7 +139,9 @@ fn parse_topology(spec: &str) -> Result<Topology, String> {
         let n: usize = n.parse().map_err(|_| format!("bad chain length '{n}'"))?;
         Ok(Topology::chain(n))
     } else {
-        Err(format!("unknown topology '{spec}' (use grid:WxH or chain:N)"))
+        Err(format!(
+            "unknown topology '{spec}' (use grid:WxH or chain:N)"
+        ))
     }
 }
 
@@ -145,7 +152,11 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     let findings = excovery::desc::validate::validate(&desc);
     let fatal = findings.iter().filter(|f| f.fatal).count();
     for f in &findings {
-        println!("{} {}", if f.fatal { "FATAL  " } else { "warning" }, f.message);
+        println!(
+            "{} {}",
+            if f.fatal { "FATAL  " } else { "warning" },
+            f.message
+        );
     }
     if fatal > 0 {
         return Err(format!("{fatal} fatal findings"));
@@ -163,8 +174,9 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
 
 fn cmd_plan(args: &[String]) -> Result<(), String> {
     let desc = load_description(positional(args, "description path")?)?;
-    let limit: usize =
-        flag_value(args, "--limit").map(|v| v.parse().unwrap_or(20)).unwrap_or(20);
+    let limit: usize = flag_value(args, "--limit")
+        .map(|v| v.parse().unwrap_or(20))
+        .unwrap_or(20);
     let plan = desc.plan();
     println!(
         "{} runs, {} treatments, design {:?}, seed {}",
@@ -174,7 +186,12 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         desc.seed
     );
     for run in plan.runs.iter().take(limit) {
-        println!("  run {:>5}  rep {:>4}  {}", run.run_id, run.replicate, run.treatment.key());
+        println!(
+            "  run {:>5}  rep {:>4}  {}",
+            run.run_id,
+            run.replicate,
+            run.treatment.key()
+        );
     }
     if plan.len() > limit {
         println!("  … {} more (raise with --limit)", plan.len() - limit);
@@ -206,19 +223,31 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(dir) = flag_value(args, "--l2") {
         cfg.l2_root = Some(PathBuf::from(dir));
     }
+    if let Some(t) = flag_value(args, "--transport") {
+        cfg.transport = TransportKind::parse(t)
+            .ok_or_else(|| format!("unknown transport '{t}' (use memory or tcp)"))?;
+    }
     cfg.resume = flag_present(args, "--resume");
     cfg.keep_l2 = flag_present(args, "--keep-l2");
-    let out = flag_value(args, "--out").unwrap_or("results.expdb").to_string();
+    let out = flag_value(args, "--out")
+        .unwrap_or("results.expdb")
+        .to_string();
 
     let name = desc.name.clone();
     let mut master = ExperiMaster::new(desc, cfg)?;
     let outcome = master.execute()?;
     let completed = outcome.runs.iter().filter(|r| r.completed).count();
-    println!("experiment '{name}': {} runs executed, {completed} completed", outcome.runs.len());
+    println!(
+        "experiment '{name}': {} runs executed, {completed} completed",
+        outcome.runs.len()
+    );
     for r in outcome.runs.iter().filter(|r| !r.completed) {
         println!("  run {} failed: {:?}", r.run_id, r.failures);
     }
-    outcome.database.save(std::path::Path::new(&out)).map_err(|e| e.to_string())?;
+    outcome
+        .database
+        .save(std::path::Path::new(&out))
+        .map_err(|e| e.to_string())?;
     println!("level-3 package written to {out}");
     Ok(())
 }
@@ -261,7 +290,10 @@ fn cmd_events(args: &[String]) -> Result<(), String> {
 
 fn cmd_timeline(args: &[String]) -> Result<(), String> {
     let db = load_database(positional(args, "database path")?)?;
-    let run: u64 = flag_value(args, "--run").unwrap_or("0").parse().map_err(|_| "bad --run")?;
+    let run: u64 = flag_value(args, "--run")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "bad --run")?;
     let events = EventRow::read_run(&db, run).map_err(|e| e.to_string())?;
     // Lanes: every node that produced events except the master.
     let actors: BTreeMap<String, String> = events
@@ -281,13 +313,22 @@ fn cmd_timeline(args: &[String]) -> Result<(), String> {
 
 fn cmd_model(args: &[String]) -> Result<(), String> {
     use excovery::analysis::model::ResponsivenessModel;
-    let hops: u32 = flag_value(args, "--hops").unwrap_or("1").parse().map_err(|_| "bad --hops")?;
-    let loss: f64 = flag_value(args, "--loss").unwrap_or("0.1").parse().map_err(|_| "bad --loss")?;
+    let hops: u32 = flag_value(args, "--hops")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --hops")?;
+    let loss: f64 = flag_value(args, "--loss")
+        .unwrap_or("0.1")
+        .parse()
+        .map_err(|_| "bad --loss")?;
     let model = ResponsivenessModel::new(hops, loss);
     println!("analytic responsiveness model: {hops} hops, per-link loss {loss}\n");
     println!("attempts:");
     for a in model.attempts() {
-        println!("  {:>8.3} s  {:<9} p = {:.4}", a.completes_at_s, a.kind, a.success_probability);
+        println!(
+            "  {:>8.3} s  {:<9} p = {:.4}",
+            a.completes_at_s, a.kind, a.success_probability
+        );
     }
     println!("\npredicted R(d):");
     for d in [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0] {
@@ -298,10 +339,15 @@ fn cmd_model(args: &[String]) -> Result<(), String> {
 
 fn cmd_report(args: &[String]) -> Result<(), String> {
     let db = load_database(positional(args, "database path")?)?;
-    let k: usize = flag_value(args, "--k").unwrap_or("1").parse().map_err(|_| "bad --k")?;
-    let opts = excovery::analysis::report::ReportOptions { k, ..Default::default() };
-    let report =
-        excovery::analysis::report::render(&db, &opts).map_err(|e| e.to_string())?;
+    let k: usize = flag_value(args, "--k")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --k")?;
+    let opts = excovery::analysis::report::ReportOptions {
+        k,
+        ..Default::default()
+    };
+    let report = excovery::analysis::report::render(&db, &opts).map_err(|e| e.to_string())?;
     match flag_value(args, "--out") {
         Some(path) => {
             std::fs::write(path, &report).map_err(|e| format!("write {path}: {e}"))?;
@@ -330,8 +376,7 @@ fn cmd_repo(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "add" => {
-            let positionals: Vec<&String> =
-                args.iter().filter(|a| !a.starts_with("--")).collect();
+            let positionals: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
             let id = positionals.get(2).ok_or("missing experiment id")?;
             let db_path = positionals.get(3).ok_or("missing database path")?;
             let db = load_database(db_path)?;
@@ -341,7 +386,10 @@ fn cmd_repo(args: &[String]) -> Result<(), String> {
         }
         "compare" => {
             // Cross-experiment comparison: responsiveness of each package.
-            println!("{:<24} {:>8} {:>8} {:>9} {:>9}", "experiment", "runs", "episodes", "R(1s)", "R(30s)");
+            println!(
+                "{:<24} {:>8} {:>8} {:>9} {:>9}",
+                "experiment", "runs", "episodes", "R(1s)", "R(30s)"
+            );
             repo.map_experiments(|id, db| {
                 let episodes = RunView::all_episodes(db)
                     .map_err(|e| excovery::store::StoreError(e.to_string()))?;
@@ -366,14 +414,20 @@ fn cmd_repo(args: &[String]) -> Result<(), String> {
 
 fn cmd_responsiveness(args: &[String]) -> Result<(), String> {
     let db = load_database(positional(args, "database path")?)?;
-    let k: usize = flag_value(args, "--k").unwrap_or("1").parse().map_err(|_| "bad --k")?;
+    let k: usize = flag_value(args, "--k")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --k")?;
     let deadlines = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0];
     let episodes = RunView::all_episodes(&db).map_err(|e| e.to_string())?;
     if episodes.is_empty() {
         return Err("no discovery episodes in this database".into());
     }
     let curve = responsiveness_curve(&episodes, k, &deadlines);
-    print!("{}", format_curve(&format!("k={k}, {} episodes", episodes.len()), &curve));
+    print!(
+        "{}",
+        format_curve(&format!("k={k}, {} episodes", episodes.len()), &curve)
+    );
     // Per-treatment breakdown when more than one treatment was run
     // (reconstructed from the stored description, no side channel needed).
     if !flag_present(args, "--pooled") {

@@ -40,8 +40,17 @@ fn help_lists_all_commands() {
     assert!(out.status.success());
     let text = stdout(&out);
     for cmd in [
-        "validate", "plan", "outline", "dot", "run", "inspect", "events", "timeline",
-        "responsiveness", "report", "repo",
+        "validate",
+        "plan",
+        "outline",
+        "dot",
+        "run",
+        "inspect",
+        "events",
+        "timeline",
+        "responsiveness",
+        "report",
+        "repo",
     ] {
         assert!(text.contains(cmd), "usage lacks {cmd}");
     }
@@ -116,20 +125,38 @@ fn full_run_inspect_analyze_cycle() {
     assert!(stdout(&out).contains("deadline_s"));
 
     let svg = dir.join("t.svg");
-    let out = cli(&["timeline", db.to_str().unwrap(), "--run", "0", "--svg", svg.to_str().unwrap()]);
+    let out = cli(&[
+        "timeline",
+        db.to_str().unwrap(),
+        "--run",
+        "0",
+        "--svg",
+        svg.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("t_R"));
     assert!(svg.exists());
 
     let report = dir.join("report.md");
-    let out = cli(&["report", db.to_str().unwrap(), "--out", report.to_str().unwrap()]);
+    let out = cli(&[
+        "report",
+        db.to_str().unwrap(),
+        "--out",
+        report.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let report_text = std::fs::read_to_string(&report).unwrap();
     assert!(report_text.contains("# Experiment report: sd-two-party"));
 
     // Level-4 repository round trip.
     let repo = dir.join("repo");
-    let out = cli(&["repo", repo.to_str().unwrap(), "add", "exp1", db.to_str().unwrap()]);
+    let out = cli(&[
+        "repo",
+        repo.to_str().unwrap(),
+        "add",
+        "exp1",
+        db.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let out = cli(&["repo", repo.to_str().unwrap(), "list"]);
     assert!(stdout(&out).contains("exp1"));
@@ -158,7 +185,12 @@ fn plan_respects_limit() {
     let out = cli(&["plan", desc.to_str().unwrap(), "--limit", "2"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    assert_eq!(text.lines().filter(|l| l.trim_start().starts_with("run ")).count(), 2);
+    assert_eq!(
+        text.lines()
+            .filter(|l| l.trim_start().starts_with("run "))
+            .count(),
+        2
+    );
     assert!(text.contains("more (raise with --limit)"));
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -15,15 +15,28 @@ fn swapped_blocks_description(reps: u64) -> ExperimentDescription {
     // Simplify: drop load factors, keep the sync-only env process.
     d.factors.factors.retain(|f| f.id == "fact_nodes");
     d.env_processes[0].actions = vec![
-        excovery::desc::ProcessAction::EventFlag { value: "ready_to_init".into() },
-        excovery::desc::ProcessAction::WaitForEvent(
-            excovery::desc::process::EventSelector::named("done"),
-        ),
+        excovery::desc::ProcessAction::EventFlag {
+            value: "ready_to_init".into(),
+        },
+        excovery::desc::ProcessAction::WaitForEvent(excovery::desc::process::EventSelector::named(
+            "done",
+        )),
     ];
-    let nodes = d.factors.factors.iter_mut().find(|f| f.id == "fact_nodes").unwrap();
+    let nodes = d
+        .factors
+        .factors
+        .iter_mut()
+        .find(|f| f.id == "fact_nodes")
+        .unwrap();
     nodes.levels.push(LevelValue::ActorMap(vec![
-        ActorAssignment { actor_id: "actor0".into(), instances: vec!["B".into()] },
-        ActorAssignment { actor_id: "actor1".into(), instances: vec!["A".into()] },
+        ActorAssignment {
+            actor_id: "actor0".into(),
+            instances: vec!["B".into()],
+        },
+        ActorAssignment {
+            actor_id: "actor1".into(),
+            instances: vec!["A".into()],
+        },
     ]));
     d
 }
@@ -84,10 +97,17 @@ fn completely_randomized_design_executes_and_interleaves_blocks() {
     let mut master = ExperiMaster::new(desc, EngineConfig::grid_default()).unwrap();
     let outcome = master.execute().unwrap();
     assert_eq!(outcome.runs.len(), 6);
-    assert!(outcome.runs.iter().all(|r| r.completed), "{:?}", outcome.runs);
+    assert!(
+        outcome.runs.iter().all(|r| r.completed),
+        "{:?}",
+        outcome.runs
+    );
     // Run ids in the database follow the randomized plan order.
-    let treatments: Vec<&str> =
-        outcome.runs.iter().map(|r| r.treatment_key.as_str()).collect();
+    let treatments: Vec<&str> = outcome
+        .runs
+        .iter()
+        .map(|r| r.treatment_key.as_str())
+        .collect();
     assert_eq!(
         treatments,
         keys.iter().map(String::as_str).collect::<Vec<_>>(),
@@ -103,8 +123,12 @@ fn rcbd_keeps_blocks_contiguous_end_to_end() {
     let plan = desc.plan();
     let first_block_key = plan.runs[0].treatment.key();
     // First three runs share a block, last three the other.
-    assert!(plan.runs[..3].iter().all(|r| r.treatment.key() == first_block_key));
-    assert!(plan.runs[3..].iter().all(|r| r.treatment.key() != first_block_key));
+    assert!(plan.runs[..3]
+        .iter()
+        .all(|r| r.treatment.key() == first_block_key));
+    assert!(plan.runs[3..]
+        .iter()
+        .all(|r| r.treatment.key() != first_block_key));
 
     let mut master = ExperiMaster::new(desc, EngineConfig::grid_default()).unwrap();
     let outcome = master.execute().unwrap();

@@ -51,12 +51,19 @@ fn tag_gap_analysis_detects_fault_injected_loss() {
     // CBR flow endpoint in this small platform); the tag-gap estimate for
     // streams through that node must reflect substantial loss.
     let mut desc = description_with_injection(100);
-    let sm = desc.node_processes.iter_mut().find(|p| p.actor_id == "actor0").unwrap();
+    let sm = desc
+        .node_processes
+        .iter_mut()
+        .find(|p| p.actor_id == "actor0")
+        .unwrap();
     sm.actions.insert(
         0,
         ProcessAction::invoke_with(
             "fault_message_loss_start",
-            [("probability".to_string(), ValueRef::Lit(excovery::desc::LevelValue::Float(0.5)))],
+            [(
+                "probability".to_string(),
+                ValueRef::Lit(excovery::desc::LevelValue::Float(0.5)),
+            )],
         ),
     );
     let mut cfg = EngineConfig::grid_default();
@@ -72,7 +79,10 @@ fn tag_gap_analysis_detects_fault_injected_loss() {
         .filter(|s| s.received >= 20)
         .map(|s| s.loss_ratio())
         .fold(0.0f64, f64::max);
-    assert!(max_loss > 0.1, "tag gaps must expose injected loss, max was {max_loss}");
+    assert!(
+        max_loss > 0.1,
+        "tag gaps must expose injected loss, max was {max_loss}"
+    );
 }
 
 #[test]

@@ -33,7 +33,10 @@ fn same_description_runs_on_all_platform_presets() {
         "expected wired ({wired}) >= mesh ({mesh}) >= lossy ({lossy})"
     );
     assert!(wired > 0.9, "wired LAN discovers nearly always: {wired}");
-    assert!(lossy < 1.0, "lossy mesh must show failures at 200 ms: {lossy}");
+    assert!(
+        lossy < 1.0,
+        "lossy mesh must show failures at 200 ms: {lossy}"
+    );
 }
 
 #[test]

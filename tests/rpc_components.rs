@@ -26,7 +26,13 @@ fn nodemanager_exposes_the_fig12_procedure_families() {
     )));
     let proxy = NodeManager::spawn(NodeId(0), "t9-157", sim, binding, SdConfig::two_party());
     // Management actions.
-    for m in ["experiment_init", "experiment_exit", "run_init", "run_exit", "measure_sync"] {
+    for m in [
+        "experiment_init",
+        "experiment_exit",
+        "run_init",
+        "run_exit",
+        "measure_sync",
+    ] {
         assert!(proxy.call(m, vec![]).is_ok(), "management procedure {m}");
     }
     // Unknown methods are reported as XML-RPC faults, not panics.
@@ -75,7 +81,8 @@ fn concurrent_master_threads_serialize_on_the_node_lock() {
         handles.push(std::thread::spawn(move || {
             // Mix of process actions and event flags from two "threads".
             if i % 2 == 0 {
-                p.call("event_flag", vec![Value::str(format!("flag-{i}"))]).unwrap();
+                p.call("event_flag", vec![Value::str(format!("flag-{i}"))])
+                    .unwrap();
             } else {
                 p.call("measure_sync", vec![]).unwrap();
             }
@@ -85,7 +92,13 @@ fn concurrent_master_threads_serialize_on_the_node_lock() {
         h.join().unwrap();
     }
     let events = sim.lock().drain_protocol_events();
-    assert_eq!(events.iter().filter(|e| e.name.starts_with("flag-")).count(), 4);
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.name.starts_with("flag-"))
+            .count(),
+        4
+    );
 }
 
 #[test]
@@ -114,8 +127,10 @@ fn sd_actions_drive_the_protocol_through_rpc() {
     }
     sm.call("sd_init", vec![Value::str("SM")]).unwrap();
     su.call("sd_init", vec![Value::str("SU")]).unwrap();
-    sm.call("sd_start_publish", vec![Value::str("_demo._tcp")]).unwrap();
-    su.call("sd_start_search", vec![Value::str("_demo._tcp")]).unwrap();
+    sm.call("sd_start_publish", vec![Value::str("_demo._tcp")])
+        .unwrap();
+    su.call("sd_start_search", vec![Value::str("_demo._tcp")])
+        .unwrap();
     sim.lock().run_for(SimDuration::from_secs(3));
     let events = sim.lock().drain_protocol_events();
     assert!(events.iter().any(|e| e.name == "sd_service_add"));

@@ -28,7 +28,11 @@ fn sm_role_event_order_follows_fig9() {
         .map(|e| e.event_type.as_str())
         .collect();
     // init → start publish → (wait done) → stop publish → exit.
-    let idx = |name: &str| sm.iter().position(|e| *e == name).unwrap_or_else(|| panic!("{name} missing from {sm:?}"));
+    let idx = |name: &str| {
+        sm.iter()
+            .position(|e| *e == name)
+            .unwrap_or_else(|| panic!("{name} missing from {sm:?}"))
+    };
     assert!(idx("sd_init_done") < idx("sd_start_publish"));
     assert!(idx("sd_start_publish") < idx("sd_stop_publish"));
     assert!(idx("sd_stop_publish") <= idx("sd_exit_done"));
@@ -43,7 +47,11 @@ fn su_role_event_order_follows_fig10() {
         .filter(|e| e.node_id == "t9-105")
         .map(|e| e.event_type.as_str())
         .collect();
-    let idx = |name: &str| su.iter().position(|e| *e == name).unwrap_or_else(|| panic!("{name} missing from {su:?}"));
+    let idx = |name: &str| {
+        su.iter()
+            .position(|e| *e == name)
+            .unwrap_or_else(|| panic!("{name} missing from {su:?}"))
+    };
     assert!(idx("sd_init_done") < idx("sd_start_search"));
     assert!(idx("sd_start_search") < idx("sd_service_add"));
     assert!(idx("sd_service_add") < idx("done"));
@@ -78,7 +86,10 @@ fn su_waits_for_publisher_and_environment() {
 fn discovery_identifies_the_publishing_sm() {
     let outcome = one_run();
     let events = EventRow::read_run(&outcome.database, 0).unwrap();
-    let add = events.iter().find(|e| e.event_type == "sd_service_add").unwrap();
+    let add = events
+        .iter()
+        .find(|e| e.event_type == "sd_service_add")
+        .unwrap();
     let params = EventRow::decode_params(&add.parameter);
     assert!(params.iter().any(|(k, v)| k == "service" && v == "t9-157"));
     assert!(params.iter().any(|(k, _)| k == "stype"));
@@ -111,10 +122,19 @@ fn deadline_fires_when_no_service_exists() {
     // Remove the SM's publish action: the SU must time out after its 30 s
     // deadline, flag done anyway (Fig. 10 semantics) and finish the run.
     let mut desc = ExperimentDescription::paper_two_party_sd(1);
-    let sm = desc.node_processes.iter_mut().find(|p| p.actor_id == "actor0").unwrap();
-    sm.actions.retain(|a| a.name() != "sd_start_publish" && a.name() != "sd_stop_publish");
+    let sm = desc
+        .node_processes
+        .iter_mut()
+        .find(|p| p.actor_id == "actor0")
+        .unwrap();
+    sm.actions
+        .retain(|a| a.name() != "sd_start_publish" && a.name() != "sd_stop_publish");
     // The SU's first wait (for sd_start_publish) must not block forever.
-    let su = desc.node_processes.iter_mut().find(|p| p.actor_id == "actor1").unwrap();
+    let su = desc
+        .node_processes
+        .iter_mut()
+        .find(|p| p.actor_id == "actor1")
+        .unwrap();
     su.actions.remove(0);
     let mut cfg = EngineConfig::grid_default();
     cfg.max_runs = Some(1);

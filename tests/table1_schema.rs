@@ -9,14 +9,29 @@ use excovery::store::schema::{attributes, render_table1, verify_schema, TABLE_NA
 
 /// The literal content of the paper's Table I.
 const PAPER_TABLE1: &[(&str, &[&str])] = &[
-    ("ExperimentInfo", &["ExpXML", "EEVersion", "Name", "Comment"]),
+    (
+        "ExperimentInfo",
+        &["ExpXML", "EEVersion", "Name", "Comment"],
+    ),
     ("Logs", &["NodeID", "Log"]),
     ("EEFiles", &["ID", "File"]),
-    ("ExperimentMeasurements", &["ID", "NodeID", "Name", "Content"]),
+    (
+        "ExperimentMeasurements",
+        &["ID", "NodeID", "Name", "Content"],
+    ),
     ("RunInfos", &["RunID", "NodeID", "StartTime", "TimeDiff"]),
-    ("ExtraRunMeasurements", &["RunID", "NodeID", "Name", "Content"]),
-    ("Events", &["RunID", "NodeID", "CommonTime", "EventType", "Parameter"]),
-    ("Packets", &["RunID", "NodeID", "CommonTime", "SrcNodeID", "Data"]),
+    (
+        "ExtraRunMeasurements",
+        &["RunID", "NodeID", "Name", "Content"],
+    ),
+    (
+        "Events",
+        &["RunID", "NodeID", "CommonTime", "EventType", "Parameter"],
+    ),
+    (
+        "Packets",
+        &["RunID", "NodeID", "CommonTime", "SrcNodeID", "Data"],
+    ),
 ];
 
 #[test]
@@ -54,6 +69,9 @@ fn rendered_table_lists_every_row_of_the_paper() {
     let rendered = render_table1();
     for (table, attrs) in PAPER_TABLE1 {
         assert!(rendered.contains(table), "{table} missing");
-        assert!(rendered.contains(&attrs.join(", ")), "attributes of {table} missing");
+        assert!(
+            rendered.contains(&attrs.join(", ")),
+            "attributes of {table} missing"
+        );
     }
 }

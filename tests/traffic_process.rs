@@ -18,14 +18,24 @@ fn traffic_process_starts_and_stops_with_the_run() {
     for run in 0..2u64 {
         let events = EventRow::read_run(&outcome.database, run).unwrap();
         let names: Vec<&str> = events.iter().map(|e| e.event_type.as_str()).collect();
-        assert!(names.contains(&"env_traffic_started"), "run {run}: {names:?}");
-        assert!(names.contains(&"env_traffic_stopped"), "run {run}: {names:?}");
+        assert!(
+            names.contains(&"env_traffic_started"),
+            "run {run}: {names:?}"
+        );
+        assert!(
+            names.contains(&"env_traffic_stopped"),
+            "run {run}: {names:?}"
+        );
     }
     // Clean-up removed the load: nothing lingers on the links.
     let sim = master.simulator();
     let s = sim.lock();
-    let residual: f64 =
-        s.topology().edges().iter().map(|&(a, b)| s.link_load(a, b)).sum();
+    let residual: f64 = s
+        .topology()
+        .edges()
+        .iter()
+        .map(|&(a, b)| s.link_load(a, b))
+        .sum();
     assert_eq!(residual, 0.0, "traffic must be fully removed at run_exit");
 }
 
@@ -55,14 +65,21 @@ fn heavy_load_degrades_discovery_over_a_long_path() {
             .map(|t| t as f64 / 1e9)
             .collect();
         let found = t_rs.len();
-        let mean = if found == 0 { f64::INFINITY } else { t_rs.iter().sum::<f64>() / found as f64 };
+        let mean = if found == 0 {
+            f64::INFINITY
+        } else {
+            t_rs.iter().sum::<f64>() / found as f64
+        };
         (mean, found, episodes.len())
     }
     let (t_idle, found_idle, n_idle) = mean_t_r(10, 2);
     let (t_loaded, found_loaded, n_loaded) = mean_t_r(2000, 8);
     assert_eq!(n_idle, 12);
     assert_eq!(n_loaded, 12);
-    assert!(found_idle >= 11, "idle chain discovers reliably ({found_idle}/12)");
+    assert!(
+        found_idle >= 11,
+        "idle chain discovers reliably ({found_idle}/12)"
+    );
     // Load must hurt: fewer discoveries or clearly slower ones.
     assert!(
         found_loaded < found_idle || t_loaded > 2.0 * t_idle,

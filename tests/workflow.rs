@@ -58,7 +58,9 @@ fn full_workflow_produces_conditioned_package() {
     }
 
     // Packets were captured and conditioned.
-    assert!(!PacketRow::read_run(&outcome.database, 0).unwrap().is_empty());
+    assert!(!PacketRow::read_run(&outcome.database, 0)
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -91,7 +93,8 @@ fn level4_repository_integrates_multiple_experiments() {
     let repo = Repository::open(&root).unwrap();
     for seed in [1, 2] {
         let outcome = run_paper_experiment(seed, 1);
-        repo.store(&format!("sd-two-party-s{seed}"), &outcome.database).unwrap();
+        repo.store(&format!("sd-two-party-s{seed}"), &outcome.database)
+            .unwrap();
     }
     let index = repo.index().unwrap();
     assert_eq!(index.len(), 2);
@@ -116,7 +119,10 @@ fn crash_recovery_resumes_aborted_experiment() {
     cfg.l2_root = Some(l2_root.clone());
     cfg.max_runs = Some(2);
     cfg.keep_l2 = true;
-    ExperiMaster::new(desc.clone(), cfg).unwrap().execute().unwrap();
+    ExperiMaster::new(desc.clone(), cfg)
+        .unwrap()
+        .execute()
+        .unwrap();
 
     // Recovery: resume and finish the remaining runs of the plan.
     let mut cfg = EngineConfig::grid_default();
@@ -125,8 +131,14 @@ fn crash_recovery_resumes_aborted_experiment() {
     cfg.max_runs = Some(2);
     cfg.keep_l2 = true;
     let second = ExperiMaster::new(desc, cfg).unwrap().execute().unwrap();
-    assert_eq!(second.runs[0].run_id, 2, "resumed at the first incomplete run");
+    assert_eq!(
+        second.runs[0].run_id, 2,
+        "resumed at the first incomplete run"
+    );
     // The final package integrates runs from both sessions.
-    assert_eq!(RunInfoRow::run_ids(&second.database).unwrap(), vec![0, 1, 2, 3]);
+    assert_eq!(
+        RunInfoRow::run_ids(&second.database).unwrap(),
+        vec![0, 1, 2, 3]
+    );
     std::fs::remove_dir_all(&l2_root).ok();
 }

@@ -114,7 +114,10 @@ fn fig5_factors_and_plan_arithmetic() {
     let d = from_xml(FIG5).unwrap();
     let fl = &d.factors;
     assert_eq!(fl.factors.len(), 3);
-    assert_eq!(fl.factor("fact_nodes").unwrap().usage, FactorUsage::Blocking);
+    assert_eq!(
+        fl.factor("fact_nodes").unwrap().usage,
+        FactorUsage::Blocking
+    );
     assert_eq!(fl.factor("fact_pairs").unwrap().usage, FactorUsage::Random);
     assert_eq!(fl.factor("fact_bw").unwrap().usage, FactorUsage::Constant);
     assert_eq!(fl.replication.count, 1000);
@@ -128,14 +131,18 @@ fn fig5_factors_and_plan_arithmetic() {
         .iter()
         .map(|r| r.treatment.int("fact_pairs").unwrap())
         .collect();
-    assert!(first_block.windows(2).all(|w| w[0] == w[1]), "pairs constant over the first block");
+    assert!(
+        first_block.windows(2).all(|w| w[0] == w[1]),
+        "pairs constant over the first block"
+    );
     let bw_changes = plan.runs[..3000]
         .windows(2)
-        .filter(|w| {
-            w[0].treatment.int("fact_bw") != w[1].treatment.int("fact_bw")
-        })
+        .filter(|w| w[0].treatment.int("fact_bw") != w[1].treatment.int("fact_bw"))
         .count();
-    assert_eq!(bw_changes, 2, "bw (last factor) cycles through its 3 levels inside the block");
+    assert_eq!(
+        bw_changes, 2,
+        "bw (last factor) cycles through its 3 levels inside the block"
+    );
 }
 
 #[test]
@@ -153,7 +160,12 @@ fn fig7_traffic_process_parameters() {
     let d = from_xml(FIG7).unwrap();
     let env = &d.env_processes[0];
     assert_eq!(env.actions.len(), 4);
-    assert_eq!(env.actions[0], ProcessAction::EventFlag { value: "ready_to_init".into() });
+    assert_eq!(
+        env.actions[0],
+        ProcessAction::EventFlag {
+            value: "ready_to_init".into()
+        }
+    );
     match &env.actions[1] {
         ProcessAction::Invoke { name, params } => {
             assert_eq!(name, "env_traffic_start");
@@ -161,7 +173,10 @@ fn fig7_traffic_process_parameters() {
             assert_eq!(get("bw"), Some(ValueRef::factor("fact_bw")));
             assert_eq!(get("choice"), Some(ValueRef::int(0)));
             assert_eq!(get("random_switch_amount"), Some(ValueRef::int(1)));
-            assert_eq!(get("random_switch_seed"), Some(ValueRef::factor("fact_replication_id")));
+            assert_eq!(
+                get("random_switch_seed"),
+                Some(ValueRef::factor("fact_replication_id"))
+            );
             assert_eq!(get("random_pairs"), Some(ValueRef::factor("fact_pairs")));
             assert_eq!(get("random_seed"), Some(ValueRef::factor("fact_pairs")));
         }
@@ -188,17 +203,17 @@ fn combined_description_emits_and_reparses_every_listing_construct() {
     let d = excovery::desc::ExperimentDescription::paper_two_party_sd(1000);
     let xml = excovery::desc::xmlio::to_xml(&d);
     for construct in [
-        "<factorlist>",                       // Fig. 5
-        "<replicationfactor",                 // Fig. 5
-        "<factorref id=\"fact_bw\"",          // Fig. 7
-        "<env_traffic_start>",                // Fig. 7
-        "<actor_nodes>",                      // Fig. 8
-        "<sd_init",                           // Figs. 9/10
-        "<wait_for_event>",                   // Fig. 10
-        "<param_dependency>",                 // Fig. 10
-        "<wait_marker",                       // Fig. 10
-        "<event_flag>",                       // Fig. 10
-        "<timeout>",                          // Fig. 10
+        "<factorlist>",              // Fig. 5
+        "<replicationfactor",        // Fig. 5
+        "<factorref id=\"fact_bw\"", // Fig. 7
+        "<env_traffic_start>",       // Fig. 7
+        "<actor_nodes>",             // Fig. 8
+        "<sd_init",                  // Figs. 9/10
+        "<wait_for_event>",          // Fig. 10
+        "<param_dependency>",        // Fig. 10
+        "<wait_marker",              // Fig. 10
+        "<event_flag>",              // Fig. 10
+        "<timeout>",                 // Fig. 10
     ] {
         assert!(xml.contains(construct), "XML lacks {construct}");
     }
