@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use excovery_netsim::sim::{Simulator, SimulatorConfig};
 use excovery_netsim::topology::Topology;
-use excovery_netsim::{Destination, NodeId, Payload};
+use excovery_netsim::{run_replications, CampaignConfig, Destination, NodeId, Payload};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("netsim");
@@ -32,6 +32,30 @@ fn bench(c: &mut Criterion) {
             }
             sim.run_until_idle(10_000_000)
         })
+    });
+    g.finish();
+
+    // 8 independent replications of the unicast workload, fanned across
+    // the campaign runner (auto worker count) vs pinned to one worker.
+    // The speedup between these two is the campaign scaling factor.
+    let campaign_rep = |_rep: u64, seed: u64| {
+        let mut sim = Simulator::new(Topology::chain(5), SimulatorConfig::perfect_clocks(seed));
+        for _ in 0..1_000u64 {
+            sim.send_from(
+                NodeId(0),
+                9,
+                Destination::Unicast(NodeId(4)),
+                Payload::from("x"),
+            );
+        }
+        sim.run_until_idle(1_000_000)
+    };
+    let mut g = c.benchmark_group("campaign");
+    g.bench_function("unicast_8reps_serial", |b| {
+        b.iter(|| run_replications(&CampaignConfig::new(3, 8).with_workers(1), campaign_rep))
+    });
+    g.bench_function("unicast_8reps_parallel", |b| {
+        b.iter(|| run_replications(&CampaignConfig::new(3, 8), campaign_rep))
     });
     g.finish();
 }

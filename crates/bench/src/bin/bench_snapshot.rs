@@ -1,0 +1,137 @@
+//! Bench smoke runner: times the netsim reference workloads with plain
+//! `Instant` and writes `BENCH_netsim.json`.
+//!
+//! Criterion runs take minutes; this finishes in seconds, which makes it
+//! usable as a CI smoke check that the hot paths still execute and their
+//! *deterministic* outputs (events processed, packets delivered) still
+//! match the committed snapshot. Timing fields are recorded for local
+//! before/after comparisons but vary by machine — only the `events` and
+//! `delivered` fields are expected to be stable across environments.
+//!
+//! Usage: `bench_snapshot [output-path]` (default `BENCH_netsim.json`).
+
+use excovery_netsim::sim::{SimStats, Simulator, SimulatorConfig};
+use excovery_netsim::topology::Topology;
+use excovery_netsim::{run_replications, CampaignConfig, Destination, NodeId, Payload};
+use std::time::Instant;
+
+/// One timed workload: median wall time over `iters` runs plus the
+/// deterministic event count and stats of a single run.
+struct Sample {
+    name: &'static str,
+    ns_per_iter: u128,
+    events: u64,
+    stats: SimStats,
+}
+
+fn measure(name: &'static str, iters: u32, mut run: impl FnMut() -> (u64, SimStats)) -> Sample {
+    // Warm-up run also provides the deterministic outputs.
+    let (events, stats) = run();
+    let mut times: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    Sample {
+        name,
+        ns_per_iter: times[times.len() / 2],
+        events,
+        stats,
+    }
+}
+
+fn unicast_4hops() -> (u64, SimStats) {
+    let mut sim = Simulator::new(Topology::chain(5), SimulatorConfig::perfect_clocks(1));
+    for _ in 0..1_000u64 {
+        sim.send_from(
+            NodeId(0),
+            9,
+            Destination::Unicast(NodeId(4)),
+            Payload::from("x"),
+        );
+    }
+    let events = sim.run_until_idle(1_000_000);
+    (events, sim.stats())
+}
+
+fn flood_grid5x5() -> (u64, SimStats) {
+    let mut sim = Simulator::new(Topology::grid(5, 5), SimulatorConfig::perfect_clocks(2));
+    for _ in 0..1_000u64 {
+        sim.send_from(NodeId(0), 9, Destination::Multicast, Payload::from("x"));
+    }
+    let events = sim.run_until_idle(10_000_000);
+    (events, sim.stats())
+}
+
+fn campaign(workers: usize) -> (u64, SimStats) {
+    let reps = run_replications(
+        &CampaignConfig::new(3, 8).with_workers(workers),
+        |_rep, seed| {
+            let mut sim = Simulator::new(Topology::chain(5), SimulatorConfig::perfect_clocks(seed));
+            for _ in 0..1_000u64 {
+                sim.send_from(
+                    NodeId(0),
+                    9,
+                    Destination::Unicast(NodeId(4)),
+                    Payload::from("x"),
+                );
+            }
+            let events = sim.run_until_idle(1_000_000);
+            (events, sim.stats())
+        },
+    );
+    reps.into_iter().fold(
+        (0, SimStats::default()),
+        |(ev, mut acc), (events, stats)| {
+            acc.sent += stats.sent;
+            acc.delivered += stats.delivered;
+            acc.forwarded += stats.forwarded;
+            (ev + events, acc)
+        },
+    )
+}
+
+fn render(samples: &[Sample]) -> String {
+    // Hand-rolled JSON: every value is a number or a fixed identifier, so
+    // no escaping is needed and the snapshot stays dependency-free.
+    let mut out = String::from("{\n  \"suite\": \"netsim\",\n  \"benches\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"events\": {}, \
+             \"sent\": {}, \"delivered\": {}, \"forwarded\": {}}}{}\n",
+            s.name,
+            s.ns_per_iter,
+            s.events,
+            s.stats.sent,
+            s.stats.delivered,
+            s.stats.forwarded,
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> Result<(), String> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_netsim.json".into());
+    let iters: u32 = std::env::var("EXCOVERY_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let samples = [
+        measure("unicast_4hops_1000pkts", iters, unicast_4hops),
+        measure("flood_grid5x5_1000pkts", iters, flood_grid5x5),
+        measure("campaign_unicast_8reps_serial", iters, || campaign(1)),
+        measure("campaign_unicast_8reps_parallel", iters, || campaign(0)),
+    ];
+    let json = render(&samples);
+    print!("{json}");
+    std::fs::write(&path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}

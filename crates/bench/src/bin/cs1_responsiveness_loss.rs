@@ -5,38 +5,40 @@
 //! Expected: R(d) decreases with the loss probability at every deadline,
 //! and grows with the deadline as the query retransmission backoff
 //! recovers lost exchanges.
+//!
+//! Each loss level is an independent experiment shard; the campaign fans
+//! them across worker threads and merges results in level order, so the
+//! output is identical to a serial sweep (set `EXCOVERY_WORKERS=1` to
+//! check).
 
 use excovery_analysis::responsiveness::responsiveness_curve;
-use excovery_analysis::runs::RunView;
-use excovery_bench::harness::{curve_header, curve_row, execute_on, reps_from_env, DEADLINES_S};
-use excovery_core::scenarios::loss_sweep;
+use excovery_bench::harness::{
+    curve_header, curve_row, episodes, reps_from_env, Campaign, DEADLINES_S,
+};
+use excovery_core::scenarios::loss_sweep_shards;
+use excovery_core::EngineConfig;
 use excovery_netsim::topology::Topology;
-use std::collections::BTreeMap;
 
 fn main() -> Result<(), String> {
     let losses = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
     let reps = reps_from_env();
     println!("CS-1: responsiveness vs message loss on the SM ({reps} replications/level)\n");
-    let desc = loss_sweep(&losses, reps, 20261);
-    let (outcome, by_run) = execute_on(desc, Topology::chain(2))?;
+    let jobs: Vec<_> = loss_sweep_shards(&losses, reps, 20261)
+        .into_iter()
+        .map(|desc| {
+            let mut cfg = EngineConfig::grid_default();
+            cfg.topology = Topology::chain(2);
+            (desc, cfg)
+        })
+        .collect();
+    let results = Campaign::from_env().run(jobs);
 
-    // Group episodes per loss level.
-    let mut grouped: BTreeMap<String, Vec<_>> = BTreeMap::new();
-    for run in &outcome.runs {
-        let eps = RunView::load(&outcome.database, run.run_id)
-            .map_err(|e| e.to_string())?
-            .episodes();
-        let loss = by_run[&run.run_id]
-            .split('|')
-            .find(|kv| kv.starts_with("fact_loss="))
-            .unwrap_or("fact_loss=?")
-            .to_string();
-        grouped.entry(loss).or_default().extend(eps);
-    }
     println!("{}", curve_header());
-    for (label, eps) in grouped {
+    for (loss, result) in losses.iter().zip(results) {
+        let (outcome, _) = result?;
+        let eps = episodes(&outcome);
         let curve = responsiveness_curve(&eps, 1, &DEADLINES_S);
-        println!("{}", curve_row(&label, &curve));
+        println!("{}", curve_row(&format!("fact_loss={loss}"), &curve));
     }
     println!("\nshape: R falls with loss; longer deadlines recover via retransmission backoff.");
     Ok(())

@@ -5,28 +5,40 @@
 //!
 //! Expected: per-hop loss compounds, so R at short deadlines and the
 //! median t_R degrade with the hop count between SU and SM.
+//!
+//! The six hop counts are independent experiments; the campaign executes
+//! them in parallel and reports them in hop order.
 
 use excovery_analysis::responsiveness::responsiveness_curve;
 use excovery_analysis::stats::Summary;
 use excovery_bench::harness::{
-    curve_header, curve_row, episodes, execute_with, first_t_rs_s, reps_from_env, DEADLINES_S,
+    curve_header, curve_row, episodes, first_t_rs_s, reps_from_env, Campaign, DEADLINES_S,
 };
-use excovery_core::scenarios::{chain_between_actors, hop_distance};
+use excovery_core::scenarios::{chain_between_actors, hop_distance_shards};
 use excovery_core::EngineConfig;
 
 fn main() -> Result<(), String> {
     let reps = reps_from_env();
     println!("CS-3: responsiveness vs hop distance ({reps} replications/hop count)");
     println!("lossy mesh links: 15% base loss per hop, as on weak DES links\n");
+    let shards = hop_distance_shards(1..=6, reps, 20263);
+    let hops_order: Vec<usize> = shards.iter().map(|(h, _)| *h).collect();
+    let jobs: Vec<_> = shards
+        .into_iter()
+        .map(|(hops, desc)| {
+            let mut cfg = EngineConfig::grid_default();
+            cfg.topology = chain_between_actors(hops);
+            // Weak links: per-hop loss compounds over the path.
+            cfg.sim.link_model.base_loss = 0.15;
+            (desc, cfg)
+        })
+        .collect();
+    let results = Campaign::from_env().run(jobs);
+
     println!("{}", curve_header());
     let mut medians = Vec::new();
-    for hops in 1..=6 {
-        let desc = hop_distance(reps, 20263 + hops as u64);
-        let mut cfg = EngineConfig::grid_default();
-        cfg.topology = chain_between_actors(hops);
-        // Weak links: per-hop loss compounds over the path.
-        cfg.sim.link_model.base_loss = 0.15;
-        let (outcome, _) = execute_with(desc, cfg)?;
+    for (hops, result) in hops_order.into_iter().zip(results) {
+        let (outcome, _) = result?;
         let eps = episodes(&outcome);
         let curve = responsiveness_curve(&eps, 1, &DEADLINES_S);
         println!("{}", curve_row(&format!("hops={hops}"), &curve));

@@ -78,22 +78,64 @@ pub fn first_t_rs_s(eps: &[DiscoveryEpisode]) -> Vec<f64> {
 /// Result of one harness execution: the outcome plus the run→treatment map.
 pub type ExecResult = Result<(ExperimentOutcome, HashMap<u64, String>), String>;
 
-/// Runs independent experiments in parallel, one OS thread each — sweeps
-/// over independent descriptions are embarrassingly parallel and each
-/// experiment stays internally deterministic. Results return in input
-/// order.
-pub fn execute_parallel(jobs: Vec<(ExperimentDescription, EngineConfig)>) -> Vec<ExecResult> {
-    let handles: Vec<_> = jobs
-        .into_iter()
-        .map(|(desc, cfg)| std::thread::spawn(move || execute_with(desc, cfg)))
-        .collect();
-    handles
-        .into_iter()
-        .map(|h| {
-            h.join()
+/// A deterministic parallel campaign over independent experiments.
+///
+/// Sweeps over independent descriptions are embarrassingly parallel: each
+/// experiment derives all randomness from its own description seed, so
+/// results depend only on the job list — never on scheduling. Jobs are
+/// fanned across a bounded pool of scoped worker threads and results are
+/// merged **in submission order**, making the output byte-identical to
+/// running the same jobs serially (the MACI scaling model).
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign {
+    workers: usize,
+}
+
+impl Campaign {
+    /// A campaign with an explicit worker count (`0` = available
+    /// parallelism).
+    pub fn new(workers: usize) -> Self {
+        Self { workers }
+    }
+
+    /// Worker count from `EXCOVERY_WORKERS` (default: auto).
+    pub fn from_env() -> Self {
+        let workers = std::env::var("EXCOVERY_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        Self::new(workers)
+    }
+
+    /// A serial campaign (one worker) — the reference execution order.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// Executes all jobs, returning results in submission order. A
+    /// panicking experiment yields an `Err` for its own slot only.
+    pub fn run(&self, jobs: Vec<(ExperimentDescription, EngineConfig)>) -> Vec<ExecResult> {
+        let count = jobs.len();
+        let slots: Vec<std::sync::Mutex<Option<(ExperimentDescription, EngineConfig)>>> = jobs
+            .into_iter()
+            .map(|j| std::sync::Mutex::new(Some(j)))
+            .collect();
+        excovery_netsim::run_indexed(self.workers, count, |i| {
+            let (desc, cfg) = slots[i]
+                .lock()
+                .expect("campaign job slot poisoned")
+                .take()
+                .expect("campaign job taken twice");
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_with(desc, cfg)))
                 .unwrap_or_else(|_| Err("experiment thread panicked".into()))
         })
-        .collect()
+    }
+}
+
+/// Runs independent experiments in parallel across a bounded worker pool;
+/// results return in input order. Convenience wrapper over [`Campaign`].
+pub fn execute_parallel(jobs: Vec<(ExperimentDescription, EngineConfig)>) -> Vec<ExecResult> {
+    Campaign::from_env().run(jobs)
 }
 
 #[cfg(test)]

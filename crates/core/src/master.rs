@@ -653,8 +653,13 @@ impl ExperiMaster {
                 .platform_id(e.node)
                 .map(str::to_string)
                 .unwrap_or_else(|| e.node.to_string());
-            self.log
-                .record(self.run_id, pid, e.local_time, e.name, e.params);
+            self.log.record(
+                self.run_id,
+                pid,
+                e.local_time,
+                e.name,
+                e.params.into_string_pairs(),
+            );
         }
     }
 
@@ -894,7 +899,7 @@ impl ExperiMaster {
                             CaptureKind::Forwarded => "forwarded".into(),
                         },
                         tag: c.tag,
-                        data: c.payload.0,
+                        data: c.payload.to_vec(),
                     })
                     .collect();
                 l2.put_run(

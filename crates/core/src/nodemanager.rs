@@ -13,7 +13,7 @@
 
 use crate::binding::PlatformBinding;
 use excovery_netsim::filter::{Direction, FilterRule, RuleId};
-use excovery_netsim::{NodeId, SimDuration, Simulator};
+use excovery_netsim::{EventParams, NodeId, SimDuration, Simulator};
 use excovery_rpc::{Channel, Fault, NodeProxy, ServerRegistry, Value};
 use excovery_sd::{
     sd_command, Role, SdAgent, SdCommand, SdConfig, ServiceDescription, ServiceType, SD_PORT,
@@ -233,7 +233,8 @@ impl NodeManager {
             let sim = Arc::clone(&sim);
             reg.register("event_flag", move |params| {
                 let name = p_str(params, 0, "event name")?;
-                sim.lock().emit_external_event(node, name, vec![]);
+                sim.lock()
+                    .emit_external_event(node, name, EventParams::new());
                 Ok(Value::Bool(true))
             });
         }
@@ -307,7 +308,7 @@ impl NodeManager {
                 s.emit_external_event(
                     node,
                     format!("fault_{kind}_started"),
-                    vec![("handle".into(), handle.to_string())],
+                    [("handle", handle.to_string())],
                 );
                 Ok(Value::Int(handle as i32))
             });
@@ -326,11 +327,7 @@ impl NodeManager {
                 };
                 let mut s = sim.lock();
                 s.remove_filter(node, rule);
-                s.emit_external_event(
-                    node,
-                    "fault_stopped",
-                    vec![("handle".into(), handle.to_string())],
-                );
+                s.emit_external_event(node, "fault_stopped", [("handle", handle.to_string())]);
                 Ok(Value::Bool(true))
             });
         }
@@ -454,7 +451,7 @@ mod tests {
             .lock()
             .drain_protocol_events()
             .iter()
-            .map(|e| e.name.clone())
+            .map(|e| e.name.to_string())
             .collect();
         assert!(names.contains(&"fault_interface_started".to_string()));
         assert!(!names.contains(&"sd_service_add".to_string()), "{names:?}");
@@ -465,7 +462,7 @@ mod tests {
             .lock()
             .drain_protocol_events()
             .iter()
-            .map(|e| e.name.clone())
+            .map(|e| e.name.to_string())
             .collect();
         assert!(names.contains(&"sd_service_add".to_string()), "{names:?}");
     }
@@ -540,7 +537,7 @@ mod tests {
             .lock()
             .drain_protocol_events()
             .iter()
-            .map(|e| e.name.clone())
+            .map(|e| e.name.to_string())
             .collect();
         assert!(names.contains(&"sd_service_add".to_string()), "{names:?}");
     }

@@ -11,6 +11,7 @@ use excovery_desc::process::{
     ActorProcess, EnvProcess, EventSelector, NodeSelector, ProcessAction, ValueRef,
 };
 use excovery_desc::ExperimentDescription;
+use excovery_netsim::rng::derive_seed_indexed;
 use excovery_netsim::topology::Topology;
 
 /// A chain topology where simulator nodes 0 and 1 (the two actor nodes of
@@ -164,6 +165,54 @@ pub fn loss_sweep(loss_levels: &[f64], replications: u64, seed: u64) -> Experime
     d
 }
 
+/// Splits [`loss_sweep`] into one single-level description per loss level
+/// so a campaign runner can fan the treatments across workers (each
+/// treatment is an independent experiment with its own derived seed).
+///
+/// Shard `i` runs with `derive_seed_indexed(seed, "loss_shard", i)` — a
+/// pure function of the parent seed, so the shard list is reproducible and
+/// independent of execution order.
+pub fn loss_sweep_shards(
+    loss_levels: &[f64],
+    replications: u64,
+    seed: u64,
+) -> Vec<ExperimentDescription> {
+    loss_levels
+        .iter()
+        .enumerate()
+        .map(|(i, &level)| {
+            let mut d = loss_sweep(
+                &[level],
+                replications,
+                derive_seed_indexed(seed, "loss_shard", i as u64),
+            );
+            d.name = format!("cs1-loss-sweep-{level}");
+            d
+        })
+        .collect()
+}
+
+/// One [`hop_distance`] description per hop count in `hops`, with derived
+/// per-shard seeds — the job list CS-3 fans across a campaign. Pair each
+/// returned description with [`chain_between_actors`] of the same hop
+/// count.
+pub fn hop_distance_shards(
+    hops: std::ops::RangeInclusive<usize>,
+    replications: u64,
+    seed: u64,
+) -> Vec<(usize, ExperimentDescription)> {
+    hops.map(|h| {
+        (
+            h,
+            hop_distance(
+                replications,
+                derive_seed_indexed(seed, "hop_shard", h as u64),
+            ),
+        )
+    })
+    .collect()
+}
+
 /// **CS-2**: responsiveness under generated background load — the paper's
 /// own factor set (Fig. 5) with pairs and data-rate factors.
 pub fn load_sweep(
@@ -289,6 +338,27 @@ mod tests {
         validate_strict(&hop_distance(2, 1)).unwrap();
         for arch in ["two-party", "three-party", "hybrid"] {
             validate_strict(&multi_sm(3, arch, arch != "two-party", 2, 1)).unwrap();
+        }
+    }
+
+    #[test]
+    fn shards_are_deterministic_and_distinct() {
+        let a = loss_sweep_shards(&[0.0, 0.2, 0.4], 5, 77);
+        let b = loss_sweep_shards(&[0.0, 0.2, 0.4], 5, 77);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let seeds: std::collections::HashSet<u64> = a.iter().map(|d| d.seed).collect();
+        assert_eq!(seeds.len(), 3, "per-shard seeds must differ");
+        for d in &a {
+            validate_strict(d).unwrap();
+            assert_eq!(d.plan().len(), 5, "one level x replications");
+        }
+        let h = hop_distance_shards(1..=4, 3, 9);
+        assert_eq!(h.len(), 4);
+        assert_eq!(h, hop_distance_shards(1..=4, 3, 9));
+        for (hops, d) in &h {
+            validate_strict(d).unwrap();
+            assert!(*hops >= 1);
         }
     }
 

@@ -1,0 +1,209 @@
+//! Deterministic parallel execution of independent replications.
+//!
+//! ExCovery campaigns repeat an experiment many times with per-run seeds
+//! (§IV-C1); MACI-style frameworks scale the same way — by fanning
+//! *independent* runs out to workers. A single simulator run is strictly
+//! sequential (one event queue, one channel RNG), but replications never
+//! share state: each gets its own seed derived from the campaign master
+//! seed and its replication index, so the set of results is a pure function
+//! of `(master_seed, replications)`.
+//!
+//! [`run_replications`] exploits that: scoped worker threads claim
+//! replication indices from an atomic counter, execute them, and store each
+//! result in its replication's slot. Results are returned **in replication
+//! order**, so the output is byte-identical to [`run_replications_serial`]
+//! no matter how many workers run or how execution interleaves — verified
+//! by the serial-vs-parallel determinism test.
+
+use crate::rng::derive_seed_indexed;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Label mixed into per-replication seed derivation.
+const REP_SEED_LABEL: &str = "campaign_rep";
+
+/// How a replication campaign is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Master seed; replication `i` receives
+    /// `derive_seed_indexed(master_seed, "campaign_rep", i)`.
+    pub master_seed: u64,
+    /// Number of independent replications.
+    pub replications: u64,
+    /// Worker threads; `0` uses the machine's available parallelism.
+    pub workers: usize,
+}
+
+impl CampaignConfig {
+    /// A campaign of `replications` runs from `master_seed`, auto-sizing
+    /// the worker pool.
+    pub fn new(master_seed: u64, replications: u64) -> Self {
+        Self {
+            master_seed,
+            replications,
+            workers: 0,
+        }
+    }
+
+    /// Overrides the worker count (`0` = auto).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The seed replication `rep` runs with.
+    pub fn rep_seed(&self, rep: u64) -> u64 {
+        derive_seed_indexed(self.master_seed, REP_SEED_LABEL, rep)
+    }
+
+    fn effective_workers(&self) -> usize {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let w = if self.workers == 0 {
+            auto()
+        } else {
+            self.workers
+        };
+        w.max(1).min(self.replications.max(1) as usize)
+    }
+}
+
+/// Runs all replications on the calling thread, in replication order.
+///
+/// `run` receives `(replication_index, derived_seed)`.
+pub fn run_replications_serial<T>(cfg: &CampaignConfig, run: impl Fn(u64, u64) -> T) -> Vec<T> {
+    (0..cfg.replications)
+        .map(|rep| run(rep, cfg.rep_seed(rep)))
+        .collect()
+}
+
+/// Runs all replications across scoped worker threads, returning results
+/// in replication order — byte-identical to
+/// [`run_replications_serial`] with the same configuration.
+///
+/// `run` receives `(replication_index, derived_seed)` and must derive all
+/// randomness from the seed (every simulator construction does).
+pub fn run_replications<T, F>(cfg: &CampaignConfig, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+{
+    run_indexed(cfg.effective_workers(), cfg.replications as usize, |rep| {
+        run(rep as u64, cfg.rep_seed(rep as u64))
+    })
+}
+
+/// Runs `count` independent jobs across at most `workers` scoped threads
+/// (`0` = available parallelism), returning `f(0), f(1), …` **in index
+/// order** regardless of scheduling. The deterministic-fan-out primitive
+/// under both [`run_replications`] and the bench harness's experiment
+/// campaigns.
+pub fn run_indexed<T, F>(workers: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+    .min(count.max(1));
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(&f).collect();
+    }
+    // One slot per job: workers claim indices from the shared counter and
+    // park results in their own slot, so merge order is fixed by
+    // construction regardless of scheduling.
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= count {
+                    break;
+                }
+                let out = f(idx);
+                *slots[idx].lock().expect("campaign slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("campaign slot poisoned")
+                .expect("job result missing")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Destination, Payload};
+    use crate::sim::{NodeId, Simulator, SimulatorConfig};
+    use crate::topology::Topology;
+
+    fn one_rep(seed: u64) -> (u64, u64, u64) {
+        let mut sim = Simulator::new(Topology::chain(4), SimulatorConfig::perfect_clocks(seed));
+        for _ in 0..20 {
+            sim.send_from(
+                NodeId(0),
+                7,
+                Destination::Unicast(NodeId(3)),
+                Payload::from("ping"),
+            );
+        }
+        sim.run_until_idle(10_000);
+        let s = sim.stats();
+        (s.sent, s.delivered, s.dropped_loss)
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let cfg = CampaignConfig::new(42, 12).with_workers(4);
+        let serial = run_replications_serial(&cfg, |_, seed| one_rep(seed));
+        let parallel = run_replications(&cfg, |_, seed| one_rep(seed));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let base = CampaignConfig::new(7, 9);
+        let r1 = run_replications(&base.with_workers(1), |_, s| one_rep(s));
+        let r3 = run_replications(&base.with_workers(3), |_, s| one_rep(s));
+        let r8 = run_replications(&base.with_workers(8), |_, s| one_rep(s));
+        assert_eq!(r1, r3);
+        assert_eq!(r1, r8);
+    }
+
+    #[test]
+    fn rep_seeds_are_distinct_and_stable() {
+        let cfg = CampaignConfig::new(1, 100);
+        let seeds: Vec<u64> = (0..100).map(|r| cfg.rep_seed(r)).collect();
+        let unique: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), seeds.len());
+        assert_eq!(seeds, (0..100).map(|r| cfg.rep_seed(r)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_come_back_in_replication_order() {
+        let cfg = CampaignConfig::new(3, 32).with_workers(8);
+        let reps = run_replications(&cfg, |rep, _| rep);
+        assert_eq!(reps, (0..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn empty_campaign_is_empty() {
+        let cfg = CampaignConfig::new(0, 0);
+        let out: Vec<u64> = run_replications(&cfg, |rep, _| rep);
+        assert!(out.is_empty());
+    }
+}

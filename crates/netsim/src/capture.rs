@@ -38,7 +38,8 @@ pub struct CaptureRecord {
     pub dst: Destination,
     /// Destination port.
     pub port: Port,
-    /// Complete, unaltered payload.
+    /// Complete, unaltered payload. Shares the sender's allocation
+    /// ([`Payload`] is `Arc`-backed), so capturing never copies bytes.
     pub payload: Payload,
     /// How the packet was observed.
     pub kind: CaptureKind,
@@ -57,6 +58,7 @@ impl CaptureBuffer {
     }
 
     /// Appends a record.
+    #[inline]
     pub fn record(&mut self, rec: CaptureRecord) {
         self.records.push(rec);
     }

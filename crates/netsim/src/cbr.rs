@@ -50,7 +50,11 @@ impl CbrSender {
         let n = 4.min(data.len());
         data[..n].copy_from_slice(&seq[..n]);
         self.seq = self.seq.wrapping_add(1);
-        ctx.send(Destination::Unicast(self.peer), self.port, Payload(data));
+        ctx.send(
+            Destination::Unicast(self.peer),
+            self.port,
+            Payload::new(data),
+        );
         ctx.set_timer(self.interval, TIMER_TICK);
     }
 }

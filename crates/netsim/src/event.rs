@@ -1,65 +1,89 @@
 //! The discrete-event queue.
 //!
-//! A binary heap ordered by `(time, sequence)`; the sequence number makes
-//! simultaneous events fire in insertion order, which keeps runs bit-exact
-//! across executions — the reproducibility property ExCovery requires of a
+//! Ordered by `(time, sequence)`; the sequence number makes simultaneous
+//! events fire in insertion order, which keeps runs bit-exact across
+//! executions — the reproducibility property ExCovery requires of a
 //! platform (§IV-C1).
+//!
+//! Payloads live in a slab and the binary heap holds only 24-byte
+//! `(time, sequence, slot)` keys, so every sift during push/pop moves a
+//! small fixed-size entry instead of a full simulator event (a packet,
+//! its shared route and hop bookkeeping — roughly a cache line). On the
+//! packet hot path this is the difference between the heap being
+//! memory-bound and arithmetic-bound.
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// An entry in the queue: an opaque payload due at a given instant.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Entry<T> {
-    due: SimTime,
-    seq: u64,
-    payload: T,
-}
-
-impl<T: Eq> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due, self.seq).cmp(&(other.due, other.seq))
-    }
-}
-
-impl<T: Eq> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// A deterministic future-event list.
 #[derive(Debug, Default)]
-pub struct EventQueue<T: Eq> {
-    heap: BinaryHeap<Reverse<Entry<T>>>,
+pub struct EventQueue<T> {
+    /// Min-heap of `(due, seq, slot)`; `seq` is unique, so `slot` never
+    /// participates in an ordering decision.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Payload storage indexed by slot; `None` marks a free slot.
+    slots: Vec<Option<T>>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
     seq: u64,
 }
 
-impl<T: Eq> EventQueue<T> {
+impl<T> EventQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` events, sized so the
+    /// steady-state event population of a run never regrows the heap.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
             seq: 0,
         }
     }
 
     /// Schedules `payload` at absolute time `due`.
+    #[inline]
     pub fn schedule(&mut self, due: SimTime, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { due, seq, payload }));
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event queue slot overflow");
+                self.slots.push(Some(payload));
+                slot
+            }
+        };
+        self.heap.push(Reverse((due, seq, slot)));
     }
 
     /// Removes and returns the earliest event, if any.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
-        self.heap.pop().map(|Reverse(e)| (e.due, e.payload))
+        let Reverse((due, _, slot)) = self.heap.pop()?;
+        let payload = self.slots[slot as usize]
+            .take()
+            .expect("heap entry without payload");
+        self.free.push(slot);
+        Some((due, payload))
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.due)
+        self.heap.peek().map(|&Reverse((due, _, _))| due)
     }
 
     /// Number of pending events.
@@ -75,6 +99,8 @@ impl<T: Eq> EventQueue<T> {
     /// Discards all pending events (run clean-up).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
     }
 }
 
@@ -132,5 +158,16 @@ mod tests {
         q.schedule(SimTime::from_nanos(5), "mid");
         assert_eq!(q.pop().unwrap().1, "mid");
         assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..50u64 {
+            q.schedule(SimTime::from_nanos(round), round);
+            assert_eq!(q.pop(), Some((SimTime::from_nanos(round), round)));
+        }
+        // Steady-state churn reuses the single slot instead of growing.
+        assert!(q.slots.len() <= 2, "slab grew to {}", q.slots.len());
     }
 }

@@ -24,13 +24,16 @@
 //! comes from a single seeded PRNG, so a run is exactly repeatable — the
 //! property ExCovery demands from its platforms (§IV-C1).
 
+pub mod campaign;
 pub mod capture;
 pub mod cbr;
 pub mod clock;
 pub mod event;
+pub mod fasthash;
 pub mod filter;
 pub mod link;
 pub mod packet;
+pub mod params;
 pub mod rng;
 pub mod sim;
 pub mod tagger;
@@ -38,10 +41,12 @@ pub mod time;
 pub mod topology;
 pub mod traffic;
 
+pub use campaign::{run_indexed, run_replications, run_replications_serial, CampaignConfig};
 pub use capture::CaptureRecord;
 pub use clock::NodeClock;
 pub use filter::{Direction, FilterRule};
 pub use packet::{Destination, Packet, PacketId, Payload, Port};
+pub use params::{EventName, EventParams, EventStr};
 pub use sim::{Agent, AgentCtx, NodeId, Simulator, SimulatorConfig};
 pub use time::{SimDuration, SimTime};
-pub use topology::Topology;
+pub use topology::{RoutingTable, Topology};

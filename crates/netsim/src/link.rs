@@ -52,15 +52,25 @@ impl Default for LinkModel {
 
 impl LinkModel {
     /// Effective loss probability of a link at `offered_kbps` background load.
+    #[inline]
     pub fn loss_probability(&self, offered_kbps: f64) -> f64 {
         let u = self.utilization(offered_kbps);
+        // Idle link: exp(0) = 1 exactly, so skip the transcendental.
+        if u == 0.0 {
+            return self.base_loss;
+        }
         1.0 - (1.0 - self.base_loss) * (-self.load_loss_factor * u).exp()
     }
 
     /// Effective one-hop delay at `offered_kbps` background load, before
     /// jitter. Grows hyperbolically with utilization (queueing).
+    #[inline]
     pub fn hop_delay(&self, offered_kbps: f64) -> SimDuration {
         let u = self.utilization(offered_kbps);
+        // Idle link: the queueing factor is exactly 1.
+        if u == 0.0 {
+            return self.base_delay;
+        }
         self.base_delay.mul_f64(1.0 + u / (1.0 - u))
     }
 
@@ -85,7 +95,7 @@ impl LinkModel {
 #[derive(Debug, Clone, Default)]
 pub struct LinkLoad {
     // Keyed by (min, max) node index.
-    load: std::collections::HashMap<(u16, u16), f64>,
+    load: crate::fasthash::FastHashMap<(u16, u16), f64>,
 }
 
 impl LinkLoad {
@@ -110,7 +120,12 @@ impl LinkLoad {
     }
 
     /// Current offered load on the link `a—b` in kbit/s.
+    #[inline]
     pub fn get(&self, a: u16, b: u16) -> f64 {
+        // Idle network fast path: no lookup per link crossing.
+        if self.load.is_empty() {
+            return 0.0;
+        }
         self.load.get(&key(a, b)).copied().unwrap_or(0.0)
     }
 

@@ -2,6 +2,7 @@
 
 use crate::sim::NodeId;
 use crate::time::SimTime;
+use std::sync::Arc;
 
 /// UDP-style port multiplexing protocols on a node.
 ///
@@ -34,13 +35,19 @@ pub enum Destination {
 /// Protocol crates serialize their messages into bytes; the simulator never
 /// interprets them, matching the paper's requirement that captures contain
 /// the "complete and unaltered content" (§IV-A3).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct Payload(pub Vec<u8>);
+///
+/// Backed by an `Arc<[u8]>`: a payload is written once when the protocol
+/// serializes its message and then shared immutably by every in-flight copy
+/// of the packet (per-hop relays, flood fan-out, capture records). Cloning
+/// is a reference-count bump, so the simulator's forwarding path never
+/// copies message bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Payload(Arc<[u8]>);
 
 impl Payload {
     /// Creates a payload from bytes.
-    pub fn new(bytes: impl Into<Vec<u8>>) -> Self {
-        Self(bytes.into())
+    pub fn new(bytes: impl Into<Payload>) -> Self {
+        bytes.into()
     }
 
     /// Payload length in bytes.
@@ -52,17 +59,59 @@ impl Payload {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// The payload bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copies the bytes into an owned `Vec` (for storage serialization).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload(Arc::from([] as [u8; 0]))
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
 }
 
 impl From<&str> for Payload {
     fn from(s: &str) -> Self {
-        Payload(s.as_bytes().to_vec())
+        Payload(Arc::from(s.as_bytes()))
+    }
+}
+
+impl From<String> for Payload {
+    fn from(s: String) -> Self {
+        Payload(Arc::from(s.into_bytes()))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(b: &[u8]) -> Self {
+        Payload(Arc::from(b))
     }
 }
 
 impl From<Vec<u8>> for Payload {
     fn from(v: Vec<u8>) -> Self {
-        Payload(v)
+        Payload(Arc::from(v))
+    }
+}
+
+impl From<Arc<[u8]>> for Payload {
+    fn from(a: Arc<[u8]>) -> Self {
+        Payload(a)
     }
 }
 
@@ -119,7 +168,16 @@ mod tests {
         assert_eq!(p.len(), 5);
         assert!(!p.is_empty());
         let q: Payload = vec![1u8, 2, 3].into();
-        assert_eq!(q.0, vec![1, 2, 3]);
+        assert_eq!(q.as_bytes(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn payload_clone_shares_storage() {
+        let p: Payload = vec![9u8; 64].into();
+        let q = p.clone();
+        // Both clones view the same allocation: identical pointers.
+        assert!(std::ptr::eq(p.as_bytes(), q.as_bytes()));
+        assert_eq!(p, q);
     }
 
     #[test]

@@ -24,17 +24,19 @@
 use crate::capture::{CaptureBuffer, CaptureKind, CaptureRecord};
 use crate::clock::{NodeClock, SyncMeasurement};
 use crate::event::EventQueue;
+use crate::fasthash::{FastHashMap, FastHashSet};
 use crate::filter::{Direction, FilterRule, FilterSet, RuleId, Verdict};
 use crate::link::{LinkLoad, LinkModel};
 use crate::packet::{Destination, Packet, PacketId, Payload, Port};
+use crate::params::{EventName, EventParams};
 use crate::rng::{derive_rng, derive_rng_indexed};
 use crate::tagger::Tagger;
 use crate::time::{SimDuration, SimTime};
-use crate::topology::Topology;
+use crate::topology::{RoutingTable, Topology};
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a node in the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -71,10 +73,10 @@ pub struct ProtocolEvent {
     pub node: NodeId,
     /// Local clock reading at emission.
     pub local_time: SimTime,
-    /// Event name.
-    pub name: String,
-    /// Event parameters as key/value pairs.
-    pub params: Vec<(String, String)>,
+    /// Event name (a `&'static str` for the common literal case).
+    pub name: EventName,
+    /// Event parameters as key/value pairs (inline up to three).
+    pub params: EventParams,
 }
 
 /// What an agent asked the simulator to do during a callback.
@@ -139,12 +141,16 @@ impl<'a> AgentCtx<'a> {
     }
 
     /// Emits a protocol event recorded by the experimentation layer.
-    pub fn emit(&mut self, name: impl Into<String>, params: Vec<(String, String)>) {
+    ///
+    /// `name` is typically a string literal (no allocation); `params`
+    /// accepts an array of pairs, e.g. `[("service", value)]`, or
+    /// [`EventParams::new()`] for none.
+    pub fn emit(&mut self, name: impl Into<EventName>, params: impl Into<EventParams>) {
         self.events.push(ProtocolEvent {
             node: self.node,
             local_time: self.local_now,
             name: name.into(),
-            params,
+            params: params.into(),
         });
     }
 
@@ -157,13 +163,15 @@ impl<'a> AgentCtx<'a> {
 /// Simulator-internal queued events.
 #[derive(Debug, PartialEq, Eq)]
 enum Ev {
-    /// A unicast packet finishes crossing the link `from → to`;
-    /// `rest` is the remaining path after `to`.
+    /// A unicast packet finishes crossing the link `from → to`.
+    /// `path` is the full route shared with the routing cache; `next` is
+    /// the index into it of the hop after `to` (`path.len()` at the end).
     UnicastTransit {
         packet: Packet,
         from: NodeId,
         to: NodeId,
-        rest: Vec<NodeId>,
+        path: Arc<[NodeId]>,
+        next: usize,
     },
     /// A flooded packet finishes crossing the link `from → to`.
     FloodTransit {
@@ -260,7 +268,7 @@ struct SimNode {
     /// out to nodes in any order — or in parallel — without changing the
     /// drawn errors.
     sync_rng: StdRng,
-    agents: HashMap<Port, Box<dyn Agent>>,
+    agents: FastHashMap<Port, Box<dyn Agent>>,
 }
 
 /// The deterministic discrete-event network simulator.
@@ -279,6 +287,7 @@ struct SimNode {
 /// ```
 pub struct Simulator {
     topology: Topology,
+    routing: RoutingTable,
     cfg: SimulatorConfig,
     nodes: Vec<SimNode>,
     queue: EventQueue<Ev>,
@@ -287,8 +296,8 @@ pub struct Simulator {
     next_tid: u64,
     channel_rng: StdRng,
     link_load: LinkLoad,
-    flood_seen: HashSet<(PacketId, u16)>,
-    active_timers: HashMap<(u16, Port, u64), HashSet<u64>>,
+    flood_seen: FastHashSet<(PacketId, u16)>,
+    active_timers: FastHashMap<(u16, Port, u64), FastHashSet<u64>>,
     protocol_events: Vec<ProtocolEvent>,
     stats: SimStats,
 }
@@ -320,22 +329,24 @@ impl Simulator {
                     drop_all: false,
                     rng: derive_rng_indexed(cfg.seed, "agent", i as u64),
                     sync_rng: derive_rng_indexed(cfg.seed, "sync", i as u64),
-                    agents: HashMap::new(),
+                    agents: FastHashMap::default(),
                 }
             })
             .collect();
         Self {
             channel_rng: derive_rng(cfg.seed, "channel"),
+            routing: RoutingTable::new(&topology),
             topology,
             cfg,
             nodes,
-            queue: EventQueue::new(),
+            // Steady state holds at most a few events per node in flight.
+            queue: EventQueue::with_capacity(256),
             time: SimTime::ZERO,
             next_packet_id: 0,
             next_tid: 0,
             link_load: LinkLoad::new(),
-            flood_seen: HashSet::new(),
-            active_timers: HashMap::new(),
+            flood_seen: FastHashSet::default(),
+            active_timers: FastHashMap::default(),
             protocol_events: Vec::new(),
             stats: SimStats::default(),
         }
@@ -351,6 +362,12 @@ impl Simulator {
     /// The topology the simulator runs on.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The precomputed routing table (paths and adjacency shared as
+    /// `Arc<[NodeId]>`; built once, the topology is static).
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
     }
 
     /// Transport statistics so far.
@@ -489,15 +506,15 @@ impl Simulator {
     pub fn emit_external_event(
         &mut self,
         node: NodeId,
-        name: impl Into<String>,
-        params: Vec<(String, String)>,
+        name: impl Into<EventName>,
+        params: impl Into<EventParams>,
     ) {
         let local_time = self.nodes[node.0 as usize].clock.local_time(self.time);
         self.protocol_events.push(ProtocolEvent {
             node,
             local_time,
             name: name.into(),
-            params,
+            params: params.into(),
         });
     }
 
@@ -550,8 +567,9 @@ impl Simulator {
                 packet,
                 from,
                 to,
-                rest,
-            } => self.handle_unicast_transit(packet, from, to, rest),
+                path,
+                next,
+            } => self.handle_unicast_transit(packet, from, to, path, next),
             Ev::FloodTransit { packet, from, to } => self.handle_flood_transit(packet, from, to),
             Ev::Deliver { packet, at } => self.deliver(packet, at),
             Ev::Timer {
@@ -767,13 +785,15 @@ impl Simulator {
                     self.deliver(packet, src);
                     return;
                 }
-                let Some(path) = self.topology.shortest_path(src, final_dst) else {
+                let Some(path) = self.routing.path(src, final_dst) else {
                     self.stats.dropped_loss += 1; // unroutable
                     return;
                 };
-                // path = [src, h1, ..., final]; transmit to h1.
-                let rest: Vec<NodeId> = path[2..].to_vec();
-                self.transmit_hop(packet, src, path[1], rest, extra);
+                // path = [src, h1, ..., final]; transmit to h1. The route is
+                // a shared slice from the routing cache — no per-packet copy.
+                let path = Arc::clone(path);
+                let first = path[1];
+                self.transmit_hop(packet, src, first, path, 2, extra);
             }
             Destination::Multicast | Destination::Broadcast => {
                 self.flood_seen.insert((packet.id, src.0));
@@ -783,13 +803,15 @@ impl Simulator {
     }
 
     /// Attempts one unicast link crossing `from → to`; on success schedules
-    /// the transit-complete event.
+    /// the transit-complete event. `path`/`next` index the shared route:
+    /// `path[next]` is the hop after `to` (`next == path.len()` at the end).
     fn transmit_hop(
         &mut self,
         packet: Packet,
         from: NodeId,
         to: NodeId,
-        rest: Vec<NodeId>,
+        path: Arc<[NodeId]>,
+        next: usize,
         extra_delay: SimDuration,
     ) {
         let load = self.link_load.get(from.0, to.0);
@@ -809,7 +831,8 @@ impl Simulator {
                 packet,
                 from,
                 to,
-                rest,
+                path,
+                next,
             },
         );
     }
@@ -819,13 +842,14 @@ impl Simulator {
         packet: Packet,
         _from: NodeId,
         to: NodeId,
-        rest: Vec<NodeId>,
+        path: Arc<[NodeId]>,
+        next: usize,
     ) {
         if self.nodes[to.0 as usize].drop_all {
             self.stats.dropped_filter += 1;
             return;
         }
-        if rest.is_empty() {
+        if next >= path.len() {
             // Final hop: ingress filters, then delivery.
             let verdict = self.nodes[to.0 as usize].filters.evaluate(
                 Direction::Receive,
@@ -849,9 +873,9 @@ impl Simulator {
             }
             self.capture(to, &packet, CaptureKind::Forwarded);
             self.stats.forwarded += 1;
-            let next = rest[0];
-            let remaining = rest[1..].to_vec();
-            self.transmit_hop(packet, to, next, remaining, SimDuration::ZERO);
+            // Advance the index into the shared route — no allocation.
+            let hop = path[next];
+            self.transmit_hop(packet, to, hop, path, next + 1, SimDuration::ZERO);
         }
     }
 
@@ -859,6 +883,10 @@ impl Simulator {
     /// (interface fault in any direction blocks the shared radio).
     fn relay_blocked(&self, node: NodeId) -> bool {
         let n = &self.nodes[node.0 as usize];
+        // Fault-free fast path: nothing installed can block the relay.
+        if !n.drop_all && n.filters.is_empty() {
+            return false;
+        }
         // Probe with a max-output RNG: `gen::<f64>()` yields ≈1.0, so
         // probabilistic loss rules (p < 1) never fire and only deterministic
         // blocks (InterfaceDown, total loss) force a Drop verdict.
@@ -882,8 +910,10 @@ impl Simulator {
         came_from: Option<NodeId>,
         extra_delay: SimDuration,
     ) {
-        let neighbors: Vec<NodeId> = self.topology.neighbors(at).to_vec();
-        for nb in neighbors {
+        // Shared adjacency slice from the routing cache — no per-fan-out
+        // copy; the Arc clone detaches the borrow from `self`.
+        let neighbors = Arc::clone(self.routing.neighbors(at));
+        for &nb in neighbors.iter() {
             if Some(nb) == came_from {
                 continue;
             }

@@ -10,6 +10,7 @@
 
 use crate::sim::NodeId;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A static mesh topology over `n` nodes.
 #[derive(Debug, Clone)]
@@ -200,6 +201,102 @@ fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
     ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
 }
 
+/// Precomputed all-pairs routing for a static [`Topology`].
+///
+/// The simulator used to run a BFS per unicast send and clone neighbor
+/// `Vec`s per flood fan-out. A topology never changes during an experiment,
+/// so both are computed once here: every shortest path and every adjacency
+/// list is materialized as a shared `Arc<[NodeId]>` slice. In-flight packets
+/// hold an `Arc` clone of their route — forwarding advances an index into
+/// the shared slice and never allocates.
+///
+/// Paths are bit-identical to [`Topology::shortest_path`]: both derive from
+/// a FIFO BFS that scans neighbors in increasing id order, so the parent
+/// pointers (and therefore the reconstructed routes) match exactly. The
+/// early exit in `shortest_path` only prunes exploration *after* the
+/// destination's parent has been fixed, which cannot change the result.
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    n: usize,
+    /// Row-major `n × n`: `paths[src * n + dst]`.
+    paths: Vec<Option<Arc<[NodeId]>>>,
+    /// Shared adjacency lists, same order as [`Topology::neighbors`].
+    neighbors: Vec<Arc<[NodeId]>>,
+}
+
+impl RoutingTable {
+    /// Builds the table with one full BFS per source node.
+    pub fn new(topology: &Topology) -> Self {
+        let n = topology.len();
+        let mut paths: Vec<Option<Arc<[NodeId]>>> = vec![None; n * n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        let mut scratch: Vec<NodeId> = Vec::new();
+        for s in 0..n {
+            let src = NodeId(s as u16);
+            parent.iter_mut().for_each(|p| *p = None);
+            seen.iter_mut().for_each(|s| *s = false);
+            queue.clear();
+            seen[s] = true;
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                for &v in topology.neighbors(u) {
+                    if !seen[v.0 as usize] {
+                        seen[v.0 as usize] = true;
+                        parent[v.0 as usize] = Some(u);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for d in 0..n {
+                let dst = NodeId(d as u16);
+                if d == s {
+                    paths[s * n + d] = Some(Arc::from([src] as [NodeId; 1]));
+                    continue;
+                }
+                if !seen[d] {
+                    continue; // unreachable
+                }
+                scratch.clear();
+                let mut cur = dst;
+                scratch.push(cur);
+                while let Some(p) = parent[cur.0 as usize] {
+                    scratch.push(p);
+                    cur = p;
+                }
+                scratch.reverse();
+                paths[s * n + d] = Some(Arc::from(scratch.as_slice()));
+            }
+        }
+        let neighbors = (0..n)
+            .map(|i| Arc::from(topology.neighbors(NodeId(i as u16))))
+            .collect();
+        Self {
+            n,
+            paths,
+            neighbors,
+        }
+    }
+
+    /// Cached shortest path from `a` to `b` (inclusive); `None` if
+    /// disconnected. Identical to [`Topology::shortest_path`].
+    pub fn path(&self, a: NodeId, b: NodeId) -> Option<&Arc<[NodeId]>> {
+        self.paths[a.0 as usize * self.n + b.0 as usize].as_ref()
+    }
+
+    /// Shared adjacency list of `node`, same order as
+    /// [`Topology::neighbors`].
+    pub fn neighbors(&self, node: NodeId) -> &Arc<[NodeId]> {
+        &self.neighbors[node.0 as usize]
+    }
+
+    /// Hop count along the cached path; `None` if disconnected.
+    pub fn hop_count(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        self.path(a, b).map(|p| p.len() as u32 - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +387,28 @@ mod tests {
         assert_eq!(edges.len(), 12);
         for (a, b) in &edges {
             assert!(a.0 < b.0);
+        }
+    }
+
+    #[test]
+    fn routing_table_matches_per_packet_bfs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for topo in [
+            Topology::chain(6),
+            Topology::grid(5, 5),
+            Topology::from_positions(vec![(0.0, 0.0), (0.5, 0.0), (10.0, 0.0)], 1.0),
+            Topology::random_geometric(24, 5.0, 1.7, &mut rng),
+        ] {
+            let table = RoutingTable::new(&topo);
+            for a in topo.nodes() {
+                for b in topo.nodes() {
+                    let bfs = topo.shortest_path(a, b);
+                    let cached = table.path(a, b).map(|p| p.to_vec());
+                    assert_eq!(bfs, cached, "path {a:?}->{b:?} diverged");
+                    assert_eq!(table.hop_count(a, b), topo.hop_count(a, b));
+                }
+                assert_eq!(&table.neighbors(a)[..], topo.neighbors(a));
+            }
         }
     }
 

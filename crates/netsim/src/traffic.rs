@@ -139,13 +139,15 @@ impl TrafficGenerator {
         }
         // Bidirectional CBR on an undirected link model: 2× rate offered.
         let per_link = 2.0 * self.spec.rate_kbps;
-        let pairs = self.pairs.clone();
-        for (a, b) in pairs {
-            if let Some(path) = sim.topology().shortest_path(a, b) {
-                for w in path.windows(2) {
-                    sim.add_link_load(w[0], w[1], per_link);
-                    self.applied.push((w[0], w[1], per_link));
-                }
+        for &(a, b) in &self.pairs {
+            // Cached route from the routing table — identical to a fresh
+            // BFS, without the per-start path computation.
+            let Some(path) = sim.routing().path(a, b).cloned() else {
+                continue;
+            };
+            for w in path.windows(2) {
+                sim.add_link_load(w[0], w[1], per_link);
+                self.applied.push((w[0], w[1], per_link));
             }
         }
         self.active = true;

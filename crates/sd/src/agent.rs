@@ -12,7 +12,9 @@
 use crate::cache::{CacheChange, ServiceCache};
 use crate::model::{Architecture, Role, SdConfig, ServiceDescription, ServiceType};
 use crate::wire::SdMessage;
-use excovery_netsim::{Agent, AgentCtx, Destination, NodeId, Packet, Port, SimDuration};
+use excovery_netsim::{
+    Agent, AgentCtx, Destination, EventParams, NodeId, Packet, Port, SimDuration,
+};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -167,11 +169,11 @@ impl SdAgent {
     pub fn sd_init(&mut self, ctx: &mut AgentCtx, role: Role) {
         self.role = Some(role);
         if role == Role::CacheManager {
-            ctx.emit("scm_started", vec![]);
+            ctx.emit("scm_started", EventParams::new());
             self.send_scm_advert(ctx);
             self.arm(ctx, self.cfg.scm_advert_interval, TimerPurpose::ScmAdvert);
         }
-        ctx.emit("sd_init_done", vec![("role".into(), role.as_str().into())]);
+        ctx.emit("sd_init_done", [("role", role.as_str())]);
     }
 
     /// `Exit SD`: stops the role, all searches and publications; emits
@@ -192,13 +194,13 @@ impl SdAgent {
         self.cache.clear();
         self.registry.clear();
         self.pending_regs.clear();
-        ctx.emit("sd_exit_done", vec![]);
+        ctx.emit("sd_exit_done", EventParams::new());
     }
 
     /// `Start searching`: begins a continuous discovery for `stype`.
     /// Emits `sd_start_search`, then `sd_service_add` per discovery.
     pub fn start_search(&mut self, ctx: &mut AgentCtx, stype: ServiceType) {
-        ctx.emit("sd_start_search", vec![("stype".into(), stype.0.clone())]);
+        ctx.emit("sd_start_search", [("stype", stype.0.clone())]);
         // Passively cached records count as discovered immediately.
         let already: Vec<ServiceDescription> = self
             .cache
@@ -227,7 +229,7 @@ impl SdAgent {
         if self.searches.remove(stype).is_some() {
             self.timers
                 .retain(|_, p| !matches!(p, TimerPurpose::QueryRetry(st) if st == stype));
-            ctx.emit("sd_stop_search", vec![("stype".into(), stype.0.clone())]);
+            ctx.emit("sd_stop_search", [("stype", stype.0.clone())]);
         }
     }
 
@@ -236,9 +238,9 @@ impl SdAgent {
     pub fn start_publish(&mut self, ctx: &mut AgentCtx, desc: ServiceDescription) {
         ctx.emit(
             "sd_start_publish",
-            vec![
-                ("service".into(), desc.instance.clone()),
-                ("stype".into(), desc.stype.0.clone()),
+            [
+                ("service", desc.instance.clone()),
+                ("stype", desc.stype.0.clone()),
             ],
         );
         let stype = desc.stype.clone();
@@ -295,9 +297,9 @@ impl SdAgent {
         });
         ctx.emit(
             "sd_stop_publish",
-            vec![
-                ("service".into(), publication.desc.instance.clone()),
-                ("stype".into(), stype.0.clone()),
+            [
+                ("service", publication.desc.instance.clone()),
+                ("stype", stype.0.clone()),
             ],
         );
     }
@@ -307,9 +309,9 @@ impl SdAgent {
     pub fn update_publication(&mut self, ctx: &mut AgentCtx, desc: ServiceDescription) {
         ctx.emit(
             "sd_service_upd",
-            vec![
-                ("service".into(), desc.instance.clone()),
-                ("stype".into(), desc.stype.0.clone()),
+            [
+                ("service", desc.instance.clone()),
+                ("stype", desc.stype.0.clone()),
             ],
         );
         let stype = desc.stype.clone();
@@ -335,13 +337,13 @@ impl SdAgent {
 
     // ---- internals --------------------------------------------------------
 
-    fn emit_service_event(&self, ctx: &mut AgentCtx, name: &str, d: &ServiceDescription) {
+    fn emit_service_event(&self, ctx: &mut AgentCtx, name: &'static str, d: &ServiceDescription) {
         ctx.emit(
             name,
-            vec![
-                ("service".into(), d.instance.clone()),
-                ("stype".into(), d.stype.0.clone()),
-                ("provider".into(), d.provider.to_string()),
+            [
+                ("service", d.instance.clone()),
+                ("stype", d.stype.0.clone()),
+                ("provider", d.provider.to_string()),
             ],
         );
     }
@@ -457,11 +459,7 @@ impl SdAgent {
         let stype = record.stype.clone();
         ctx.emit(
             "sd_name_conflict",
-            vec![
-                ("old".into(), old),
-                ("new".into(), new),
-                ("stype".into(), stype.0.clone()),
-            ],
+            [("old", old), ("new", new), ("stype", stype.0.clone())],
         );
         if self.uses_multicast() {
             if probing {
@@ -575,9 +573,9 @@ impl SdAgent {
         if let Some(name) = event {
             ctx.emit(
                 name,
-                vec![
-                    ("service".into(), record.instance.clone()),
-                    ("registrant".into(), from.to_string()),
+                [
+                    ("service", record.instance.clone()),
+                    ("registrant", from.to_string()),
                 ],
             );
         }
@@ -599,10 +597,7 @@ impl SdAgent {
             .merge(&goodbye, excovery_netsim::SimTime::ZERO)
             == CacheChange::Removed
         {
-            ctx.emit(
-                "scm_registration_del",
-                vec![("service".into(), instance.to_string())],
-            );
+            ctx.emit("scm_registration_del", [("service", instance.to_string())]);
         }
     }
 
@@ -612,7 +607,7 @@ impl SdAgent {
         }
         if self.scm_known.is_none() {
             self.scm_known = Some(scm);
-            ctx.emit("scm_found", vec![("scm".into(), scm.to_string())]);
+            ctx.emit("scm_found", [("scm", scm.to_string())]);
             // Register any publications now that a directory exists.
             let stypes: Vec<ServiceType> = self
                 .publications
@@ -637,7 +632,7 @@ impl SdAgent {
 
 impl Agent for SdAgent {
     fn on_packet(&mut self, ctx: &mut AgentCtx, pkt: &Packet) {
-        let Some(msg) = SdMessage::decode(&pkt.payload.0) else {
+        let Some(msg) = SdMessage::decode(pkt.payload.as_bytes()) else {
             return; // garbage is dropped, as a real stack would
         };
         match msg {
@@ -1120,7 +1115,7 @@ mod tests {
 
     #[test]
     fn deterministic_two_party_run() {
-        fn run(seed: u64) -> Vec<(String, u64)> {
+        fn run(seed: u64) -> Vec<(excovery_netsim::EventName, u64)> {
             let mut sim = quiet_sim(3, seed);
             for n in 0..3 {
                 install(&mut sim, n, SdConfig::two_party());

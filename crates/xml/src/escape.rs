@@ -5,39 +5,66 @@
 //! (`&#108;`, `&#x6C;`).
 
 use crate::error::{XmlError, XmlErrorKind, XmlResult};
+use std::borrow::Cow;
+
+/// Replacement for one text-context byte, or `None` if it passes through.
+fn text_escape(b: u8) -> Option<&'static str> {
+    match b {
+        b'&' => Some("&amp;"),
+        b'<' => Some("&lt;"),
+        b'>' => Some("&gt;"),
+        _ => None,
+    }
+}
+
+/// Replacement for one attribute-context byte, or `None` if it passes
+/// through.
+fn attr_escape(b: u8) -> Option<&'static str> {
+    match b {
+        b'&' => Some("&amp;"),
+        b'<' => Some("&lt;"),
+        b'>' => Some("&gt;"),
+        b'"' => Some("&quot;"),
+        b'\'' => Some("&apos;"),
+        b'\n' => Some("&#10;"),
+        b'\t' => Some("&#9;"),
+        _ => None,
+    }
+}
+
+/// Escapes with `table`, borrowing the input when nothing needs escaping.
+///
+/// Every byte `table` replaces is ASCII, so the byte scan never matches
+/// inside a multi-byte UTF-8 sequence and `first` is a char boundary.
+fn escape_with(s: &str, table: fn(u8) -> Option<&'static str>) -> Cow<'_, str> {
+    let Some(first) = s.bytes().position(|b| table(b).is_some()) else {
+        return Cow::Borrowed(s);
+    };
+    let mut out = String::with_capacity(s.len() + 8);
+    out.push_str(&s[..first]);
+    for c in s[first..].chars() {
+        match u8::try_from(c).ok().and_then(table) {
+            Some(rep) => out.push_str(rep),
+            None => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
 
 /// Escapes a string for use as element text content.
 ///
 /// Only `&`, `<` and `>` are replaced; quotes are legal inside text.
-pub fn escape_text(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            _ => out.push(c),
-        }
-    }
-    out
+/// Returns the input unchanged (and unallocated) when it contains none of
+/// them — the common case for event names and numeric parameter values.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_with(s, text_escape)
 }
 
 /// Escapes a string for use inside a double-quoted attribute value.
-pub fn escape_attr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            '\'' => out.push_str("&apos;"),
-            '\n' => out.push_str("&#10;"),
-            '\t' => out.push_str("&#9;"),
-            _ => out.push(c),
-        }
-    }
-    out
+///
+/// Borrows the input when nothing needs escaping, like [`escape_text`].
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_with(s, attr_escape)
 }
 
 /// Resolves entity and character references in raw text.
@@ -150,5 +177,39 @@ mod tests {
     #[test]
     fn attr_escapes_whitespace_controls() {
         assert_eq!(escape_attr("a\tb\nc"), "a&#9;b&#10;c");
+    }
+
+    #[test]
+    fn clean_text_borrows_input() {
+        let raw = "plain text with spaces, quotes \" and unicode äöü";
+        assert!(matches!(escape_text(raw), Cow::Borrowed(s) if std::ptr::eq(s, raw)));
+    }
+
+    #[test]
+    fn clean_attr_borrows_input() {
+        let raw = "run-17_treatment=fact_loss";
+        assert!(matches!(escape_attr(raw), Cow::Borrowed(s) if std::ptr::eq(s, raw)));
+    }
+
+    #[test]
+    fn dirty_input_allocates_once_escaped() {
+        assert!(matches!(escape_text("a&b"), Cow::Owned(_)));
+        assert!(matches!(escape_attr("a\"b"), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn multibyte_around_escapes_survive() {
+        assert_eq!(escape_text("ä<ö>ü&ß"), "ä&lt;ö&gt;ü&amp;ß");
+        assert_eq!(escape_attr("日\"本"), "日&quot;本");
+        // Escapable char after a clean multi-byte prefix.
+        assert_eq!(escape_text("héllo & wörld"), "héllo &amp; wörld");
+    }
+
+    #[test]
+    fn escape_at_boundaries() {
+        assert_eq!(escape_text("<x"), "&lt;x");
+        assert_eq!(escape_text("x>"), "x&gt;");
+        assert_eq!(escape_text("&"), "&amp;");
+        assert_eq!(escape_text(""), "");
     }
 }
