@@ -90,6 +90,24 @@ impl EventLog {
         // seq keeps counting: markers from a previous run can never match.
     }
 
+    /// Sequence numbers reserved per run: no run records anywhere near this
+    /// many events, so `run_id * RUN_SEQ_STRIDE` is always ahead of every
+    /// earlier run's events.
+    pub const RUN_SEQ_STRIDE: u64 = 1 << 20;
+
+    /// Jumps the counter to the canonical base for `run_id`.
+    ///
+    /// Within one master lifetime this only ever moves the counter forward
+    /// (monotonicity keeps stale markers unmatchable), but it also makes the
+    /// sequence numbers of a run a pure function of the run itself rather
+    /// than of how many runs this master executed before it — a resumed
+    /// master must journal byte-identical events for the runs it picks up.
+    pub fn align_for_run(&mut self, run_id: u64) {
+        self.next_seq = self
+            .next_seq
+            .max(run_id.saturating_mul(Self::RUN_SEQ_STRIDE));
+    }
+
     /// Evaluates an [`EventSelector`] against events with `seq >= marker`.
     ///
     /// Semantics (paper Figs. 9/10):
@@ -295,6 +313,30 @@ mod tests {
         log.record(0, "t9-157", t(1), "x", vec![]);
         let sel = EventSelector::named("x").from_nodes(NodeSelector::all("ghost"));
         assert!(!log.satisfied(&sel, 0, &actors));
+    }
+
+    #[test]
+    fn align_for_run_is_position_independent() {
+        // Two logs with different histories agree on the seq numbers of a
+        // given run once aligned — the property crash-resume relies on.
+        let mut veteran = EventLog::new();
+        for r in 0..2 {
+            veteran.align_for_run(r);
+            veteran.record(r, "n", t(1), "e", vec![]);
+        }
+        veteran.align_for_run(2);
+        let mut fresh = EventLog::new();
+        fresh.align_for_run(2);
+        assert_eq!(
+            veteran.record(2, "n", t(2), "e", vec![]),
+            fresh.record(2, "n", t(2), "e", vec![]),
+        );
+        // Alignment never moves the counter backwards.
+        let mut log = EventLog::new();
+        log.align_for_run(3);
+        let high = log.marker();
+        log.align_for_run(1);
+        assert_eq!(log.marker(), high);
     }
 
     #[test]

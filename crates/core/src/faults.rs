@@ -41,6 +41,10 @@ impl FaultEnvelope {
     /// Returns `None` for unbounded faults (explicit stop required).
     /// With `rate < 1`, the active block of length `rate × duration`
     /// starts at a seeded-random offset within the duration.
+    ///
+    /// All arithmetic is checked: a window that would wrap past the end of
+    /// representable simulated time (~584 years) is rejected as `None`
+    /// rather than silently wrapping to the experiment epoch.
     pub fn activation_window(&self, now: SimTime) -> Option<(SimTime, SimTime)> {
         let duration = self.duration?;
         let rate = self.rate.clamp(0.0, 1.0);
@@ -52,8 +56,9 @@ impl FaultEnvelope {
         } else {
             SimDuration::ZERO
         };
-        let start = now + offset;
-        Some((start, start + active))
+        let start_ns = now.as_nanos().checked_add(offset.as_nanos())?;
+        let stop_ns = start_ns.checked_add(active.as_nanos())?;
+        Some((SimTime::from_nanos(start_ns), SimTime::from_nanos(stop_ns)))
     }
 }
 

@@ -39,5 +39,6 @@ pub use binding::{PlatformBinding, ResolvedActors};
 pub use error::EngineError;
 pub use event_log::{EventLog, RecordedEvent};
 pub use master::{
-    EngineConfig, EngineConfigBuilder, ExperiMaster, ExperimentOutcome, RunOutcome, TransportKind,
+    EngineConfig, EngineConfigBuilder, ExperiMaster, ExperimentOutcome, RetryPolicy, RunOutcome,
+    TransportKind,
 };

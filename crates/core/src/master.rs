@@ -30,17 +30,22 @@ use excovery_netsim::sim::SimulatorConfig;
 use excovery_netsim::topology::Topology;
 use excovery_netsim::traffic::{PairChoice, TrafficGenerator, TrafficSpec};
 use excovery_netsim::{NodeId, SimDuration, SimTime, Simulator};
-use excovery_rpc::{Channel, NodeProxy, RpcError, TcpOptions, TcpRpcServer, TcpTransport, Value};
+use excovery_rpc::{
+    Channel, ChaosOptions, ChaosTransport, NodeProxy, RpcError, ServerRegistry, TcpOptions,
+    TcpRpcServer, TcpTransport, Transport, Value,
+};
 use excovery_sd::{Architecture, SdConfig};
 use excovery_store::level2::Level2Store;
 use excovery_store::records::{EventRow, ExperimentInfo, PacketRow, RunInfoRow};
 use excovery_store::schema::{create_level3_database, EE_VERSION};
-use excovery_store::{Database, SqlValue};
+use excovery_store::{Database, JsonValue, SqlValue};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Context handed to plugins: platform access plus the custom-measurement
 /// channel (paper §IV-B: "ExCovery has a plugin concept to extend these
@@ -105,6 +110,54 @@ impl std::fmt::Display for TransportKind {
     }
 }
 
+/// Bounded retry policy for control-channel calls.
+///
+/// Every lifecycle call the master issues carries an idempotency key and
+/// is retried up to `max_attempts` times on failures that
+/// [`RpcError::is_retryable`] classifies as transient (timeouts,
+/// disconnects, I/O) with exponential backoff. Server faults and codec
+/// errors are never retried — repeating a call the node *rejected* cannot
+/// succeed and would only mask the bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per logical call (first try included); minimum 1.
+    pub max_attempts: u32,
+    /// Wall-clock delay before the first retry.
+    pub backoff_initial: Duration,
+    /// Backoff ceiling; doubling stops here.
+    pub backoff_max: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_initial: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// A policy sized to outlast a chaos schedule: enough attempts to ride
+    /// out `worst_window` consecutive failing calls, with fast backoff.
+    pub fn for_chaos(worst_window: u64) -> Self {
+        Self {
+            max_attempts: (worst_window as u32).saturating_add(6),
+            backoff_initial: Duration::from_micros(100),
+            backoff_max: Duration::from_millis(2),
+        }
+    }
+}
+
 /// Engine configuration: the platform the description is instantiated on.
 ///
 /// Construct via [`EngineConfig::builder`] (or start from a preset and
@@ -143,6 +196,18 @@ pub struct EngineConfig {
     pub max_runs: Option<u64>,
     /// Control-channel backend between master and NodeManagers.
     pub transport: TransportKind,
+    /// Socket options for the TCP backend (ignored by the memory channel).
+    pub tcp: TcpOptions,
+    /// Bounded retry with backoff for every control-channel call.
+    pub retry: RetryPolicy,
+    /// Seeded fault schedule injected into every node's control channel;
+    /// `None` runs fault-free. Each node derives its own schedule seed
+    /// from this seed and its platform id.
+    pub chaos: Option<ChaosOptions>,
+    /// Master incarnation number, part of every idempotency key. A
+    /// resuming master must use a fresh epoch so its keys can never
+    /// collide with replies recorded for its predecessor.
+    pub epoch: u64,
 }
 
 /// Builder for [`EngineConfig`]. Starts from the grid default; the
@@ -236,6 +301,30 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Sets the socket options of the TCP backend.
+    pub fn tcp(mut self, opts: TcpOptions) -> Self {
+        self.cfg.tcp = opts;
+        self
+    }
+
+    /// Sets the control-channel retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.retry = policy;
+        self
+    }
+
+    /// Injects a seeded fault schedule into every control channel.
+    pub fn chaos(mut self, opts: ChaosOptions) -> Self {
+        self.cfg.chaos = Some(opts);
+        self
+    }
+
+    /// Sets the master incarnation number for idempotency keys.
+    pub fn epoch(mut self, epoch: u64) -> Self {
+        self.cfg.epoch = epoch;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> EngineConfig {
         self.cfg
@@ -264,6 +353,10 @@ impl EngineConfig {
             resume: false,
             max_runs: None,
             transport: TransportKind::default(),
+            tcp: TcpOptions::default(),
+            retry: RetryPolicy::default(),
+            chaos: None,
+            epoch: 0,
         }
     }
 
@@ -334,6 +427,78 @@ pub struct ExperimentOutcome {
     pub runs: Vec<RunOutcome>,
     /// Level-2 root used (removed unless `keep_l2`).
     pub l2_root: PathBuf,
+    /// Control-channel retries the master performed. Chaos leaves its
+    /// trace here — and **only** here: the experiment data must not
+    /// depend on it (see [`Self::digest`]).
+    pub control_retries: u64,
+}
+
+impl ExperimentOutcome {
+    /// Order-sensitive digest of everything the experiment *recorded*: all
+    /// level-3 tables (events, packets, run infos, logs, measurements, the
+    /// description) plus the per-run outcome summary.
+    ///
+    /// Two executions with equal digests produced byte-identical
+    /// measurement data in identical order. The chaos-equivalence contract
+    /// is exactly this: for every eventually-clearing fault schedule, the
+    /// digest equals the fault-free execution's. Control-plane noise
+    /// ([`Self::control_retries`], the level-2 root) is deliberately
+    /// excluded.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a, 64-bit: stable across platforms, no dependencies.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for name in self.database.table_names() {
+            eat(b"table:");
+            eat(name.as_bytes());
+            let table = self.database.table(name).expect("listed table exists");
+            for row in table.rows() {
+                for value in row {
+                    match value {
+                        SqlValue::Null => eat(b"\x00"),
+                        SqlValue::Int(i) => {
+                            eat(b"\x01");
+                            eat(&i.to_le_bytes());
+                        }
+                        SqlValue::Real(f) => {
+                            eat(b"\x02");
+                            eat(&f.to_bits().to_le_bytes());
+                        }
+                        SqlValue::Text(s) => {
+                            eat(b"\x03");
+                            eat(&(s.len() as u64).to_le_bytes());
+                            eat(s.as_bytes());
+                        }
+                        SqlValue::Blob(b) => {
+                            eat(b"\x04");
+                            eat(&(b.len() as u64).to_le_bytes());
+                            eat(b);
+                        }
+                    }
+                }
+                eat(b"\x1e");
+            }
+        }
+        for run in &self.runs {
+            eat(b"run:");
+            eat(&run.run_id.to_le_bytes());
+            eat(&run.replicate.to_le_bytes());
+            eat(run.treatment_key.as_bytes());
+            eat(&[u8::from(run.completed)]);
+            for failure in &run.failures {
+                eat(failure.as_bytes());
+            }
+            eat(&(run.events as u64).to_le_bytes());
+            eat(&(run.packets as u64).to_le_bytes());
+            eat(&run.duration.as_nanos().to_le_bytes());
+        }
+        hash
+    }
 }
 
 /// Per-node packet capture as stored on level 2.
@@ -346,6 +511,185 @@ struct CaptureSer {
     /// 16-bit tagger id stamped by the sending node (§VI-A).
     tag: u16,
     data: Vec<u8>,
+}
+
+// ---- level-2 JSON codecs -------------------------------------------------
+//
+// Intermediate level-2 artifacts are written and re-read through the
+// self-contained `excovery_store::JsonValue` codec so packaging (and
+// crash-resume, which replays packaging over a prior tree) has no
+// dependency on an external serializer.
+
+fn events_to_json(events: &[RecordedEvent]) -> JsonValue {
+    JsonValue::Array(
+        events
+            .iter()
+            .map(|e| {
+                JsonValue::Object(vec![
+                    ("seq".into(), JsonValue::Int(e.seq as i64)),
+                    ("run_id".into(), JsonValue::Int(e.run_id as i64)),
+                    ("node".into(), JsonValue::str(&e.node)),
+                    (
+                        "local_time_ns".into(),
+                        JsonValue::Int(e.local_time_ns as i64),
+                    ),
+                    ("name".into(), JsonValue::str(&e.name)),
+                    (
+                        "params".into(),
+                        JsonValue::Array(
+                            e.params
+                                .iter()
+                                .map(|(k, v)| {
+                                    JsonValue::Array(vec![JsonValue::str(k), JsonValue::str(v)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn events_from_json(v: &JsonValue) -> Option<Vec<RecordedEvent>> {
+    v.as_array()?
+        .iter()
+        .map(|e| {
+            Some(RecordedEvent {
+                seq: e.get("seq")?.as_u64()?,
+                run_id: e.get("run_id")?.as_u64()?,
+                node: e.get("node")?.as_str()?.to_string(),
+                local_time_ns: e.get("local_time_ns")?.as_u64()?,
+                name: e.get("name")?.as_str()?.to_string(),
+                params: e
+                    .get("params")?
+                    .as_array()?
+                    .iter()
+                    .map(|p| {
+                        let pair = p.as_array()?;
+                        Some((
+                            pair.first()?.as_str()?.to_string(),
+                            pair.get(1)?.as_str()?.to_string(),
+                        ))
+                    })
+                    .collect::<Option<Vec<_>>>()?,
+            })
+        })
+        .collect()
+}
+
+fn sync_to_json(offsets: &HashMap<String, i64>) -> JsonValue {
+    let mut pairs: Vec<(String, JsonValue)> = offsets
+        .iter()
+        .map(|(pid, off)| (pid.clone(), JsonValue::Int(*off)))
+        .collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    JsonValue::Object(pairs)
+}
+
+fn sync_from_json(v: &JsonValue) -> Option<HashMap<String, i64>> {
+    v.as_object()?
+        .iter()
+        .map(|(pid, off)| Some((pid.clone(), off.as_i64()?)))
+        .collect()
+}
+
+fn measurements_to_json(ms: &[(String, String, Vec<u8>)]) -> JsonValue {
+    JsonValue::Array(
+        ms.iter()
+            .map(|(node, name, content)| {
+                JsonValue::Array(vec![
+                    JsonValue::str(node),
+                    JsonValue::str(name),
+                    JsonValue::bytes(content),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn measurements_from_json(v: &JsonValue) -> Option<Vec<(String, String, Vec<u8>)>> {
+    v.as_array()?
+        .iter()
+        .map(|m| {
+            let triple = m.as_array()?;
+            Some((
+                triple.first()?.as_str()?.to_string(),
+                triple.get(1)?.as_str()?.to_string(),
+                triple.get(2)?.to_bytes()?,
+            ))
+        })
+        .collect()
+}
+
+fn captures_to_json(captures: &[CaptureSer]) -> JsonValue {
+    JsonValue::Array(
+        captures
+            .iter()
+            .map(|c| {
+                JsonValue::Object(vec![
+                    (
+                        "local_time_ns".into(),
+                        JsonValue::Int(c.local_time_ns as i64),
+                    ),
+                    ("src".into(), JsonValue::str(&c.src)),
+                    ("port".into(), JsonValue::Int(c.port as i64)),
+                    ("kind".into(), JsonValue::str(&c.kind)),
+                    ("tag".into(), JsonValue::Int(c.tag as i64)),
+                    ("data".into(), JsonValue::bytes(&c.data)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn captures_from_json(v: &JsonValue) -> Option<Vec<CaptureSer>> {
+    v.as_array()?
+        .iter()
+        .map(|c| {
+            Some(CaptureSer {
+                local_time_ns: c.get("local_time_ns")?.as_u64()?,
+                src: c.get("src")?.as_str()?.to_string(),
+                port: u16::try_from(c.get("port")?.as_i64()?).ok()?,
+                kind: c.get("kind")?.as_str()?.to_string(),
+                tag: u16::try_from(c.get("tag")?.as_i64()?).ok()?,
+                data: c.get("data")?.to_bytes()?,
+            })
+        })
+        .collect()
+}
+
+/// One logical control-channel call against a single node: idempotency key,
+/// bounded retry with exponential backoff on transient failures.
+///
+/// The key is reused across every retry of this call, so a retry of a call
+/// that already executed (only its response was lost) replays the node's
+/// recorded response instead of executing the handler twice. Only errors
+/// [`RpcError::is_retryable`] classifies as transient are retried; a node
+/// *rejecting* the call (fault, codec error) fails immediately — repeating
+/// it could not succeed and would only mask the bug.
+fn retry_call_on(
+    proxy: &NodeProxy,
+    policy: RetryPolicy,
+    key: &str,
+    retries: &AtomicU64,
+    method: &str,
+    params: Vec<Value>,
+) -> Result<Value, RpcError> {
+    let mut backoff = policy.backoff_initial;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match proxy.call_idempotent(method, params.clone(), key) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_retryable() && attempt < policy.max_attempts.max(1) => {
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2).min(policy.backoff_max);
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 struct FaultWindow {
@@ -379,7 +723,17 @@ pub struct ExperiMaster {
     proxies: HashMap<String, NodeProxy>,
     /// Running TCP servers when `cfg.transport` is [`TransportKind::Tcp`]
     /// (one per node; dropping them stops the accept loops).
-    tcp_servers: Vec<TcpRpcServer>,
+    tcp_servers: HashMap<String, TcpRpcServer>,
+    /// Bound address of each node's TCP server (for reviving a halted one
+    /// on the same port).
+    tcp_addrs: HashMap<String, std::net::SocketAddr>,
+    /// The registry behind each TCP server, shared so a halted node can be
+    /// revived with its state (including the idempotency cache) intact.
+    tcp_registries: HashMap<String, Arc<Mutex<ServerRegistry>>>,
+    /// Idempotency-key sequence; each logical call draws one number.
+    call_seq: AtomicU64,
+    /// Control-channel retries performed (reported in the outcome).
+    control_retries: AtomicU64,
     log: EventLog,
     plugins: HashMap<String, PluginFn>,
     // per-run state
@@ -413,7 +767,24 @@ impl ExperiMaster {
             }
         });
         let mut proxies = HashMap::new();
-        let mut tcp_servers = Vec::new();
+        let mut tcp_servers = HashMap::new();
+        let mut tcp_addrs = HashMap::new();
+        let mut tcp_registries = HashMap::new();
+        // Each node's control channel draws its own fault schedule, seeded
+        // from the campaign chaos seed and the platform id — replaying the
+        // campaign seed replays every node's schedule.
+        let node_chaos = |pid: &str| {
+            cfg.chaos.as_ref().map(|opts| ChaosOptions {
+                seed: derive_seed(opts.seed, pid),
+                ..opts.clone()
+            })
+        };
+        fn wrap(pid: &str, t: impl Transport + 'static, chaos: Option<ChaosOptions>) -> NodeProxy {
+            match chaos {
+                Some(opts) => NodeProxy::new(pid, ChaosTransport::new(t, opts)),
+                None => NodeProxy::new(pid, t),
+            }
+        }
         for node in binding.managed_sim_nodes() {
             let pid = binding.platform_id(node).unwrap().to_string();
             let registry = NodeManager::registry(
@@ -423,24 +794,28 @@ impl ExperiMaster {
                 Arc::clone(&binding),
                 sd_cfg.clone(),
             );
-            let proxy = match cfg.transport {
-                TransportKind::Tcp => {
-                    // Each NodeManager gets its own loopback server on an
-                    // ephemeral port; the master connects the framed
-                    // client transport to it.
-                    let server = TcpRpcServer::bind("127.0.0.1:0", Arc::new(Mutex::new(registry)))
-                        .map_err(|e| EngineError::Transport {
-                            node: pid.clone(),
-                            detail: format!("bind: {e}"),
-                        })?;
-                    let transport =
-                        TcpTransport::connect(server.local_addr(), TcpOptions::default())
+            let proxy =
+                match cfg.transport {
+                    TransportKind::Tcp => {
+                        // Each NodeManager gets its own loopback server on an
+                        // ephemeral port; the master connects the framed
+                        // client transport to it.
+                        let registry = Arc::new(Mutex::new(registry));
+                        let server = TcpRpcServer::bind("127.0.0.1:0", Arc::clone(&registry))
+                            .map_err(|e| EngineError::Transport {
+                                node: pid.clone(),
+                                detail: format!("bind: {e}"),
+                            })?;
+                        let addr = server.local_addr();
+                        let transport = TcpTransport::connect(addr, cfg.tcp.clone())
                             .map_err(|e| EngineError::from_rpc(pid.clone(), e))?;
-                    tcp_servers.push(server);
-                    NodeProxy::new(&pid, transport)
-                }
-                _ => NodeProxy::new(&pid, Channel::new(registry)),
-            };
+                        tcp_servers.insert(pid.clone(), server);
+                        tcp_addrs.insert(pid.clone(), addr);
+                        tcp_registries.insert(pid.clone(), registry);
+                        wrap(&pid, transport, node_chaos(&pid))
+                    }
+                    _ => wrap(&pid, Channel::new(registry), node_chaos(&pid)),
+                };
             proxies.insert(pid, proxy);
         }
         Ok(Self {
@@ -450,6 +825,10 @@ impl ExperiMaster {
             binding,
             proxies,
             tcp_servers,
+            tcp_addrs,
+            tcp_registries,
+            call_seq: AtomicU64::new(0),
+            control_retries: AtomicU64::new(0),
             log: EventLog::new(),
             plugins: HashMap::new(),
             run_id: 0,
@@ -486,24 +865,69 @@ impl ExperiMaster {
         v
     }
 
+    /// One logical control-channel call: idempotency key, bounded retry
+    /// with exponential backoff on transient failures.
+    ///
+    /// The key (`run:epoch:seq`) is drawn once and reused across every
+    /// retry of this call, so a retry of a call that already executed
+    /// (its response was lost) replays the recorded response instead of
+    /// executing twice. Only errors [`RpcError::is_retryable`] classifies
+    /// as transient are retried; a node rejecting the call (fault, codec)
+    /// fails immediately.
+    fn retry_call(&self, pid: &str, method: &str, params: Vec<Value>) -> Result<Value, RpcError> {
+        let proxy = self
+            .proxies
+            .get(pid)
+            .ok_or_else(|| RpcError::Io(format!("no NodeManager for '{pid}'")))?;
+        let key = format!(
+            "{}:{}:{}",
+            self.run_id,
+            self.cfg.epoch,
+            self.call_seq.fetch_add(1, Ordering::Relaxed)
+        );
+        retry_call_on(
+            proxy,
+            self.cfg.retry,
+            &key,
+            &self.control_retries,
+            method,
+            params,
+        )
+    }
+
     /// Dispatches one lifecycle procedure to every node in `nodes`
     /// concurrently and waits for all of them (the per-phase barrier).
+    /// Every per-node call goes through [`Self::retry_call`].
     ///
     /// Results come back in `nodes` order; so does error reporting — the
     /// first failing node in that deterministic order wins, regardless of
     /// scheduling, keeping engine behaviour reproducible.
-    fn fan_out<T, F>(&self, nodes: &[String], phase: &str, f: F) -> Result<Vec<T>, EngineError>
-    where
-        T: Send,
-        F: Fn(&NodeProxy) -> Result<T, RpcError> + Sync,
-    {
-        let results: Vec<Result<T, RpcError>> = std::thread::scope(|scope| {
+    fn fan_out(
+        &self,
+        nodes: &[String],
+        method: &str,
+        params: &[Value],
+    ) -> Result<Vec<Value>, EngineError> {
+        // Borrow only the thread-shareable pieces: plugin closures (in
+        // `self`) are not `Sync`, so the spawned threads must not capture
+        // the master itself. Keys are drawn in `nodes` order *before*
+        // spawning, keeping the key sequence deterministic.
+        let policy = self.cfg.retry;
+        let run_id = self.run_id;
+        let epoch = self.cfg.epoch;
+        let retries = &self.control_retries;
+        let proxies = &self.proxies;
+        let results: Vec<Result<Value, RpcError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = nodes
                 .iter()
                 .map(|pid| {
-                    let proxy = &self.proxies[pid];
-                    let f = &f;
-                    scope.spawn(move || f(proxy))
+                    let key = format!(
+                        "{run_id}:{epoch}:{}",
+                        self.call_seq.fetch_add(1, Ordering::Relaxed)
+                    );
+                    let params = params.to_vec();
+                    let proxy = &proxies[pid];
+                    scope.spawn(move || retry_call_on(proxy, policy, &key, retries, method, params))
                 })
                 .collect();
             handles
@@ -521,16 +945,71 @@ impl ExperiMaster {
                 r.map_err(|e| match EngineError::from_rpc(pid.clone(), e) {
                     EngineError::Node { node, detail } => EngineError::Node {
                         node,
-                        detail: format!("{phase}: {detail}"),
+                        detail: format!("{method}: {detail}"),
                     },
                     EngineError::Transport { node, detail } => EngineError::Transport {
                         node,
-                        detail: format!("{phase}: {detail}"),
+                        detail: format!("{method}: {detail}"),
                     },
                     other => other,
                 })
             })
             .collect()
+    }
+
+    /// Test hook: platform ids of all connected NodeManagers, sorted.
+    #[doc(hidden)]
+    pub fn node_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.proxies.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Test hook: shuts down a node's live TCP server, simulating a node
+    /// crash mid-experiment. Returns false when the node has no running
+    /// server (memory transport, or already halted).
+    #[doc(hidden)]
+    pub fn halt_node_server(&mut self, pid: &str) -> bool {
+        match self.tcp_servers.remove(pid) {
+            Some(server) => {
+                server.shutdown();
+                drop(server);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Test hook: restarts a halted node's TCP server on its original
+    /// port, with the registry (and idempotency cache) it had before the
+    /// crash. The client transport reconnects on its next call.
+    #[doc(hidden)]
+    pub fn revive_node_server(&mut self, pid: &str) -> Result<(), EngineError> {
+        let addr = *self
+            .tcp_addrs
+            .get(pid)
+            .ok_or_else(|| EngineError::Config(format!("'{pid}' never had a TCP server")))?;
+        let registry = Arc::clone(self.tcp_registries.get(pid).expect("registry kept"));
+        // The OS may hold the port briefly after shutdown; rebinding the
+        // same address is bounded-retried.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match TcpRpcServer::bind(addr, Arc::clone(&registry)) {
+                Ok(server) => {
+                    self.tcp_servers.insert(pid.to_string(), server);
+                    return Ok(());
+                }
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => {
+                    return Err(EngineError::Transport {
+                        node: pid.to_string(),
+                        detail: format!("revive bind {addr}: {e}"),
+                    })
+                }
+            }
+        }
     }
 
     /// Executes the complete experiment and packages the results.
@@ -592,9 +1071,7 @@ impl ExperiMaster {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        self.fan_out(&managed, "experiment_exit", |p| {
-            p.call("experiment_exit", vec![])
-        })?;
+        self.fan_out(&managed, "experiment_exit", &[])?;
         if !self.cfg.keep_l2 {
             l2.destroy().ok();
         }
@@ -602,23 +1079,31 @@ impl ExperiMaster {
             database,
             runs: outcomes,
             l2_root,
+            control_retries: self.control_retries.load(Ordering::Relaxed),
         })
     }
 
     fn topology_measurement(&self, participants: &[NodeId]) -> String {
         let sim = self.sim.lock();
         let matrix = sim.topology().hop_matrix(participants);
-        let named: Vec<(String, Vec<Option<u32>>)> = participants
+        let named: Vec<JsonValue> = participants
             .iter()
             .zip(&matrix)
             .map(|(n, row)| {
-                (
-                    self.binding.platform_id(*n).unwrap_or("?").to_string(),
-                    row.clone(),
-                )
+                JsonValue::Array(vec![
+                    JsonValue::str(self.binding.platform_id(*n).unwrap_or("?")),
+                    JsonValue::Array(
+                        row.iter()
+                            .map(|h| match h {
+                                Some(hops) => JsonValue::Int(*hops as i64),
+                                None => JsonValue::Null,
+                            })
+                            .collect(),
+                    ),
+                ])
             })
             .collect();
-        serde_json::to_string(&named).expect("hop matrix serializes")
+        JsonValue::Array(named).to_string()
     }
 
     /// Instantiates the process set of one run.
@@ -669,8 +1154,8 @@ impl ExperiMaster {
         let mut windows = std::mem::take(&mut self.fault_windows);
         for w in &mut windows {
             if w.handle.is_none() && now >= w.start && now < w.stop {
-                let v = self.proxies[&w.platform_id]
-                    .call("fault_start", vec![w.spec.clone()])
+                let v = self
+                    .retry_call(&w.platform_id, "fault_start", vec![w.spec.clone()])
                     .map_err(|e| EngineError::from_rpc(w.platform_id.clone(), e))?;
                 w.handle = v.as_int();
             }
@@ -679,8 +1164,7 @@ impl ExperiMaster {
         for w in windows {
             if now >= w.stop {
                 if let Some(h) = w.handle {
-                    self.proxies[&w.platform_id]
-                        .call("fault_stop", vec![Value::Int(h)])
+                    self.retry_call(&w.platform_id, "fault_stop", vec![Value::Int(h)])
                         .map_err(|e| EngineError::from_rpc(w.platform_id.clone(), e))?;
                 }
                 // Windows fully in the past are dropped.
@@ -711,7 +1195,8 @@ impl ExperiMaster {
         self.cbr_flows.clear();
         self.fault_windows.clear();
         self.run_measurements.clear();
-        self.sim.lock().reset_for_run();
+        self.sim.lock().reset_for_run(run.run_id);
+        self.log.align_for_run(run.run_id);
         self.run_events_offset = self.log.len();
         let run_start = self.sim.lock().now();
 
@@ -724,14 +1209,11 @@ impl ExperiMaster {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        self.fan_out(&managed, "run_init", |p| p.call("run_init", vec![]))?;
-        self.fan_out(&managed, "experiment_init", |p| {
-            p.call("experiment_init", vec![])
-        })?;
+        self.fan_out(&managed, "run_init", &[])?;
+        self.fan_out(&managed, "experiment_init", &[])?;
         // Preliminary measurement: clock offset against the reference
         // (paper §IV-B3, stored as RunInfos.TimeDiff).
-        let measured =
-            self.fan_out(&managed, "measure_sync", |p| p.call("measure_sync", vec![]))?;
+        let measured = self.fan_out(&managed, "measure_sync", &[])?;
         let mut sync_offsets: HashMap<String, i64> = HashMap::new();
         for (pid, m) in managed.iter().zip(measured) {
             let offset: i64 = m
@@ -822,12 +1304,11 @@ impl ExperiMaster {
         let leftover = std::mem::take(&mut self.fault_windows);
         for w in leftover {
             if let Some(h) = w.handle {
-                self.proxies[&w.platform_id]
-                    .call("fault_stop", vec![Value::Int(h)])
+                self.retry_call(&w.platform_id, "fault_stop", vec![Value::Int(h)])
                     .map_err(|e| EngineError::from_rpc(w.platform_id.clone(), e))?;
             }
         }
-        self.fan_out(&managed, "run_exit", |p| p.call("run_exit", vec![]))?;
+        self.fan_out(&managed, "run_exit", &[])?;
         self.drain_events();
         let run_end = self.sim.lock().now();
         self.log.record(
@@ -844,22 +1325,22 @@ impl ExperiMaster {
             run.run_id,
             "_master",
             "events.json",
-            serde_json::to_string(&run_events).unwrap().as_bytes(),
+            events_to_json(&run_events).to_string().as_bytes(),
         )
         .map_err(|e| EngineError::Storage(e.to_string()))?;
         l2.put_run(
             run.run_id,
             "_master",
             "sync.json",
-            serde_json::to_string(&sync_offsets).unwrap().as_bytes(),
+            sync_to_json(&sync_offsets).to_string().as_bytes(),
         )
         .map_err(|e| EngineError::Storage(e.to_string()))?;
         l2.put_run(
             run.run_id,
             "_master",
             "start.json",
-            serde_json::to_string(&run_start.as_nanos())
-                .unwrap()
+            JsonValue::Int(run_start.as_nanos() as i64)
+                .to_string()
                 .as_bytes(),
         )
         .map_err(|e| EngineError::Storage(e.to_string()))?;
@@ -869,8 +1350,8 @@ impl ExperiMaster {
                 run.run_id,
                 "_plugins",
                 "measurements.json",
-                serde_json::to_string(&self.run_measurements)
-                    .unwrap()
+                measurements_to_json(&self.run_measurements)
+                    .to_string()
                     .as_bytes(),
             )
             .map_err(|e| EngineError::Storage(e.to_string()))?;
@@ -906,7 +1387,7 @@ impl ExperiMaster {
                     run.run_id,
                     pid,
                     "captures.json",
-                    serde_json::to_string(&ser).unwrap().as_bytes(),
+                    captures_to_json(&ser).to_string().as_bytes(),
                 )
                 .map_err(|e| EngineError::Storage(e.to_string()))?;
             }
@@ -981,14 +1462,20 @@ impl ExperiMaster {
             let sync: HashMap<String, i64> = l2
                 .get_run(run_id, "_master", "sync.json")
                 .ok()
-                .and_then(|d| serde_json::from_slice(&d).ok())
+                .and_then(|d| JsonValue::parse_bytes(&d).ok())
+                .and_then(|v| sync_from_json(&v))
                 .unwrap_or_default();
             let start_ns: u64 = l2
                 .get_run(run_id, "_master", "start.json")
                 .ok()
-                .and_then(|d| serde_json::from_slice(&d).ok())
+                .and_then(|d| JsonValue::parse_bytes(&d).ok())
+                .and_then(|v| v.as_u64())
                 .unwrap_or(0);
-            for (pid, offset) in &sync {
+            // Sorted node order: map iteration order must never leak into
+            // the packaged database (digest stability).
+            let mut sync_sorted: Vec<(&String, &i64)> = sync.iter().collect();
+            sync_sorted.sort();
+            for (pid, offset) in sync_sorted {
                 RunInfoRow {
                     run_id,
                     node_id: pid.clone(),
@@ -1000,8 +1487,13 @@ impl ExperiMaster {
             }
             // Events: condition local node stamps to the common base.
             if let Ok(raw) = l2.get_run(run_id, "_master", "events.json") {
-                let events: Vec<RecordedEvent> = serde_json::from_slice(&raw)
-                    .map_err(|e| EngineError::Storage(e.to_string()))?;
+                let events: Vec<RecordedEvent> = JsonValue::parse_bytes(&raw)
+                    .ok()
+                    .as_ref()
+                    .and_then(events_from_json)
+                    .ok_or_else(|| {
+                        EngineError::Storage(format!("run {run_id}: bad events.json"))
+                    })?;
                 for e in events {
                     let offset = sync.get(&e.node).copied().unwrap_or(0);
                     EventRow {
@@ -1017,8 +1509,13 @@ impl ExperiMaster {
             }
             // Custom (plugin) measurements -> ExtraRunMeasurements.
             if let Ok(raw) = l2.get_run(run_id, "_plugins", "measurements.json") {
-                let ms: Vec<(String, String, Vec<u8>)> = serde_json::from_slice(&raw)
-                    .map_err(|e| EngineError::Storage(e.to_string()))?;
+                let ms: Vec<(String, String, Vec<u8>)> = JsonValue::parse_bytes(&raw)
+                    .ok()
+                    .as_ref()
+                    .and_then(measurements_from_json)
+                    .ok_or_else(|| {
+                        EngineError::Storage(format!("run {run_id}: bad measurements.json"))
+                    })?;
                 for (node_id, name, content) in ms {
                     db.insert(
                         "ExtraRunMeasurements",
@@ -1043,8 +1540,13 @@ impl ExperiMaster {
                 let raw = l2
                     .get_run(run_id, &node, &file)
                     .map_err(|e| EngineError::Storage(e.to_string()))?;
-                let captures: Vec<CaptureSer> = serde_json::from_slice(&raw)
-                    .map_err(|e| EngineError::Storage(e.to_string()))?;
+                let captures: Vec<CaptureSer> = JsonValue::parse_bytes(&raw)
+                    .ok()
+                    .as_ref()
+                    .and_then(captures_from_json)
+                    .ok_or_else(|| {
+                        EngineError::Storage(format!("run {run_id}: bad captures.json"))
+                    })?;
                 let offset = sync.get(&node).copied().unwrap_or(0);
                 for c in captures {
                     // Raw packet data as on the wire: the 2-byte tagger id
@@ -1070,8 +1572,8 @@ impl ExperiMaster {
         // Logs: the raw per-node action log every NodeManager accumulated
         // over the whole experiment (one row per node, §IV-F).
         for pid in self.binding.managed_platform_ids() {
-            let log = self.proxies[pid]
-                .call("collect_log", vec![])
+            let log = self
+                .retry_call(pid, "collect_log", vec![])
                 .ok()
                 .and_then(|v| v.as_str().map(str::to_string))
                 .unwrap_or_default();
@@ -1091,7 +1593,7 @@ impl Drop for ExperiMaster {
         for p in self.proxies.values() {
             p.close();
         }
-        for s in &self.tcp_servers {
+        for s in self.tcp_servers.values() {
             s.shutdown();
         }
     }
@@ -1131,12 +1633,12 @@ impl ExecCtx for MasterCtx<'_> {
         method: &str,
         params: Vec<Value>,
     ) -> Result<Value, String> {
-        let proxy = self
-            .master
-            .proxies
-            .get(platform_id)
-            .ok_or_else(|| format!("no NodeManager for '{platform_id}'"))?;
-        proxy.call(method, params).map_err(|e| e.to_string())
+        if !self.master.proxies.contains_key(platform_id) {
+            return Err(format!("no NodeManager for '{platform_id}'"));
+        }
+        self.master
+            .retry_call(platform_id, method, params)
+            .map_err(|e| e.to_string())
     }
 
     fn env_invoke(

@@ -1,0 +1,98 @@
+//! Golden digests: pins [`ExperimentOutcome::digest`] for every platform
+//! preset × master seed combination.
+//!
+//! The digest folds the full packaged database (every table, every row)
+//! plus the run summaries into one 64-bit FNV value, so *any* behavioural
+//! drift in the engine, the simulator, the interpreter or the packaging
+//! shows up here as a one-line failure. Changes that intentionally alter
+//! results must re-bless the table: run the suite with
+//! `EXCOVERY_BLESS=1` and paste the printed rows.
+
+use excovery_core::{EngineConfig, ExperiMaster};
+use excovery_desc::process::{EventSelector, ProcessAction};
+use excovery_desc::ExperimentDescription;
+
+const SEEDS: [u64; 3] = [1, 7, 1914];
+
+/// name → (preset constructor, pinned digests in `SEEDS` order).
+fn golden_table() -> Vec<(&'static str, fn() -> EngineConfig, [u64; 3])> {
+    vec![
+        ("grid_default", EngineConfig::grid_default, GRID_DEFAULT),
+        ("wired_lan", EngineConfig::wired_lan, WIRED_LAN),
+        ("lossy_mesh", EngineConfig::lossy_mesh, LOSSY_MESH),
+    ]
+}
+
+// ---- pinned values (re-bless with EXCOVERY_BLESS=1) ------------------------
+const GRID_DEFAULT: [u64; 3] = [0xe78509f3aaf05780, 0xa495fd9837df1cd0, 0xee3567df77265a42];
+const WIRED_LAN: [u64; 3] = [0x39de528359d340b6, 0x543aae3720f8bf1f, 0xbf77e5ed97aedd5d];
+const LOSSY_MESH: [u64; 3] = [0x4706eb4cacc8c919, 0x80efa92b81a7bff6, 0x591ecc75d8278929];
+
+/// The paper's two-party SD experiment trimmed to a single factor so one
+/// preset × seed cell finishes in well under a second.
+fn desc(seed: u64) -> ExperimentDescription {
+    let mut d = ExperimentDescription::paper_two_party_sd(2);
+    d.factors
+        .factors
+        .retain(|f| f.id != "fact_bw" && f.id != "fact_pairs");
+    d.env_processes[0].actions = vec![
+        ProcessAction::EventFlag {
+            value: "ready_to_init".into(),
+        },
+        ProcessAction::WaitForEvent(EventSelector::named("done")),
+    ];
+    d.seed = seed;
+    d
+}
+
+fn digest_of(preset: fn() -> EngineConfig, seed: u64) -> u64 {
+    let mut master = ExperiMaster::new(desc(seed), preset()).unwrap();
+    master.execute().unwrap().digest()
+}
+
+#[test]
+fn preset_digests_match_the_golden_table() {
+    let bless = std::env::var_os("EXCOVERY_BLESS").is_some();
+    let mut drifted = Vec::new();
+    for (name, preset, want) in golden_table() {
+        let upper = name.to_uppercase();
+        if bless {
+            println!("const {upper}: [u64; 3] = [");
+        }
+        for (i, seed) in SEEDS.iter().enumerate() {
+            let got = digest_of(preset, *seed);
+            if bless {
+                println!("    {got:#018x},");
+            } else if got != want[i] {
+                drifted.push(format!(
+                    "{name} seed {seed}: digest {got:#018x}, pinned {:#018x}",
+                    want[i]
+                ));
+            }
+        }
+        if bless {
+            println!("];");
+        }
+    }
+    assert!(
+        !bless,
+        "blessing mode: paste the table above into golden_outcomes.rs"
+    );
+    assert!(
+        drifted.is_empty(),
+        "results drifted from the golden table:\n  {}",
+        drifted.join("\n  ")
+    );
+}
+
+/// The digest itself must be stable across repeated executions in the same
+/// process — otherwise the golden table would be meaningless.
+#[test]
+fn digests_are_reproducible_within_a_process() {
+    for _ in 0..2 {
+        assert_eq!(
+            digest_of(EngineConfig::grid_default, SEEDS[0]),
+            digest_of(EngineConfig::grid_default, SEEDS[0]),
+        );
+    }
+}

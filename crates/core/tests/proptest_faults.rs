@@ -1,0 +1,142 @@
+//! Property-style tests for [`FaultEnvelope::activation_window`] (paper
+//! §IV-D: duration / rate / randomseed envelopes).
+//!
+//! The generator is a small hand-rolled splitmix64 sweep rather than a
+//! proptest strategy: the cases are fully deterministic, need no shrinking
+//! (every case prints its inputs on failure), and the suite stays free of
+//! external dev-dependencies.
+
+use excovery_core::faults::FaultEnvelope;
+use excovery_netsim::{SimDuration, SimTime};
+
+const CASES: u64 = 2_000;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One pseudorandom envelope/instant pair per case index.
+fn arb_case(i: u64) -> (FaultEnvelope, SimTime) {
+    let a = splitmix64(i);
+    let b = splitmix64(a);
+    let c = splitmix64(b);
+    let d = splitmix64(c);
+    // Durations up to ~18 hours, instants up to ~2 hours in.
+    let envelope = FaultEnvelope {
+        duration: Some(SimDuration::from_nanos(a % (1 << 46))),
+        rate: ((b % 1_000) as f64 + 1.0) / 1_000.0,
+        randomseed: c,
+    };
+    let now = SimTime::from_nanos(d % (1 << 43));
+    (envelope, now)
+}
+
+#[test]
+fn window_always_fits_inside_the_duration() {
+    for i in 0..CASES {
+        let (e, now) = arb_case(i);
+        let (start, stop) = e
+            .activation_window(now)
+            .unwrap_or_else(|| panic!("case {i}: window rejected for {e:?} at {now:?}"));
+        assert!(start >= now, "case {i}: {e:?} started before now");
+        assert!(stop >= start, "case {i}: {e:?} window inverted");
+        assert!(
+            stop <= now + e.duration.unwrap(),
+            "case {i}: {e:?} window exceeds its duration"
+        );
+    }
+}
+
+#[test]
+fn window_length_is_rate_times_duration() {
+    for i in 0..CASES {
+        let (e, now) = arb_case(i);
+        let (start, stop) = e.activation_window(now).unwrap();
+        let expected = e.duration.unwrap().mul_f64(e.rate);
+        assert_eq!(
+            stop - start,
+            expected,
+            "case {i}: {e:?} active block has the wrong length"
+        );
+    }
+}
+
+#[test]
+fn window_is_deterministic_in_the_seed() {
+    for i in 0..CASES {
+        let (e, now) = arb_case(i);
+        assert_eq!(
+            e.activation_window(now),
+            e.activation_window(now),
+            "case {i}: {e:?} not reproducible"
+        );
+    }
+}
+
+#[test]
+fn zero_duration_collapses_to_an_empty_window_at_now() {
+    for i in 0..CASES {
+        let (mut e, now) = arb_case(i);
+        e.duration = Some(SimDuration::ZERO);
+        assert_eq!(
+            e.activation_window(now),
+            Some((now, now)),
+            "case {i}: zero duration must yield the empty window [now, now)"
+        );
+    }
+}
+
+#[test]
+fn full_rate_window_sits_exactly_at_now() {
+    // rate == 1 leaves no slack: the active block is the whole duration,
+    // starting exactly at the instant the fault is applied.
+    for i in 0..CASES {
+        let (mut e, now) = arb_case(i);
+        e.rate = 1.0;
+        let (start, stop) = e.activation_window(now).unwrap();
+        assert_eq!(start, now, "case {i}: no-slack window must start at now");
+        assert_eq!(stop, now + e.duration.unwrap());
+    }
+}
+
+#[test]
+fn wraparound_past_the_end_of_time_is_rejected() {
+    // A window that cannot be represented without overflowing u64
+    // nanoseconds must be refused, never silently wrapped to the epoch.
+    let near_end = SimTime::from_nanos(u64::MAX - 1_000);
+    for i in 0..CASES {
+        let (mut e, _) = arb_case(i);
+        e.rate = 1.0;
+        e.duration = Some(SimDuration::from_nanos(2_000 + splitmix64(i) % (1 << 40)));
+        assert_eq!(
+            e.activation_window(near_end),
+            None,
+            "case {i}: {e:?} wrapped past the end of simulated time"
+        );
+    }
+    // Boundary: a window ending exactly at u64::MAX is still representable.
+    let e = FaultEnvelope {
+        duration: Some(SimDuration::from_nanos(1_000)),
+        rate: 1.0,
+        randomseed: 0,
+    };
+    assert_eq!(
+        e.activation_window(SimTime::from_nanos(u64::MAX - 1_000)),
+        Some((
+            SimTime::from_nanos(u64::MAX - 1_000),
+            SimTime::from_nanos(u64::MAX)
+        ))
+    );
+}
+
+#[test]
+fn unbounded_faults_have_no_window() {
+    for i in 0..CASES {
+        let (mut e, now) = arb_case(i);
+        e.duration = None;
+        assert_eq!(e.activation_window(now), None, "case {i}");
+    }
+}

@@ -617,23 +617,43 @@ impl Simulator {
         self.queue.len()
     }
 
+    /// Spacing between per-run time epochs: each run starts at
+    /// `run_id × 1 h` of simulated time, far beyond any sane run length.
+    pub const RUN_EPOCH: SimDuration = SimDuration::from_nanos(3_600_000_000_000);
+
     /// Resets the platform to a defined initial working condition for the
     /// next experiment run (paper §IV-C1): pending events, timers, agents,
     /// filters, captures, background load and drop-all flags are cleared.
-    /// Simulated time keeps advancing monotonically across runs, like the
-    /// wall clock of a real testbed.
-    pub fn reset_for_run(&mut self) {
+    ///
+    /// The reset is *run-scoped*: every randomness stream is reseeded from
+    /// `(seed, run_id)` and the reference clock jumps to the run's
+    /// canonical epoch (`run_id ×` [`Self::RUN_EPOCH`]). Per-run platform
+    /// state is therefore a pure function of the configuration and the run
+    /// id — never of which runs executed before. This is what makes a
+    /// crash-resumed experiment bit-identical to an uninterrupted one: a
+    /// master resuming at run `k` replays exactly the platform that run
+    /// `k` would have seen. Time still advances monotonically across runs
+    /// (like a real testbed's wall clock) as long as no run outlives the
+    /// epoch spacing.
+    pub fn reset_for_run(&mut self, run_id: u64) {
         self.queue.clear();
         self.flood_seen.clear();
         self.active_timers.clear();
         self.link_load.clear();
         self.protocol_events.clear();
-        for n in &mut self.nodes {
+        let run_seed = crate::rng::derive_seed_indexed(self.cfg.seed, "run", run_id);
+        for (i, n) in self.nodes.iter_mut().enumerate() {
             n.filters.clear();
             n.captures.clear();
             n.drop_all = false;
             n.agents.clear();
+            n.tagger = Tagger::new();
+            n.rng = derive_rng_indexed(run_seed, "agent", i as u64);
+            n.sync_rng = derive_rng_indexed(run_seed, "sync", i as u64);
         }
+        self.channel_rng = derive_rng(run_seed, "channel");
+        let epoch = SimTime::ZERO + Self::RUN_EPOCH.saturating_mul(run_id);
+        self.time = self.time.max(epoch);
     }
 
     // ---- internals ---------------------------------------------------------

@@ -105,6 +105,11 @@ impl SimDuration {
     pub fn saturating_sub(self, other: SimDuration) -> Self {
         Self(self.0.saturating_sub(other.0))
     }
+
+    /// Saturating multiplication by an integer factor.
+    pub const fn saturating_mul(self, k: u64) -> Self {
+        Self(self.0.saturating_mul(k))
+    }
 }
 
 impl Add<SimDuration> for SimTime {

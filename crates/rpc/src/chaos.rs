@@ -1,0 +1,488 @@
+//! Deterministic fault injection for the control channel.
+//!
+//! Dfuntest-style distributed test harnesses must script their own
+//! failures to be credible: waiting for the network to misbehave is not a
+//! test plan. [`ChaosTransport`] decorates any [`Transport`] and injects
+//! faults from a *seeded, replayable schedule*: every call is assigned a
+//! monotonically increasing index, and the fault decision for index `i`
+//! is a pure function of `(seed, i)` plus the configured windows. Running
+//! the same master logic against the same [`ChaosOptions`] therefore
+//! reproduces the exact same fault sequence — a failing chaos run is
+//! replayed by its seed alone.
+//!
+//! Injected fault classes (all surfacing as the [`RpcError`] variants the
+//! engine already classifies via [`RpcError::is_retryable`]):
+//!
+//! * **DropRequest** — the call never reaches the server; the caller sees
+//!   a retryable [`RpcError::Io`].
+//! * **DropResponse** — the server *executes* the call but the response is
+//!   lost; the caller sees [`RpcError::Timeout`]. This is the class that
+//!   forces idempotent server-side dispatch: a blind retry would execute
+//!   the procedure twice.
+//! * **InjectTimeout** — the deadline elapses before the request is sent.
+//! * **InjectDisconnected** — the connection drops before the request.
+//! * **Delay** — the response is delivered, late (bounded wall-clock
+//!   sleep; simulated time is unaffected).
+//! * **Crash windows** — contiguous call-index ranges `[start, end)`
+//!   during which the node is down: every call fails with
+//!   [`RpcError::Disconnected`] without reaching the server.
+//!
+//! A schedule whose `horizon_calls` is finite and whose crash windows are
+//! bounded *eventually clears*: past the horizon every call passes
+//! through untouched, so a bounded-retry master always converges.
+
+use crate::error::RpcError;
+use crate::message::{MethodCall, MethodResponse};
+use crate::transport::Transport;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Configuration of a seeded fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOptions {
+    /// Seed of the schedule; the fault decision for call index `i` is a
+    /// pure function of `(seed, i)`.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a call below the horizon draws a
+    /// fault (crash windows apply regardless of this rate).
+    pub fault_rate: f64,
+    /// Call index after which no rate-based faults are injected. A finite
+    /// horizon makes the schedule eventually-clearing.
+    pub horizon_calls: u64,
+    /// Hard "node crash" windows as `[start, end)` call-index ranges:
+    /// inside a window every call fails without reaching the server.
+    pub crash_windows: Vec<(u64, u64)>,
+    /// Upper bound for injected response delays (wall clock). Zero
+    /// disables the delay class.
+    pub max_delay_ms: u64,
+}
+
+impl ChaosOptions {
+    /// A schedule that injects nothing (pass-through).
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            fault_rate: 0.0,
+            horizon_calls: 0,
+            crash_windows: Vec::new(),
+            max_delay_ms: 0,
+        }
+    }
+
+    /// A moderate eventually-clearing schedule: `fault_rate` faults over
+    /// the first `horizon_calls` calls, no crash windows, 1 ms delays.
+    pub fn flaky(seed: u64, fault_rate: f64, horizon_calls: u64) -> Self {
+        Self {
+            seed,
+            fault_rate,
+            horizon_calls,
+            crash_windows: Vec::new(),
+            max_delay_ms: 1,
+        }
+    }
+
+    /// True if no fault can ever be injected after some call index — the
+    /// precondition for crash-free convergence under bounded retry.
+    pub fn eventually_clears(&self) -> bool {
+        // Rate faults stop at the horizon; windows are finite by type.
+        self.fault_rate <= 0.0 || self.horizon_calls < u64::MAX
+    }
+
+    /// Longest crash window, in calls — a master's retry budget must
+    /// exceed this for a logical call to survive the window.
+    pub fn longest_crash_window(&self) -> u64 {
+        self.crash_windows
+            .iter()
+            .map(|(s, e)| e.saturating_sub(*s))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The fault decision for one call index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver the call untouched.
+    Pass,
+    /// Fail without reaching the server (`Io`).
+    DropRequest,
+    /// Execute on the server, then lose the response (`Timeout`).
+    DropResponse,
+    /// Fail with an injected `Timeout` before the request is sent.
+    InjectTimeout,
+    /// Fail with an injected `Disconnected` before the request is sent.
+    InjectDisconnected,
+    /// Deliver the call after a wall-clock delay of the given ms.
+    Delay(u64),
+    /// The node is inside a crash window (`Disconnected`).
+    Crash,
+}
+
+/// splitmix64: a tiny, high-quality deterministic mixer, so the schedule
+/// needs no external RNG dependency and is identical on every platform.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The fault decision for call index `i` under `opts` — a pure function,
+/// exposed so tests (and humans replaying a seed) can print a schedule
+/// without performing any call.
+pub fn fault_at(opts: &ChaosOptions, i: u64) -> FaultAction {
+    if opts.crash_windows.iter().any(|(s, e)| i >= *s && i < *e) {
+        return FaultAction::Crash;
+    }
+    if i >= opts.horizon_calls || opts.fault_rate <= 0.0 {
+        return FaultAction::Pass;
+    }
+    let roll = splitmix64(opts.seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    // Top 53 bits → uniform f64 in [0, 1).
+    let uniform = (roll >> 11) as f64 / (1u64 << 53) as f64;
+    if uniform >= opts.fault_rate.clamp(0.0, 1.0) {
+        return FaultAction::Pass;
+    }
+    // A second independent draw picks the fault class.
+    match splitmix64(roll) % 5 {
+        0 => FaultAction::DropRequest,
+        1 => FaultAction::DropResponse,
+        2 => FaultAction::InjectTimeout,
+        3 => FaultAction::InjectDisconnected,
+        _ if opts.max_delay_ms > 0 => {
+            FaultAction::Delay(1 + splitmix64(roll ^ 1) % opts.max_delay_ms)
+        }
+        _ => FaultAction::DropRequest,
+    }
+}
+
+/// Counters of what a [`ChaosTransport`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Calls delivered untouched.
+    pub passed: u64,
+    /// Calls delivered after an injected delay.
+    pub delayed: u64,
+    /// Requests dropped before reaching the server.
+    pub dropped_requests: u64,
+    /// Responses dropped after server-side execution.
+    pub dropped_responses: u64,
+    /// Injected timeouts (request never sent).
+    pub injected_timeouts: u64,
+    /// Injected disconnects (request never sent).
+    pub injected_disconnects: u64,
+    /// Calls rejected inside a crash window.
+    pub crash_rejections: u64,
+}
+
+impl ChaosStats {
+    /// Total faults injected (everything except passed/delayed delivery).
+    pub fn faults(&self) -> u64 {
+        self.dropped_requests
+            + self.dropped_responses
+            + self.injected_timeouts
+            + self.injected_disconnects
+            + self.crash_rejections
+    }
+}
+
+/// A [`Transport`] decorator injecting faults from a seeded schedule.
+///
+/// Thread-safe like any transport; the call index is a shared atomic, so
+/// with a serialized caller (the engine's per-node [`NodeProxy`] lock)
+/// the index sequence — and therefore the whole fault schedule — is
+/// deterministic.
+///
+/// [`NodeProxy`]: crate::transport::NodeProxy
+pub struct ChaosTransport<T> {
+    inner: T,
+    opts: ChaosOptions,
+    next_call: AtomicU64,
+    passed: AtomicU64,
+    delayed: AtomicU64,
+    dropped_requests: AtomicU64,
+    dropped_responses: AtomicU64,
+    injected_timeouts: AtomicU64,
+    injected_disconnects: AtomicU64,
+    crash_rejections: AtomicU64,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wraps `inner` with the fault schedule described by `opts`.
+    pub fn new(inner: T, opts: ChaosOptions) -> Self {
+        Self {
+            inner,
+            opts,
+            next_call: AtomicU64::new(0),
+            passed: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            dropped_requests: AtomicU64::new(0),
+            dropped_responses: AtomicU64::new(0),
+            injected_timeouts: AtomicU64::new(0),
+            injected_disconnects: AtomicU64::new(0),
+            crash_rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// The schedule configuration.
+    pub fn options(&self) -> &ChaosOptions {
+        &self.opts
+    }
+
+    /// Calls attempted so far (the next call index).
+    pub fn calls(&self) -> u64 {
+        self.next_call.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the injection counters.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            passed: self.passed.load(Ordering::SeqCst),
+            delayed: self.delayed.load(Ordering::SeqCst),
+            dropped_requests: self.dropped_requests.load(Ordering::SeqCst),
+            dropped_responses: self.dropped_responses.load(Ordering::SeqCst),
+            injected_timeouts: self.injected_timeouts.load(Ordering::SeqCst),
+            injected_disconnects: self.injected_disconnects.load(Ordering::SeqCst),
+            crash_rejections: self.crash_rejections.load(Ordering::SeqCst),
+        }
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn call(&self, call: &MethodCall) -> Result<MethodResponse, RpcError> {
+        let index = self.next_call.fetch_add(1, Ordering::SeqCst);
+        match fault_at(&self.opts, index) {
+            FaultAction::Pass => {
+                Self::bump(&self.passed);
+                self.inner.call(call)
+            }
+            FaultAction::Delay(ms) => {
+                let result = self.inner.call(call);
+                std::thread::sleep(Duration::from_millis(ms));
+                Self::bump(&self.delayed);
+                result
+            }
+            FaultAction::DropRequest => {
+                Self::bump(&self.dropped_requests);
+                Err(RpcError::Io(format!(
+                    "chaos: request '{}' dropped at call #{index}",
+                    call.method
+                )))
+            }
+            FaultAction::DropResponse => {
+                // The server executes; the caller never learns. A correct
+                // master retries with the same idempotency key and the
+                // server replays the recorded response.
+                let _ = self.inner.call(call);
+                Self::bump(&self.dropped_responses);
+                Err(RpcError::Timeout {
+                    method: call.method.clone(),
+                    after_ms: 0,
+                })
+            }
+            FaultAction::InjectTimeout => {
+                Self::bump(&self.injected_timeouts);
+                Err(RpcError::Timeout {
+                    method: call.method.clone(),
+                    after_ms: 0,
+                })
+            }
+            FaultAction::InjectDisconnected => {
+                Self::bump(&self.injected_disconnects);
+                Err(RpcError::Disconnected(format!(
+                    "chaos: link to server lost at call #{index}"
+                )))
+            }
+            FaultAction::Crash => {
+                Self::bump(&self.crash_rejections);
+                Err(RpcError::Disconnected(format!(
+                    "chaos: node crashed (window hit at call #{index})"
+                )))
+            }
+        }
+    }
+
+    fn endpoint(&self) -> String {
+        format!("chaos(seed={})+{}", self.opts.seed, self.inner.endpoint())
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{Channel, NodeProxy, ServerRegistry};
+    use crate::value::Value;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn counting_channel() -> (Channel, Arc<AtomicUsize>) {
+        let executed = Arc::new(AtomicUsize::new(0));
+        let e2 = Arc::clone(&executed);
+        let mut reg = ServerRegistry::new();
+        reg.register("ping", move |_| {
+            e2.fetch_add(1, Ordering::SeqCst);
+            Ok(Value::str("pong"))
+        });
+        (Channel::new(reg), executed)
+    }
+
+    #[test]
+    fn quiet_schedule_is_transparent() {
+        let (ch, executed) = counting_channel();
+        let t = ChaosTransport::new(ch, ChaosOptions::quiet(1));
+        let proxy = NodeProxy::new("n0", t);
+        for _ in 0..10 {
+            assert_eq!(proxy.call("ping", vec![]).unwrap(), Value::str("pong"));
+        }
+        assert_eq!(executed.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_seed_and_index() {
+        let opts = ChaosOptions::flaky(42, 0.5, 1000);
+        let a: Vec<FaultAction> = (0..200).map(|i| fault_at(&opts, i)).collect();
+        let b: Vec<FaultAction> = (0..200).map(|i| fault_at(&opts, i)).collect();
+        assert_eq!(a, b);
+        // A different seed produces a different schedule.
+        let other = ChaosOptions::flaky(43, 0.5, 1000);
+        let c: Vec<FaultAction> = (0..200).map(|i| fault_at(&other, i)).collect();
+        assert_ne!(a, c);
+        // The rate is roughly honoured.
+        let faults = a.iter().filter(|f| !matches!(f, FaultAction::Pass)).count();
+        assert!((60..160).contains(&faults), "{faults} faults at rate 0.5");
+    }
+
+    #[test]
+    fn faults_clear_past_the_horizon() {
+        let opts = ChaosOptions::flaky(7, 1.0, 25);
+        for i in 0..25 {
+            assert_ne!(fault_at(&opts, i), FaultAction::Pass, "index {i}");
+        }
+        for i in 25..200 {
+            assert_eq!(fault_at(&opts, i), FaultAction::Pass, "index {i}");
+        }
+        assert!(opts.eventually_clears());
+    }
+
+    #[test]
+    fn crash_window_rejects_every_call_inside() {
+        let mut opts = ChaosOptions::quiet(3);
+        opts.crash_windows = vec![(2, 5)];
+        assert_eq!(opts.longest_crash_window(), 3);
+        let (ch, executed) = counting_channel();
+        let t = ChaosTransport::new(ch, opts);
+        let proxy = NodeProxy::new("n0", t);
+        let mut outcomes = Vec::new();
+        for _ in 0..7 {
+            outcomes.push(proxy.call("ping", vec![]).is_ok());
+        }
+        assert_eq!(outcomes, vec![true, true, false, false, false, true, true]);
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            4,
+            "crashed calls never execute"
+        );
+    }
+
+    #[test]
+    fn drop_response_executes_server_side_exactly_once() {
+        let opts = ChaosOptions {
+            seed: 0,
+            fault_rate: 0.0,
+            horizon_calls: 0,
+            crash_windows: Vec::new(),
+            max_delay_ms: 0,
+        };
+        let (ch, executed) = counting_channel();
+        let chaos = ChaosTransport::new(ch, opts);
+        // Drive the DropResponse path directly: the schedule API is pure,
+        // so force the action by calling the inner semantics through a
+        // crafted schedule instead.
+        let forced = ChaosOptions {
+            seed: 99,
+            fault_rate: 1.0,
+            horizon_calls: 1,
+            crash_windows: Vec::new(),
+            max_delay_ms: 0,
+        };
+        // Find a seed whose first action is DropResponse so the test is
+        // deterministic and self-contained.
+        let seed = (0..10_000u64)
+            .find(|s| {
+                fault_at(
+                    &ChaosOptions {
+                        seed: *s,
+                        ..forced.clone()
+                    },
+                    0,
+                ) == FaultAction::DropResponse
+            })
+            .expect("some seed yields DropResponse first");
+        drop(chaos);
+        let (ch, executed2) = counting_channel();
+        let t = ChaosTransport::new(ch, ChaosOptions { seed, ..forced });
+        let proxy = NodeProxy::new("n0", t);
+        // First call: executed server-side, but reported as a timeout.
+        match proxy.call("ping", vec![]) {
+            Err(RpcError::Timeout { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(executed2.load(Ordering::SeqCst), 1);
+        // Retry (past the horizon): executes again — without server-side
+        // dedup this is the double-execution hazard the engine must absorb.
+        proxy.call("ping", vec![]).unwrap();
+        assert_eq!(executed2.load(Ordering::SeqCst), 2);
+        let _ = executed;
+    }
+
+    #[test]
+    fn stats_account_for_every_call() {
+        let opts = ChaosOptions {
+            seed: 5,
+            fault_rate: 0.7,
+            horizon_calls: 40,
+            crash_windows: vec![(10, 14)],
+            max_delay_ms: 1,
+        };
+        let (ch, _executed) = counting_channel();
+        let t = ChaosTransport::new(ch, opts);
+        assert!(t.endpoint().starts_with("chaos(seed=5)+"));
+        let proxy = NodeProxy::from_arc("n0", Arc::new(t));
+        for _ in 0..60 {
+            let _ = proxy.call("ping", vec![]);
+        }
+        // The proxy consumed the transport; re-create to check stats via
+        // a directly held instance instead.
+        let (ch, _executed) = counting_channel();
+        let t = ChaosTransport::new(
+            ch,
+            ChaosOptions {
+                seed: 5,
+                fault_rate: 0.7,
+                horizon_calls: 40,
+                crash_windows: vec![(10, 14)],
+                max_delay_ms: 1,
+            },
+        );
+        for _ in 0..60 {
+            let _ = Transport::call(&t, &MethodCall::new("ping", vec![]));
+        }
+        let stats = t.stats();
+        assert_eq!(t.calls(), 60);
+        assert_eq!(
+            stats.passed + stats.delayed + stats.faults(),
+            60,
+            "{stats:?}"
+        );
+        assert_eq!(stats.crash_rejections, 4);
+        assert!(stats.faults() > 10, "{stats:?}");
+    }
+}

@@ -21,19 +21,27 @@
 //! * [`TcpTransport`] / [`TcpRpcServer`] — length-prefixed frames over real
 //!   sockets, with per-call deadlines and reconnect with bounded
 //!   exponential backoff.
+//! * [`ChaosTransport`] — a decorator over either backend injecting faults
+//!   from a seeded, replayable schedule (dropped requests/responses,
+//!   timeouts, disconnects, delays, crash windows), the scripted-failure
+//!   harness the recovery tests are built on.
 //!
 //! [`NodeProxy`] wraps any transport with the per-node lock the paper
 //! mandates, and [`RpcError`] classifies failures (server fault vs. codec
 //! vs. timeout/disconnect) so the engine can decide what is recoverable.
 
+pub mod chaos;
 pub mod error;
 pub mod message;
 pub mod tcp;
 pub mod transport;
 pub mod value;
 
+pub use chaos::{fault_at, ChaosOptions, ChaosStats, ChaosTransport, FaultAction};
 pub use error::{RpcError, FAULT_INTERNAL_ERROR, FAULT_NO_SUCH_METHOD, FAULT_PARSE_ERROR};
 pub use message::{Fault, MethodCall, MethodResponse};
 pub use tcp::{TcpOptions, TcpRpcServer, TcpTransport};
-pub use transport::{response_to_result, Channel, NodeProxy, ServerRegistry, Transport};
+pub use transport::{
+    response_to_result, Channel, NodeProxy, ServerRegistry, Transport, IDEMPOTENCY_MEMBER,
+};
 pub use value::Value;

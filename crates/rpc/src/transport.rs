@@ -47,11 +47,41 @@ pub fn response_to_result(response: MethodResponse) -> Result<Value, RpcError> {
     response.into_result().map_err(RpcError::from)
 }
 
+/// Reserved name of the trailing struct parameter carrying a caller-chosen
+/// idempotency key. A client that retries a call reuses the key, and the
+/// server replays the recorded response instead of executing the procedure
+/// again — the contract that makes lost-response faults survivable.
+pub const IDEMPOTENCY_MEMBER: &str = "__idem";
+
+/// Bound on remembered responses per registry; oldest entries are evicted
+/// first. Far larger than any plausible retry window.
+const IDEMPOTENCY_CACHE_CAP: usize = 4096;
+
 /// Registry of procedures exposed by one server (NodeManager).
 #[derive(Default)]
 pub struct ServerRegistry {
     handlers: HashMap<String, Handler>,
     observer: Option<CallObserver>,
+    /// Response cache keyed by idempotency key, with FIFO eviction order.
+    idem_cache: HashMap<String, MethodResponse>,
+    idem_order: std::collections::VecDeque<String>,
+}
+
+/// Splits a trailing `{__idem: key}` struct parameter off a call, if
+/// present. Returns the key and the call as the handler must see it.
+fn split_idempotency(call: &MethodCall) -> (Option<String>, Option<MethodCall>) {
+    if let Some(Value::Struct(members)) = call.params.last() {
+        if let [(name, Value::String(key))] = members.as_slice() {
+            if name == IDEMPOTENCY_MEMBER {
+                let stripped = MethodCall::new(
+                    call.method.clone(),
+                    call.params[..call.params.len() - 1].to_vec(),
+                );
+                return (Some(key.clone()), Some(stripped));
+            }
+        }
+    }
+    (None, None)
 }
 
 impl ServerRegistry {
@@ -86,7 +116,36 @@ impl ServerRegistry {
     /// `system.listMethods` is answered built-in. A panicking handler is
     /// contained server-side and reported as an internal fault, so the
     /// registry (and every lock guarding it) stays usable afterwards.
+    ///
+    /// A call carrying a trailing `{__idem: key}` struct parameter is
+    /// dispatched **at most once** per key: the response is recorded, and
+    /// a repeat of the same key replays it without invoking the handler or
+    /// the observer — a retried call that already executed (its response
+    /// was lost in transit) leaves no second trace in the node's action
+    /// log. The key parameter is stripped before the handler sees the
+    /// arguments.
     pub fn dispatch(&mut self, call: &MethodCall) -> MethodResponse {
+        let (idem_key, stripped) = split_idempotency(call);
+        if let Some(key) = &idem_key {
+            if let Some(replay) = self.idem_cache.get(key) {
+                return replay.clone();
+            }
+        }
+        let call = stripped.as_ref().unwrap_or(call);
+        let response = self.dispatch_inner(call);
+        if let Some(key) = idem_key {
+            if self.idem_order.len() >= IDEMPOTENCY_CACHE_CAP {
+                if let Some(evicted) = self.idem_order.pop_front() {
+                    self.idem_cache.remove(&evicted);
+                }
+            }
+            self.idem_order.push_back(key.clone());
+            self.idem_cache.insert(key, response.clone());
+        }
+        response
+    }
+
+    fn dispatch_inner(&mut self, call: &MethodCall) -> MethodResponse {
         if let Some(observer) = &mut self.observer {
             observer(call);
         }
@@ -207,6 +266,24 @@ impl NodeProxy {
             transport,
             lock: Mutex::new(()),
         }
+    }
+
+    /// Calls a procedure with a caller-chosen idempotency key, appended as
+    /// the trailing `{__idem: key}` struct parameter. A retry that reuses
+    /// the key is deduplicated server-side (see
+    /// [`ServerRegistry::dispatch`]): the recorded response is replayed
+    /// and the procedure is not executed again.
+    pub fn call_idempotent(
+        &self,
+        method: &str,
+        mut params: Vec<Value>,
+        key: &str,
+    ) -> Result<Value, RpcError> {
+        params.push(Value::Struct(vec![(
+            IDEMPOTENCY_MEMBER.into(),
+            Value::str(key),
+        )]));
+        self.call(method, params)
     }
 
     /// Calls a procedure on the node, holding the node lock for the
@@ -351,6 +428,114 @@ mod tests {
             MethodResponse::Fault(f) => assert_eq!(f.code, FAULT_PARSE_ERROR),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn idempotent_calls_execute_at_most_once_per_key() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let mut reg = ServerRegistry::new();
+        reg.register("bump", move |_| {
+            Ok(Value::Int(c2.fetch_add(1, Ordering::SeqCst) as i32))
+        });
+        let proxy = NodeProxy::new("t9-105", Channel::new(reg));
+        // Same key: executed once, identical response replayed.
+        assert_eq!(
+            proxy.call_idempotent("bump", vec![], "0:0:1").unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            proxy.call_idempotent("bump", vec![], "0:0:1").unwrap(),
+            Value::Int(0),
+            "retry must replay, not re-execute"
+        );
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        // A fresh key executes again.
+        assert_eq!(
+            proxy.call_idempotent("bump", vec![], "0:0:2").unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn idempotency_key_is_stripped_and_replay_skips_the_observer() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&seen);
+        let mut reg = ServerRegistry::new();
+        reg.register("echo", |params| Ok(Value::Array(params.to_vec())));
+        reg.set_observer(move |call| s2.lock().push(call.params.len()));
+        let proxy = NodeProxy::new("t9-105", Channel::new(reg));
+        let first = proxy
+            .call_idempotent("echo", vec![Value::Int(7)], "k")
+            .unwrap();
+        // The handler never sees the trailing key struct.
+        assert_eq!(first, Value::Array(vec![Value::Int(7)]));
+        let replay = proxy
+            .call_idempotent("echo", vec![Value::Int(7)], "k")
+            .unwrap();
+        assert_eq!(replay, first);
+        // One observer entry with the stripped arity: the action log is
+        // identical to a fault-free execution.
+        assert_eq!(*seen.lock(), vec![1]);
+    }
+
+    #[test]
+    fn idempotent_faults_are_replayed_too() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let mut reg = ServerRegistry::new();
+        reg.register("flaky", move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            Err(Fault::new(99, "always fails"))
+        });
+        let proxy = NodeProxy::new("t9-105", Channel::new(reg));
+        for _ in 0..3 {
+            match proxy.call_idempotent("flaky", vec![], "k1") {
+                Err(RpcError::Fault(f)) => assert_eq!(f.code, 99),
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            1,
+            "a recorded fault is a recorded outcome"
+        );
+    }
+
+    #[test]
+    fn idempotency_cache_evicts_oldest_first() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let mut reg = ServerRegistry::new();
+        reg.register("bump", move |_| {
+            Ok(Value::Int(c2.fetch_add(1, Ordering::SeqCst) as i32))
+        });
+        let proxy = NodeProxy::new("t9-105", Channel::new(reg));
+        for i in 0..=IDEMPOTENCY_CACHE_CAP {
+            proxy
+                .call_idempotent("bump", vec![], &format!("k{i}"))
+                .unwrap();
+        }
+        // Key k0 was evicted to admit the CAP+1st entry: replaying it
+        // executes again. A recent key still replays.
+        let executed = counter.load(Ordering::SeqCst);
+        proxy.call_idempotent("bump", vec![], "k1").unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), executed);
+        proxy.call_idempotent("bump", vec![], "k0").unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), executed + 1);
+    }
+
+    #[test]
+    fn plain_struct_params_are_not_mistaken_for_keys() {
+        let mut reg = ServerRegistry::new();
+        reg.register("echo", |params| Ok(Value::Array(params.to_vec())));
+        let ch = Channel::new(reg);
+        // A genuine trailing struct with a different member name passes
+        // through untouched.
+        let spec = Value::Struct(vec![("kind".into(), Value::str("interface"))]);
+        let got = ch.call("echo", vec![spec.clone()]).unwrap();
+        assert_eq!(got, Value::Array(vec![spec]));
     }
 
     #[test]

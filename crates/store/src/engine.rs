@@ -7,10 +7,38 @@
 //! experiment, "preferably stored as a database to unify and accelerate
 //! data access", §IV-F).
 
+use crate::json::JsonValue;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
+
+/// Writes `data` to `path` atomically: the bytes land in a dot-prefixed
+/// temp file in the same directory, which is then renamed into place.
+/// Readers (and a crash at any instant) observe either the old content or
+/// the complete new content — never a torn write.
+pub(crate) fn atomic_write(path: &Path, data: &[u8]) -> Result<(), StoreError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+    let parent = path
+        .parent()
+        .ok_or_else(|| err(format!("no parent directory for {path:?}")))?;
+    std::fs::create_dir_all(parent).map_err(|e| err(format!("mkdir {parent:?}: {e}")))?;
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| err(format!("invalid file name in {path:?}")))?;
+    let tmp = parent.join(format!(
+        ".{file_name}.tmp-{}-{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, data).map_err(|e| err(format!("write {tmp:?}: {e}")))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        err(format!("rename {tmp:?} -> {path:?}: {e}"))
+    })
+}
 
 /// Error type of the storage engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +82,63 @@ pub enum SqlValue {
     Text(String),
     /// Byte-string value.
     Blob(Vec<u8>),
+}
+
+impl ColumnType {
+    fn type_name(self) -> &'static str {
+        match self {
+            ColumnType::Integer => "Integer",
+            ColumnType::Real => "Real",
+            ColumnType::Text => "Text",
+            ColumnType::Blob => "Blob",
+        }
+    }
+
+    fn parse_name(s: &str) -> Option<Self> {
+        match s {
+            "Integer" => Some(ColumnType::Integer),
+            "Real" => Some(ColumnType::Real),
+            "Text" => Some(ColumnType::Text),
+            "Blob" => Some(ColumnType::Blob),
+            _ => None,
+        }
+    }
+}
+
+impl SqlValue {
+    /// Persisted shape: every variant maps onto a distinct JSON shape, so
+    /// values decode without consulting the column affinity (an `Int`
+    /// stored in a `Real` column survives the round-trip as an `Int`).
+    fn to_json(&self) -> JsonValue {
+        match self {
+            SqlValue::Null => JsonValue::Null,
+            SqlValue::Int(v) => JsonValue::Object(vec![("int".into(), JsonValue::Int(*v))]),
+            SqlValue::Real(v) => JsonValue::Object(vec![("real".into(), JsonValue::Float(*v))]),
+            SqlValue::Text(s) => JsonValue::Str(s.clone()),
+            SqlValue::Blob(b) => JsonValue::bytes(b),
+        }
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, StoreError> {
+        match v {
+            JsonValue::Null => Ok(SqlValue::Null),
+            JsonValue::Str(s) => Ok(SqlValue::Text(s.clone())),
+            JsonValue::Array(_) => v
+                .to_bytes()
+                .map(SqlValue::Blob)
+                .ok_or_else(|| err("parse: blob cell holds non-byte values")),
+            JsonValue::Object(_) => {
+                if let Some(i) = v.get("int").and_then(JsonValue::as_i64) {
+                    Ok(SqlValue::Int(i))
+                } else if let Some(f) = v.get("real").and_then(JsonValue::as_f64) {
+                    Ok(SqlValue::Real(f))
+                } else {
+                    Err(err("parse: unknown tagged cell value"))
+                }
+            }
+            other => Err(err(format!("parse: unexpected cell value {other:?}"))),
+        }
+    }
 }
 
 impl SqlValue {
@@ -331,6 +416,74 @@ impl Table {
         self.indexes.insert(col, map);
     }
 
+    fn to_json(&self) -> JsonValue {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                JsonValue::Object(vec![
+                    ("name".into(), JsonValue::str(&c.name)),
+                    ("ctype".into(), JsonValue::str(c.ctype.type_name())),
+                ])
+            })
+            .collect();
+        let indexed = self.indexed_columns.iter().map(JsonValue::str).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| JsonValue::Array(r.iter().map(SqlValue::to_json).collect()))
+            .collect();
+        JsonValue::Object(vec![
+            ("columns".into(), JsonValue::Array(columns)),
+            ("indexed".into(), JsonValue::Array(indexed)),
+            ("rows".into(), JsonValue::Array(rows)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, StoreError> {
+        let columns = v
+            .get("columns")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| err("parse: table without 'columns'"))?
+            .iter()
+            .map(|c| {
+                let name = c
+                    .get("name")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| err("parse: column without name"))?;
+                let ctype = c
+                    .get("ctype")
+                    .and_then(JsonValue::as_str)
+                    .and_then(ColumnType::parse_name)
+                    .ok_or_else(|| err(format!("parse: bad column type for '{name}'")))?;
+                Ok(Column::new(name, ctype))
+            })
+            .collect::<Result<Vec<_>, StoreError>>()?;
+        let mut table = Table::new(columns);
+        for row in v
+            .get("rows")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| err("parse: table without 'rows'"))?
+        {
+            let row = row
+                .as_array()
+                .ok_or_else(|| err("parse: row is not an array"))?
+                .iter()
+                .map(SqlValue::from_json)
+                .collect::<Result<Row, StoreError>>()?;
+            table.insert(row)?;
+        }
+        if let Some(indexed) = v.get("indexed").and_then(JsonValue::as_array) {
+            for col in indexed {
+                let col = col
+                    .as_str()
+                    .ok_or_else(|| err("parse: indexed column is not a string"))?;
+                table.create_index(col)?;
+            }
+        }
+        Ok(table)
+    }
+
     /// Rebuilds all declared indexes (after deserialization).
     pub fn rebuild_indexes(&mut self) {
         let cols: Vec<usize> = self
@@ -570,20 +723,31 @@ impl Database {
         self.tables.keys().map(String::as_str).collect()
     }
 
-    /// Persists the whole database to one file (JSON).
+    /// Persists the whole database to one file (JSON), written atomically
+    /// so a crash mid-save never leaves a torn package behind.
     pub fn save(&self, path: &Path) -> Result<(), StoreError> {
-        let json = serde_json::to_string(self).map_err(|e| err(format!("serialize: {e}")))?;
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent).map_err(|e| err(format!("mkdir: {e}")))?;
-        }
-        std::fs::write(path, json).map_err(|e| err(format!("write {path:?}: {e}")))
+        let tables = self
+            .tables
+            .iter()
+            .map(|(name, t)| (name.clone(), t.to_json()))
+            .collect();
+        let doc = JsonValue::Object(vec![("tables".into(), JsonValue::Object(tables))]);
+        atomic_write(path, doc.to_string().as_bytes())
     }
 
     /// Loads a database from a file written by [`Self::save`]; declared
     /// indexes are rebuilt.
     pub fn load(path: &Path) -> Result<Self, StoreError> {
         let json = std::fs::read_to_string(path).map_err(|e| err(format!("read {path:?}: {e}")))?;
-        let mut db: Self = serde_json::from_str(&json).map_err(|e| err(format!("parse: {e}")))?;
+        let doc = JsonValue::parse(&json).map_err(|e| err(format!("parse: {e}")))?;
+        let tables = doc
+            .get("tables")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| err("parse: missing 'tables' object"))?;
+        let mut db = Self::new();
+        for (name, t) in tables {
+            db.tables.insert(name.clone(), Table::from_json(t)?);
+        }
         for table in db.tables.values_mut() {
             table.rebuild_indexes();
         }

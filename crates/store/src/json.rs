@@ -1,0 +1,541 @@
+//! A small, dependency-free JSON codec for the storage levels.
+//!
+//! Level-2 files, the run-completion journal and the level-3 database
+//! package must round-trip exactly on every build of the engine: the
+//! crash-resume path re-reads what an earlier (possibly different) master
+//! incarnation wrote. Keeping the codec in-tree makes that round-trip a
+//! property of this crate alone — like the XML codec in `excovery-xml` —
+//! instead of an external serializer's.
+//!
+//! Integers are kept exact (`i64`, covering every nanosecond timestamp the
+//! engine produces); floats print in shortest round-trip form.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without fractional part, kept exact.
+    Int(i64),
+    /// A number with fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; member order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Self {
+        JsonValue::Str(s.into())
+    }
+
+    /// Byte strings are stored as arrays of integers 0..=255.
+    pub fn bytes(data: &[u8]) -> Self {
+        JsonValue::Array(data.iter().map(|b| JsonValue::Int(*b as i64)).collect())
+    }
+
+    /// The string content, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The integer content as unsigned; negative values yield `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, widening integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The members, if an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Decodes an array-of-integers value back into bytes.
+    pub fn to_bytes(&self) -> Option<Vec<u8>> {
+        self.as_array()?
+            .iter()
+            .map(|v| v.as_i64().and_then(|i| u8::try_from(i).ok()))
+            .collect()
+    }
+
+    /// Serializes to compact JSON.
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Float(f) => {
+                if !f.is_finite() {
+                    // JSON has no NaN/Infinity literal; keep documents valid.
+                    out.push_str("null");
+                } else {
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    // A float that prints integral must stay a float on
+                    // re-parse, so its type survives the round-trip.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                }
+            }
+            JsonValue::Str(s) => write_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document; trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Parses from raw bytes (must be UTF-8).
+    pub fn parse_bytes(input: &[u8]) -> Result<JsonValue, String> {
+        let s = std::str::from_utf8(input).map_err(|e| format!("invalid utf-8: {e}"))?;
+        Self::parse(s)
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 256;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{lit}' at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            None => Err("unexpected end of input".into()),
+            Some(b'n') => self.literal("null").map(|()| JsonValue::Null),
+            Some(b't') => self.literal("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected byte '{}' at {}", b as char, self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy unescaped spans in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Safe: span boundaries sit on ASCII bytes.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.literal("\\u")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(hi).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(format!("invalid escape '\\{}'", other as char)),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(format!("raw control byte {b:#x} in string")),
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &JsonValue) -> JsonValue {
+        JsonValue::parse(&v.to_string()).unwrap()
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            JsonValue::Null,
+            JsonValue::Bool(true),
+            JsonValue::Bool(false),
+            JsonValue::Int(0),
+            JsonValue::Int(-1),
+            JsonValue::Int(i64::MAX),
+            JsonValue::Int(i64::MIN),
+            JsonValue::Float(0.25),
+            JsonValue::Float(-1.5e-9),
+            JsonValue::str(""),
+            JsonValue::str("päck€t \"x\"\n\t\\"),
+        ] {
+            assert_eq!(roundtrip(&v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let v = JsonValue::Float(3.0);
+        assert_eq!(v.to_string(), "3.0");
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn nanosecond_timestamps_are_exact() {
+        // 2^53 + 1 is where f64 starts losing integers.
+        let v = JsonValue::Int((1 << 53) + 1);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = JsonValue::Object(vec![
+            (
+                "runs".into(),
+                JsonValue::Array(vec![JsonValue::Int(0), JsonValue::Int(3)]),
+            ),
+            (
+                "nested".into(),
+                JsonValue::Object(vec![("x".into(), JsonValue::Null)]),
+            ),
+            ("data".into(), JsonValue::bytes(&[0, 127, 255])),
+        ]);
+        let r = roundtrip(&v);
+        assert_eq!(r, v);
+        assert_eq!(
+            r.get("data").unwrap().to_bytes().unwrap(),
+            vec![0, 127, 255]
+        );
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn whitespace_and_escapes_parse() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , 2.5 , \"\\u0041\\u00e4\\ud83d\\ude00\" ] } ")
+            .unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a[0].as_i64(), Some(1));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[2].as_str(), Some("Aä😀"));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "01x",
+            "[1] trailing",
+            "\"\\q\"",
+            "{\"a\":\"\\ud800\"}",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let doc = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(JsonValue::parse(&doc).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_degrade_to_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).to_string(), "null");
+    }
+}

@@ -13,7 +13,8 @@
 //!   runs/<run_id>/<node>/<name>      # per-run measurements and logs
 //! ```
 
-use crate::engine::StoreError;
+use crate::engine::{atomic_write, StoreError};
+use crate::json::JsonValue;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -50,11 +51,15 @@ impl Level2Store {
             .join(name)
     }
 
+    fn journal_path(&self) -> PathBuf {
+        self.root.join("runs").join("journal.json")
+    }
+
+    /// Every write is temp-file + rename: a crash at any instant leaves
+    /// either no entry or the complete entry, never a torn file that the
+    /// packaging pass would read as data.
     fn write(path: &Path, data: &[u8]) -> Result<(), StoreError> {
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent).map_err(|e| StoreError(format!("mkdir: {e}")))?;
-        }
-        fs::write(path, data).map_err(|e| StoreError(format!("write {path:?}: {e}")))
+        atomic_write(path, data)
     }
 
     /// Stores an experiment-wide measurement for a node.
@@ -91,6 +96,8 @@ impl Level2Store {
         let mut ids = Vec::new();
         for entry in fs::read_dir(&runs).map_err(|e| StoreError(format!("list runs: {e}")))? {
             let entry = entry.map_err(|e| StoreError(e.to_string()))?;
+            // Non-numeric entries (the journal, stray temp files) are not
+            // run directories.
             if let Some(id) = entry.file_name().to_str().and_then(|s| s.parse().ok()) {
                 ids.push(id);
             }
@@ -112,10 +119,13 @@ impl Level2Store {
             let node_name = node.file_name().to_string_lossy().into_owned();
             for file in fs::read_dir(node.path()).map_err(|e| StoreError(e.to_string()))? {
                 let file = file.map_err(|e| StoreError(e.to_string()))?;
-                out.push((
-                    node_name.clone(),
-                    file.file_name().to_string_lossy().into_owned(),
-                ));
+                let name = file.file_name().to_string_lossy().into_owned();
+                // In-flight temp files of the atomic writer are dot-prefixed
+                // and must never surface as measurements.
+                if name.starts_with('.') {
+                    continue;
+                }
+                out.push((node_name.clone(), name));
             }
         }
         out.sort();
@@ -124,13 +134,60 @@ impl Level2Store {
 
     /// Marks a run as completed (the recovery mechanism of §VII: aborted
     /// runs are detected by a missing marker and resumed).
+    ///
+    /// Two atomic writes, in order: the per-run marker file, then the
+    /// experiment-wide journal (`runs/journal.json`) listing every
+    /// completed run. A crash between the two leaves a marker that the
+    /// journal does not confirm — [`Self::is_run_complete`] treats such a
+    /// run as incomplete, so it is re-executed rather than packaged in a
+    /// possibly half-recorded state.
     pub fn mark_run_complete(&self, run_id: u64) -> Result<(), StoreError> {
-        self.put_run(run_id, "_master", "complete", b"1")
+        self.put_run(run_id, "_master", "complete", b"1")?;
+        let mut completed = self.journal_runs().unwrap_or_default();
+        if !completed.contains(&run_id) {
+            completed.push(run_id);
+            completed.sort_unstable();
+        }
+        let doc = JsonValue::Object(vec![(
+            "completed".into(),
+            JsonValue::Array(
+                completed
+                    .into_iter()
+                    .map(|r| JsonValue::Int(r as i64))
+                    .collect(),
+            ),
+        )]);
+        Self::write(&self.journal_path(), doc.to_string().as_bytes())
     }
 
-    /// True if the run has a completion marker.
+    /// Completed run ids as recorded in the journal; `None` if no journal
+    /// exists (a hierarchy written before journals, or none marked yet).
+    pub fn journal_runs(&self) -> Option<Vec<u64>> {
+        let raw = fs::read(self.journal_path()).ok()?;
+        let doc = JsonValue::parse_bytes(&raw).ok()?;
+        Some(
+            doc.get("completed")?
+                .as_array()?
+                .iter()
+                .filter_map(JsonValue::as_u64)
+                .collect(),
+        )
+    }
+
+    /// True if the run has a completion marker that the journal confirms.
+    ///
+    /// Without any journal (pre-journal hierarchies) the marker alone
+    /// decides; once a journal exists, a marker the journal does not list
+    /// is the signature of a crash mid-`mark_run_complete` and counts as
+    /// incomplete.
     pub fn is_run_complete(&self, run_id: u64) -> bool {
-        self.run_path(run_id, "_master", "complete").exists()
+        if !self.run_path(run_id, "_master", "complete").exists() {
+            return false;
+        }
+        match self.journal_runs() {
+            None => true,
+            Some(completed) => completed.contains(&run_id),
+        }
     }
 
     /// Lowest run id without a completion marker, given the total planned
@@ -206,6 +263,65 @@ mod tests {
         s.mark_run_complete(2).unwrap();
         s.mark_run_complete(4).unwrap();
         assert_eq!(s.first_incomplete_run(5), 5);
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn crashed_run_without_marker_is_resumed_not_skipped() {
+        let s = temp_store("crash");
+        // Simulated crash mid-run: per-node data landed, the completion
+        // marker did not.
+        s.put_run(0, "_master", "events.json", b"[]").unwrap();
+        s.put_run(0, "t9-105", "captures.json", b"[]").unwrap();
+        assert!(!s.is_run_complete(0));
+        assert_eq!(
+            s.first_incomplete_run(3),
+            0,
+            "a run with data but no marker must be re-executed"
+        );
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn marker_without_journal_confirmation_counts_as_incomplete() {
+        let s = temp_store("journal-crash");
+        s.mark_run_complete(0).unwrap();
+        assert_eq!(s.journal_runs(), Some(vec![0]));
+        // Simulated crash between the marker write and the journal update
+        // of run 1: the marker file exists, the journal doesn't list it.
+        s.put_run(1, "_master", "complete", b"1").unwrap();
+        assert!(s.is_run_complete(0));
+        assert!(!s.is_run_complete(1));
+        assert_eq!(s.first_incomplete_run(3), 1);
+        // Re-completing run 1 (after re-execution) repairs the state.
+        s.mark_run_complete(1).unwrap();
+        assert!(s.is_run_complete(1));
+        assert_eq!(s.journal_runs(), Some(vec![0, 1]));
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn pre_journal_hierarchies_trust_the_marker_alone() {
+        let s = temp_store("legacy");
+        s.put_run(0, "_master", "complete", b"1").unwrap();
+        assert_eq!(s.journal_runs(), None);
+        assert!(s.is_run_complete(0), "no journal: marker decides");
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn journal_and_temp_files_never_surface_as_run_data() {
+        let s = temp_store("hygiene");
+        s.put_run(0, "n", "x", b"data").unwrap();
+        s.mark_run_complete(0).unwrap();
+        // A stray atomic-writer temp file (crash artifact).
+        fs::write(s.root().join("runs/0/n/.x.tmp-999-0"), b"torn").unwrap();
+        assert_eq!(s.run_ids().unwrap(), vec![0], "journal.json is not a run");
+        let entries = s.run_entries(0).unwrap();
+        assert!(
+            entries.iter().all(|(_, name)| !name.starts_with('.')),
+            "{entries:?}"
+        );
         s.destroy().unwrap();
     }
 

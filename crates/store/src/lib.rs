@@ -18,6 +18,7 @@
 //!   level unrealized; it is implemented here as an extension.
 
 pub mod engine;
+pub mod json;
 pub mod level2;
 pub mod records;
 pub mod repository;
@@ -27,5 +28,6 @@ pub mod warehouse;
 pub use engine::{
     Aggregate, Column, ColumnType, Database, Predicate, Row, SqlValue, StoreError, Table,
 };
+pub use json::JsonValue;
 pub use records::{EventRow, ExperimentInfo, PacketRow, RunInfoRow};
 pub use repository::Repository;

@@ -1,0 +1,142 @@
+//! Crash-resume scenarios across the public storage API: every property a
+//! resuming master relies on must hold through a process boundary, i.e.
+//! after re-`open`ing the hierarchy from disk with no shared state.
+
+use excovery_store::engine::{Column, ColumnType, Database, SqlValue};
+use excovery_store::level2::Level2Store;
+use std::path::PathBuf;
+
+fn unique_root(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "excovery-crash-resume-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The resume decision (`first_incomplete_run`) must be derivable purely
+/// from disk: a fresh handle sees exactly what the crashed master left.
+#[test]
+fn resume_point_survives_reopen() {
+    let root = unique_root("reopen");
+    {
+        let l2 = Level2Store::open(&root).unwrap();
+        for run in 0..3u64 {
+            l2.put_run(run, "node-a", "events.json", b"[]").unwrap();
+        }
+        l2.mark_run_complete(0).unwrap();
+        l2.mark_run_complete(1).unwrap();
+        // run 2 has data but no marker: the crash landed mid-run.
+    }
+    let l2 = Level2Store::open(&root).unwrap();
+    assert_eq!(l2.run_ids().unwrap(), vec![0, 1, 2]);
+    assert_eq!(l2.first_incomplete_run(3), 2);
+    assert_eq!(l2.journal_runs().unwrap(), vec![0, 1]);
+    // The half-written run's data is still there for inspection, it is
+    // simply not *complete* — a resumed master overwrites it.
+    assert!(!l2.run_entries(2).unwrap().is_empty());
+    l2.destroy().unwrap();
+}
+
+/// A marker whose journal confirmation is missing (crash between the two
+/// writes of `mark_run_complete`) counts as incomplete after reopen.
+#[test]
+fn unconfirmed_marker_is_incomplete_after_reopen() {
+    let root = unique_root("unconfirmed");
+    {
+        let l2 = Level2Store::open(&root).unwrap();
+        l2.mark_run_complete(0).unwrap();
+        // Simulate the crash: run 1 gets its marker file but the journal
+        // write never happens.
+        l2.put_run(1, "_master", "complete", b"1").unwrap();
+    }
+    let l2 = Level2Store::open(&root).unwrap();
+    assert!(l2.is_run_complete(0));
+    assert!(!l2.is_run_complete(1), "unjournalled marker must not count");
+    assert_eq!(l2.first_incomplete_run(2), 1);
+    l2.destroy().unwrap();
+}
+
+/// Re-running a crashed run and completing it heals the hierarchy: the
+/// marker becomes confirmed and nothing from the aborted attempt leaks.
+#[test]
+fn recompleting_a_crashed_run_heals_the_journal() {
+    let root = unique_root("heal");
+    {
+        let l2 = Level2Store::open(&root).unwrap();
+        l2.mark_run_complete(0).unwrap();
+        l2.put_run(1, "node-a", "events.json", b"[1]").unwrap();
+        l2.put_run(1, "_master", "complete", b"1").unwrap(); // unconfirmed
+    }
+    let l2 = Level2Store::open(&root).unwrap();
+    assert_eq!(l2.first_incomplete_run(2), 1);
+    // The resumed master re-executes run 1, overwriting the old attempt.
+    l2.put_run(1, "node-a", "events.json", b"[2]").unwrap();
+    l2.mark_run_complete(1).unwrap();
+    assert!(l2.is_run_complete(1));
+    assert_eq!(l2.journal_runs().unwrap(), vec![0, 1]);
+    assert_eq!(l2.get_run(1, "node-a", "events.json").unwrap(), b"[2]");
+    assert_eq!(l2.first_incomplete_run(2), 2);
+    l2.destroy().unwrap();
+}
+
+/// `Database::save` is write-then-rename: after any number of saves the
+/// directory holds exactly the database file, no temp droppings, and the
+/// loaded copy equals the saved one.
+#[test]
+fn database_save_leaves_no_temp_files_and_roundtrips() {
+    let root = unique_root("dbsave");
+    std::fs::create_dir_all(&root).unwrap();
+    let path = root.join("results.xdb");
+
+    let mut db = Database::new();
+    db.create_table(
+        "Runs",
+        vec![
+            Column::new("Run", ColumnType::Integer),
+            Column::new("Outcome", ColumnType::Text),
+        ],
+    )
+    .unwrap();
+    for i in 0..5 {
+        db.insert(
+            "Runs",
+            vec![SqlValue::Int(i), SqlValue::Text(format!("ok-{i}"))],
+        )
+        .unwrap();
+        db.save(&path).unwrap();
+    }
+
+    let leftovers: Vec<String> = std::fs::read_dir(&root)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n != "results.xdb")
+        .collect();
+    assert!(leftovers.is_empty(), "temp files survived: {leftovers:?}");
+
+    let loaded = Database::load(&path).unwrap();
+    assert_eq!(
+        loaded.table("Runs").unwrap().rows(),
+        db.table("Runs").unwrap().rows()
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Level-2 listings ignore the atomic writer's in-flight temp names even if
+/// a crash stranded one on disk.
+#[test]
+fn stranded_temp_files_never_surface_as_measurements() {
+    let root = unique_root("stranded");
+    let l2 = Level2Store::open(&root).unwrap();
+    l2.put_run(0, "node-a", "events.json", b"[]").unwrap();
+    // A crash mid-atomic-write leaves a dot-prefixed temp file behind.
+    let node_dir = root.join("runs").join("0").join("node-a");
+    std::fs::write(node_dir.join(".events.json.tmp-999-0"), b"torn").unwrap();
+    assert_eq!(
+        l2.run_entries(0).unwrap(),
+        vec![("node-a".to_string(), "events.json".to_string())]
+    );
+    l2.destroy().unwrap();
+}
