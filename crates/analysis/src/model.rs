@@ -1,6 +1,6 @@
 //! Analytic responsiveness model.
 //!
-//! Ref. [26] of the paper (Dittrich, Lichtblau, Rezende, Malek, MMB&DFT
+//! Ref. \[26\] of the paper (Dittrich, Lichtblau, Rezende, Malek, MMB&DFT
 //! 2014) models the responsiveness of decentralized SD in wireless mesh
 //! networks; ExCovery was built to validate such models experimentally.
 //! This module provides the matching closed-form model for the one-shot

@@ -12,8 +12,18 @@
 
 use excovery_netsim::sim::{SimStats, Simulator, SimulatorConfig};
 use excovery_netsim::topology::Topology;
-use excovery_netsim::{run_replications, CampaignConfig, Destination, NodeId, Payload};
+use excovery_netsim::{run_replications, Agent, CampaignConfig, Destination, NodeId, Payload};
 use std::time::Instant;
+
+/// A packet sink: counts as a delivery (an agent is bound at the
+/// destination port) without generating any traffic of its own.
+struct Sink;
+
+impl Agent for Sink {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
 
 /// One timed workload: median wall time over `iters` runs plus the
 /// deterministic event count and stats of a single run.
@@ -43,8 +53,9 @@ fn measure(name: &'static str, iters: u32, mut run: impl FnMut() -> (u64, SimSta
     }
 }
 
-fn unicast_4hops() -> (u64, SimStats) {
+fn unicast_4hops_with(publish_obs: bool) -> (u64, SimStats) {
     let mut sim = Simulator::new(Topology::chain(5), SimulatorConfig::perfect_clocks(1));
+    sim.install_agent(NodeId(4), 9, Box::new(Sink));
     for _ in 0..1_000u64 {
         sim.send_from(
             NodeId(0),
@@ -54,11 +65,21 @@ fn unicast_4hops() -> (u64, SimStats) {
         );
     }
     let events = sim.run_until_idle(1_000_000);
+    if publish_obs {
+        sim.publish_obs();
+    }
     (events, sim.stats())
+}
+
+fn unicast_4hops() -> (u64, SimStats) {
+    unicast_4hops_with(false)
 }
 
 fn flood_grid5x5() -> (u64, SimStats) {
     let mut sim = Simulator::new(Topology::grid(5, 5), SimulatorConfig::perfect_clocks(2));
+    for n in 1..25u16 {
+        sim.install_agent(NodeId(n), 9, Box::new(Sink));
+    }
     for _ in 0..1_000u64 {
         sim.send_from(NodeId(0), 9, Destination::Multicast, Payload::from("x"));
     }
@@ -71,6 +92,7 @@ fn campaign(workers: usize) -> (u64, SimStats) {
         &CampaignConfig::new(3, 8).with_workers(workers),
         |_rep, seed| {
             let mut sim = Simulator::new(Topology::chain(5), SimulatorConfig::perfect_clocks(seed));
+            sim.install_agent(NodeId(4), 9, Box::new(Sink));
             for _ in 0..1_000u64 {
                 sim.send_from(
                     NodeId(0),
@@ -128,6 +150,18 @@ fn main() -> Result<(), String> {
         measure("flood_grid5x5_1000pkts", iters, flood_grid5x5),
         measure("campaign_unicast_8reps_serial", iters, || campaign(1)),
         measure("campaign_unicast_8reps_parallel", iters, || campaign(0)),
+        // Observability overhead probe: the same unicast workload with the
+        // obs layer enabled and the batch publish included. Its timing is
+        // the overhead report; its deterministic fields must equal the
+        // plain sample's (CI compares this row too).
+        {
+            excovery_obs::ObsConfig::on().install();
+            let s = measure("unicast_4hops_1000pkts_obs_on", iters, || {
+                unicast_4hops_with(true)
+            });
+            excovery_obs::ObsConfig::off().install();
+            s
+        },
     ];
     let json = render(&samples);
     print!("{json}");

@@ -1,6 +1,6 @@
 //! **CS-6** — analytic model vs experiment: the validation loop ExCovery
 //! was built for (§VI: "originally developed to support and validate
-//! research on SD responsiveness", refs. [25]/[26]).
+//! research on SD responsiveness", refs. \[25\]/\[26\]).
 //!
 //! Runs the hop-distance scenario at several per-link loss levels and
 //! overlays the measured R(d) with the closed-form model prediction.

@@ -99,12 +99,15 @@ impl Campaign {
     }
 
     /// Worker count from `EXCOVERY_WORKERS` (default: auto).
+    ///
+    /// # Panics
+    /// Panics with a clear message when `EXCOVERY_WORKERS` is set but not
+    /// a non-negative integer — a typo like `EXCOVERY_WORKERS=four` must
+    /// not silently fall back to auto-sizing (same contract as
+    /// [`excovery_netsim::campaign::workers_from_env`], which this
+    /// delegates to).
     pub fn from_env() -> Self {
-        let workers = std::env::var("EXCOVERY_WORKERS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
-        Self::new(workers)
+        Self::new(excovery_netsim::campaign::workers_from_env())
     }
 
     /// A serial campaign (one worker) — the reference execution order.

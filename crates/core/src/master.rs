@@ -684,6 +684,13 @@ fn retry_call_on(
             Ok(v) => return Ok(v),
             Err(e) if e.is_retryable() && attempt < policy.max_attempts.max(1) => {
                 retries.fetch_add(1, Ordering::Relaxed);
+                // Control-plane rate: one registry lookup per retry (not per
+                // call) is cheap enough to skip pre-resolved handles.
+                if excovery_obs::enabled() {
+                    excovery_obs::global()
+                        .counter("rpc_client_retries_total", &[("method", method)])
+                        .inc();
+                }
                 std::thread::sleep(backoff);
                 backoff = backoff.saturating_mul(2).min(policy.backoff_max);
             }
@@ -734,6 +741,9 @@ pub struct ExperiMaster {
     call_seq: AtomicU64,
     /// Control-channel retries performed (reported in the outcome).
     control_retries: AtomicU64,
+    /// Wall clock anchoring the master's observability spans (phases and
+    /// runs share one time base within an execution).
+    obs_clock: excovery_obs::span::WallClock,
     log: EventLog,
     plugins: HashMap<String, PluginFn>,
     // per-run state
@@ -829,6 +839,7 @@ impl ExperiMaster {
             tcp_registries,
             call_seq: AtomicU64::new(0),
             control_retries: AtomicU64::new(0),
+            obs_clock: excovery_obs::span::WallClock::new(),
             log: EventLog::new(),
             plugins: HashMap::new(),
             run_id: 0,
@@ -917,6 +928,9 @@ impl ExperiMaster {
         let epoch = self.cfg.epoch;
         let retries = &self.control_retries;
         let proxies = &self.proxies;
+        let phase_timer = excovery_obs::enabled().then(|| {
+            excovery_obs::span::SpanTimer::start(&self.obs_clock, format!("fan_out:{method}"))
+        });
         let results: Vec<Result<Value, RpcError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = nodes
                 .iter()
@@ -927,7 +941,16 @@ impl ExperiMaster {
                     );
                     let params = params.to_vec();
                     let proxy = &proxies[pid];
-                    scope.spawn(move || retry_call_on(proxy, policy, &key, retries, method, params))
+                    scope.spawn(move || {
+                        let started = excovery_obs::enabled().then(std::time::Instant::now);
+                        let r = retry_call_on(proxy, policy, &key, retries, method, params);
+                        if let Some(t0) = started {
+                            excovery_obs::global()
+                                .histogram("master_node_call_duration_ns", &[("node", pid)])
+                                .observe(t0.elapsed().as_nanos() as u64);
+                        }
+                        r
+                    })
                 })
                 .collect();
             handles
@@ -938,6 +961,12 @@ impl ExperiMaster {
                 })
                 .collect()
         });
+        if let Some(timer) = phase_timer {
+            let dur = timer.finish(&self.obs_clock, excovery_obs::global_tracer());
+            excovery_obs::global()
+                .histogram("master_phase_duration_ns", &[("phase", method)])
+                .observe(dur);
+        }
         nodes
             .iter()
             .zip(results)
@@ -1072,6 +1101,15 @@ impl ExperiMaster {
             .map(|s| s.to_string())
             .collect();
         self.fan_out(&managed, "experiment_exit", &[])?;
+        // End-of-experiment observability snapshot, persisted alongside the
+        // run journal. `package` reads experiment entries by exact name
+        // (`master/topology_*.json`), so a `_obs` entry is digest-safe.
+        if excovery_obs::enabled() {
+            let spans = excovery_obs::global_tracer().drain();
+            let snapshot = excovery_obs::jsonl::render(&excovery_obs::global().snapshot(), &spans);
+            l2.put_experiment("_obs", "snapshot.jsonl", snapshot.as_bytes())
+                .map_err(|e| EngineError::Storage(e.to_string()))?;
+        }
         if !self.cfg.keep_l2 {
             l2.destroy().ok();
         }
@@ -1391,6 +1429,22 @@ impl ExperiMaster {
                 )
                 .map_err(|e| EngineError::Storage(e.to_string()))?;
             }
+        }
+        // Per-run observability summary: flush the data plane's batched
+        // counters, then persist the registry snapshot plus the spans of
+        // this run under the reserved `_obs` node. `package` only ingests
+        // `captures.json` run entries, so these files can never reach the
+        // level-3 database (the digest stays obs-independent).
+        self.sim.lock().publish_obs();
+        if excovery_obs::enabled() {
+            let reg = excovery_obs::global();
+            reg.counter("master_runs_executed_total", &[]).inc();
+            reg.histogram("master_run_sim_duration_ns", &[])
+                .observe(run_end.saturating_since(run_start).as_nanos());
+            let spans = excovery_obs::global_tracer().drain();
+            let summary = excovery_obs::jsonl::render(&reg.snapshot(), &spans);
+            l2.put_run(run.run_id, "_obs", "summary.jsonl", summary.as_bytes())
+                .map_err(|e| EngineError::Storage(e.to_string()))?;
         }
         l2.mark_run_complete(run.run_id)
             .map_err(|e| EngineError::Storage(e.to_string()))?;

@@ -79,6 +79,16 @@ impl NodeManager {
             let log = Arc::clone(&log);
             let pid = pid.clone();
             reg.set_observer(move |call| {
+                // Procedure names form a fixed vocabulary (the registry
+                // below), so the label stays low-cardinality.
+                if excovery_obs::enabled() {
+                    excovery_obs::global()
+                        .counter(
+                            "nodemanager_calls_total",
+                            &[("method", call.method.as_str())],
+                        )
+                        .inc();
+                }
                 let local = {
                     let s = sim.lock();
                     s.clock(node).local_time(s.now())
@@ -121,8 +131,15 @@ impl NodeManager {
                 let mut s = sim.lock();
                 // Reset to a defined initial condition (§IV-C1): drop rules
                 // from previous runs; captures are drained by the master.
+                let mut cleared = 0i64;
                 for (_, rule) in handles.lock().drain() {
                     s.remove_filter(node, rule);
+                    cleared += 1;
+                }
+                if cleared > 0 && excovery_obs::enabled() {
+                    excovery_obs::global()
+                        .gauge("nodemanager_fault_rules_active", &[])
+                        .add(-cleared);
                 }
                 s.set_drop_all(node, false);
                 Ok(Value::Bool(true))
@@ -304,6 +321,11 @@ impl NodeManager {
                     *n
                 };
                 handles.lock().insert(handle, rule_id);
+                if excovery_obs::enabled() {
+                    excovery_obs::global()
+                        .gauge("nodemanager_fault_rules_active", &[])
+                        .add(1);
+                }
                 // Each fault action signals its start with an event (§IV-D3).
                 s.emit_external_event(
                     node,
@@ -325,6 +347,11 @@ impl NodeManager {
                 let Some(rule) = handles.lock().remove(&handle) else {
                     return Err(Fault::new(404, format!("unknown fault handle {handle}")));
                 };
+                if excovery_obs::enabled() {
+                    excovery_obs::global()
+                        .gauge("nodemanager_fault_rules_active", &[])
+                        .add(-1);
+                }
                 let mut s = sim.lock();
                 s.remove_filter(node, rule);
                 s.emit_external_event(node, "fault_stopped", [("handle", handle.to_string())]);

@@ -14,8 +14,11 @@ use excovery_desc::ExperimentDescription;
 
 const SEEDS: [u64; 3] = [1, 7, 1914];
 
-/// name → (preset constructor, pinned digests in `SEEDS` order).
-fn golden_table() -> Vec<(&'static str, fn() -> EngineConfig, [u64; 3])> {
+/// One golden row: name, preset constructor, pinned digests in `SEEDS`
+/// order.
+type GoldenRow = (&'static str, fn() -> EngineConfig, [u64; 3]);
+
+fn golden_table() -> Vec<GoldenRow> {
     vec![
         ("grid_default", EngineConfig::grid_default, GRID_DEFAULT),
         ("wired_lan", EngineConfig::wired_lan, WIRED_LAN),

@@ -22,6 +22,37 @@ use std::sync::Mutex;
 /// Label mixed into per-replication seed derivation.
 const REP_SEED_LABEL: &str = "campaign_rep";
 
+/// Environment variable overriding the campaign worker count.
+pub const WORKERS_ENV: &str = "EXCOVERY_WORKERS";
+
+/// Parses an [`WORKERS_ENV`]-style worker count. An empty (or
+/// whitespace-only) value means auto (`0`); anything else must be a
+/// non-negative decimal integer, where `0` keeps its meaning of
+/// "auto-size to available parallelism".
+pub fn parse_workers(value: &str) -> Result<usize, String> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Ok(0);
+    }
+    trimmed.parse::<usize>().map_err(|_| {
+        format!(
+            "invalid worker count {value:?}: expected a non-negative integer \
+             (0 or unset auto-sizes to available parallelism)"
+        )
+    })
+}
+
+/// Reads the worker count from [`WORKERS_ENV`]. Unset means auto (`0`);
+/// an unparsable value aborts loudly instead of silently falling back to
+/// auto — a typo in a campaign script must not quietly change the
+/// execution shape of a measurement campaign.
+pub fn workers_from_env() -> usize {
+    match std::env::var(WORKERS_ENV) {
+        Err(_) => 0,
+        Ok(v) => parse_workers(&v).unwrap_or_else(|e| panic!("{WORKERS_ENV}: {e}")),
+    }
+}
+
 /// How a replication campaign is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CampaignConfig {
@@ -114,8 +145,28 @@ where
         workers
     }
     .min(count.max(1));
+    if excovery_obs::enabled() {
+        excovery_obs::global()
+            .gauge("campaign_workers", &[])
+            .set(workers as i64);
+    }
+    let f = &f;
+    let job = move |idx: usize| {
+        // Wall-clock job timing: campaign fan-out runs on real threads,
+        // so the caller-supplied-clock rule of the simulator does not
+        // apply here. Gated so the disabled path stays a plain call.
+        let started = excovery_obs::enabled().then(std::time::Instant::now);
+        let out = f(idx);
+        if let Some(t0) = started {
+            let reg = excovery_obs::global();
+            reg.counter("campaign_jobs_completed_total", &[]).inc();
+            reg.histogram("campaign_job_duration_ns", &[])
+                .observe(t0.elapsed().as_nanos() as u64);
+        }
+        out
+    };
     if workers <= 1 || count <= 1 {
-        return (0..count).map(&f).collect();
+        return (0..count).map(job).collect();
     }
     // One slot per job: workers claim indices from the shared counter and
     // park results in their own slot, so merge order is fixed by
@@ -129,7 +180,7 @@ where
                 if idx >= count {
                     break;
                 }
-                let out = f(idx);
+                let out = job(idx);
                 *slots[idx].lock().expect("campaign slot poisoned") = Some(out);
             });
         }
@@ -205,5 +256,23 @@ mod tests {
         let cfg = CampaignConfig::new(0, 0);
         let out: Vec<u64> = run_replications(&cfg, |rep, _| rep);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parse_workers_accepts_counts_and_auto() {
+        assert_eq!(parse_workers(""), Ok(0));
+        assert_eq!(parse_workers("  "), Ok(0));
+        assert_eq!(parse_workers("0"), Ok(0));
+        assert_eq!(parse_workers("4"), Ok(4));
+        assert_eq!(parse_workers(" 16 "), Ok(16));
+    }
+
+    #[test]
+    fn parse_workers_rejects_garbage_loudly() {
+        for bad in ["auto", "-1", "3.5", "4x", "0x10"] {
+            let err = parse_workers(bad).unwrap_err();
+            assert!(err.contains(&format!("{bad:?}")), "{err}");
+            assert!(err.contains("non-negative integer"), "{err}");
+        }
     }
 }

@@ -138,6 +138,12 @@ impl LinkLoad {
     pub fn total(&self) -> f64 {
         self.load.values().sum()
     }
+
+    /// Offered load of every loaded link, as `((a, b), kbps)` with
+    /// `a <= b` (diagnostics/observability; iteration order unspecified).
+    pub fn entries(&self) -> impl Iterator<Item = ((u16, u16), f64)> + '_ {
+        self.load.iter().map(|(k, v)| (*k, *v))
+    }
 }
 
 fn key(a: u16, b: u16) -> (u16, u16) {

@@ -1,0 +1,265 @@
+//! Prometheus text-format exporter (exposition format 0.0.4).
+//!
+//! [`render`] turns a [`Snapshot`] into the plain-text format every
+//! Prometheus-compatible scraper understands; [`parse_text`] is the
+//! matching reader used by the round-trip tests and by ad-hoc tooling
+//! that wants to check a scrape without a real Prometheus.
+
+use crate::metrics::{bucket_upper_bound, Snapshot};
+use std::fmt::Write as _;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Renders a snapshot in the Prometheus text format. Series order is
+/// the snapshot's (deterministic) order; histograms expand into
+/// cumulative `_bucket` series plus `_sum` and `_count`.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_type: Option<(String, &str)> = None;
+    let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+        if last_type.as_ref().map(|(n, k)| (n.as_str(), *k)) != Some((name, kind)) {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_type = Some((name.to_string(), kind));
+        }
+    };
+    for c in &snapshot.counters {
+        type_line(&mut out, &c.name, "counter");
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            c.name,
+            label_block(&c.labels, None),
+            c.value
+        );
+    }
+    for g in &snapshot.gauges {
+        type_line(&mut out, &g.name, "gauge");
+        let _ = writeln!(
+            out,
+            "{}{} {}",
+            g.name,
+            label_block(&g.labels, None),
+            g.value
+        );
+    }
+    for h in &snapshot.histograms {
+        type_line(&mut out, &h.name, "histogram");
+        let mut cumulative = 0u64;
+        for &(i, n) in &h.value.buckets {
+            cumulative += n;
+            let le = match bucket_upper_bound(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                h.name,
+                label_block(&h.labels, Some(("le", &le))),
+                cumulative
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}_bucket{} {}",
+            h.name,
+            label_block(&h.labels, Some(("le", "+Inf"))),
+            h.value.count
+        );
+        let _ = writeln!(
+            out,
+            "{}_sum{} {}",
+            h.name,
+            label_block(&h.labels, None),
+            h.value.sum
+        );
+        let _ = writeln!(
+            out,
+            "{}_count{} {}",
+            h.name,
+            label_block(&h.labels, None),
+            h.value.count
+        );
+    }
+    out
+}
+
+/// One parsed sample line: name, sorted labels, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric (series) name, including any `_bucket`/`_sum`/`_count`
+    /// suffix.
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses exposition-format text back into samples, skipping comment
+/// lines. Supports exactly what [`render`] emits (which is all the
+/// round-trip tests need); malformed lines produce an error naming the
+/// line.
+pub fn parse_text(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (series, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("no value separator in {line:?}"))?;
+    let value: f64 = if value == "+Inf" {
+        f64::INFINITY
+    } else {
+        value
+            .parse()
+            .map_err(|e| format!("bad value {value:?}: {e}"))?
+    };
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label block in {series:?}"))?;
+            (name.to_string(), parse_labels(body)?)
+        }
+    };
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key:?} not followed by a quoted value"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label value")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err("unterminated label value".into()),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => break,
+            Some(c) => return Err(format!("unexpected {c:?} after label value")),
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn renders_and_parses_back() {
+        crate::set_enabled(true);
+        let reg = Registry::new();
+        reg.counter("rpc_calls_total", &[("transport", "tcp")])
+            .add(7);
+        reg.gauge("queue_depth", &[]).set(-2);
+        let h = reg.histogram("latency_ns", &[("phase", "run_init")]);
+        h.observe(3);
+        h.observe(3);
+        h.observe(1000);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE rpc_calls_total counter"));
+        assert!(text.contains("rpc_calls_total{transport=\"tcp\"} 7"));
+        assert!(text.contains("queue_depth -2"));
+        assert!(text.contains("latency_ns_count{phase=\"run_init\"} 3"));
+        let samples = parse_text(&text).unwrap();
+        let get = |name: &str| {
+            samples
+                .iter()
+                .filter(|s| s.name == name)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(get("rpc_calls_total")[0].value, 7.0);
+        assert_eq!(get("queue_depth")[0].value, -2.0);
+        assert_eq!(get("latency_ns_sum")[0].value, 1006.0);
+        // Buckets are cumulative and end at +Inf == count.
+        let buckets = get("latency_ns_bucket");
+        assert_eq!(buckets.last().unwrap().value, 3.0);
+        assert!(buckets
+            .last()
+            .unwrap()
+            .labels
+            .iter()
+            .any(|(k, v)| k == "le" && v == "+Inf"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        crate::set_enabled(true);
+        let reg = Registry::new();
+        reg.counter("weird_total", &[("v", "a\"b\\c\nd")]).inc();
+        let text = render(&reg.snapshot());
+        let samples = parse_text(&text).unwrap();
+        assert_eq!(samples[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn malformed_lines_name_the_line() {
+        let err = parse_text("ok 1\nbroken{x=1} 2").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

@@ -1,0 +1,223 @@
+//! A tiny framed TCP scrape endpoint for the global registry.
+//!
+//! The same length-prefixed framing as the control channel
+//! ([`crate::frame`], shared with the `excovery-rpc` TCP backend) carries
+//! scrape requests and responses: the client sends one frame naming a
+//! format (`"prometheus"` or `"jsonl"`), the server answers with one
+//! frame holding the rendered snapshot. Connections may issue any number
+//! of request frames; an unknown format gets an `error: …` frame and the
+//! connection stays usable.
+//!
+//! The accept loop mirrors the RPC server's shape: a non-blocking
+//! listener polled with a stop flag, one thread per connection with a
+//! short read timeout so shutdown is prompt.
+
+use crate::frame::{read_frame, write_frame};
+use crate::metrics::Registry;
+use crate::span::Tracer;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Request payload selecting the Prometheus text format.
+pub const FORMAT_PROMETHEUS: &str = "prometheus";
+
+/// Request payload selecting the JSONL snapshot format.
+pub const FORMAT_JSONL: &str = "jsonl";
+
+/// A running scrape endpoint serving a registry (and, for JSONL, a
+/// tracer's buffered spans).
+///
+/// Dropping the handle (or calling [`ScrapeServer::shutdown`]) stops the
+/// accept loop and winds down connection threads.
+pub struct ScrapeServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ScrapeServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and serves the process-wide
+    /// registry and tracer.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::bind_with(addr, crate::global(), crate::global_tracer())
+    }
+
+    /// Binds `addr` serving an explicit registry and tracer (used by
+    /// tests to avoid the shared globals).
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        registry: &'static Registry,
+        tracer: &'static Tracer,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("obs-scrape-{addr}"))
+            .spawn(move || accept_loop(listener, registry, tracer, stop2))?;
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and asks connection threads to wind down.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for ScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    registry: &'static Registry,
+    tracer: &'static Tracer,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let stop = Arc::clone(&stop);
+                let _ = std::thread::Builder::new()
+                    .name("obs-scrape-conn".into())
+                    .spawn(move || serve_connection(stream, registry, tracer, stop));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Renders one response for a request payload.
+fn respond(registry: &Registry, tracer: &Tracer, request: &[u8]) -> String {
+    match std::str::from_utf8(request) {
+        Ok(FORMAT_PROMETHEUS) => crate::prometheus::render(&registry.snapshot()),
+        Ok(FORMAT_JSONL) => crate::jsonl::render(&registry.snapshot(), &tracer.snapshot()),
+        Ok(other) => format!(
+            "error: unknown scrape format {other:?} (expected \"{FORMAT_PROMETHEUS}\" or \"{FORMAT_JSONL}\")"
+        ),
+        Err(_) => "error: scrape request is not UTF-8".to_string(),
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    registry: &'static Registry,
+    tracer: &'static Tracer,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // client closed
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(_) => return,
+        };
+        let response = respond(registry, tracer, &request);
+        if write_frame(&mut stream, response.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// One-shot scrape client: connects, requests `format`, returns the
+/// rendered text. The counterpart tests and CLIs use against a running
+/// [`ScrapeServer`].
+pub fn scrape(addr: impl ToSocketAddrs, format: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    write_frame(&mut stream, format.as_bytes())?;
+    match read_frame(&mut stream)? {
+        Some(payload) => String::from_utf8(payload)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string())),
+        None => Err(std::io::Error::new(
+            ErrorKind::UnexpectedEof,
+            "scrape server closed without a response",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaked_registry() -> &'static Registry {
+        Box::leak(Box::new(Registry::new()))
+    }
+
+    fn leaked_tracer() -> &'static Tracer {
+        Box::leak(Box::new(Tracer::new(64)))
+    }
+
+    #[test]
+    fn scrape_round_trips_both_formats() {
+        crate::set_enabled(true);
+        let registry = leaked_registry();
+        let tracer = leaked_tracer();
+        registry.counter("scraped_total", &[("via", "tcp")]).add(3);
+        tracer.record_span("phase:test", 1, 5);
+        let server = ScrapeServer::bind_with("127.0.0.1:0", registry, tracer).unwrap();
+
+        let prom = scrape(server.local_addr(), FORMAT_PROMETHEUS).unwrap();
+        assert!(prom.contains("scraped_total{via=\"tcp\"} 3"), "{prom}");
+
+        let jsonl = scrape(server.local_addr(), FORMAT_JSONL).unwrap();
+        let (snapshot, spans) = crate::jsonl::parse(&jsonl).unwrap();
+        assert_eq!(snapshot.counters[0].value, 3);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "phase:test");
+    }
+
+    #[test]
+    fn one_connection_serves_many_requests() {
+        crate::set_enabled(true);
+        let registry = leaked_registry();
+        let tracer = leaked_tracer();
+        let counter = registry.counter("reqs_total", &[]);
+        let server = ScrapeServer::bind_with("127.0.0.1:0", registry, tracer).unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        for i in 1..=3u64 {
+            counter.inc();
+            write_frame(&mut stream, FORMAT_PROMETHEUS.as_bytes()).unwrap();
+            let text = String::from_utf8(read_frame(&mut stream).unwrap().unwrap()).unwrap();
+            assert!(text.contains(&format!("reqs_total {i}")), "{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_format_reports_an_error_frame() {
+        let registry = leaked_registry();
+        let tracer = leaked_tracer();
+        let server = ScrapeServer::bind_with("127.0.0.1:0", registry, tracer).unwrap();
+        let text = scrape(server.local_addr(), "xml").unwrap();
+        assert!(text.starts_with("error: unknown scrape format"), "{text}");
+    }
+}

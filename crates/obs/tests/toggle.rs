@@ -1,0 +1,52 @@
+//! Enable/disable semantics of the global toggle.
+//!
+//! Lives in its own integration-test binary (own process): the crate's
+//! unit tests only ever switch recording *on*, so this is the one place
+//! allowed to observe the disabled state without racing them.
+
+use excovery_obs as obs;
+
+#[test]
+fn disabled_layer_records_nothing_and_config_round_trips() {
+    // Fresh process: the default is off.
+    assert!(!obs::enabled());
+    assert_eq!(obs::ObsConfig::default(), obs::ObsConfig::off());
+
+    // While disabled, every record operation is a no-op.
+    let reg = obs::Registry::new();
+    let c = reg.counter("off_total", &[]);
+    let g = reg.gauge("off_gauge", &[]);
+    let h = reg.histogram("off_ns", &[]);
+    let tracer = obs::Tracer::new(8);
+    c.inc();
+    c.add(10);
+    g.set(5);
+    g.add(1);
+    h.observe(123);
+    tracer.record_span("off", 1, 2);
+    tracer.record_event("off", 3);
+    assert_eq!(c.value(), 0);
+    assert_eq!(g.value(), 0);
+    assert_eq!(h.count(), 0);
+    assert!(tracer.is_empty());
+
+    // Exporters still work on a disabled registry (all zeros).
+    let text = obs::prometheus::render(&reg.snapshot());
+    assert!(text.contains("off_total 0"));
+
+    // Install flips the flag on, and handles created earlier come alive.
+    obs::ObsConfig::on().install();
+    assert!(obs::enabled());
+    c.inc();
+    h.observe(9);
+    tracer.record_event("on", 4);
+    assert_eq!(c.value(), 1);
+    assert_eq!(h.count(), 1);
+    assert_eq!(tracer.len(), 1);
+
+    // And off again.
+    obs::ObsConfig::off().install();
+    assert!(!obs::enabled());
+    c.inc();
+    assert_eq!(c.value(), 1);
+}

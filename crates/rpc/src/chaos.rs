@@ -118,6 +118,24 @@ pub enum FaultAction {
     Crash,
 }
 
+impl FaultAction {
+    /// A stable, low-cardinality label for this action — the `kind`
+    /// label of the `rpc_chaos_injections_total` metric. Like
+    /// [`RpcError::kind_label`], these strings are a public contract and
+    /// never change once shipped.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultAction::Pass => "pass",
+            FaultAction::DropRequest => "drop_request",
+            FaultAction::DropResponse => "drop_response",
+            FaultAction::InjectTimeout => "inject_timeout",
+            FaultAction::InjectDisconnected => "inject_disconnected",
+            FaultAction::Delay(_) => "delay",
+            FaultAction::Crash => "crash",
+        }
+    }
+}
+
 /// splitmix64: a tiny, high-quality deterministic mixer, so the schedule
 /// needs no external RNG dependency and is identical on every platform.
 fn splitmix64(mut x: u64) -> u64 {
@@ -255,7 +273,15 @@ impl<T: Transport> ChaosTransport<T> {
 impl<T: Transport> Transport for ChaosTransport<T> {
     fn call(&self, call: &MethodCall) -> Result<MethodResponse, RpcError> {
         let index = self.next_call.fetch_add(1, Ordering::SeqCst);
-        match fault_at(&self.opts, index) {
+        let action = fault_at(&self.opts, index);
+        // Chaos calls are control-plane rate, so a registry lookup per
+        // injection (rather than pre-resolved handles) is acceptable.
+        if excovery_obs::enabled() && action != FaultAction::Pass {
+            excovery_obs::global()
+                .counter("rpc_chaos_injections_total", &[("kind", action.label())])
+                .inc();
+        }
+        match action {
             FaultAction::Pass => {
                 Self::bump(&self.passed);
                 self.inner.call(call)

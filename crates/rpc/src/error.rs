@@ -58,6 +58,25 @@ impl RpcError {
     pub fn is_server_side(&self) -> bool {
         matches!(self, RpcError::Fault(_) | RpcError::NoSuchMethod(_))
     }
+
+    /// A stable, low-cardinality label for this error's kind — the
+    /// `kind` label of the `rpc_client_errors_total` metric.
+    ///
+    /// The strings are a public contract: dashboards and the pinning
+    /// test in this module rely on them, so a label never changes once
+    /// shipped. The enum is `#[non_exhaustive]` toward downstream
+    /// crates; within this crate the match is exhaustive, so adding a
+    /// variant forces choosing its label here at compile time.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            RpcError::Fault(_) => "fault",
+            RpcError::Codec(_) => "codec",
+            RpcError::NoSuchMethod(_) => "no_such_method",
+            RpcError::Timeout { .. } => "timeout",
+            RpcError::Disconnected(_) => "disconnected",
+            RpcError::Io(_) => "io",
+        }
+    }
 }
 
 impl From<Fault> for RpcError {
@@ -113,6 +132,37 @@ mod tests {
         assert!(matches!(e, RpcError::NoSuchMethod(_)));
         let e: RpcError = Fault::new(42, "boom").into();
         assert!(matches!(e, RpcError::Fault(f) if f.code == 42));
+    }
+
+    #[test]
+    fn kind_labels_are_pinned() {
+        // The label set is a public metrics contract: adding a variant
+        // extends this table, existing entries never change.
+        let cases: Vec<(RpcError, &'static str)> = vec![
+            (RpcError::Fault(Fault::new(1, "x")), "fault"),
+            (RpcError::Codec("bad".into()), "codec"),
+            (RpcError::NoSuchMethod("nope".into()), "no_such_method"),
+            (
+                RpcError::Timeout {
+                    method: "m".into(),
+                    after_ms: 10,
+                },
+                "timeout",
+            ),
+            (RpcError::Disconnected("gone".into()), "disconnected"),
+            (RpcError::Io("reset".into()), "io"),
+        ];
+        for (err, want) in &cases {
+            assert_eq!(err.kind_label(), *want, "{err}");
+        }
+        // Labels are distinct (one series per kind) and metric-safe.
+        let mut labels: Vec<&str> = cases.iter().map(|(e, _)| e.kind_label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), cases.len());
+        for l in labels {
+            assert!(l.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{l}");
+        }
     }
 
     #[test]

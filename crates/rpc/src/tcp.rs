@@ -19,42 +19,20 @@
 use crate::error::RpcError;
 use crate::message::{MethodCall, MethodResponse};
 use crate::transport::{ServerRegistry, Transport};
+use excovery_obs::frame::{read_frame, write_frame};
 use parking_lot::Mutex;
-use std::io::{ErrorKind, Read, Write};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Upper bound on a single frame; anything larger is a codec error (a
-/// corrupt length prefix would otherwise ask for gigabytes).
-pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
-
-fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
-    let len = payload.len() as u32;
-    stream.write_all(&len.to_be_bytes())?;
-    stream.write_all(payload)?;
-    stream.flush()
-}
-
-/// Reads one frame. `Ok(None)` means clean EOF at a frame boundary.
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
-    let mut header = [0u8; 4];
-    match stream.read_exact(&mut header) {
-        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
-        other => other?,
-    }
-    let len = u32::from_be_bytes(header);
-    if len > MAX_FRAME_BYTES {
-        return Err(std::io::Error::new(
-            ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
-    Ok(Some(payload))
-}
+/// corrupt length prefix would otherwise ask for gigabytes). The framing
+/// itself lives in [`excovery_obs::frame`] so the metrics scrape
+/// endpoint shares the exact plumbing; this re-export keeps the
+/// historical path.
+pub use excovery_obs::frame::MAX_FRAME_BYTES;
 
 // ---- server ----------------------------------------------------------------
 
@@ -201,6 +179,7 @@ pub struct TcpTransport {
     opts: TcpOptions,
     stream: Mutex<Option<TcpStream>>,
     closed: AtomicBool,
+    obs: crate::transport::ClientObs,
 }
 
 impl TcpTransport {
@@ -218,6 +197,7 @@ impl TcpTransport {
             opts,
             stream: Mutex::new(None),
             closed: AtomicBool::new(false),
+            obs: crate::transport::ClientObs::new("tcp"),
         };
         let stream = transport.reconnect()?;
         *transport.stream.lock() = Some(stream);
@@ -257,28 +237,28 @@ impl TcpTransport {
         method: &str,
     ) -> Result<MethodResponse, RpcError> {
         write_frame(stream, request).map_err(|e| RpcError::Disconnected(e.to_string()))?;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(self.timeout_error(method));
+        self.obs.add_bytes_sent(request.len());
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(self.timeout_error(method));
+        }
+        stream
+            .set_read_timeout(Some(remaining))
+            .map_err(|e| RpcError::Io(e.to_string()))?;
+        match read_frame(stream) {
+            Ok(Some(payload)) => {
+                self.obs.add_bytes_received(payload.len());
+                let xml = String::from_utf8_lossy(&payload);
+                MethodResponse::from_xml(&xml).map_err(|e| RpcError::Codec(e.to_string()))
             }
-            stream
-                .set_read_timeout(Some(remaining))
-                .map_err(|e| RpcError::Io(e.to_string()))?;
-            return match read_frame(stream) {
-                Ok(Some(payload)) => {
-                    let xml = String::from_utf8_lossy(&payload);
-                    MethodResponse::from_xml(&xml).map_err(|e| RpcError::Codec(e.to_string()))
-                }
-                Ok(None) => Err(RpcError::Disconnected(
-                    "server closed the connection mid-call".into(),
-                )),
-                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    Err(self.timeout_error(method))
-                }
-                Err(e) if e.kind() == ErrorKind::InvalidData => Err(RpcError::Codec(e.to_string())),
-                Err(e) => Err(RpcError::Disconnected(e.to_string())),
-            };
+            Ok(None) => Err(RpcError::Disconnected(
+                "server closed the connection mid-call".into(),
+            )),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Err(self.timeout_error(method))
+            }
+            Err(e) if e.kind() == ErrorKind::InvalidData => Err(RpcError::Codec(e.to_string())),
+            Err(e) => Err(RpcError::Disconnected(e.to_string())),
         }
     }
 
@@ -295,15 +275,24 @@ impl Transport for TcpTransport {
         if self.closed.load(Ordering::SeqCst) {
             return Err(RpcError::Disconnected("transport closed".into()));
         }
+        let started = self.obs.start();
         let request = call.to_xml().into_bytes();
         let deadline = Instant::now() + self.opts.call_timeout;
         let mut guard = self.stream.lock();
         // Reconnect lazily if a previous call tore the stream down.
         if guard.is_none() {
-            *guard = Some(self.reconnect()?);
+            match self.reconnect() {
+                Ok(stream) => *guard = Some(stream),
+                Err(e) => {
+                    let result = Err(e);
+                    self.obs.observe_call(started, &result);
+                    return result;
+                }
+            }
         }
         let stream = guard.as_mut().expect("stream just ensured");
         let result = self.exchange(stream, &request, deadline, &call.method);
+        self.obs.observe_call(started, &result);
         if let Err(e) = &result {
             // After a failed exchange the stream state is unknown (a late
             // response could desynchronize framing): drop it so the next

@@ -12,10 +12,79 @@
 use crate::error::{RpcError, FAULT_INTERNAL_ERROR, FAULT_NO_SUCH_METHOD, FAULT_PARSE_ERROR};
 use crate::message::{Fault, MethodCall, MethodResponse};
 use crate::value::Value;
+use excovery_obs::{Counter, Histogram};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Client-side metric handles of one transport instance: calls, errors
+/// by [`RpcError::kind_label`], per-call latency, and wire bytes.
+/// Handles are resolved once at transport construction; recording is a
+/// few relaxed atomics gated on the global observability toggle.
+#[derive(Clone)]
+pub(crate) struct ClientObs {
+    transport: &'static str,
+    calls: Counter,
+    latency_ns: Histogram,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+}
+
+impl ClientObs {
+    pub(crate) fn new(transport: &'static str) -> Self {
+        let reg = excovery_obs::global();
+        let labels = [("transport", transport)];
+        Self {
+            transport,
+            calls: reg.counter("rpc_client_calls_total", &labels),
+            latency_ns: reg.histogram("rpc_client_call_latency_ns", &labels),
+            bytes_sent: reg.counter("rpc_client_bytes_sent_total", &labels),
+            bytes_received: reg.counter("rpc_client_bytes_received_total", &labels),
+        }
+    }
+
+    /// Captures a start timestamp only while recording is on, so the
+    /// disabled layer costs one branch here.
+    pub(crate) fn start(&self) -> Option<Instant> {
+        excovery_obs::enabled().then(Instant::now)
+    }
+
+    /// Records one completed call: count, latency (if a start timestamp
+    /// was captured), and — on error — the per-kind error series.
+    pub(crate) fn observe_call(
+        &self,
+        started: Option<Instant>,
+        result: &Result<MethodResponse, RpcError>,
+    ) {
+        if !excovery_obs::enabled() {
+            return;
+        }
+        self.calls.inc();
+        if let Some(t0) = started {
+            self.latency_ns.observe(t0.elapsed().as_nanos() as u64);
+        }
+        if let Err(e) = result {
+            // Error kinds are a bounded label set; the registry lookup
+            // happens only on the (rare) error path.
+            excovery_obs::global()
+                .counter(
+                    "rpc_client_errors_total",
+                    &[("transport", self.transport), ("kind", e.kind_label())],
+                )
+                .inc();
+        }
+    }
+
+    pub(crate) fn add_bytes_sent(&self, n: usize) {
+        self.bytes_sent.add(n as u64);
+    }
+
+    pub(crate) fn add_bytes_received(&self, n: usize) {
+        self.bytes_received.add(n as u64);
+    }
+}
 
 /// A procedure handler.
 pub type Handler = Box<dyn FnMut(&[Value]) -> Result<Value, Fault> + Send>;
@@ -58,13 +127,28 @@ pub const IDEMPOTENCY_MEMBER: &str = "__idem";
 const IDEMPOTENCY_CACHE_CAP: usize = 4096;
 
 /// Registry of procedures exposed by one server (NodeManager).
-#[derive(Default)]
 pub struct ServerRegistry {
     handlers: HashMap<String, Handler>,
     observer: Option<CallObserver>,
     /// Response cache keyed by idempotency key, with FIFO eviction order.
     idem_cache: HashMap<String, MethodResponse>,
     idem_order: std::collections::VecDeque<String>,
+    obs_dispatches: Counter,
+    obs_idem_replays: Counter,
+}
+
+impl Default for ServerRegistry {
+    fn default() -> Self {
+        let reg = excovery_obs::global();
+        Self {
+            handlers: HashMap::new(),
+            observer: None,
+            idem_cache: HashMap::new(),
+            idem_order: std::collections::VecDeque::new(),
+            obs_dispatches: reg.counter("rpc_server_dispatches_total", &[]),
+            obs_idem_replays: reg.counter("rpc_server_idem_replays_total", &[]),
+        }
+    }
 }
 
 /// Splits a trailing `{__idem: key}` struct parameter off a call, if
@@ -128,6 +212,7 @@ impl ServerRegistry {
         let (idem_key, stripped) = split_idempotency(call);
         if let Some(key) = &idem_key {
             if let Some(replay) = self.idem_cache.get(key) {
+                self.obs_idem_replays.inc();
                 return replay.clone();
             }
         }
@@ -146,6 +231,7 @@ impl ServerRegistry {
     }
 
     fn dispatch_inner(&mut self, call: &MethodCall) -> MethodResponse {
+        self.obs_dispatches.inc();
         if let Some(observer) = &mut self.observer {
             observer(call);
         }
@@ -207,6 +293,7 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
 #[derive(Clone)]
 pub struct Channel {
     server: Arc<Mutex<ServerRegistry>>,
+    obs: ClientObs,
 }
 
 impl Channel {
@@ -214,6 +301,7 @@ impl Channel {
     pub fn new(server: ServerRegistry) -> Self {
         Self {
             server: Arc::new(Mutex::new(server)),
+            obs: ClientObs::new("memory"),
         }
     }
 
@@ -232,9 +320,15 @@ impl Channel {
 
 impl Transport for Channel {
     fn call(&self, call: &MethodCall) -> Result<MethodResponse, RpcError> {
+        let started = self.obs.start();
         let request = call.to_xml();
+        self.obs.add_bytes_sent(request.len());
         let response_xml = self.server.lock().handle_wire(&request);
-        MethodResponse::from_xml(&response_xml).map_err(|e| RpcError::Codec(e.to_string()))
+        self.obs.add_bytes_received(response_xml.len());
+        let result =
+            MethodResponse::from_xml(&response_xml).map_err(|e| RpcError::Codec(e.to_string()));
+        self.obs.observe_call(started, &result);
+        result
     }
 }
 

@@ -732,7 +732,15 @@ impl Database {
             .map(|(name, t)| (name.clone(), t.to_json()))
             .collect();
         let doc = JsonValue::Object(vec![("tables".into(), JsonValue::Object(tables))]);
-        atomic_write(path, doc.to_string().as_bytes())
+        let bytes = doc.to_string().into_bytes();
+        atomic_write(path, &bytes)?;
+        if excovery_obs::enabled() {
+            let reg = excovery_obs::global();
+            reg.counter("store_writes_total", &[("level", "3")]).inc();
+            reg.counter("store_bytes_written_total", &[("level", "3")])
+                .add(bytes.len() as u64);
+        }
+        Ok(())
     }
 
     /// Loads a database from a file written by [`Self::save`]; declared

@@ -115,13 +115,6 @@ impl JsonValue {
             .collect()
     }
 
-    /// Serializes to compact JSON.
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -190,6 +183,15 @@ impl JsonValue {
     pub fn parse_bytes(input: &[u8]) -> Result<JsonValue, String> {
         let s = std::str::from_utf8(input).map_err(|e| format!("invalid utf-8: {e}"))?;
         Self::parse(s)
+    }
+}
+
+/// Serializes to compact JSON (`to_string()` comes with it).
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
     }
 }
 

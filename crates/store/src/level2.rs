@@ -59,7 +59,14 @@ impl Level2Store {
     /// either no entry or the complete entry, never a torn file that the
     /// packaging pass would read as data.
     fn write(path: &Path, data: &[u8]) -> Result<(), StoreError> {
-        atomic_write(path, data)
+        atomic_write(path, data)?;
+        if excovery_obs::enabled() {
+            let reg = excovery_obs::global();
+            reg.counter("store_writes_total", &[("level", "2")]).inc();
+            reg.counter("store_bytes_written_total", &[("level", "2")])
+                .add(data.len() as u64);
+        }
+        Ok(())
     }
 
     /// Stores an experiment-wide measurement for a node.
@@ -157,7 +164,13 @@ impl Level2Store {
                     .collect(),
             ),
         )]);
-        Self::write(&self.journal_path(), doc.to_string().as_bytes())
+        Self::write(&self.journal_path(), doc.to_string().as_bytes())?;
+        if excovery_obs::enabled() {
+            excovery_obs::global()
+                .counter("store_journal_commits_total", &[])
+                .inc();
+        }
+        Ok(())
     }
 
     /// Completed run ids as recorded in the journal; `None` if no journal

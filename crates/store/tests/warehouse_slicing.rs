@@ -1,0 +1,161 @@
+//! Cross-experiment warehouse slicing (§IV-F's anticipated dimensional
+//! model): two packaged experiments feed one star schema, and OLAP-style
+//! slices on `FactDiscovery` reduce to predicate queries keyed through
+//! the `DimNode` / `DimRun` dimensions.
+
+use excovery_store::schema::{create_level3_database, EE_VERSION};
+use excovery_store::warehouse::build_warehouse;
+use excovery_store::{Database, EventRow, ExperimentInfo, Predicate, RunInfoRow, SqlValue};
+
+/// Builds a level-3 package named `name` containing one discovery episode
+/// per `(run_id, node, t_r_ns)` entry.
+fn package(name: &str, episodes: &[(u64, &str, i64)]) -> Database {
+    let mut db = create_level3_database();
+    ExperimentInfo {
+        exp_xml: String::new(),
+        ee_version: EE_VERSION.into(),
+        name: name.into(),
+        comment: String::new(),
+    }
+    .insert(&mut db)
+    .unwrap();
+    let mut seen_runs: Vec<(u64, &str)> = Vec::new();
+    for &(run_id, node, t_r_ns) in episodes {
+        if !seen_runs.contains(&(run_id, node)) {
+            seen_runs.push((run_id, node));
+            RunInfoRow {
+                run_id,
+                node_id: node.into(),
+                start_time_ns: run_id as i64 * 1_000,
+                time_diff_ns: 0,
+            }
+            .insert(&mut db)
+            .unwrap();
+        }
+        for (t, event_type, parameter) in [
+            (100, "sd_start_search", ""),
+            (100 + t_r_ns, "sd_service_add", "service=sm"),
+            (200 + t_r_ns, "sd_stop_search", ""),
+        ] {
+            EventRow {
+                run_id,
+                node_id: node.into(),
+                common_time_ns: t,
+                event_type: event_type.into(),
+                parameter: parameter.into(),
+            }
+            .insert(&mut db)
+            .unwrap();
+        }
+    }
+    db
+}
+
+fn int(v: &SqlValue) -> i64 {
+    v.as_int().unwrap()
+}
+
+#[test]
+fn facts_slice_by_node_and_run_dimensions_across_experiments() {
+    // Experiment "alpha": two runs, two system-under-test nodes.
+    let alpha = package(
+        "alpha",
+        &[
+            (0, "su-a", 1_000),
+            (0, "su-b", 2_000),
+            (1, "su-a", 3_000),
+            (1, "su-b", 4_000),
+        ],
+    );
+    // Experiment "beta": one run, one node (same node name as alpha's —
+    // the warehouse must still key them apart per experiment).
+    let beta = package("beta", &[(0, "su-a", 9_000)]);
+    let wh = build_warehouse(&[("alpha", &alpha), ("beta", &beta)]).unwrap();
+
+    let dim_node = wh.table("DimNode").unwrap();
+    let dim_run = wh.table("DimRun").unwrap();
+    let facts = wh.table("FactDiscovery").unwrap();
+    assert_eq!(facts.len(), 5);
+
+    // --- slice by node: alpha's "su-b", keyed through DimNode ----------
+    let node_rows = dim_node
+        .select(
+            &Predicate::Eq("NodeID".into(), "su-b".into())
+                .and(Predicate::Eq("ExpKey".into(), SqlValue::Int(0))),
+            None,
+        )
+        .unwrap();
+    assert_eq!(node_rows.len(), 1, "one su-b dimension row for alpha");
+    let su_b_key = node_rows[0][dim_node.column_index("NodeKey").unwrap()].clone();
+    let su_b_facts = facts
+        .select(
+            &Predicate::Eq("SuNodeKey".into(), su_b_key),
+            Some("ResponseTimeNs"),
+        )
+        .unwrap();
+    let rt = facts.column_index("ResponseTimeNs").unwrap();
+    assert_eq!(
+        su_b_facts.iter().map(|r| int(&r[rt])).collect::<Vec<_>>(),
+        vec![2_000, 4_000],
+        "su-b episodes of both alpha runs, nothing from su-a or beta"
+    );
+
+    // Same node *name* in beta resolves to a different surrogate key, so
+    // the slice above cannot leak beta's episode.
+    let beta_nodes = dim_node
+        .select(
+            &Predicate::Eq("NodeID".into(), "su-a".into())
+                .and(Predicate::Eq("ExpKey".into(), SqlValue::Int(1))),
+            None,
+        )
+        .unwrap();
+    assert_eq!(beta_nodes.len(), 1);
+
+    // --- slice by run: alpha's run 1, keyed through DimRun -------------
+    let run_rows = dim_run
+        .select(
+            &Predicate::Eq("ExpKey".into(), SqlValue::Int(0))
+                .and(Predicate::Eq("RunID".into(), SqlValue::Int(1))),
+            None,
+        )
+        .unwrap();
+    assert_eq!(run_rows.len(), 1);
+    let run1_key = run_rows[0][dim_run.column_index("RunKey").unwrap()].clone();
+    let run1_facts = facts
+        .select(
+            &Predicate::Eq("RunKey".into(), run1_key.clone()),
+            Some("ResponseTimeNs"),
+        )
+        .unwrap();
+    assert_eq!(
+        run1_facts.iter().map(|r| int(&r[rt])).collect::<Vec<_>>(),
+        vec![3_000, 4_000],
+        "exactly the two episodes of alpha's run 1"
+    );
+
+    // --- combined slice: alpha run 1 OR anything from beta -------------
+    let combined = facts
+        .select(
+            &Predicate::Eq("RunKey".into(), run1_key)
+                .or(Predicate::Eq("ExpKey".into(), SqlValue::Int(1))),
+            Some("ResponseTimeNs"),
+        )
+        .unwrap();
+    assert_eq!(
+        combined.iter().map(|r| int(&r[rt])).collect::<Vec<_>>(),
+        vec![3_000, 4_000, 9_000]
+    );
+
+    // Every fact row's ExpKey points at a real DimExperiment row.
+    let exp_keys: Vec<SqlValue> = facts.distinct("ExpKey", &Predicate::True).unwrap();
+    assert_eq!(exp_keys.len(), 2);
+    for key in exp_keys {
+        assert_eq!(
+            wh.table("DimExperiment")
+                .unwrap()
+                .count(&Predicate::Eq("ExpKey".into(), key))
+                .unwrap(),
+            1
+        );
+    }
+}

@@ -18,7 +18,10 @@
 //! * [`store`] — the four-level measurement storage with the paper's
 //!   Table I relational schema,
 //! * [`analysis`] — conditioning, metrics (responsiveness, t_R) and
-//!   timeline visualization.
+//!   timeline visualization,
+//! * [`obs`] — the observability subsystem: lock-free metrics,
+//!   clock-agnostic spans, Prometheus/JSONL exporters and the framed
+//!   scrape endpoint (see DESIGN.md §10).
 //!
 //! See `examples/quickstart.rs` for an end-to-end experiment, or run one
 //! inline:
@@ -42,6 +45,7 @@ pub use excovery_analysis as analysis;
 pub use excovery_core as engine;
 pub use excovery_desc as desc;
 pub use excovery_netsim as netsim;
+pub use excovery_obs as obs;
 pub use excovery_rpc as rpc;
 pub use excovery_sd as sd;
 pub use excovery_store as store;
