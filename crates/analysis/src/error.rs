@@ -1,0 +1,67 @@
+//! The analysis crate's typed error.
+
+use excovery_query::QueryError;
+use excovery_store::StoreError;
+use std::fmt;
+
+/// Everything an analysis entry point can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A row-engine storage operation failed.
+    Store(StoreError),
+    /// A columnar query failed.
+    Query(QueryError),
+    /// The stored experiment description could not be parsed.
+    Desc(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Store(e) => write!(f, "analysis: {e}"),
+            AnalysisError::Query(e) => write!(f, "analysis: {e}"),
+            AnalysisError::Desc(msg) => write!(f, "analysis: stored ExpXML unparsable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Store(e) => Some(e),
+            AnalysisError::Query(e) => Some(e),
+            AnalysisError::Desc(_) => None,
+        }
+    }
+}
+
+impl From<StoreError> for AnalysisError {
+    fn from(e: StoreError) -> Self {
+        AnalysisError::Store(e)
+    }
+}
+
+impl From<QueryError> for AnalysisError {
+    fn from(e: QueryError) -> Self {
+        AnalysisError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let s: AnalysisError = StoreError("x".into()).into();
+        assert!(matches!(s, AnalysisError::Store(_)));
+        let q: AnalysisError = QueryError::NoSuchTable("Events".into()).into();
+        assert!(matches!(q, AnalysisError::Query(_)));
+        use std::error::Error;
+        assert!(s.source().is_some());
+        assert!(q.source().is_some());
+        assert!(AnalysisError::Desc("bad".into()).source().is_none());
+        assert!(q.to_string().contains("no such table"));
+    }
+}

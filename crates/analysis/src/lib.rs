@@ -3,6 +3,10 @@
 //! Extraction and analysis of event- and packet-based metrics from stored
 //! experiments (paper §IV-F, §VI).
 //!
+//! * [`dataset`] — a columnar [`ExperimentDataset`] snapshot of a package;
+//!   the aggregate entry points below are thin wrappers over its
+//!   `excovery_query` scans, with results bit-identical to the old
+//!   hand-rolled row loops.
 //! * [`runs`] — reconstruction of per-run discovery episodes from the
 //!   level-3 `Events` table (search start, per-service `t_R`, deadline
 //!   verdicts).
@@ -18,6 +22,8 @@
 //!   actions (white circles) and events (black circles), rendered as ASCII
 //!   and SVG.
 
+pub mod dataset;
+pub mod error;
 pub mod model;
 pub mod packetstats;
 pub mod report;
@@ -28,6 +34,8 @@ pub mod timeline;
 pub mod treatments;
 pub mod verify;
 
+pub use dataset::ExperimentDataset;
+pub use error::AnalysisError;
 pub use responsiveness::{responsiveness_curve, ResponsivenessPoint};
 pub use runs::{DiscoveryEpisode, RunView};
 pub use stats::Summary;

@@ -6,6 +6,7 @@
 //! the `Packets` table: per-source delivery ratios, end-to-end delays of
 //! matched send/receive observations, and per-run packet counts.
 
+use crate::error::AnalysisError;
 use excovery_netsim::tagger::{analyze_stream, StreamStats};
 use excovery_store::records::PacketRow;
 use excovery_store::{Database, StoreError};
@@ -158,16 +159,12 @@ pub fn best_stream_loss_per_source(
 }
 
 /// Total packets captured per run (quick volume diagnostics).
-pub fn packets_per_run(db: &Database) -> Result<BTreeMap<u64, usize>, StoreError> {
-    let table = db.table("Packets")?;
-    let mut out = BTreeMap::new();
-    for row in table.rows() {
-        let run = row[0].as_int().unwrap_or(-1);
-        if run >= 0 {
-            *out.entry(run as u64).or_insert(0) += 1;
-        }
-    }
-    Ok(out)
+///
+/// Thin wrapper over the columnar group-by count of
+/// [`crate::dataset::ExperimentDataset::packets_per_run`]; identical to
+/// the old hand-rolled `Packets` row scan.
+pub fn packets_per_run(db: &Database) -> Result<BTreeMap<u64, usize>, AnalysisError> {
+    crate::dataset::ExperimentDataset::new(db)?.packets_per_run()
 }
 
 #[cfg(test)]

@@ -5,29 +5,39 @@
 //! response-time statistics and packet-level delivery ratios — the
 //! "extraction and analysis of event and packet based metrics" the
 //! prototype ships as a set of functions (§VI-A), bundled into one
-//! shareable document.
+//! shareable document. All aggregate inputs come from one columnar
+//! [`ExperimentDataset`] snapshot.
 
-use crate::packetstats::{packets_per_run, path_stats};
+use crate::dataset::ExperimentDataset;
+use crate::error::AnalysisError;
+use crate::packetstats::path_stats;
 use crate::responsiveness::responsiveness_curve;
-use crate::runs::RunView;
 use crate::stats::Summary;
-use excovery_store::records::{ExperimentInfo, RunInfoRow};
-use excovery_store::{Database, StoreError};
+use excovery_store::records::ExperimentInfo;
+use excovery_store::Database;
 
 /// Options for report generation.
+///
+/// Construct via [`ReportOptions::builder`]; the fields are kept public
+/// only for backward compatibility.
 #[derive(Debug, Clone)]
 pub struct ReportOptions {
     /// Number of SMs that must be discovered (the `k` of responsiveness).
+    #[deprecated(note = "construct via `ReportOptions::builder()`")]
     pub k: usize,
     /// Deadlines (seconds) of the responsiveness table.
+    #[deprecated(note = "construct via `ReportOptions::builder()`")]
     pub deadlines_s: Vec<f64>,
     /// Include per-run detail rows (off for experiments with many runs).
+    #[deprecated(note = "construct via `ReportOptions::builder()`")]
     pub per_run_detail: bool,
 }
 
-impl Default for ReportOptions {
-    fn default() -> Self {
-        Self {
+impl ReportOptions {
+    /// Starts a builder with the default options (`k = 1`, the standard
+    /// deadline grid, per-run detail on).
+    pub fn builder() -> ReportOptionsBuilder {
+        ReportOptionsBuilder {
             k: 1,
             deadlines_s: vec![0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0],
             per_run_detail: true,
@@ -35,11 +45,60 @@ impl Default for ReportOptions {
     }
 }
 
+impl Default for ReportOptions {
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+/// Builder for [`ReportOptions`], matching the `EngineConfig::builder()`
+/// idiom.
+#[derive(Debug, Clone)]
+pub struct ReportOptionsBuilder {
+    k: usize,
+    deadlines_s: Vec<f64>,
+    per_run_detail: bool,
+}
+
+impl ReportOptionsBuilder {
+    /// Sets the number of SMs that must be discovered.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the deadline grid (seconds) of the responsiveness table.
+    pub fn deadlines_s(mut self, deadlines: impl IntoIterator<Item = f64>) -> Self {
+        self.deadlines_s = deadlines.into_iter().collect();
+        self
+    }
+
+    /// Toggles per-run detail rows.
+    pub fn per_run_detail(mut self, on: bool) -> Self {
+        self.per_run_detail = on;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> ReportOptions {
+        #[allow(deprecated)]
+        ReportOptions {
+            k: self.k,
+            deadlines_s: self.deadlines_s,
+            per_run_detail: self.per_run_detail,
+        }
+    }
+}
+
 /// Renders the full Markdown report.
-pub fn render(db: &Database, opts: &ReportOptions) -> Result<String, StoreError> {
+pub fn render(db: &Database, opts: &ReportOptions) -> Result<String, AnalysisError> {
+    #[allow(deprecated)]
+    let (k, deadlines_s, per_run_detail) = (opts.k, &opts.deadlines_s, opts.per_run_detail);
     let info = ExperimentInfo::read(db)?;
-    let run_ids = RunView::run_ids(db)?;
-    let episodes = crate::runs::RunView::all_episodes(db)?;
+    let ds = ExperimentDataset::new(db)?;
+    let run_ids = ds.run_ids()?;
+    let by_run = ds.episodes_by_run()?;
+    let episodes: Vec<_> = by_run.values().flatten().cloned().collect();
     let mut out = String::new();
 
     out.push_str(&format!("# Experiment report: {}\n\n", info.name));
@@ -49,9 +108,12 @@ pub fn render(db: &Database, opts: &ReportOptions) -> Result<String, StoreError>
     out.push_str(&format!("* executed by: `{}`\n", info.ee_version));
     out.push_str(&format!("* runs: {}\n", run_ids.len()));
     out.push_str(&format!("* discovery episodes: {}\n", episodes.len()));
-    let infos = RunInfoRow::read_all(db)?;
-    if !infos.is_empty() {
-        let offsets: Vec<f64> = infos.iter().map(|i| i.time_diff_ns.abs() as f64).collect();
+    let offsets: Vec<f64> = ds
+        .clock_offsets_ns()?
+        .iter()
+        .map(|d| d.abs() as f64)
+        .collect();
+    if !offsets.is_empty() {
         if let Some(s) = Summary::compute(&offsets) {
             out.push_str(&format!(
                 "* measured |clock offset|: mean {:.3} ms, max {:.3} ms\n",
@@ -63,9 +125,9 @@ pub fn render(db: &Database, opts: &ReportOptions) -> Result<String, StoreError>
     out.push('\n');
 
     // Responsiveness table.
-    out.push_str(&format!("## Responsiveness (k = {})\n\n", opts.k));
+    out.push_str(&format!("## Responsiveness (k = {k})\n\n"));
     out.push_str("| deadline (s) | R | 95% CI |\n|---|---|---|\n");
-    for p in responsiveness_curve(&episodes, opts.k, &opts.deadlines_s) {
+    for p in responsiveness_curve(&episodes, k, deadlines_s) {
         out.push_str(&format!(
             "| {} | {:.4} | [{:.4}, {:.4}] |\n",
             p.deadline_s, p.probability, p.ci_low, p.ci_high
@@ -91,7 +153,7 @@ pub fn render(db: &Database, opts: &ReportOptions) -> Result<String, StoreError>
 
     // Packet volume + per-path delivery of the first run.
     out.push_str("## Packet captures\n\n");
-    let volumes = packets_per_run(db)?;
+    let volumes = ds.packets_per_run()?;
     let total: usize = volumes.values().sum();
     out.push_str(&format!(
         "{total} captures across {} runs.\n\n",
@@ -134,10 +196,10 @@ pub fn render(db: &Database, opts: &ReportOptions) -> Result<String, StoreError>
     }
 
     // Optional per-run detail.
-    if opts.per_run_detail {
+    if per_run_detail {
         out.push_str("## Runs\n\n| run | episodes | first t_R |\n|---|---|---|\n");
         for run_id in &run_ids {
-            let eps = RunView::load(db, *run_id)?.episodes();
+            let eps = by_run.get(run_id).map(Vec::as_slice).unwrap_or(&[]);
             let t_r = eps
                 .first()
                 .and_then(|e| e.first_t_r_ns())
@@ -153,7 +215,7 @@ pub fn render(db: &Database, opts: &ReportOptions) -> Result<String, StoreError>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use excovery_store::records::{EventRow, PacketRow};
+    use excovery_store::records::{EventRow, PacketRow, RunInfoRow};
     use excovery_store::schema::{create_level3_database, EE_VERSION};
 
     fn sample_db() -> Database {
@@ -238,12 +300,21 @@ mod tests {
     #[test]
     fn per_run_detail_is_optional() {
         let db = sample_db();
-        let opts = ReportOptions {
-            per_run_detail: false,
-            ..Default::default()
-        };
+        let opts = ReportOptions::builder().per_run_detail(false).build();
         let report = render(&db, &opts).unwrap();
         assert!(!report.contains("## Runs"));
+    }
+
+    #[test]
+    fn builder_matches_field_literal_defaults() {
+        let built = ReportOptions::builder().k(2).build();
+        #[allow(deprecated)]
+        {
+            assert_eq!(built.k, 2);
+            assert_eq!(ReportOptions::default().k, 1);
+            assert_eq!(ReportOptions::default().deadlines_s.len(), 8);
+            assert!(ReportOptions::default().per_run_detail);
+        }
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! and groups estimates by treatment so factor effects (load, loss, hops)
 //! can be read directly from the stored database.
 
-use crate::runs::{DiscoveryEpisode, RunView};
+use crate::dataset::ExperimentDataset;
+use crate::error::AnalysisError;
+use crate::runs::DiscoveryEpisode;
 use crate::stats::wilson_interval;
-use excovery_store::records::RunInfoRow;
-use excovery_store::{Database, StoreError};
+use excovery_store::Database;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -88,10 +89,14 @@ pub fn responsiveness_by_treatment(
     treatment_of_run: &dyn Fn(u64) -> String,
     k: usize,
     deadlines_s: &[f64],
-) -> Result<BTreeMap<String, Vec<ResponsivenessPoint>>, StoreError> {
+) -> Result<BTreeMap<String, Vec<ResponsivenessPoint>>, AnalysisError> {
+    let ds = ExperimentDataset::new(db)?;
+    let mut by_run = ds.episodes_by_run()?;
     let mut grouped: BTreeMap<String, Vec<DiscoveryEpisode>> = BTreeMap::new();
-    for run_id in RunInfoRow::run_ids(db)? {
-        let eps = RunView::load(db, run_id)?.episodes();
+    // Runs are enumerated from RunInfos (as before), so a run without
+    // events still registers its treatment key with zero episodes.
+    for run_id in ds.run_ids_with_info()? {
+        let eps = by_run.remove(&run_id).unwrap_or_default();
         grouped
             .entry(treatment_of_run(run_id))
             .or_default()

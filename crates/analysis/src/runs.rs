@@ -53,6 +53,66 @@ impl DiscoveryEpisode {
     }
 }
 
+/// A borrowed event as the episode state machine sees it — enough of an
+/// [`EventRow`] to reconstruct episodes, regardless of whether the row came
+/// from the row engine or a columnar scan.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EpisodeEvent<'a> {
+    /// The node the event happened on.
+    pub node_id: &'a str,
+    /// Common time, ns.
+    pub common_time_ns: i64,
+    /// Event type name.
+    pub event_type: &'a str,
+    /// Encoded `k=v;k=v` parameter string.
+    pub parameter: &'a str,
+}
+
+/// The one episode state machine: replays a run's events (ordered by common
+/// time) and opens/fills/closes episodes. Both [`RunView::episodes`] and the
+/// columnar path in [`crate::dataset`] call this, so they cannot drift.
+pub(crate) fn episodes_from_ordered<'a>(
+    run_id: u64,
+    events: impl Iterator<Item = EpisodeEvent<'a>>,
+) -> Vec<DiscoveryEpisode> {
+    let mut episodes: Vec<DiscoveryEpisode> = Vec::new();
+    let mut open: HashMap<&str, usize> = HashMap::new(); // node -> episode idx
+    for e in events {
+        match e.event_type {
+            "sd_start_search" => {
+                episodes.push(DiscoveryEpisode {
+                    run_id,
+                    su_node: e.node_id.to_string(),
+                    search_start_ns: e.common_time_ns,
+                    discoveries: Vec::new(),
+                });
+                open.insert(e.node_id, episodes.len() - 1);
+            }
+            "sd_service_add" => {
+                if let Some(&idx) = open.get(e.node_id) {
+                    let params = EventRow::decode_params(e.parameter);
+                    let service = params
+                        .iter()
+                        .find(|(k, _)| k == "service")
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_default();
+                    let ep = &mut episodes[idx];
+                    ep.discoveries.push(Discovery {
+                        service,
+                        at_ns: e.common_time_ns,
+                        t_r_ns: e.common_time_ns - ep.search_start_ns,
+                    });
+                }
+            }
+            "sd_stop_search" => {
+                open.remove(e.node_id);
+            }
+            _ => {}
+        }
+    }
+    episodes
+}
+
 /// A typed view over one run's events.
 #[derive(Debug, Clone)]
 pub struct RunView {
@@ -86,42 +146,15 @@ impl RunView {
     /// `sd_start_search` event, holding the `sd_service_add`s that follow
     /// on the same node until the next search start or run end.
     pub fn episodes(&self) -> Vec<DiscoveryEpisode> {
-        let mut episodes: Vec<DiscoveryEpisode> = Vec::new();
-        let mut open: HashMap<&str, usize> = HashMap::new(); // node -> episode idx
-        for e in &self.events {
-            match e.event_type.as_str() {
-                "sd_start_search" => {
-                    episodes.push(DiscoveryEpisode {
-                        run_id: self.run_id,
-                        su_node: e.node_id.clone(),
-                        search_start_ns: e.common_time_ns,
-                        discoveries: Vec::new(),
-                    });
-                    open.insert(e.node_id.as_str(), episodes.len() - 1);
-                }
-                "sd_service_add" => {
-                    if let Some(&idx) = open.get(e.node_id.as_str()) {
-                        let params = EventRow::decode_params(&e.parameter);
-                        let service = params
-                            .iter()
-                            .find(|(k, _)| k == "service")
-                            .map(|(_, v)| v.clone())
-                            .unwrap_or_default();
-                        let ep = &mut episodes[idx];
-                        ep.discoveries.push(Discovery {
-                            service,
-                            at_ns: e.common_time_ns,
-                            t_r_ns: e.common_time_ns - ep.search_start_ns,
-                        });
-                    }
-                }
-                "sd_stop_search" => {
-                    open.remove(e.node_id.as_str());
-                }
-                _ => {}
-            }
-        }
-        episodes
+        episodes_from_ordered(
+            self.run_id,
+            self.events.iter().map(|e| EpisodeEvent {
+                node_id: &e.node_id,
+                common_time_ns: e.common_time_ns,
+                event_type: &e.event_type,
+                parameter: &e.parameter,
+            }),
+        )
     }
 
     /// Convenience: all episodes of all runs of a database.

@@ -7,16 +7,17 @@
 //! episodes by factor levels without side-channel information from the
 //! execution.
 
+use crate::dataset::ExperimentDataset;
+use crate::error::AnalysisError;
 use excovery_desc::xmlio::from_xml;
 use excovery_store::records::ExperimentInfo;
-use excovery_store::{Database, StoreError};
+use excovery_store::Database;
 use std::collections::HashMap;
 
 /// Rebuilds the run-id → treatment-key mapping from the stored description.
-pub fn treatments_from_database(db: &Database) -> Result<HashMap<u64, String>, StoreError> {
+pub fn treatments_from_database(db: &Database) -> Result<HashMap<u64, String>, AnalysisError> {
     let info = ExperimentInfo::read(db)?;
-    let desc = from_xml(&info.exp_xml)
-        .map_err(|e| StoreError(format!("stored ExpXML unparsable: {e}")))?;
+    let desc = from_xml(&info.exp_xml).map_err(|e| AnalysisError::Desc(e.to_string()))?;
     let plan = desc.plan();
     Ok(plan
         .runs
@@ -28,11 +29,16 @@ pub fn treatments_from_database(db: &Database) -> Result<HashMap<u64, String>, S
 /// Groups all discovery episodes of a package by treatment key.
 pub fn episodes_by_treatment(
     db: &Database,
-) -> Result<HashMap<String, Vec<crate::runs::DiscoveryEpisode>>, StoreError> {
+) -> Result<HashMap<String, Vec<crate::runs::DiscoveryEpisode>>, AnalysisError> {
     let mapping = treatments_from_database(db)?;
+    let ds = ExperimentDataset::new(db)?;
+    let mut by_run = ds.episodes_by_run()?;
     let mut grouped: HashMap<String, Vec<crate::runs::DiscoveryEpisode>> = HashMap::new();
-    for run_id in crate::runs::RunView::run_ids(db)? {
-        let eps = crate::runs::RunView::load(db, run_id)?.episodes();
+    // Iterate every run with events (not just those with episodes) so a
+    // run whose search never started still registers its treatment key —
+    // exactly what the old per-run scan did.
+    for run_id in ds.run_ids()? {
+        let eps = by_run.remove(&run_id).unwrap_or_default();
         let key = mapping
             .get(&run_id)
             .cloned()

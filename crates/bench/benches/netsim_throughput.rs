@@ -52,10 +52,27 @@ fn bench(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("campaign");
     g.bench_function("unicast_8reps_serial", |b| {
-        b.iter(|| run_replications(&CampaignConfig::new(3, 8).with_workers(1), campaign_rep))
+        b.iter(|| {
+            run_replications(
+                &CampaignConfig::builder()
+                    .master_seed(3)
+                    .replications(8)
+                    .workers(1)
+                    .build(),
+                campaign_rep,
+            )
+        })
     });
     g.bench_function("unicast_8reps_parallel", |b| {
-        b.iter(|| run_replications(&CampaignConfig::new(3, 8), campaign_rep))
+        b.iter(|| {
+            run_replications(
+                &CampaignConfig::builder()
+                    .master_seed(3)
+                    .replications(8)
+                    .build(),
+                campaign_rep,
+            )
+        })
     });
     g.finish();
 }

@@ -1,0 +1,130 @@
+//! Criterion bench: the columnar query layer — warehouse group-by means
+//! (row engine vs columnar, serial vs sharded) and pruned filtered scans.
+//!
+//! `query_snapshot` is the CI-facing smoke variant of this suite; run this
+//! one locally for statistically solid numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use excovery_query::{col, lit, Agg, Dataset};
+use excovery_store::{Aggregate, Column, ColumnType, Database, Predicate, SqlValue};
+
+const EXPERIMENTS: i64 = 6;
+const RUNS_PER_EXP: i64 = 200;
+const FACTS_PER_RUN: i64 = 60;
+
+fn synthetic_warehouse() -> Database {
+    use ColumnType::*;
+    let mut db = Database::new();
+    db.create_table(
+        "FactDiscovery",
+        vec![
+            Column::new("ExpKey", Integer),
+            Column::new("RunKey", Integer),
+            Column::new("SuNodeKey", Integer),
+            Column::new("Service", Text),
+            Column::new("SearchStart", Integer),
+            Column::new("ResponseTimeNs", Integer),
+        ],
+    )
+    .unwrap();
+    let mut state: u64 = 0x5eed_2026;
+    let mut run_key: i64 = 0;
+    for exp in 0..EXPERIMENTS {
+        for _ in 0..RUNS_PER_EXP {
+            let start = run_key * 30_000_000_000;
+            for f in 0..FACTS_PER_RUN {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let t_r = 1_000_000 + (state % 2_000_000_000) / (exp as u64 + 1);
+                db.insert(
+                    "FactDiscovery",
+                    vec![
+                        SqlValue::Int(exp),
+                        SqlValue::Int(run_key),
+                        SqlValue::Int(f % 4),
+                        SqlValue::Text(format!("sm{}", f % 4)),
+                        SqlValue::Int(start),
+                        SqlValue::Int(t_r as i64),
+                    ],
+                )
+                .unwrap();
+            }
+            run_key += 1;
+        }
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let wh = synthetic_warehouse();
+    let facts = (EXPERIMENTS * RUNS_PER_EXP * FACTS_PER_RUN) as u64;
+    let ds = Dataset::builder()
+        .partition_by("RunKey")
+        .add_package("warehouse", &wh)
+        .unwrap()
+        .build();
+
+    let mut g = c.benchmark_group("query");
+    g.throughput(Throughput::Elements(facts));
+    g.bench_function("row_engine_group_mean", |b| {
+        b.iter(|| {
+            let facts = wh.table("FactDiscovery").unwrap();
+            let mut out = Vec::new();
+            for exp in facts.distinct("ExpKey", &Predicate::True).unwrap() {
+                let mean = facts
+                    .aggregate(
+                        "ResponseTimeNs",
+                        &Predicate::Eq("ExpKey".into(), exp.clone()),
+                        Aggregate::Avg,
+                    )
+                    .unwrap();
+                out.push((exp, mean));
+            }
+            out
+        })
+    });
+    g.bench_function("columnar_group_mean_serial", |b| {
+        b.iter(|| {
+            ds.scan("FactDiscovery")
+                .group_by(["ExpKey"])
+                .agg([Agg::mean("ResponseTimeNs")])
+                .workers(1)
+                .collect()
+                .unwrap()
+        })
+    });
+    g.bench_function("columnar_group_mean_workers4", |b| {
+        b.iter(|| {
+            ds.scan("FactDiscovery")
+                .group_by(["ExpKey"])
+                .agg([Agg::mean("ResponseTimeNs")])
+                .workers(4)
+                .collect()
+                .unwrap()
+        })
+    });
+    g.bench_function("columnar_filtered_count_pruned", |b| {
+        let cutoff = RUNS_PER_EXP * 30_000_000_000;
+        b.iter(|| {
+            ds.scan("FactDiscovery")
+                .filter(col("SearchStart").lt(lit(cutoff)))
+                .agg([Agg::count()])
+                .collect()
+                .unwrap()
+        })
+    });
+    g.bench_function("ingest_warehouse_to_columns", |b| {
+        b.iter(|| {
+            Dataset::builder()
+                .partition_by("RunKey")
+                .add_package("warehouse", &wh)
+                .unwrap()
+                .build()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

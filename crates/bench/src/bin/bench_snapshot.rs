@@ -89,7 +89,11 @@ fn flood_grid5x5() -> (u64, SimStats) {
 
 fn campaign(workers: usize) -> (u64, SimStats) {
     let reps = run_replications(
-        &CampaignConfig::new(3, 8).with_workers(workers),
+        &CampaignConfig::builder()
+            .master_seed(3)
+            .replications(8)
+            .workers(workers)
+            .build(),
         |_rep, seed| {
             let mut sim = Simulator::new(Topology::chain(5), SimulatorConfig::perfect_clocks(seed));
             sim.install_agent(NodeId(4), 9, Box::new(Sink));

@@ -1,0 +1,282 @@
+//! Bench smoke runner for the columnar query layer: times the reference
+//! warehouse scans and writes `BENCH_query.json`.
+//!
+//! Same contract as `bench_snapshot`: wall times come from plain `Instant`
+//! medians and vary by machine; the *deterministic* fields (`rows`,
+//! `groups`, `digest`) are expected to be byte-stable across environments
+//! and are diffed against the committed snapshot in CI. Three invariants
+//! are asserted outright, so a regression fails the binary itself:
+//!
+//! 1. the columnar per-experiment mean is bit-identical to the legacy
+//!    row-engine slice,
+//! 2. `workers = 1` and `workers = 4` produce digest-equal frames,
+//! 3. the pruned filtered scan returns the same count as the unpruned one.
+//!
+//! Usage: `query_snapshot [output-path]` (default `BENCH_query.json`).
+
+use excovery_query::{col, lit, Agg, Dataset, Value};
+use excovery_store::{Aggregate, Column, ColumnType, Database, Predicate, SqlValue};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const EXPERIMENTS: usize = 6;
+const RUNS_PER_EXP: usize = 200;
+const FACTS_PER_RUN: usize = 60;
+
+/// Splitmix-style generator: deterministic and platform-independent, so
+/// the synthetic warehouse (and every digest over it) is reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut z = self.0;
+        z = (z ^ (z >> 33)).wrapping_mul(0xff51afd7ed558ccd);
+        z ^ (z >> 33)
+    }
+}
+
+/// A synthetic star-schema warehouse shaped like `build_warehouse` output:
+/// `EXPERIMENTS` experiments, a fact row per discovery episode, run keys
+/// globally unique so `partition_by("RunKey")` shards the scan.
+fn synthetic_warehouse() -> Database {
+    use ColumnType::*;
+    let mut db = Database::new();
+    db.create_table(
+        "FactDiscovery",
+        vec![
+            Column::new("ExpKey", Integer),
+            Column::new("RunKey", Integer),
+            Column::new("SuNodeKey", Integer),
+            Column::new("Service", Text),
+            Column::new("SearchStart", Integer),
+            Column::new("ResponseTimeNs", Integer),
+        ],
+    )
+    .unwrap();
+    let mut rng = Lcg(0x5eed_2026);
+    let mut run_key: i64 = 0;
+    for exp in 0..EXPERIMENTS as i64 {
+        for _ in 0..RUNS_PER_EXP {
+            let start = (run_key as u64) * 30_000_000_000;
+            for f in 0..FACTS_PER_RUN as i64 {
+                // Response times 1 ms .. ~2 s, experiment-dependent offset so
+                // the per-experiment means differ.
+                let t_r = 1_000_000 + (rng.next() % 2_000_000_000) / (exp as u64 + 1);
+                db.insert(
+                    "FactDiscovery",
+                    vec![
+                        SqlValue::Int(exp),
+                        SqlValue::Int(run_key),
+                        SqlValue::Int(f % 4),
+                        SqlValue::Text(format!("sm{}", f % 4)),
+                        SqlValue::Int(start as i64),
+                        SqlValue::Int(t_r as i64),
+                    ],
+                )
+                .unwrap();
+            }
+            run_key += 1;
+        }
+    }
+    db
+}
+
+/// The pre-redesign slice: the row engine answers the per-experiment mean
+/// with one `distinct` pass plus one predicate scan per experiment.
+fn row_engine_mean(wh: &Database) -> BTreeMap<i64, f64> {
+    let facts = wh.table("FactDiscovery").unwrap();
+    let mut out = BTreeMap::new();
+    for exp in facts.distinct("ExpKey", &Predicate::True).unwrap() {
+        let Some(key) = exp.as_int() else { continue };
+        if let Some(mean) = facts
+            .aggregate(
+                "ResponseTimeNs",
+                &Predicate::Eq("ExpKey".into(), exp.clone()),
+                Aggregate::Avg,
+            )
+            .unwrap()
+        {
+            out.insert(key, mean / 1e9);
+        }
+    }
+    out
+}
+
+fn columnar_mean(ds: &Dataset, workers: usize) -> (BTreeMap<i64, f64>, u64) {
+    let frame = ds
+        .scan("FactDiscovery")
+        .group_by(["ExpKey"])
+        .agg([Agg::mean("ResponseTimeNs").named("mean_ns")])
+        .workers(workers)
+        .collect()
+        .unwrap();
+    let digest = frame.digest();
+    let mut out = BTreeMap::new();
+    for row in &frame.rows {
+        if let (Value::I64(key), Value::F64(mean_ns)) = (&row[0], &row[1]) {
+            out.insert(*key, mean_ns / 1e9);
+        }
+    }
+    (out, digest)
+}
+
+/// FNV-1a over the (key, mean-bits) pairs: one digest format shared by the
+/// row-engine and columnar paths, so bit-identity shows up as equal
+/// `digest` fields in the snapshot.
+fn mean_digest(means: &BTreeMap<i64, f64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for (k, v) in means {
+        for byte in k.to_le_bytes().into_iter().chain(v.to_bits().to_le_bytes()) {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+struct Sample {
+    name: &'static str,
+    ns_per_iter: u128,
+    rows: usize,
+    groups: usize,
+    digest: u64,
+}
+
+fn measure(name: &'static str, iters: u32, mut run: impl FnMut() -> (usize, usize, u64)) -> Sample {
+    let (rows, groups, digest) = run();
+    let mut times: Vec<u128> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            run();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    Sample {
+        name,
+        ns_per_iter: times[times.len() / 2],
+        rows,
+        groups,
+        digest,
+    }
+}
+
+fn render(samples: &[Sample], fact_rows: usize, partitions: usize, speedup: f64) -> String {
+    // Hand-rolled JSON, like bench_snapshot: fixed identifiers and numbers
+    // only, so no escaping and no serializer dependency.
+    let mut out = String::from("{\n  \"suite\": \"query\",\n");
+    out.push_str(&format!(
+        "  \"warehouse\": {{\"experiments\": {EXPERIMENTS}, \"fact_rows\": {fact_rows}, \
+         \"partitions\": {partitions}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"speedup_columnar_vs_row_engine\": {speedup:.2},\n  \"benches\": [\n"
+    ));
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"rows\": {}, \
+             \"groups\": {}, \"digest\": {}}}{}\n",
+            s.name,
+            s.ns_per_iter,
+            s.rows,
+            s.groups,
+            s.digest,
+            if i + 1 < samples.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> Result<(), String> {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_query.json".into());
+    let iters: u32 = std::env::var("EXCOVERY_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+
+    let wh = synthetic_warehouse();
+    let fact_rows = wh.table("FactDiscovery").unwrap().rows().len();
+    let ds = Dataset::builder()
+        .partition_by("RunKey")
+        .add_package("warehouse", &wh)
+        .map_err(|e| e.to_string())?
+        .build();
+
+    // Invariant 1: columnar mean is bit-identical to the row-engine slice.
+    let old = row_engine_mean(&wh);
+    let (new_serial, frame_digest_serial) = columnar_mean(&ds, 1);
+    let (new_parallel, frame_digest_parallel) = columnar_mean(&ds, 4);
+    assert_eq!(old.len(), new_serial.len(), "group count drifted");
+    for (k, v) in &old {
+        assert_eq!(
+            v.to_bits(),
+            new_serial[k].to_bits(),
+            "experiment {k}: columnar mean is not bit-identical"
+        );
+    }
+    // Invariant 2: worker count cannot change the answer.
+    assert_eq!(
+        frame_digest_serial, frame_digest_parallel,
+        "workers=1 and workers=4 frames diverged"
+    );
+    assert_eq!(mean_digest(&new_serial), mean_digest(&new_parallel));
+
+    // Invariant 3: min/max pruning must not change the count. The filter
+    // selects the first experiment's run-key range via SearchStart, so most
+    // partitions prune away.
+    let cutoff = (RUNS_PER_EXP as i64) * 30_000_000_000;
+    let pruned = ds
+        .scan("FactDiscovery")
+        .filter(col("SearchStart").lt(lit(cutoff)))
+        .agg([Agg::count()])
+        .collect()
+        .map_err(|e| e.to_string())?;
+    let Value::I64(pruned_count) = pruned.rows[0][0] else {
+        return Err("count aggregate did not return an integer".into());
+    };
+    assert_eq!(
+        pruned_count as usize,
+        RUNS_PER_EXP * FACTS_PER_RUN,
+        "pruned filtered count is wrong"
+    );
+
+    let samples = [
+        measure("row_engine_group_mean", iters, || {
+            let m = row_engine_mean(&wh);
+            (fact_rows, m.len(), mean_digest(&m))
+        }),
+        measure("columnar_group_mean_serial", iters, || {
+            let (m, _) = columnar_mean(&ds, 1);
+            (fact_rows, m.len(), mean_digest(&m))
+        }),
+        measure("columnar_group_mean_workers4", iters, || {
+            let (m, _) = columnar_mean(&ds, 4);
+            (fact_rows, m.len(), mean_digest(&m))
+        }),
+        measure("columnar_filtered_count_pruned", iters, || {
+            let frame = ds
+                .scan("FactDiscovery")
+                .filter(col("SearchStart").lt(lit(cutoff)))
+                .agg([Agg::count()])
+                .collect()
+                .unwrap();
+            let Value::I64(n) = frame.rows[0][0] else {
+                unreachable!()
+            };
+            (n as usize, 1, frame.digest())
+        }),
+    ];
+
+    let speedup = samples[0].ns_per_iter as f64 / samples[1].ns_per_iter as f64;
+    let json = render(&samples, fact_rows, ds.partition_count(), speedup);
+    print!("{json}");
+    std::fs::write(&path, &json).map_err(|e| format!("write {path}: {e}"))?;
+    eprintln!("wrote {path}");
+    Ok(())
+}

@@ -66,8 +66,22 @@ pub struct CampaignConfig {
 }
 
 impl CampaignConfig {
+    /// Starts a builder: one replication from master seed `0`, auto-sized
+    /// worker pool. The same `builder()` idiom as `EngineConfig` and
+    /// `ReportOptions`.
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder {
+            cfg: Self {
+                master_seed: 0,
+                replications: 1,
+                workers: 0,
+            },
+        }
+    }
+
     /// A campaign of `replications` runs from `master_seed`, auto-sizing
     /// the worker pool.
+    #[deprecated(note = "construct via `CampaignConfig::builder()`")]
     pub fn new(master_seed: u64, replications: u64) -> Self {
         Self {
             master_seed,
@@ -99,6 +113,37 @@ impl CampaignConfig {
             self.workers
         };
         w.max(1).min(self.replications.max(1) as usize)
+    }
+}
+
+/// Builder for [`CampaignConfig`].
+#[derive(Debug, Clone)]
+pub struct CampaignConfigBuilder {
+    cfg: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Sets the campaign master seed.
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.cfg.master_seed = seed;
+        self
+    }
+
+    /// Sets the number of independent replications.
+    pub fn replications(mut self, n: u64) -> Self {
+        self.cfg.replications = n;
+        self
+    }
+
+    /// Sets the worker count (`0` = available parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> CampaignConfig {
+        self.cfg
     }
 }
 
@@ -219,7 +264,11 @@ mod tests {
 
     #[test]
     fn parallel_matches_serial_exactly() {
-        let cfg = CampaignConfig::new(42, 12).with_workers(4);
+        let cfg = CampaignConfig::builder()
+            .master_seed(42)
+            .replications(12)
+            .workers(4)
+            .build();
         let serial = run_replications_serial(&cfg, |_, seed| one_rep(seed));
         let parallel = run_replications(&cfg, |_, seed| one_rep(seed));
         assert_eq!(serial, parallel);
@@ -227,7 +276,10 @@ mod tests {
 
     #[test]
     fn worker_count_does_not_change_results() {
-        let base = CampaignConfig::new(7, 9);
+        let base = CampaignConfig::builder()
+            .master_seed(7)
+            .replications(9)
+            .build();
         let r1 = run_replications(&base.with_workers(1), |_, s| one_rep(s));
         let r3 = run_replications(&base.with_workers(3), |_, s| one_rep(s));
         let r8 = run_replications(&base.with_workers(8), |_, s| one_rep(s));
@@ -237,7 +289,10 @@ mod tests {
 
     #[test]
     fn rep_seeds_are_distinct_and_stable() {
-        let cfg = CampaignConfig::new(1, 100);
+        let cfg = CampaignConfig::builder()
+            .master_seed(1)
+            .replications(100)
+            .build();
         let seeds: Vec<u64> = (0..100).map(|r| cfg.rep_seed(r)).collect();
         let unique: std::collections::HashSet<u64> = seeds.iter().copied().collect();
         assert_eq!(unique.len(), seeds.len());
@@ -246,14 +301,21 @@ mod tests {
 
     #[test]
     fn results_come_back_in_replication_order() {
-        let cfg = CampaignConfig::new(3, 32).with_workers(8);
+        let cfg = CampaignConfig::builder()
+            .master_seed(3)
+            .replications(32)
+            .workers(8)
+            .build();
         let reps = run_replications(&cfg, |rep, _| rep);
         assert_eq!(reps, (0..32).collect::<Vec<u64>>());
     }
 
     #[test]
     fn empty_campaign_is_empty() {
-        let cfg = CampaignConfig::new(0, 0);
+        let cfg = CampaignConfig::builder()
+            .master_seed(0)
+            .replications(0)
+            .build();
         let out: Vec<u64> = run_replications(&cfg, |rep, _| rep);
         assert!(out.is_empty());
     }

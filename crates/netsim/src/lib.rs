@@ -41,7 +41,9 @@ pub mod time;
 pub mod topology;
 pub mod traffic;
 
-pub use campaign::{run_indexed, run_replications, run_replications_serial, CampaignConfig};
+pub use campaign::{
+    run_indexed, run_replications, run_replications_serial, workers_from_env, CampaignConfig,
+};
 pub use capture::CaptureRecord;
 pub use clock::NodeClock;
 pub use filter::{Direction, FilterRule};

@@ -120,7 +120,10 @@ fn run_replication(seed: u64) -> (SimStats, u64, usize, usize) {
 #[test]
 fn parallel_campaign_is_bit_identical_to_serial() {
     for master_seed in [11, 4242, 990_001] {
-        let cfg = CampaignConfig::new(master_seed, 6);
+        let cfg = CampaignConfig::builder()
+            .master_seed(master_seed)
+            .replications(6)
+            .build();
         let serial = run_replications_serial(&cfg, |_rep, seed| run_replication(seed));
         for workers in [2, 4] {
             let par = run_replications(&cfg.with_workers(workers), |_rep, seed| {
@@ -137,7 +140,10 @@ fn parallel_campaign_is_bit_identical_to_serial() {
 
 #[test]
 fn workload_is_nontrivial_and_seeds_differ() {
-    let cfg = CampaignConfig::new(7, 4);
+    let cfg = CampaignConfig::builder()
+        .master_seed(7)
+        .replications(4)
+        .build();
     let results = run_replications_serial(&cfg, |_rep, seed| run_replication(seed));
     for (stats, _, n_caps, n_events) in &results {
         assert!(
@@ -159,7 +165,10 @@ fn workload_is_nontrivial_and_seeds_differ() {
 
 #[test]
 fn same_master_seed_reproduces_across_campaigns() {
-    let cfg = CampaignConfig::new(31_337, 3);
+    let cfg = CampaignConfig::builder()
+        .master_seed(31_337)
+        .replications(3)
+        .build();
     let a = run_replications(&cfg, |_rep, seed| run_replication(seed));
     let b = run_replications(&cfg, |_rep, seed| run_replication(seed));
     assert_eq!(a, b);

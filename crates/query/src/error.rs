@@ -1,0 +1,91 @@
+//! Typed errors of the query layer.
+
+use excovery_store::StoreError;
+use std::fmt;
+
+/// Everything that can go wrong building a [`Dataset`] or running a scan.
+///
+/// [`Dataset`]: crate::Dataset
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QueryError {
+    /// An underlying storage operation failed.
+    Store(StoreError),
+    /// The scanned table does not exist in the dataset.
+    NoSuchTable(String),
+    /// A referenced column does not exist in the scanned table.
+    NoSuchColumn {
+        /// Table being scanned.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// An operation was applied to a column of an incompatible type
+    /// (e.g. `quantile` over a text column).
+    TypeMismatch {
+        /// Column involved.
+        column: String,
+        /// What the operation expected.
+        expected: &'static str,
+    },
+    /// A plan shape the executor does not support (e.g. comparing two
+    /// columns to each other).
+    Unsupported(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Store(e) => write!(f, "query: {e}"),
+            QueryError::NoSuchTable(t) => write!(f, "query: no such table: {t}"),
+            QueryError::NoSuchColumn { table, column } => {
+                write!(f, "query: no such column {column:?} in table {table:?}")
+            }
+            QueryError::TypeMismatch { column, expected } => {
+                write!(f, "query: column {column:?} is not {expected}")
+            }
+            QueryError::Unsupported(what) => write!(f, "query: unsupported plan: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for QueryError {
+    fn from(e: StoreError) -> Self {
+        QueryError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_errors_convert_and_chain() {
+        let e: QueryError = StoreError("no such table: Events".into()).into();
+        assert!(matches!(e, QueryError::Store(_)));
+        assert!(e.to_string().contains("no such table"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_is_specific() {
+        let e = QueryError::NoSuchColumn {
+            table: "Events".into(),
+            column: "Nope".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "query: no such column \"Nope\" in table \"Events\""
+        );
+    }
+}

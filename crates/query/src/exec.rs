@@ -1,0 +1,400 @@
+//! Parallel scan execution with deterministic, partition-ordered merge.
+//!
+//! Partitions are scanned concurrently via the campaign fan-out primitive
+//! (`excovery_netsim::run_indexed`), which returns per-partition results
+//! in partition order regardless of scheduling. Aggregate partials are
+//! then merged serially in that fixed order, so every scan is
+//! bit-identical at any worker count — the same determinism contract the
+//! replication campaigns established.
+
+use crate::agg::AggPartial;
+use crate::column::{CellRef, ColumnTable, StringPool, Value};
+use crate::dataset::Partition;
+use crate::error::QueryError;
+use crate::plan::{Frame, Scan};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (FxHash-style) for the group-by maps. Map iteration
+/// order never reaches the result (group keys are sorted before emission,
+/// and merges are keyed), so SipHash's DoS resistance buys nothing in the
+/// scan hot loop while costing most of its time.
+#[derive(Default)]
+struct FxHasher(u64);
+
+const FX_SEED: u64 = 0x517cc1b727220a95;
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FX_SEED);
+        }
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(FX_SEED);
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(FX_SEED);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(FX_SEED);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A hashable group-by key cell (floats by bit pattern).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Null,
+    I64(i64),
+    F64(u64),
+    Str(u32),
+    Bytes(Vec<u8>),
+}
+
+fn key_of(cell: CellRef<'_>) -> Key {
+    match cell {
+        CellRef::Null => Key::Null,
+        CellRef::I64(v) => Key::I64(v),
+        CellRef::F64(v) => Key::F64(v.to_bits()),
+        CellRef::Str(id) => Key::Str(id),
+        CellRef::Bytes(b) => Key::Bytes(b.to_vec()),
+    }
+}
+
+fn key_value(key: &Key, pool: &StringPool) -> Value {
+    match key {
+        Key::Null => Value::Null,
+        Key::I64(v) => Value::I64(*v),
+        Key::F64(bits) => Value::F64(f64::from_bits(*bits)),
+        Key::Str(id) => Value::Str(pool.resolve(*id).to_string()),
+        Key::Bytes(b) => Value::Bytes(b.clone()),
+    }
+}
+
+/// `cmp_sql` over key cells: NULL < numbers < text < blob.
+fn cmp_key(a: &Key, b: &Key, pool: &StringPool) -> Ordering {
+    fn kind(k: &Key) -> u8 {
+        match k {
+            Key::Null => 0,
+            Key::I64(_) | Key::F64(_) => 1,
+            Key::Str(_) => 2,
+            Key::Bytes(_) => 3,
+        }
+    }
+    fn num(k: &Key) -> f64 {
+        match k {
+            Key::I64(v) => *v as f64,
+            Key::F64(bits) => f64::from_bits(*bits),
+            _ => unreachable!(),
+        }
+    }
+    kind(a).cmp(&kind(b)).then_with(|| match (a, b) {
+        (Key::Null, Key::Null) => Ordering::Equal,
+        (Key::Str(x), Key::Str(y)) => pool.resolve(*x).cmp(pool.resolve(*y)),
+        (Key::Bytes(x), Key::Bytes(y)) => x.cmp(y),
+        _ => num(a).partial_cmp(&num(b)).unwrap_or(Ordering::Equal),
+    })
+}
+
+/// `cmp_sql` over cells of one column (used by `sort_by`).
+fn cmp_cells(a: CellRef<'_>, b: CellRef<'_>, pool: &StringPool) -> Ordering {
+    fn kind(c: &CellRef<'_>) -> u8 {
+        match c {
+            CellRef::Null => 0,
+            CellRef::I64(_) | CellRef::F64(_) => 1,
+            CellRef::Str(_) => 2,
+            CellRef::Bytes(_) => 3,
+        }
+    }
+    fn num(c: CellRef<'_>) -> f64 {
+        match c {
+            CellRef::I64(v) => v as f64,
+            CellRef::F64(v) => v,
+            _ => unreachable!(),
+        }
+    }
+    kind(&a).cmp(&kind(&b)).then_with(|| match (a, b) {
+        (CellRef::Null, CellRef::Null) => Ordering::Equal,
+        (CellRef::Str(x), CellRef::Str(y)) => pool.resolve(x).cmp(pool.resolve(y)),
+        (CellRef::Bytes(x), CellRef::Bytes(y)) => x.cmp(y),
+        (a, b) => num(a).partial_cmp(&num(b)).unwrap_or(Ordering::Equal),
+    })
+}
+
+/// Per-partition result of an aggregate scan.
+struct PartAgg {
+    groups: FxMap<Vec<Key>, Vec<AggPartial>>,
+}
+
+pub(crate) fn execute(scan: Scan<'_>) -> Result<Frame, QueryError> {
+    let ds = scan.ds;
+    let schema = ds.schema(&scan.table)?.clone();
+    let col_index = |name: &str| -> Result<usize, QueryError> {
+        schema
+            .names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| QueryError::NoSuchColumn {
+                table: scan.table.clone(),
+                column: name.to_string(),
+            })
+    };
+    let group_cols: Vec<usize> = scan
+        .group_by
+        .iter()
+        .map(|c| col_index(c))
+        .collect::<Result<_, _>>()?;
+    let agg_cols: Vec<Option<usize>> = scan
+        .aggs
+        .iter()
+        .map(|a| a.input_column().map(&col_index).transpose())
+        .collect::<Result<_, _>>()?;
+    let agg_float: Vec<bool> = agg_cols
+        .iter()
+        .map(|c| c.is_some_and(|i| schema.kinds[i] == excovery_store::ColumnType::Real))
+        .collect();
+    let project: Vec<String> = scan.project.clone().unwrap_or_else(|| schema.names.clone());
+    let proj_cols: Vec<usize> = project
+        .iter()
+        .map(|c| col_index(c))
+        .collect::<Result<_, _>>()?;
+    let sort_col = scan.sort.as_deref().map(&col_index).transpose()?;
+    // Validate the filter's shape and column names once, against an
+    // empty table of the scanned schema (per-partition binding would
+    // miss tables absent from every partition).
+    if let Some(f) = &scan.filter {
+        let probe = ColumnTable::new(schema.names.clone(), schema.empty_slabs());
+        f.bind(&scan.table, &probe, &ds.pool)?;
+    }
+
+    // Partition selection with min/max pruning.
+    let mut parts: Vec<(&Partition, &ColumnTable)> = Vec::new();
+    let mut pruned = 0usize;
+    for p in &ds.partitions {
+        let Some(t) = p.tables.get(&scan.table) else {
+            continue;
+        };
+        if let Some(f) = &scan.filter {
+            let stats = |col: &str| p.int_column_stats(&scan.table, col);
+            if f.prunes(&stats) {
+                pruned += 1;
+                continue;
+            }
+        }
+        parts.push((p, t));
+    }
+    let rows_total: usize = parts.iter().map(|(_, t)| t.rows).sum();
+    if excovery_obs::enabled() {
+        let reg = excovery_obs::global();
+        reg.counter("query_partitions_scanned_total", &[])
+            .add(parts.len() as u64);
+        reg.counter("query_partitions_pruned_total", &[])
+            .add(pruned as u64);
+        reg.counter("query_rows_scanned_total", &[])
+            .add(rows_total as u64);
+    }
+
+    let workers = scan
+        .workers
+        .unwrap_or_else(excovery_netsim::workers_from_env);
+    let aggregate_mode = !scan.aggs.is_empty() || !scan.group_by.is_empty();
+
+    if aggregate_mode {
+        let partials = excovery_netsim::run_indexed(workers, parts.len(), |i| {
+            let (_, t) = parts[i];
+            timed_partition_scan(|| {
+                scan_partition_agg(&scan, t, &group_cols, &agg_cols, &agg_float)
+            })
+        });
+        // Serial merge in partition order: per-group merge order is
+        // fixed, so float merges are deterministic too.
+        let mut master: FxMap<Vec<Key>, Vec<AggPartial>> = FxMap::default();
+        for part in partials {
+            for (key, partial) in part?.groups {
+                match master.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        for (a, b) in e.get_mut().iter_mut().zip(&partial) {
+                            a.merge(b);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(partial);
+                    }
+                }
+            }
+        }
+        // A global aggregate (no group_by) over zero rows still yields
+        // one row: count 0, everything else NULL — like the row engine.
+        if scan.group_by.is_empty() && master.is_empty() {
+            master.insert(
+                Vec::new(),
+                scan.aggs
+                    .iter()
+                    .zip(&agg_float)
+                    .map(|(a, &f)| AggPartial::new(&a.spec, f))
+                    .collect(),
+            );
+        }
+        let mut keys: Vec<Vec<Key>> = master.keys().cloned().collect();
+        keys.sort_by(|a, b| {
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| cmp_key(x, y, &ds.pool))
+                .find(|o| *o != Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
+        });
+        let columns: Vec<String> = scan
+            .group_by
+            .iter()
+            .cloned()
+            .chain(scan.aggs.iter().map(|a| a.name.clone()))
+            .collect();
+        let rows: Vec<Vec<Value>> = keys
+            .iter()
+            .map(|key| {
+                let partials = &master[key];
+                key.iter()
+                    .map(|k| key_value(k, &ds.pool))
+                    .chain(
+                        partials
+                            .iter()
+                            .zip(&scan.aggs)
+                            .map(|(p, a)| p.finalize(&a.spec)),
+                    )
+                    .collect()
+            })
+            .collect();
+        Ok(Frame { columns, rows })
+    } else {
+        let chunks = excovery_netsim::run_indexed(workers, parts.len(), |i| {
+            let (_, t) = parts[i];
+            timed_partition_scan(|| scan_partition_rows(&scan, t, &proj_cols, sort_col))
+        });
+        let mut rows = Vec::new();
+        for chunk in chunks {
+            rows.extend(chunk?);
+        }
+        Ok(Frame {
+            columns: project,
+            rows,
+        })
+    }
+}
+
+/// Wraps one partition scan in an optional wall-clock observation.
+fn timed_partition_scan<T>(f: impl FnOnce() -> T) -> T {
+    let started = excovery_obs::enabled().then(std::time::Instant::now);
+    let out = f();
+    if let Some(t0) = started {
+        excovery_obs::global()
+            .histogram("query_partition_scan_ns", &[])
+            .observe(t0.elapsed().as_nanos() as u64);
+    }
+    out
+}
+
+fn scan_partition_agg(
+    scan: &Scan<'_>,
+    t: &ColumnTable,
+    group_cols: &[usize],
+    agg_cols: &[Option<usize>],
+    agg_float: &[bool],
+) -> Result<PartAgg, QueryError> {
+    let pool = &scan.ds.pool;
+    let bound = scan
+        .filter
+        .as_ref()
+        .map(|f| f.bind(&scan.table, t, pool))
+        .transpose()?;
+    let fresh_partials = || -> Vec<AggPartial> {
+        scan.aggs
+            .iter()
+            .zip(agg_float)
+            .map(|(a, &f)| AggPartial::new(&a.spec, f))
+            .collect()
+    };
+    let update = |partials: &mut Vec<AggPartial>, i: usize| {
+        for (partial, col) in partials.iter_mut().zip(agg_cols) {
+            let cell = match col {
+                Some(c) => t.slabs[*c].get(i),
+                None => CellRef::Null,
+            };
+            partial.update(cell);
+        }
+    };
+    let groups = if let [gc] = group_cols {
+        // Single group column (the overwhelmingly common shape): key the
+        // map by the bare `Key` so the hot loop allocates nothing per row.
+        let mut fast: FxMap<Key, Vec<AggPartial>> = FxMap::default();
+        for i in 0..t.rows {
+            if let Some(b) = &bound {
+                if !b.eval(t, i, pool) {
+                    continue;
+                }
+            }
+            let partials = fast
+                .entry(key_of(t.slabs[*gc].get(i)))
+                .or_insert_with(fresh_partials);
+            update(partials, i);
+        }
+        fast.into_iter().map(|(k, v)| (vec![k], v)).collect()
+    } else {
+        let mut groups: FxMap<Vec<Key>, Vec<AggPartial>> = FxMap::default();
+        for i in 0..t.rows {
+            if let Some(b) = &bound {
+                if !b.eval(t, i, pool) {
+                    continue;
+                }
+            }
+            let key: Vec<Key> = group_cols
+                .iter()
+                .map(|&c| key_of(t.slabs[c].get(i)))
+                .collect();
+            let partials = groups.entry(key).or_insert_with(fresh_partials);
+            update(partials, i);
+        }
+        groups
+    };
+    Ok(PartAgg { groups })
+}
+
+fn scan_partition_rows(
+    scan: &Scan<'_>,
+    t: &ColumnTable,
+    proj_cols: &[usize],
+    sort_col: Option<usize>,
+) -> Result<Vec<Vec<Value>>, QueryError> {
+    let pool = &scan.ds.pool;
+    let bound = scan
+        .filter
+        .as_ref()
+        .map(|f| f.bind(&scan.table, t, pool))
+        .transpose()?;
+    let mut idx: Vec<usize> = (0..t.rows)
+        .filter(|&i| bound.as_ref().is_none_or(|b| b.eval(t, i, pool)))
+        .collect();
+    if let Some(c) = sort_col {
+        let slab = &t.slabs[c];
+        // Stable, like the row engine's ORDER BY: equal keys keep
+        // insertion order.
+        idx.sort_by(|&a, &b| cmp_cells(slab.get(a), slab.get(b), pool));
+    }
+    Ok(idx
+        .into_iter()
+        .map(|i| {
+            proj_cols
+                .iter()
+                .map(|&c| t.slabs[c].value(i, pool))
+                .collect()
+        })
+        .collect())
+}

@@ -1,0 +1,440 @@
+//! Filter expressions, mirroring the row engine's `Predicate` semantics.
+//!
+//! Comparisons follow `SqlValue::cmp_sql` exactly: a total order with
+//! NULL < numbers < text < blob, `NULL = NULL` true, and mixed
+//! integer/float comparing numerically. The executor binds an [`Expr`]
+//! against one partition's column layout once, then evaluates the bound
+//! form per row without name lookups or allocation.
+
+use crate::column::{CellRef, ColumnTable, IntStats, StringPool, Value};
+use crate::error::QueryError;
+use std::cmp::Ordering;
+
+/// What a partition knows about one integer column: min/max stats (absent
+/// for all-null columns) plus the null count. `None` when the column is
+/// missing or not integer-typed.
+pub(crate) type ColumnStats = Option<(Option<IntStats>, usize)>;
+
+/// Comparison operators of `Expr::cmp` nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal under SQL ordering (`NULL = NULL` holds).
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// A filter expression over one table's columns.
+///
+/// Built with [`col`] and [`lit`]:
+///
+/// ```
+/// use excovery_query::{col, lit};
+/// let f = col("RunID").eq(lit(3i64)).and(col("EventType").eq(lit("sd_service_add")));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A named column reference.
+    Col(String),
+    /// A literal value.
+    Lit(Value),
+    /// Comparison of a column against a literal (either side).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Both sub-expressions hold.
+    And(Box<Expr>, Box<Expr>),
+    /// Either sub-expression holds.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+/// A column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Col(name.into())
+}
+
+/// A literal value.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Lit(v.into())
+}
+
+/// The NULL literal.
+pub fn null() -> Expr {
+    Expr::Lit(Value::Null)
+}
+
+impl Expr {
+    fn cmp(self, op: CmpOp, other: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(other))
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Eq, other)
+    }
+
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Ne, other)
+    }
+
+    /// `self < other` (SQL ordering: NULL sorts below every number).
+    pub fn lt(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Lt, other)
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Le, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Gt, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Ge, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Binds the expression against one partition's column layout,
+    /// resolving column names to slab indices and pre-interning string
+    /// literals for the id-equality fast path.
+    pub(crate) fn bind(
+        &self,
+        table_name: &str,
+        table: &ColumnTable,
+        pool: &StringPool,
+    ) -> Result<BoundExpr, QueryError> {
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => Err(QueryError::Unsupported(
+                "bare column/literal used as a filter (compare it with eq/lt/…)".into(),
+            )),
+            Expr::Cmp(op, a, b) => {
+                // Normalise to column-op-literal, flipping the operator
+                // when the literal is on the left.
+                let (name, value, op) = match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(c), Expr::Lit(v)) => (c, v, *op),
+                    (Expr::Lit(v), Expr::Col(c)) => (c, v, flip(*op)),
+                    _ => {
+                        return Err(QueryError::Unsupported(
+                            "comparison must be between a column and a literal".into(),
+                        ))
+                    }
+                };
+                let idx = table
+                    .column_index(name)
+                    .ok_or_else(|| QueryError::NoSuchColumn {
+                        table: table_name.to_string(),
+                        column: name.clone(),
+                    })?;
+                let lit = match value {
+                    Value::Null => BoundLit::Null,
+                    Value::I64(v) => BoundLit::Num(*v as f64),
+                    Value::F64(v) => BoundLit::Num(*v),
+                    Value::Str(s) => BoundLit::Str(s.clone(), pool.lookup(s)),
+                    Value::Bytes(b) => BoundLit::Bytes(b.clone()),
+                };
+                Ok(BoundExpr::Cmp(op, idx, lit))
+            }
+            Expr::And(a, b) => Ok(BoundExpr::And(
+                Box::new(a.bind(table_name, table, pool)?),
+                Box::new(b.bind(table_name, table, pool)?),
+            )),
+            Expr::Or(a, b) => Ok(BoundExpr::Or(
+                Box::new(a.bind(table_name, table, pool)?),
+                Box::new(b.bind(table_name, table, pool)?),
+            )),
+            Expr::Not(e) => Ok(BoundExpr::Not(Box::new(e.bind(table_name, table, pool)?))),
+        }
+    }
+
+    /// Conservative partition pruning: `true` only if NO row of a
+    /// partition whose integer column stats are given by `stats` can
+    /// match. `stats` returns `(min/max, null_count)` for integer
+    /// columns it knows about and `None` otherwise.
+    pub(crate) fn prunes(&self, stats: &dyn Fn(&str) -> ColumnStats) -> bool {
+        match self {
+            Expr::Cmp(op, a, b) => {
+                let (name, value, op) = match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(c), Expr::Lit(v)) => (c, v, *op),
+                    (Expr::Lit(v), Expr::Col(c)) => (c, v, flip(*op)),
+                    _ => return false,
+                };
+                let Value::I64(v) = value else { return false };
+                let v = *v;
+                let Some((range, null_count)) = stats(name) else {
+                    return false;
+                };
+                // NULL cells sort below every integer: they match Lt/Le
+                // against any integer literal, and never match Eq/Gt/Ge.
+                match (op, range) {
+                    // All cells NULL: only Lt/Le/Ne match NULL rows.
+                    (CmpOp::Eq | CmpOp::Gt | CmpOp::Ge, None) => true,
+                    (CmpOp::Eq, Some(s)) => null_count == 0 && (v < s.min || v > s.max),
+                    (CmpOp::Ne, Some(s)) => null_count == 0 && s.min == v && s.max == v,
+                    (CmpOp::Lt, Some(s)) => null_count == 0 && s.min >= v,
+                    (CmpOp::Le, Some(s)) => null_count == 0 && s.min > v,
+                    (CmpOp::Gt, Some(s)) => s.max <= v,
+                    (CmpOp::Ge, Some(s)) => s.max < v,
+                    _ => false,
+                }
+            }
+            Expr::And(a, b) => a.prunes(stats) || b.prunes(stats),
+            Expr::Or(a, b) => a.prunes(stats) && b.prunes(stats),
+            // `NOT e` could prune when e provably matches every row, but
+            // the stats cannot show that; stay conservative.
+            _ => false,
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// A literal bound for per-row comparison.
+#[derive(Debug, Clone)]
+pub(crate) enum BoundLit {
+    Null,
+    /// Integer and float literals both compare numerically (`cmp_sql`
+    /// puts them in one kind class).
+    Num(f64),
+    /// String literal plus its pool id, if interned anywhere in the
+    /// dataset (id equality is the Eq fast path).
+    Str(String, Option<u32>),
+    Bytes(Vec<u8>),
+}
+
+/// An [`Expr`] bound to one partition's column layout.
+#[derive(Debug, Clone)]
+pub(crate) enum BoundExpr {
+    Cmp(CmpOp, usize, BoundLit),
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    Not(Box<BoundExpr>),
+}
+
+/// Kind rank of `cmp_sql`'s total order: NULL < numbers < text < blob.
+fn lit_kind(lit: &BoundLit) -> u8 {
+    match lit {
+        BoundLit::Null => 0,
+        BoundLit::Num(_) => 1,
+        BoundLit::Str(..) => 2,
+        BoundLit::Bytes(_) => 3,
+    }
+}
+
+fn cell_kind(cell: &CellRef<'_>) -> u8 {
+    match cell {
+        CellRef::Null => 0,
+        CellRef::I64(_) | CellRef::F64(_) => 1,
+        CellRef::Str(_) => 2,
+        CellRef::Bytes(_) => 3,
+    }
+}
+
+/// `cmp_sql(cell, literal)` over the columnar representation.
+fn cmp_cell(cell: CellRef<'_>, lit: &BoundLit, pool: &StringPool) -> Ordering {
+    let (ka, kb) = (cell_kind(&cell), lit_kind(lit));
+    if ka != kb {
+        return ka.cmp(&kb);
+    }
+    match (cell, lit) {
+        (CellRef::Null, BoundLit::Null) => Ordering::Equal,
+        (CellRef::I64(a), BoundLit::Num(b)) => (a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+        (CellRef::F64(a), BoundLit::Num(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+        (CellRef::Str(id), BoundLit::Str(s, interned)) => {
+            if *interned == Some(id) {
+                Ordering::Equal
+            } else {
+                pool.resolve(id).cmp(s.as_str())
+            }
+        }
+        (CellRef::Bytes(a), BoundLit::Bytes(b)) => a.cmp(b.as_slice()),
+        _ => Ordering::Equal, // unreachable: kinds already matched
+    }
+}
+
+impl BoundExpr {
+    /// Evaluates the filter for row `i` of `table`.
+    pub(crate) fn eval(&self, table: &ColumnTable, i: usize, pool: &StringPool) -> bool {
+        match self {
+            BoundExpr::Cmp(op, idx, lit) => {
+                op.matches(cmp_cell(table.slabs[*idx].get(i), lit, pool))
+            }
+            BoundExpr::And(a, b) => a.eval(table, i, pool) && b.eval(table, i, pool),
+            BoundExpr::Or(a, b) => a.eval(table, i, pool) || b.eval(table, i, pool),
+            BoundExpr::Not(e) => !e.eval(table, i, pool),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::{IntStats, Slab};
+
+    fn table(pool: &mut StringPool) -> ColumnTable {
+        let mut ids = Slab::empty_i64();
+        let mut names = Slab::empty_str();
+        for (id, name) in [(3i64, "a"), (5, "b"), (7, "a")] {
+            ids.push_i64(id);
+            names.push_str(pool.intern(name));
+        }
+        ids.push_null();
+        names.push_null();
+        let mut t = ColumnTable::new(vec!["Id".into(), "Name".into()], vec![ids, names]);
+        t.rows = 4;
+        t
+    }
+
+    fn matches(e: &Expr, t: &ColumnTable, pool: &StringPool) -> Vec<usize> {
+        let b = e.bind("T", t, pool).unwrap();
+        (0..t.rows).filter(|&i| b.eval(t, i, pool)).collect()
+    }
+
+    #[test]
+    fn comparisons_follow_sql_ordering() {
+        let mut pool = StringPool::new();
+        let t = table(&mut pool);
+        assert_eq!(matches(&col("Id").eq(lit(5i64)), &t, &pool), vec![1]);
+        // NULL < every integer, so Lt matches the NULL row too.
+        assert_eq!(matches(&col("Id").lt(lit(5i64)), &t, &pool), vec![0, 3]);
+        assert_eq!(matches(&col("Id").gt(lit(3i64)), &t, &pool), vec![1, 2]);
+        assert_eq!(matches(&col("Id").ge(lit(5i64)), &t, &pool), vec![1, 2]);
+        assert_eq!(matches(&col("Id").ne(lit(3i64)), &t, &pool), vec![1, 2, 3]);
+        // NULL = NULL holds (cmp_sql simplification).
+        assert_eq!(matches(&col("Id").eq(null()), &t, &pool), vec![3]);
+        // Integers sort below text.
+        assert_eq!(
+            matches(&col("Id").lt(lit("z")), &t, &pool),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn string_eq_uses_interned_ids_and_falls_back() {
+        let mut pool = StringPool::new();
+        let t = table(&mut pool);
+        assert_eq!(matches(&col("Name").eq(lit("a")), &t, &pool), vec![0, 2]);
+        // A never-interned literal matches nothing but still orders.
+        assert_eq!(
+            matches(&col("Name").eq(lit("zz")), &t, &pool),
+            Vec::<usize>::new()
+        );
+        assert_eq!(matches(&col("Name").lt(lit("b")), &t, &pool), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn boolean_connectives_and_flipped_literals() {
+        let mut pool = StringPool::new();
+        let t = table(&mut pool);
+        let e = col("Id").gt(lit(3i64)).and(col("Name").eq(lit("a")));
+        assert_eq!(matches(&e, &t, &pool), vec![2]);
+        let e = col("Id").eq(lit(3i64)).or(col("Id").eq(lit(7i64)));
+        assert_eq!(matches(&e, &t, &pool), vec![0, 2]);
+        assert_eq!(
+            matches(&col("Id").eq(lit(3i64)).not(), &t, &pool),
+            vec![1, 2, 3]
+        );
+        // lit < col is col > lit.
+        assert_eq!(matches(&lit(3i64).lt(col("Id")), &t, &pool), vec![1, 2]);
+    }
+
+    #[test]
+    fn bad_shapes_are_typed_errors() {
+        let mut pool = StringPool::new();
+        let t = table(&mut pool);
+        assert!(matches!(
+            col("Nope").eq(lit(1i64)).bind("T", &t, &pool),
+            Err(QueryError::NoSuchColumn { .. })
+        ));
+        assert!(matches!(
+            col("Id").bind("T", &t, &pool),
+            Err(QueryError::Unsupported(_))
+        ));
+        assert!(matches!(
+            col("Id").eq(col("Name")).bind("T", &t, &pool),
+            Err(QueryError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn pruning_respects_null_semantics() {
+        let some = |min: i64, max: i64, nulls: usize| {
+            move |name: &str| (name == "Id").then_some((Some(IntStats { min, max }), nulls))
+        };
+        // Eq outside range prunes only when null-free.
+        assert!(col("Id").eq(lit(99i64)).prunes(&some(1, 10, 0)));
+        assert!(!col("Id").eq(lit(99i64)).prunes(&some(1, 10, 1)));
+        assert!(!col("Id").eq(lit(5i64)).prunes(&some(1, 10, 0)));
+        // Lt matches NULL cells, so it never prunes a column with nulls.
+        assert!(col("Id").lt(lit(1i64)).prunes(&some(1, 10, 0)));
+        assert!(!col("Id").lt(lit(1i64)).prunes(&some(1, 10, 3)));
+        // Gt never matches NULLs; nulls don't block the prune.
+        assert!(col("Id").gt(lit(10i64)).prunes(&some(1, 10, 5)));
+        assert!(!col("Id").gt(lit(9i64)).prunes(&some(1, 10, 0)));
+        // All-null column: Eq/Gt/Ge can never match.
+        let all_null = |name: &str| (name == "Id").then_some((None, 4usize));
+        assert!(col("Id").eq(lit(1i64)).prunes(&all_null));
+        assert!(col("Id").gt(lit(1i64)).prunes(&all_null));
+        assert!(!col("Id").lt(lit(1i64)).prunes(&all_null));
+        // Connectives: And prunes if either side does, Or needs both.
+        assert!(col("Id")
+            .eq(lit(99i64))
+            .and(col("Id").eq(lit(5i64)))
+            .prunes(&some(1, 10, 0)));
+        assert!(!col("Id")
+            .eq(lit(99i64))
+            .or(col("Id").eq(lit(5i64)))
+            .prunes(&some(1, 10, 0)));
+        // Unknown column/type: never prune.
+        assert!(!col("Name").eq(lit("x")).prunes(&some(1, 10, 0)));
+    }
+}

@@ -166,6 +166,10 @@ pub fn build_warehouse(packages: &[(&str, &Database)]) -> Result<Database, Store
 }
 
 /// Convenience slice: mean response time (seconds) per experiment key.
+#[deprecated(
+    note = "use `excovery_query::warehouse::mean_response_time_by_experiment`, \
+            the columnar (and bit-identical) replacement"
+)]
 pub fn mean_response_time_by_experiment(wh: &Database) -> Result<BTreeMap<i64, f64>, StoreError> {
     let facts = wh.table("FactDiscovery")?;
     let mut out = BTreeMap::new();
@@ -244,6 +248,7 @@ mod tests {
         let wh = build_warehouse(&[("fast", &a), ("slow", &b)]).unwrap();
         assert_eq!(wh.table("DimExperiment").unwrap().len(), 2);
         assert_eq!(wh.table("FactDiscovery").unwrap().len(), 2);
+        #[allow(deprecated)]
         let means = mean_response_time_by_experiment(&wh).unwrap();
         assert_eq!(means.len(), 2);
         assert!(means[&0] < means[&1], "fast < slow: {means:?}");

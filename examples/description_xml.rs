@@ -10,7 +10,7 @@
 
 use excovery::desc::validate::validate_strict;
 use excovery::desc::xmlio::{from_xml, to_xml};
-use excovery::desc::ExperimentDescription;
+use excovery::prelude::*;
 
 fn main() -> Result<(), String> {
     let desc = ExperimentDescription::paper_two_party_sd(1000);

@@ -12,8 +12,8 @@
 
 use excovery::analysis::responsiveness::{format_curve, responsiveness_by_treatment};
 use excovery::engine::scenarios::loss_sweep;
-use excovery::engine::{EngineConfig, ExperiMaster};
 use excovery::netsim::topology::Topology;
+use excovery::prelude::*;
 use std::collections::HashMap;
 
 fn main() -> Result<(), String> {

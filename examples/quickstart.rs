@@ -9,9 +9,7 @@
 //! ```
 
 use excovery::analysis::responsiveness::{format_curve, responsiveness_curve};
-use excovery::analysis::runs::RunView;
-use excovery::desc::ExperimentDescription;
-use excovery::engine::{EngineConfig, ExperiMaster};
+use excovery::prelude::*;
 use excovery::store::records::EventRow;
 use excovery::store::schema::verify_schema;
 

@@ -11,10 +11,9 @@
 //! ```
 
 use excovery::analysis::responsiveness::{format_curve, responsiveness_curve};
-use excovery::analysis::runs::RunView;
 use excovery::engine::scenarios::multi_sm;
-use excovery::engine::{EngineConfig, ExperiMaster};
 use excovery::netsim::topology::Topology;
+use excovery::prelude::*;
 
 fn main() -> Result<(), String> {
     let n_sm = 3;

@@ -9,8 +9,7 @@
 //! ```
 
 use excovery::analysis::timeline::Timeline;
-use excovery::desc::ExperimentDescription;
-use excovery::engine::{EngineConfig, ExperiMaster};
+use excovery::prelude::*;
 use excovery::store::records::EventRow;
 use std::collections::BTreeMap;
 

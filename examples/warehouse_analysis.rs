@@ -10,12 +10,12 @@
 //! ```
 
 use excovery::engine::scenarios::{chain_between_actors, hop_distance};
-use excovery::engine::{EngineConfig, ExperiMaster};
-use excovery::store::repository::Repository;
-use excovery::store::warehouse::{build_warehouse, mean_response_time_by_experiment};
+use excovery::prelude::*;
+use excovery::query::warehouse::mean_response_time_by_experiment;
+use excovery::store::warehouse::build_warehouse;
 use excovery::store::{Predicate, SqlValue};
 
-fn run_on(cfg: EngineConfig, seed: u64) -> Result<excovery::store::Database, String> {
+fn run_on(cfg: EngineConfig, seed: u64) -> Result<Database, String> {
     let desc = hop_distance(15, seed);
     let mut cfg = cfg;
     cfg.topology = chain_between_actors(3);
@@ -61,16 +61,23 @@ fn main() -> Result<(), String> {
         println!("  {name:<16} {mean:.4} s");
     }
 
-    // 5. Fact-level predicate query: discoveries slower than 100 ms.
-    let slow = wh
-        .table("FactDiscovery")
+    // 5. Fact-level predicate query as a columnar pipeline: discoveries
+    //    slower than 100 ms, with run-pruning pushdown.
+    let ds = Dataset::builder()
+        .partition_by("RunKey")
+        .add_package("warehouse", &wh)
         .map_err(|e| e.to_string())?
-        .count(&Predicate::Gt(
-            "ResponseTimeNs".into(),
-            SqlValue::Int(100_000_000),
-        ))
+        .build();
+    let slow = ds
+        .scan("FactDiscovery")
+        .filter(col("ResponseTimeNs").gt(lit(100_000_000i64)))
+        .agg([Agg::count()])
+        .collect()
         .map_err(|e| e.to_string())?;
-    println!("\ndiscoveries slower than 100 ms across both platforms: {slow}");
+    println!(
+        "\ndiscoveries slower than 100 ms across both platforms: {}",
+        slow.rows[0][0]
+    );
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

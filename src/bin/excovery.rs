@@ -19,14 +19,12 @@
 //! ```
 
 use excovery::analysis::responsiveness::{format_curve, responsiveness_curve};
-use excovery::analysis::runs::RunView;
 use excovery::analysis::timeline::Timeline;
 use excovery::desc::xmlio::from_xml;
-use excovery::desc::ExperimentDescription;
-use excovery::engine::{EngineConfig, ExperiMaster, TransportKind};
+use excovery::engine::TransportKind;
 use excovery::netsim::topology::Topology;
+use excovery::prelude::*;
 use excovery::store::records::{EventRow, ExperimentInfo};
-use excovery::store::Database;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -343,10 +341,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         .unwrap_or("1")
         .parse()
         .map_err(|_| "bad --k")?;
-    let opts = excovery::analysis::report::ReportOptions {
-        k,
-        ..Default::default()
-    };
+    let opts = ReportOptions::builder().k(k).build();
     let report = excovery::analysis::report::render(&db, &opts).map_err(|e| e.to_string())?;
     match flag_value(args, "--out") {
         Some(path) => {
@@ -359,7 +354,6 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_repo(args: &[String]) -> Result<(), String> {
-    use excovery::store::repository::Repository;
     let dir = positional(args, "repository directory")?;
     let repo = Repository::open(dir).map_err(|e| e.to_string())?;
     let sub = args

@@ -17,6 +17,8 @@
 //!   measurement and recording),
 //! * [`store`] — the four-level measurement storage with the paper's
 //!   Table I relational schema,
+//! * [`query`] — the columnar, parallel query layer over stored packages
+//!   (typed column slabs, predicate pushdown, deterministic group-by),
 //! * [`analysis`] — conditioning, metrics (responsiveness, t_R) and
 //!   timeline visualization,
 //! * [`obs`] — the observability subsystem: lock-free metrics,
@@ -46,7 +48,40 @@ pub use excovery_core as engine;
 pub use excovery_desc as desc;
 pub use excovery_netsim as netsim;
 pub use excovery_obs as obs;
+pub use excovery_query as query;
 pub use excovery_rpc as rpc;
 pub use excovery_sd as sd;
 pub use excovery_store as store;
 pub use excovery_xml as xml;
+
+/// One-per-concern entry points, for `use excovery::prelude::*`.
+///
+/// * describe an experiment — [`ExperimentDescription`](prelude::ExperimentDescription),
+/// * execute it — [`EngineConfig`](prelude::EngineConfig) (via
+///   `EngineConfig::builder()`) and [`ExperiMaster`](prelude::ExperiMaster),
+/// * fan replications out — [`CampaignConfig`](prelude::CampaignConfig)
+///   (via `CampaignConfig::builder()`),
+/// * store and archive packages — [`Database`](prelude::Database) and
+///   [`Repository`](prelude::Repository),
+/// * query measurements — [`Dataset`](prelude::Dataset) with
+///   [`col`](prelude::col)/[`lit`](prelude::lit) predicates and
+///   [`Agg`](prelude::Agg) aggregates,
+/// * analyze — [`ExperimentDataset`](prelude::ExperimentDataset),
+///   [`RunView`](prelude::RunView) and
+///   [`ReportOptions`](prelude::ReportOptions) (via
+///   `ReportOptions::builder()`).
+///
+/// The error set of those layers — [`EngineError`](prelude::EngineError),
+/// [`StoreError`](prelude::StoreError),
+/// [`QueryError`](prelude::QueryError),
+/// [`AnalysisError`](prelude::AnalysisError) — rides along, so `?`-heavy
+/// harnesses only need this one import.
+pub mod prelude {
+    pub use excovery_analysis::report::ReportOptions;
+    pub use excovery_analysis::{AnalysisError, DiscoveryEpisode, ExperimentDataset, RunView};
+    pub use excovery_core::{EngineConfig, EngineError, ExperiMaster, ExperimentOutcome};
+    pub use excovery_desc::ExperimentDescription;
+    pub use excovery_netsim::CampaignConfig;
+    pub use excovery_query::{col, lit, Agg, Dataset, Frame, QueryError};
+    pub use excovery_store::{Database, Repository, StoreError};
+}

@@ -1,0 +1,258 @@
+//! Parity suite for the columnar query redesign.
+//!
+//! Every analysis/warehouse aggregate rewritten on top of
+//! `excovery_query::Dataset` must be **bit-identical** to its
+//! pre-redesign, hand-rolled row-scan implementation — on real
+//! engine-produced packages from the golden-outcome platform presets, not
+//! just synthetic tables. The pre-redesign implementations are inlined
+//! here verbatim as the reference.
+//!
+//! The CI chaos matrix runs this binary under `EXCOVERY_WORKERS=1` and
+//! `EXCOVERY_WORKERS=4`, so every assertion doubles as a
+//! serial-vs-parallel equivalence check.
+
+use excovery::analysis::responsiveness::{responsiveness_curve, ResponsivenessPoint};
+use excovery::desc::process::{EventSelector, ProcessAction};
+use excovery::prelude::*;
+use excovery::store::records::{EventRow, RunInfoRow};
+use excovery::store::warehouse::build_warehouse;
+use excovery::store::{Aggregate, Predicate};
+use std::collections::BTreeMap;
+
+/// The golden-outcome experiment: the paper's two-party SD description
+/// trimmed to a single factor (same trim as the engine's golden digest
+/// suite), 2 replications per treatment.
+fn desc(seed: u64) -> ExperimentDescription {
+    let mut d = ExperimentDescription::paper_two_party_sd(2);
+    d.factors
+        .factors
+        .retain(|f| f.id != "fact_bw" && f.id != "fact_pairs");
+    d.env_processes[0].actions = vec![
+        ProcessAction::EventFlag {
+            value: "ready_to_init".into(),
+        },
+        ProcessAction::WaitForEvent(EventSelector::named("done")),
+    ];
+    d.seed = seed;
+    d
+}
+
+type Preset = (&'static str, fn() -> EngineConfig);
+
+fn presets() -> Vec<Preset> {
+    vec![
+        ("grid_default", EngineConfig::grid_default),
+        ("wired_lan", EngineConfig::wired_lan),
+        ("lossy_mesh", EngineConfig::lossy_mesh),
+    ]
+}
+
+fn outcome_of(preset: fn() -> EngineConfig, seed: u64) -> ExperimentOutcome {
+    let mut master = ExperiMaster::new(desc(seed), preset()).unwrap();
+    master.execute().unwrap()
+}
+
+fn assert_curves_bit_identical(
+    name: &str,
+    old: &BTreeMap<String, Vec<ResponsivenessPoint>>,
+    new: &BTreeMap<String, Vec<ResponsivenessPoint>>,
+) {
+    assert_eq!(
+        old.keys().collect::<Vec<_>>(),
+        new.keys().collect::<Vec<_>>(),
+        "{name}: treatment keys"
+    );
+    for (key, old_curve) in old {
+        let new_curve = &new[key];
+        assert_eq!(old_curve.len(), new_curve.len(), "{name}/{key}: points");
+        for (o, n) in old_curve.iter().zip(new_curve) {
+            assert_eq!(
+                o.deadline_s.to_bits(),
+                n.deadline_s.to_bits(),
+                "{name}/{key}"
+            );
+            assert_eq!(
+                o.probability.to_bits(),
+                n.probability.to_bits(),
+                "{name}/{key} @ {}",
+                o.deadline_s
+            );
+            assert_eq!(o.ci_low.to_bits(), n.ci_low.to_bits(), "{name}/{key}");
+            assert_eq!(o.ci_high.to_bits(), n.ci_high.to_bits(), "{name}/{key}");
+            assert_eq!(o.episodes, n.episodes, "{name}/{key}");
+        }
+    }
+}
+
+// ---- pre-redesign reference implementations (inlined verbatim) -------------
+
+fn old_run_ids(db: &Database) -> Vec<u64> {
+    let mut ids: Vec<u64> = EventRow::read_all(db)
+        .unwrap()
+        .into_iter()
+        .map(|e| e.run_id)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+fn old_packets_per_run(db: &Database) -> BTreeMap<u64, usize> {
+    let table = db.table("Packets").unwrap();
+    let mut out = BTreeMap::new();
+    for row in table.rows() {
+        let run = row[0].as_int().unwrap_or(-1);
+        if run >= 0 {
+            *out.entry(run as u64).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+fn old_responsiveness_by_treatment(
+    db: &Database,
+    treatment_of_run: &dyn Fn(u64) -> String,
+    k: usize,
+    deadlines_s: &[f64],
+) -> BTreeMap<String, Vec<ResponsivenessPoint>> {
+    let mut grouped: BTreeMap<String, Vec<DiscoveryEpisode>> = BTreeMap::new();
+    for run_id in RunInfoRow::run_ids(db).unwrap() {
+        let eps = RunView::load(db, run_id).unwrap().episodes();
+        grouped
+            .entry(treatment_of_run(run_id))
+            .or_default()
+            .extend(eps);
+    }
+    grouped
+        .into_iter()
+        .map(|(key, eps)| (key, responsiveness_curve(&eps, k, deadlines_s)))
+        .collect()
+}
+
+fn old_mean_response_time_by_experiment(wh: &Database) -> BTreeMap<i64, f64> {
+    let facts = wh.table("FactDiscovery").unwrap();
+    let mut out = BTreeMap::new();
+    for exp in facts.distinct("ExpKey", &Predicate::True).unwrap() {
+        let Some(key) = exp.as_int() else { continue };
+        if let Some(mean) = facts
+            .aggregate(
+                "ResponseTimeNs",
+                &Predicate::Eq("ExpKey".into(), exp.clone()),
+                Aggregate::Avg,
+            )
+            .unwrap()
+        {
+            out.insert(key, mean / 1e9);
+        }
+    }
+    out
+}
+
+// ---- parity assertions over the golden presets -----------------------------
+
+#[test]
+fn run_inventories_and_episodes_match_pre_redesign() {
+    for (name, preset) in presets() {
+        let db = outcome_of(preset, 7).database;
+        let ds = ExperimentDataset::new(&db).unwrap();
+        assert_eq!(ds.run_ids().unwrap(), old_run_ids(&db), "{name}");
+        assert_eq!(
+            ds.run_ids_with_info().unwrap(),
+            RunInfoRow::run_ids(&db).unwrap(),
+            "{name}"
+        );
+        // Episodes: derived t_R values are exact i64 arithmetic, so plain
+        // equality here is bit-equality.
+        assert_eq!(
+            ds.episodes().unwrap(),
+            RunView::all_episodes(&db).unwrap(),
+            "{name}"
+        );
+        let by_run = ds.episodes_by_run().unwrap();
+        for run in old_run_ids(&db) {
+            let old = RunView::load(&db, run).unwrap().episodes();
+            let new = by_run.get(&run).cloned().unwrap_or_default();
+            assert_eq!(new, old, "{name} run {run}");
+        }
+    }
+}
+
+#[test]
+fn packet_volumes_match_pre_redesign() {
+    for (name, preset) in presets() {
+        let db = outcome_of(preset, 7).database;
+        assert_eq!(
+            excovery::analysis::packetstats::packets_per_run(&db).unwrap(),
+            old_packets_per_run(&db),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn responsiveness_by_treatment_matches_pre_redesign() {
+    let deadlines = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0];
+    for (name, preset) in presets() {
+        let outcome = outcome_of(preset, 7);
+        let by_run: BTreeMap<u64, String> = outcome
+            .runs
+            .iter()
+            .map(|r| (r.run_id, r.treatment_key.clone()))
+            .collect();
+        let treatment = |run: u64| by_run.get(&run).cloned().unwrap_or_default();
+        let old = old_responsiveness_by_treatment(&outcome.database, &treatment, 1, &deadlines);
+        let new = excovery::analysis::responsiveness::responsiveness_by_treatment(
+            &outcome.database,
+            &treatment,
+            1,
+            &deadlines,
+        )
+        .unwrap();
+        assert_curves_bit_identical(name, &old, &new);
+    }
+}
+
+#[test]
+fn warehouse_mean_matches_pre_redesign_across_presets() {
+    // One warehouse spanning all three presets — a ≥3-experiment scan.
+    let outcomes: Vec<(&str, Database)> = presets()
+        .into_iter()
+        .map(|(name, preset)| (name, outcome_of(preset, 7).database))
+        .collect();
+    let packages: Vec<(&str, &Database)> = outcomes.iter().map(|(n, db)| (*n, db)).collect();
+    let wh = build_warehouse(&packages).unwrap();
+    let old = old_mean_response_time_by_experiment(&wh);
+    let new = excovery::query::warehouse::mean_response_time_by_experiment(&wh).unwrap();
+    assert_eq!(
+        old.keys().collect::<Vec<_>>(),
+        new.keys().collect::<Vec<_>>()
+    );
+    for (key, mean) in &old {
+        assert_eq!(
+            mean.to_bits(),
+            new[key].to_bits(),
+            "experiment {key}: {} vs {}",
+            mean,
+            new[key]
+        );
+    }
+}
+
+#[test]
+fn report_render_is_deterministic_and_complete() {
+    let db = outcome_of(EngineConfig::grid_default, 7).database;
+    let opts = ReportOptions::default();
+    let a = excovery::analysis::report::render(&db, &opts).unwrap();
+    let b = excovery::analysis::report::render(&db, &opts).unwrap();
+    assert_eq!(a, b, "render must be a pure function of the package");
+    for needle in [
+        "# Experiment report:",
+        "## Responsiveness (k = 1)",
+        "## Response time t_R",
+        "## Packet captures",
+        "## Event/packet consistency",
+        "## Runs",
+    ] {
+        assert!(a.contains(needle), "missing {needle}");
+    }
+}
