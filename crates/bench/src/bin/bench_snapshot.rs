@@ -3,10 +3,19 @@
 //!
 //! Criterion runs take minutes; this finishes in seconds, which makes it
 //! usable as a CI smoke check that the hot paths still execute and their
-//! *deterministic* outputs (events processed, packets delivered) still
-//! match the committed snapshot. Timing fields are recorded for local
-//! before/after comparisons but vary by machine — only the `events` and
-//! `delivered` fields are expected to be stable across environments.
+//! *deterministic* outputs (events processed, packets delivered, state
+//! digests) still match the committed snapshot. Timing fields are recorded
+//! for local before/after comparisons but vary by machine — only the
+//! `events`, packet-counter and `digest` fields are expected to be stable
+//! across environments. The `note` field carries per-row provenance (what
+//! the row measures, when and why it was last re-blessed) and is not
+//! compared.
+//!
+//! The `flood_grid100x100_1Mpkts` pair additionally exercises the sharded
+//! executor: the same ~1M-packet-event flood runs with 1 and 4 spatial
+//! shards, the binary asserts the two state digests are bit-identical, and
+//! the sharded row records the per-shard event split plus the number of
+//! cross-shard mailbox crossings as deterministic fields.
 //!
 //! Usage: `bench_snapshot [output-path]` (default `BENCH_netsim.json`).
 
@@ -25,18 +34,46 @@ impl Agent for Sink {
     }
 }
 
-/// One timed workload: median wall time over `iters` runs plus the
-/// deterministic event count and stats of a single run.
-struct Sample {
-    name: &'static str,
-    ns_per_iter: u128,
+/// Deterministic outputs of one workload execution.
+struct RunOut {
     events: u64,
     stats: SimStats,
+    digest: u64,
+    /// Per-shard event split — only recorded for explicitly sharded rows.
+    shard_events: Option<Vec<u64>>,
+    /// Cross-shard mailbox crossings — only for explicitly sharded rows.
+    crossings: Option<u64>,
 }
 
-fn measure(name: &'static str, iters: u32, mut run: impl FnMut() -> (u64, SimStats)) -> Sample {
+impl RunOut {
+    fn of(sim: &Simulator, events: u64, sharded: bool) -> Self {
+        Self {
+            events,
+            stats: sim.stats(),
+            digest: sim.state_digest(),
+            shard_events: sharded.then(|| sim.events_per_shard()),
+            crossings: sharded.then(|| sim.mailbox_crossings()),
+        }
+    }
+}
+
+/// One timed workload: median wall time over `iters` runs plus the
+/// deterministic outputs of a single run.
+struct Sample {
+    name: &'static str,
+    note: &'static str,
+    ns_per_iter: u128,
+    out: RunOut,
+}
+
+fn measure(
+    name: &'static str,
+    note: &'static str,
+    iters: u32,
+    mut run: impl FnMut() -> RunOut,
+) -> Sample {
     // Warm-up run also provides the deterministic outputs.
-    let (events, stats) = run();
+    let out = run();
     let mut times: Vec<u128> = (0..iters)
         .map(|_| {
             let t = Instant::now();
@@ -47,13 +84,13 @@ fn measure(name: &'static str, iters: u32, mut run: impl FnMut() -> (u64, SimSta
     times.sort_unstable();
     Sample {
         name,
+        note,
         ns_per_iter: times[times.len() / 2],
-        events,
-        stats,
+        out,
     }
 }
 
-fn unicast_4hops_with(publish_obs: bool) -> (u64, SimStats) {
+fn unicast_4hops_with(publish_obs: bool) -> RunOut {
     let mut sim = Simulator::new(Topology::chain(5), SimulatorConfig::perfect_clocks(1));
     sim.install_agent(NodeId(4), 9, Box::new(Sink));
     for _ in 0..1_000u64 {
@@ -68,14 +105,14 @@ fn unicast_4hops_with(publish_obs: bool) -> (u64, SimStats) {
     if publish_obs {
         sim.publish_obs();
     }
-    (events, sim.stats())
+    RunOut::of(&sim, events, false)
 }
 
-fn unicast_4hops() -> (u64, SimStats) {
+fn unicast_4hops() -> RunOut {
     unicast_4hops_with(false)
 }
 
-fn flood_grid5x5() -> (u64, SimStats) {
+fn flood_grid5x5() -> RunOut {
     let mut sim = Simulator::new(Topology::grid(5, 5), SimulatorConfig::perfect_clocks(2));
     for n in 1..25u16 {
         sim.install_agent(NodeId(n), 9, Box::new(Sink));
@@ -84,10 +121,28 @@ fn flood_grid5x5() -> (u64, SimStats) {
         sim.send_from(NodeId(0), 9, Destination::Multicast, Payload::from("x"));
     }
     let events = sim.run_until_idle(10_000_000);
-    (events, sim.stats())
+    RunOut::of(&sim, events, false)
 }
 
-fn campaign(workers: usize) -> (u64, SimStats) {
+/// The sharded-executor headline workload: a 10 000-node grid flooded with
+/// 50 mesh-wide multicasts ≈ one million packet events (each send reaches
+/// 9 999 subscribers and is relayed once per node).
+fn flood_grid100x100(shards: usize) -> RunOut {
+    let mut sim = Simulator::new(
+        Topology::grid(100, 100),
+        SimulatorConfig::perfect_clocks(4).with_shards(shards),
+    );
+    for n in 1..10_000u16 {
+        sim.install_agent(NodeId(n), 9, Box::new(Sink));
+    }
+    for _ in 0..50u64 {
+        sim.send_from(NodeId(0), 9, Destination::Multicast, Payload::from("x"));
+    }
+    let events = sim.run_until_idle(4_000_000);
+    RunOut::of(&sim, events, shards > 1)
+}
+
+fn campaign(workers: usize) -> RunOut {
     let reps = run_replications(
         &CampaignConfig::builder()
             .master_seed(3)
@@ -106,34 +161,63 @@ fn campaign(workers: usize) -> (u64, SimStats) {
                 );
             }
             let events = sim.run_until_idle(1_000_000);
-            (events, sim.stats())
+            (events, sim.stats(), sim.state_digest())
         },
     );
-    reps.into_iter().fold(
-        (0, SimStats::default()),
-        |(ev, mut acc), (events, stats)| {
-            acc.sent += stats.sent;
-            acc.delivered += stats.delivered;
-            acc.forwarded += stats.forwarded;
-            (ev + events, acc)
+    // Fold the per-replication digests in replication order so the
+    // campaign rows also pin cross-replication determinism.
+    let mut out = reps.into_iter().fold(
+        RunOut {
+            events: 0,
+            stats: SimStats::default(),
+            digest: 0xcbf2_9ce4_8422_2325,
+            shard_events: None,
+            crossings: None,
         },
-    )
+        |mut acc, (events, stats, digest)| {
+            acc.events += events;
+            acc.stats.sent += stats.sent;
+            acc.stats.delivered += stats.delivered;
+            acc.stats.forwarded += stats.forwarded;
+            acc.digest = (acc.digest ^ digest).wrapping_mul(0x0000_0100_0000_01b3);
+            acc
+        },
+    );
+    out.shard_events = None;
+    out
 }
 
 fn render(samples: &[Sample]) -> String {
-    // Hand-rolled JSON: every value is a number or a fixed identifier, so
-    // no escaping is needed and the snapshot stays dependency-free.
+    // Hand-rolled JSON: every value is a number, a fixed identifier or a
+    // quoted note without special characters, so no escaping is needed and
+    // the snapshot stays dependency-free.
     let mut out = String::from("{\n  \"suite\": \"netsim\",\n  \"benches\": [\n");
     for (i, s) in samples.iter().enumerate() {
+        let mut extra = String::new();
+        if let Some(per_shard) = &s.out.shard_events {
+            let list = per_shard
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            extra.push_str(&format!(", \"shard_events\": [{list}]"));
+        }
+        if let Some(crossings) = s.out.crossings {
+            extra.push_str(&format!(", \"mailbox_crossings\": {crossings}"));
+        }
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"ns_per_iter\": {}, \"events\": {}, \
-             \"sent\": {}, \"delivered\": {}, \"forwarded\": {}}}{}\n",
+             \"sent\": {}, \"delivered\": {}, \"forwarded\": {}, \
+             \"digest\": \"{:#018x}\"{}, \"note\": \"{}\"}}{}\n",
             s.name,
             s.ns_per_iter,
-            s.events,
-            s.stats.sent,
-            s.stats.delivered,
-            s.stats.forwarded,
+            s.out.events,
+            s.out.stats.sent,
+            s.out.stats.delivered,
+            s.out.stats.forwarded,
+            s.out.digest,
+            extra,
+            s.note,
             if i + 1 < samples.len() { "," } else { "" },
         ));
     }
@@ -150,23 +234,80 @@ fn main() -> Result<(), String> {
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
     let samples = [
-        measure("unicast_4hops_1000pkts", iters, unicast_4hops),
-        measure("flood_grid5x5_1000pkts", iters, flood_grid5x5),
-        measure("campaign_unicast_8reps_serial", iters, || campaign(1)),
-        measure("campaign_unicast_8reps_parallel", iters, || campaign(0)),
+        measure(
+            "unicast_4hops_1000pkts",
+            "serial chain reference workload",
+            iters,
+            unicast_4hops,
+        ),
+        measure(
+            "flood_grid5x5_1000pkts",
+            "re-blessed 2026-08: canonical offline-stub RNG stream (see \
+             crates/netsim/src/rng.rs docs); counters drifted from the \
+             pre-canonical stream, invariants unchanged",
+            iters,
+            flood_grid5x5,
+        ),
+        measure(
+            "campaign_unicast_8reps_serial",
+            "workers=1 baseline; digest folds per-replication digests",
+            iters,
+            || campaign(1),
+        ),
+        measure(
+            "campaign_unicast_8reps_parallel",
+            "auto workers; deterministic fields must equal the serial row",
+            iters,
+            || campaign(0),
+        ),
         // Observability overhead probe: the same unicast workload with the
         // obs layer enabled and the batch publish included. Its timing is
         // the overhead report; its deterministic fields must equal the
         // plain sample's (CI compares this row too).
         {
             excovery_obs::ObsConfig::on().install();
-            let s = measure("unicast_4hops_1000pkts_obs_on", iters, || {
-                unicast_4hops_with(true)
-            });
+            let s = measure(
+                "unicast_4hops_1000pkts_obs_on",
+                "obs overhead probe; deterministic fields equal the plain row",
+                iters,
+                || unicast_4hops_with(true),
+            );
             excovery_obs::ObsConfig::off().install();
             s
         },
+        measure(
+            "flood_grid100x100_1Mpkts",
+            "10k-node flood, ~1M packet events, single event queue",
+            iters,
+            || flood_grid100x100(1),
+        ),
+        measure(
+            "flood_grid100x100_1Mpkts_4shards",
+            "same flood on 4 spatial shards with conservative lookahead; \
+             timing measured on whatever cores CI offers (1-core hosts \
+             show barrier overhead, not speedup) — the row exists to pin \
+             shard-count invariance and the shard split",
+            iters,
+            || flood_grid100x100(4),
+        ),
     ];
+    // The sharded executor's contract, asserted on every bench run: the
+    // 4-shard flood is bit-identical to the single-queue flood.
+    let serial = &samples[5].out;
+    let sharded = &samples[6].out;
+    assert_eq!(
+        serial.digest, sharded.digest,
+        "sharded flood digest must equal the serial digest"
+    );
+    assert_eq!(serial.events, sharded.events, "event counts must match");
+    if let Some(split) = &sharded.shard_events {
+        assert_eq!(split.len(), 4, "one counter per shard");
+        assert_eq!(
+            split.iter().sum::<u64>(),
+            sharded.events,
+            "per-shard events must sum to the total"
+        );
+    }
     let json = render(&samples);
     print!("{json}");
     std::fs::write(&path, &json).map_err(|e| format!("write {path}: {e}"))?;

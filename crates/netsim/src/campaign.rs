@@ -2,11 +2,14 @@
 //!
 //! ExCovery campaigns repeat an experiment many times with per-run seeds
 //! (§IV-C1); MACI-style frameworks scale the same way — by fanning
-//! *independent* runs out to workers. A single simulator run is strictly
-//! sequential (one event queue, one channel RNG), but replications never
-//! share state: each gets its own seed derived from the campaign master
-//! seed and its replication index, so the set of results is a pure function
-//! of `(master_seed, replications)`.
+//! *independent* runs out to workers. Replications never share state: each
+//! gets its own seed derived from the campaign master seed and its
+//! replication index, so the set of results is a pure function of
+//! `(master_seed, replications)`. A single run can additionally parallelize
+//! *internally* across spatial shards (`crate::shard`, `EXCOVERY_SHARDS`);
+//! both axes are deterministic, and auto-sized worker pools divide the
+//! machine's cores by the shard count so the two compose under one thread
+//! budget.
 //!
 //! [`run_replications`] exploits that: scoped worker threads claim
 //! replication indices from an atomic counter, execute them, and store each
@@ -50,6 +53,41 @@ pub fn workers_from_env() -> usize {
     match std::env::var(WORKERS_ENV) {
         Err(_) => 0,
         Ok(v) => parse_workers(&v).unwrap_or_else(|e| panic!("{WORKERS_ENV}: {e}")),
+    }
+}
+
+/// Environment variable selecting the per-run spatial shard count
+/// (`crate::shard`). `0`/unset means 1 (serial); results are bit-exact for
+/// every value, so this only trades threads for wall-clock.
+pub const SHARDS_ENV: &str = "EXCOVERY_SHARDS";
+
+/// Parses an [`SHARDS_ENV`]-style shard count. Empty/whitespace means
+/// serial (`1`); `0` also means serial; anything else must be a
+/// non-negative decimal integer.
+pub fn parse_shards(value: &str) -> Result<usize, String> {
+    let trimmed = value.trim();
+    if trimmed.is_empty() {
+        return Ok(1);
+    }
+    trimmed
+        .parse::<usize>()
+        .map(|n| n.max(1))
+        .map_err(|_| {
+            format!(
+                "invalid shard count {value:?}: expected a non-negative integer \
+                 (0 or unset runs serially with one shard)"
+            )
+        })
+}
+
+/// Reads the shard count from [`SHARDS_ENV`]. Unset means serial (`1`); an
+/// unparsable value aborts loudly, mirroring [`workers_from_env`] — shard
+/// count never changes results, but a typo must not silently change the
+/// execution shape of a campaign either.
+pub fn shards_from_env() -> usize {
+    match std::env::var(SHARDS_ENV) {
+        Err(_) => 1,
+        Ok(v) => parse_shards(&v).unwrap_or_else(|e| panic!("{SHARDS_ENV}: {e}")),
     }
 }
 
@@ -103,9 +141,15 @@ impl CampaignConfig {
 
     fn effective_workers(&self) -> usize {
         let auto = || {
-            std::thread::available_parallelism()
+            let cores = std::thread::available_parallelism()
                 .map(|n| n.get())
-                .unwrap_or(1)
+                .unwrap_or(1);
+            // Compose with per-run sharding under one thread budget: with
+            // EXCOVERY_SHARDS=s each replication itself fans out to s shard
+            // threads during windows, so auto-sized campaigns claim
+            // cores/s replication slots instead of oversubscribing s-fold.
+            // Explicit worker counts are honored verbatim.
+            (cores / shards_from_env().max(1)).max(1)
         };
         let w = if self.workers == 0 {
             auto()
@@ -333,6 +377,24 @@ mod tests {
     fn parse_workers_rejects_garbage_loudly() {
         for bad in ["auto", "-1", "3.5", "4x", "0x10"] {
             let err = parse_workers(bad).unwrap_err();
+            assert!(err.contains(&format!("{bad:?}")), "{err}");
+            assert!(err.contains("non-negative integer"), "{err}");
+        }
+    }
+
+    #[test]
+    fn parse_shards_accepts_counts_and_serial_default() {
+        assert_eq!(parse_shards(""), Ok(1));
+        assert_eq!(parse_shards("  "), Ok(1));
+        assert_eq!(parse_shards("0"), Ok(1));
+        assert_eq!(parse_shards("1"), Ok(1));
+        assert_eq!(parse_shards(" 8 "), Ok(8));
+    }
+
+    #[test]
+    fn parse_shards_rejects_garbage_loudly() {
+        for bad in ["auto", "-2", "1.5", "2x"] {
+            let err = parse_shards(bad).unwrap_err();
             assert!(err.contains(&format!("{bad:?}")), "{err}");
             assert!(err.contains("non-negative integer"), "{err}");
         }

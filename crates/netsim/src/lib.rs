@@ -32,9 +32,11 @@ pub mod event;
 pub mod fasthash;
 pub mod filter;
 pub mod link;
+pub(crate) mod mailbox;
 pub mod packet;
 pub mod params;
 pub mod rng;
+pub mod shard;
 pub mod sim;
 pub mod tagger;
 pub mod time;
@@ -42,8 +44,10 @@ pub mod topology;
 pub mod traffic;
 
 pub use campaign::{
-    run_indexed, run_replications, run_replications_serial, workers_from_env, CampaignConfig,
+    run_indexed, run_replications, run_replications_serial, shards_from_env, workers_from_env,
+    CampaignConfig,
 };
+pub use shard::ShardMap;
 pub use capture::CaptureRecord;
 pub use clock::NodeClock;
 pub use filter::{Direction, FilterRule};

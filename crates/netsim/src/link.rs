@@ -80,6 +80,17 @@ impl LinkModel {
         delay.mul_f64(k.max(0.0))
     }
 
+    /// The smallest delay any link crossing can experience: the idle base
+    /// delay at the minimum jitter draw. Load, serialization time and
+    /// injected fault delays only ever *add* to this. The sharded
+    /// simulator uses it as the conservative lookahead: an event processed
+    /// at time `t` cannot schedule a cross-shard arrival earlier than
+    /// `t + min_transit_delay()` (see `crate::shard`). A zero value (a
+    /// degenerate model) disables windowed parallelism.
+    pub fn min_transit_delay(&self) -> SimDuration {
+        self.base_delay.mul_f64((1.0 - self.jitter_frac).max(0.0))
+    }
+
     /// Serialization time of `size_bytes` on this link.
     pub fn serialization_delay(&self, size_bytes: u32) -> SimDuration {
         let bits = f64::from(size_bytes) * 8.0;

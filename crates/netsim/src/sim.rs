@@ -1,8 +1,9 @@
 //! The simulator core: nodes, agents, packet transport, timers.
 //!
-//! [`Simulator`] owns a [`Topology`], one internal node record per topology node and
-//! a deterministic event queue. Protocol implementations (the SD substrate,
-//! test harnesses) attach as [`Agent`]s bound to a `(node, port)` pair and
+//! [`Simulator`] owns a [`Topology`], one internal node record per topology
+//! node and a deterministic event queue per spatial shard (see
+//! [`crate::shard`]). Protocol implementations (the SD substrate, test
+//! harnesses) attach as [`Agent`]s bound to a `(node, port)` pair and
 //! interact with the world exclusively through an [`AgentCtx`] — sending
 //! packets, arming timers and emitting protocol events that ExCovery
 //! records.
@@ -20,16 +21,28 @@
 //! (transmit direction) and the final receiver (receive direction); an
 //! interface fault or the *drop-all* environment manipulation additionally
 //! stops a node from relaying.
+//!
+//! # Sharded execution
+//!
+//! With `SimulatorConfig::shards > 1` (or `EXCOVERY_SHARDS` set) the
+//! topology is striped into spatial shards, each with its own event queue,
+//! and a single run executes on one thread per shard synchronized by
+//! conservative lookahead windows. Every event carries a global ordering
+//! key `(origin_node << 48) | origin_seq` and every random draw comes from
+//! a per-node stream, so the outcome — stats, captures, protocol events,
+//! `ExperimentOutcome::digest()` — is bit-exact with the serial path for
+//! any shard count. See `crate::shard` for the synchronization argument.
 
 use crate::capture::{CaptureBuffer, CaptureKind, CaptureRecord};
 use crate::clock::{NodeClock, SyncMeasurement};
-use crate::event::EventQueue;
-use crate::fasthash::{FastHashMap, FastHashSet};
+use crate::fasthash::FastHashMap;
 use crate::filter::{Direction, FilterRule, FilterSet, RuleId, Verdict};
 use crate::link::{LinkLoad, LinkModel};
+use crate::mailbox::MailboxGrid;
 use crate::packet::{Destination, Packet, PacketId, Payload, Port};
 use crate::params::{EventName, EventParams};
-use crate::rng::{derive_rng, derive_rng_indexed};
+use crate::rng::derive_rng_indexed;
+use crate::shard::{run_windows, Shard, ShardMap, SimNode};
 use crate::tagger::Tagger;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{RoutingTable, Topology};
@@ -160,9 +173,11 @@ impl<'a> AgentCtx<'a> {
     }
 }
 
-/// Simulator-internal queued events.
-#[derive(Debug, PartialEq, Eq)]
-enum Ev {
+/// Simulator-internal queued events. Every variant executes *at* exactly
+/// one node ([`Ev::node`]); the event is queued on (or mailed to) the
+/// shard owning that node.
+#[derive(Debug)]
+pub(crate) enum Ev {
     /// A unicast packet finishes crossing the link `from → to`.
     /// `path` is the full route shared with the routing cache; `next` is
     /// the index into it of the hop after `to` (`path.len()` at the end).
@@ -173,9 +188,11 @@ enum Ev {
         path: Arc<[NodeId]>,
         next: usize,
     },
-    /// A flooded packet finishes crossing the link `from → to`.
+    /// A flooded packet finishes crossing the link `from → to`. The packet
+    /// is shared: a fan-out of degree d bumps one refcount d times instead
+    /// of deep-cloning the payload d times.
     FloodTransit {
-        packet: Packet,
+        packet: Arc<Packet>,
         from: NodeId,
         to: NodeId,
     },
@@ -189,6 +206,18 @@ enum Ev {
         token: u64,
         tid: u64,
     },
+}
+
+impl Ev {
+    /// The node this event executes at — which determines the owning shard.
+    #[inline]
+    pub(crate) fn node(&self) -> NodeId {
+        match self {
+            Ev::UnicastTransit { to, .. } | Ev::FloodTransit { to, .. } => *to,
+            Ev::Deliver { at, .. } => *at,
+            Ev::Timer { node, .. } => *node,
+        }
+    }
 }
 
 /// Counters of transport activity, useful for tests and benches.
@@ -208,6 +237,18 @@ pub struct SimStats {
     pub forwarded: u64,
 }
 
+impl SimStats {
+    /// Component-wise sum (merging per-shard counters).
+    pub(crate) fn merge(&mut self, o: SimStats) {
+        self.sent += o.sent;
+        self.delivered += o.delivered;
+        self.dropped_filter += o.dropped_filter;
+        self.dropped_loss += o.dropped_loss;
+        self.duplicates += o.duplicates;
+        self.forwarded += o.forwarded;
+    }
+}
+
 /// Configuration of a [`Simulator`].
 #[derive(Debug, Clone)]
 pub struct SimulatorConfig {
@@ -221,6 +262,11 @@ pub struct SimulatorConfig {
     pub max_drift_ppm: f64,
     /// Maximum absolute clock-sync measurement error, nanoseconds.
     pub max_sync_error_ns: i64,
+    /// Spatial shards for multi-core execution of a single run. `0` = auto:
+    /// the `EXCOVERY_SHARDS` environment variable, defaulting to 1
+    /// (serial). Any value is clamped to the node count. The outcome is
+    /// bit-exact for every shard count.
+    pub shards: usize,
 }
 
 impl Default for SimulatorConfig {
@@ -233,6 +279,7 @@ impl Default for SimulatorConfig {
             max_clock_offset_ns: 5_000_000,
             max_drift_ppm: 50.0,
             max_sync_error_ns: 100_000,
+            shards: 0,
         }
     }
 }
@@ -254,22 +301,567 @@ impl SimulatorConfig {
         self.seed = seed;
         self
     }
+
+    /// Same configuration with an explicit shard count (`0` = auto via
+    /// `EXCOVERY_SHARDS`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count a simulator over `node_count` nodes will actually
+    /// use: the configured count, or the `EXCOVERY_SHARDS` environment
+    /// value when `0`, clamped to `[1, node_count]`.
+    pub fn resolved_shards(&self, node_count: usize) -> usize {
+        let requested = if self.shards == 0 {
+            crate::campaign::shards_from_env()
+        } else {
+            self.shards
+        };
+        requested.max(1).clamp(1, node_count.max(1))
+    }
 }
 
-struct SimNode {
-    clock: NodeClock,
-    filters: FilterSet,
-    captures: CaptureBuffer,
-    tagger: Tagger,
-    drop_all: bool,
-    rng: StdRng,
-    /// Per-node sync-measurement error stream. Node-local (rather than a
-    /// simulator-wide stream) so the master may fan `measure_sync` calls
-    /// out to nodes in any order — or in parallel — without changing the
-    /// drawn errors.
-    sync_rng: StdRng,
-    agents: FastHashMap<Port, Box<dyn Agent>>,
+/// Immutable per-run context shared by every shard: configuration, routing,
+/// shard map and background load. All `Sync`; handlers read, never write.
+pub(crate) struct SimCtx<'a> {
+    pub cfg: &'a SimulatorConfig,
+    pub routing: &'a RoutingTable,
+    pub map: &'a ShardMap,
+    pub link_load: &'a LinkLoad,
 }
+
+// ---- per-shard event handlers ------------------------------------------
+//
+// Inherent methods on `Shard` (defined in `crate::shard`); they implement
+// the transport semantics. Invariant: a handler only touches state of the
+// shard it runs on — its own nodes, queue, stats and maps — plus the
+// read-only `SimCtx` and the cross-shard mailbox.
+
+impl Shard {
+    #[inline]
+    fn node(&self, ctx: &SimCtx, id: NodeId) -> &SimNode {
+        debug_assert_eq!(ctx.map.shard_of(id), self.id, "foreign node access");
+        &self.nodes[ctx.map.local_index(id)]
+    }
+
+    #[inline]
+    fn node_mut(&mut self, ctx: &SimCtx, id: NodeId) -> &mut SimNode {
+        debug_assert_eq!(ctx.map.shard_of(id), self.id, "foreign node access");
+        &mut self.nodes[ctx.map.local_index(id)]
+    }
+
+    /// Queues `ev` under `(due, key)`: locally if this shard owns the
+    /// executing node, through the mailbox grid otherwise.
+    fn schedule_ev(
+        &mut self,
+        ctx: &SimCtx,
+        mail: &MailboxGrid<Ev>,
+        due: SimTime,
+        key: u64,
+        ev: Ev,
+    ) {
+        let dst = ctx.map.shard_of(ev.node());
+        if dst == self.id {
+            self.queue.schedule_with_key(due, key, ev);
+        } else {
+            self.crossings_out += 1;
+            mail.push(self.id, dst, due, key, ev);
+        }
+    }
+
+    /// Pops and executes the earliest event of this shard's queue.
+    pub(crate) fn process_one(&mut self, ctx: &SimCtx, mail: &MailboxGrid<Ev>) -> bool {
+        let Some((due, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(due >= self.time, "time must be monotone per shard");
+        self.time = due;
+        self.events_executed += 1;
+        match ev {
+            Ev::UnicastTransit {
+                packet,
+                from,
+                to,
+                path,
+                next,
+            } => self.handle_unicast_transit(ctx, mail, packet, from, to, path, next),
+            Ev::FloodTransit { packet, from, to } => {
+                self.handle_flood_transit(ctx, mail, packet, from, to)
+            }
+            Ev::Deliver { packet, at } => self.deliver(ctx, mail, &packet, at),
+            Ev::Timer {
+                node,
+                port,
+                token,
+                tid,
+            } => self.handle_timer(ctx, mail, node, port, token, tid),
+        }
+        true
+    }
+
+    /// Drains this shard's queue through the window `[.., end)` (or
+    /// `[.., end]` when `inclusive`); returns the number of events
+    /// executed. The conservative-window workhorse.
+    pub(crate) fn process_window(
+        &mut self,
+        ctx: &SimCtx,
+        mail: &MailboxGrid<Ev>,
+        end: SimTime,
+        inclusive: bool,
+    ) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.queue.peek_time() {
+            let in_window = if inclusive { t <= end } else { t < end };
+            if !in_window {
+                break;
+            }
+            self.process_one(ctx, mail);
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs `f` on the agent at `(node, port)` with a fresh context, then
+    /// applies the actions the agent requested.
+    pub(crate) fn dispatch(
+        &mut self,
+        ctx: &SimCtx,
+        mail: &MailboxGrid<Ev>,
+        node: NodeId,
+        port: Port,
+        f: impl FnOnce(&mut dyn Agent, &mut AgentCtx),
+    ) {
+        let now = self.time;
+        let n = self.node_mut(ctx, node);
+        let Some(mut agent) = n.agents.remove(&port) else {
+            return;
+        };
+        let local_now = n.clock.local_time(now);
+        let mut actx = AgentCtx {
+            now,
+            local_now,
+            node,
+            actions: Vec::new(),
+            events: Vec::new(),
+            rng: &mut n.rng,
+        };
+        f(agent.as_mut(), &mut actx);
+        let AgentCtx {
+            actions, events, ..
+        } = actx;
+        // Reinstall unless the agent replaced/removed itself meanwhile
+        // (it cannot — only the simulator mutates the map — so insert).
+        n.agents.insert(port, agent);
+        for pe in events {
+            let key = self.node_mut(ctx, node).next_key();
+            self.protocol_events.push((now, key, pe));
+        }
+        for action in actions {
+            match action {
+                Action::Send {
+                    dst,
+                    port: p,
+                    payload,
+                } => self.process_send(ctx, mail, node, dst, p, payload),
+                Action::SetTimer { delay, token } => {
+                    let (tid, key) = {
+                        let n = self.node_mut(ctx, node);
+                        let tid = n.next_tid;
+                        n.next_tid += 1;
+                        (tid, n.next_key())
+                    };
+                    self.active_timers
+                        .entry((node.0, port, token))
+                        .or_default()
+                        .insert(tid);
+                    let due = self.time + delay;
+                    // Timers fire at the arming node, so this is always a
+                    // local enqueue; `schedule_ev` keeps the routing uniform.
+                    self.schedule_ev(
+                        ctx,
+                        mail,
+                        due,
+                        key,
+                        Ev::Timer {
+                            node,
+                            port,
+                            token,
+                            tid,
+                        },
+                    );
+                }
+                Action::CancelTimer { token } => {
+                    self.active_timers.remove(&(node.0, port, token));
+                }
+            }
+        }
+    }
+
+    fn handle_timer(
+        &mut self,
+        ctx: &SimCtx,
+        mail: &MailboxGrid<Ev>,
+        node: NodeId,
+        port: Port,
+        token: u64,
+        tid: u64,
+    ) {
+        let key = (node.0, port, token);
+        let live = match self.active_timers.get_mut(&key) {
+            Some(set) => set.remove(&tid),
+            None => false,
+        };
+        if let Some(set) = self.active_timers.get(&key) {
+            if set.is_empty() {
+                self.active_timers.remove(&key);
+            }
+        }
+        if live {
+            self.dispatch(ctx, mail, node, port, |agent, actx| {
+                agent.on_timer(actx, token)
+            });
+        }
+    }
+
+    fn alloc_packet(
+        &mut self,
+        ctx: &SimCtx,
+        src: NodeId,
+        dst: Destination,
+        port: Port,
+        payload: Payload,
+    ) -> Packet {
+        let sent_at = self.time;
+        let n = self.node_mut(ctx, src);
+        let seq = n.next_packet_seq;
+        n.next_packet_seq += 1;
+        // `(src << 32) | seq` stays below 2⁵³ — safe as a JSON number and
+        // allocation-order deterministic per source node (shard-invariant).
+        let id = PacketId((u64::from(src.0) << 32) | u64::from(seq));
+        let tag = n.tagger.stamp();
+        Packet {
+            id,
+            tag,
+            src,
+            dst,
+            port,
+            size_bytes: Packet::wire_size(&payload),
+            payload,
+            sent_at,
+        }
+    }
+
+    fn capture(&mut self, ctx: &SimCtx, node: NodeId, packet: &Packet, kind: CaptureKind) {
+        let now = self.time;
+        let n = self.node_mut(ctx, node);
+        let local_time = n.clock.local_time(now);
+        n.captures.record(CaptureRecord {
+            node,
+            local_time,
+            packet_id: packet.id,
+            tag: packet.tag,
+            src: packet.src,
+            dst: packet.dst,
+            port: packet.port,
+            payload: packet.payload.clone(),
+            kind,
+        });
+    }
+
+    pub(crate) fn process_send(
+        &mut self,
+        ctx: &SimCtx,
+        mail: &MailboxGrid<Ev>,
+        src: NodeId,
+        dst: Destination,
+        port: Port,
+        payload: Payload,
+    ) {
+        self.stats.sent += 1;
+        let packet = self.alloc_packet(ctx, src, dst, port, payload);
+        // The sender observes its own transmission attempt even if egress
+        // filters subsequently drop it — exactly what a local capture on a
+        // faulty interface would show.
+        self.capture(ctx, src, &packet, CaptureKind::Sent);
+        if self.node(ctx, src).drop_all {
+            self.stats.dropped_filter += 1;
+            return;
+        }
+        // Egress filter: path rules match against the final unicast peer.
+        let peer = match dst {
+            Destination::Unicast(d) => Some(d),
+            _ => None,
+        };
+        let verdict = {
+            let SimNode {
+                filters,
+                channel_rng,
+                ..
+            } = self.node_mut(ctx, src);
+            filters.evaluate(Direction::Transmit, peer, channel_rng)
+        };
+        let extra = match verdict {
+            Verdict::Drop => {
+                self.stats.dropped_filter += 1;
+                return;
+            }
+            Verdict::Pass { extra_delay } => extra_delay,
+        };
+        match dst {
+            Destination::Unicast(final_dst) => {
+                if final_dst == src {
+                    // Loopback: deliver immediately without touching the medium.
+                    self.deliver(ctx, mail, &packet, src);
+                    return;
+                }
+                let Some(path) = ctx.routing.path(src, final_dst) else {
+                    self.stats.dropped_loss += 1; // unroutable
+                    return;
+                };
+                // path = [src, h1, ..., final]; transmit to h1. The route is
+                // a shared slice from the routing cache — no per-packet copy.
+                let path = Arc::clone(path);
+                let first = path[1];
+                self.transmit_hop(ctx, mail, packet, src, first, path, 2, extra);
+            }
+            Destination::Multicast | Destination::Broadcast => {
+                self.flood_seen.insert((packet.id, src.0));
+                let packet = Arc::new(packet);
+                self.flood_from(ctx, mail, &packet, src, None, extra);
+            }
+        }
+    }
+
+    /// Attempts one unicast link crossing `from → to`; on success schedules
+    /// the transit-complete event. `path`/`next` index the shared route:
+    /// `path[next]` is the hop after `to` (`next == path.len()` at the end).
+    /// All draws come from `from`'s channel stream — `from` is always the
+    /// node the current event executes at.
+    #[allow(clippy::too_many_arguments)]
+    fn transmit_hop(
+        &mut self,
+        ctx: &SimCtx,
+        mail: &MailboxGrid<Ev>,
+        packet: Packet,
+        from: NodeId,
+        to: NodeId,
+        path: Arc<[NodeId]>,
+        next: usize,
+        extra_delay: SimDuration,
+    ) {
+        let load = ctx.link_load.get(from.0, to.0);
+        let p = ctx.cfg.link_model.loss_probability(load);
+        let lost = self.node_mut(ctx, from).channel_rng.gen::<f64>() < p;
+        if lost {
+            self.stats.dropped_loss += 1;
+            return;
+        }
+        let base = ctx.cfg.link_model.hop_delay(load);
+        let (jitter_draw, key) = {
+            let n = self.node_mut(ctx, from);
+            (n.channel_rng.gen::<f64>(), n.next_key())
+        };
+        let delay = ctx.cfg.link_model.jittered(base, jitter_draw)
+            + ctx.cfg.link_model.serialization_delay(packet.size_bytes)
+            + extra_delay;
+        let due = self.time + delay;
+        self.schedule_ev(
+            ctx,
+            mail,
+            due,
+            key,
+            Ev::UnicastTransit {
+                packet,
+                from,
+                to,
+                path,
+                next,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_unicast_transit(
+        &mut self,
+        ctx: &SimCtx,
+        mail: &MailboxGrid<Ev>,
+        packet: Packet,
+        _from: NodeId,
+        to: NodeId,
+        path: Arc<[NodeId]>,
+        next: usize,
+    ) {
+        if self.node(ctx, to).drop_all {
+            self.stats.dropped_filter += 1;
+            return;
+        }
+        if next >= path.len() {
+            // Final hop: ingress filters, then delivery.
+            let verdict = {
+                let SimNode {
+                    filters,
+                    channel_rng,
+                    ..
+                } = self.node_mut(ctx, to);
+                filters.evaluate(Direction::Receive, Some(packet.src), channel_rng)
+            };
+            match verdict {
+                Verdict::Drop => self.stats.dropped_filter += 1,
+                Verdict::Pass { extra_delay } if extra_delay > SimDuration::ZERO => {
+                    // Defer the (already filter-approved) delivery.
+                    let key = self.node_mut(ctx, to).next_key();
+                    let due = self.time + extra_delay;
+                    self.schedule_ev(ctx, mail, due, key, Ev::Deliver { packet, at: to });
+                }
+                Verdict::Pass { .. } => self.deliver(ctx, mail, &packet, to),
+            }
+        } else {
+            // Relay: a node with a downed interface cannot forward.
+            if self.relay_blocked(ctx, to) {
+                self.stats.dropped_filter += 1;
+                return;
+            }
+            self.capture(ctx, to, &packet, CaptureKind::Forwarded);
+            self.stats.forwarded += 1;
+            // Advance the index into the shared route — no allocation.
+            let hop = path[next];
+            self.transmit_hop(ctx, mail, packet, to, hop, path, next + 1, SimDuration::ZERO);
+        }
+    }
+
+    /// True if `node`'s filters prevent it from relaying traffic
+    /// (interface fault in any direction blocks the shared radio).
+    fn relay_blocked(&self, ctx: &SimCtx, node: NodeId) -> bool {
+        let n = self.node(ctx, node);
+        // Fault-free fast path: nothing installed can block the relay.
+        if !n.drop_all && n.filters.is_empty() {
+            return false;
+        }
+        // Probe with a max-output RNG: `gen::<f64>()` yields ≈1.0, so
+        // probabilistic loss rules (p < 1) never fire and only deterministic
+        // blocks (InterfaceDown, total loss) force a Drop verdict.
+        let mut probe_rng = rand::rngs::mock::StepRng::new(u64::MAX, 0);
+        n.drop_all
+            || matches!(
+                n.filters
+                    .evaluate(Direction::Transmit, None, &mut probe_rng),
+                Verdict::Drop
+            )
+            || matches!(
+                n.filters.evaluate(Direction::Receive, None, &mut probe_rng),
+                Verdict::Drop
+            )
+    }
+
+    fn flood_from(
+        &mut self,
+        ctx: &SimCtx,
+        mail: &MailboxGrid<Ev>,
+        packet: &Arc<Packet>,
+        at: NodeId,
+        came_from: Option<NodeId>,
+        extra_delay: SimDuration,
+    ) {
+        // Shared adjacency slice from the routing cache — no per-fan-out
+        // copy; the Arc clone detaches the borrow from the routing table.
+        let neighbors = Arc::clone(ctx.routing.neighbors(at));
+        let ser = ctx.cfg.link_model.serialization_delay(packet.size_bytes);
+        for &nb in neighbors.iter() {
+            if Some(nb) == came_from {
+                continue;
+            }
+            let load = ctx.link_load.get(at.0, nb.0);
+            let p = ctx.cfg.link_model.loss_probability(load);
+            let lost = self.node_mut(ctx, at).channel_rng.gen::<f64>() < p;
+            if lost {
+                self.stats.dropped_loss += 1;
+                continue;
+            }
+            let base = ctx.cfg.link_model.hop_delay(load);
+            let (jitter_draw, key) = {
+                let n = self.node_mut(ctx, at);
+                (n.channel_rng.gen::<f64>(), n.next_key())
+            };
+            let delay = ctx.cfg.link_model.jittered(base, jitter_draw) + ser + extra_delay;
+            let due = self.time + delay;
+            self.schedule_ev(
+                ctx,
+                mail,
+                due,
+                key,
+                Ev::FloodTransit {
+                    packet: Arc::clone(packet),
+                    from: at,
+                    to: nb,
+                },
+            );
+        }
+    }
+
+    fn handle_flood_transit(
+        &mut self,
+        ctx: &SimCtx,
+        mail: &MailboxGrid<Ev>,
+        packet: Arc<Packet>,
+        from: NodeId,
+        to: NodeId,
+    ) {
+        if !self.flood_seen.insert((packet.id, to.0)) {
+            self.stats.duplicates += 1;
+            return;
+        }
+        if self.node(ctx, to).drop_all {
+            self.stats.dropped_filter += 1;
+            return;
+        }
+        // Ingress filter at every receiving node.
+        let verdict = {
+            let SimNode {
+                filters,
+                channel_rng,
+                ..
+            } = self.node_mut(ctx, to);
+            filters.evaluate(Direction::Receive, Some(packet.src), channel_rng)
+        };
+        let deliverable = match verdict {
+            Verdict::Drop => {
+                self.stats.dropped_filter += 1;
+                false
+            }
+            Verdict::Pass { .. } => true,
+        };
+        let subscribed = self.node(ctx, to).agents.contains_key(&packet.port);
+        if deliverable {
+            if subscribed {
+                self.deliver(ctx, mail, &packet, to);
+            } else {
+                self.capture(ctx, to, &packet, CaptureKind::Forwarded);
+            }
+        }
+        // Relaying continues regardless of local subscription, unless the
+        // node's radio is down. Note a Receive-dropped packet was still
+        // heard by the radio in reality only probabilistically; we model
+        // fault-filtered packets as consumed (not relayed) to make the
+        // interface fault actually partition the flood.
+        if deliverable && !self.relay_blocked(ctx, to) {
+            self.stats.forwarded += 1;
+            self.flood_from(ctx, mail, &packet, to, Some(from), SimDuration::ZERO);
+        }
+    }
+
+    fn deliver(&mut self, ctx: &SimCtx, mail: &MailboxGrid<Ev>, packet: &Packet, at: NodeId) {
+        self.capture(ctx, at, packet, CaptureKind::Received);
+        if self.node(ctx, at).agents.contains_key(&packet.port) {
+            self.stats.delivered += 1;
+            self.dispatch(ctx, mail, at, packet.port, |agent, actx| {
+                agent.on_packet(actx, packet)
+            });
+        }
+    }
+}
+
+// ---- the simulator -----------------------------------------------------
 
 /// The deterministic discrete-event network simulator.
 ///
@@ -289,18 +881,14 @@ pub struct Simulator {
     topology: Topology,
     routing: RoutingTable,
     cfg: SimulatorConfig,
-    nodes: Vec<SimNode>,
-    queue: EventQueue<Ev>,
+    map: ShardMap,
+    shards: Vec<Shard>,
+    mail: MailboxGrid<Ev>,
+    /// Conservative window width: the link model's minimum transit delay.
+    /// Zero (a degenerate model) forces serial-merged execution.
+    lookahead: SimDuration,
     time: SimTime,
-    next_packet_id: u64,
-    next_tid: u64,
-    channel_rng: StdRng,
     link_load: LinkLoad,
-    flood_seen: FastHashSet<(PacketId, u16)>,
-    active_timers: FastHashMap<(u16, Port, u64), FastHashSet<u64>>,
-    protocol_events: Vec<ProtocolEvent>,
-    stats: SimStats,
-    events_executed: u64,
     /// Stats already published to the observability registry, so
     /// [`Simulator::publish_obs`] emits monotone counter deltas.
     obs_published: SimStats,
@@ -310,11 +898,16 @@ pub struct Simulator {
 impl Simulator {
     /// Builds a simulator over `topology` with the given configuration.
     ///
-    /// Node clocks are drawn from the seed-derived `clock` stream, so the
-    /// same `(topology, seed)` always produces the same clock population.
+    /// Node clocks are drawn from the seed-derived `clock` stream in node-id
+    /// order, so the same `(topology, seed)` always produces the same clock
+    /// population — independent of the shard count.
     pub fn new(topology: Topology, cfg: SimulatorConfig) -> Self {
-        let mut clock_rng = derive_rng(cfg.seed, "clock");
-        let nodes = (0..topology.len())
+        let shard_count = cfg.resolved_shards(topology.len());
+        let map = ShardMap::new(&topology, shard_count);
+        let mut clock_rng = crate::rng::derive_rng(cfg.seed, "clock");
+        // Create nodes in GLOBAL id order (the clock stream draw order must
+        // not depend on sharding), then distribute into stripe order.
+        let mut slots: Vec<Option<SimNode>> = (0..topology.len())
             .map(|i| {
                 let offset = if cfg.max_clock_offset_ns > 0 {
                     clock_rng.gen_range(-cfg.max_clock_offset_ns..=cfg.max_clock_offset_ns)
@@ -326,7 +919,8 @@ impl Simulator {
                 } else {
                     0.0
                 };
-                SimNode {
+                Some(SimNode {
+                    id: NodeId(i as u16),
                     clock: NodeClock::new(offset, drift),
                     filters: FilterSet::new(),
                     captures: CaptureBuffer::new(),
@@ -334,30 +928,88 @@ impl Simulator {
                     drop_all: false,
                     rng: derive_rng_indexed(cfg.seed, "agent", i as u64),
                     sync_rng: derive_rng_indexed(cfg.seed, "sync", i as u64),
+                    channel_rng: derive_rng_indexed(cfg.seed, "channel", i as u64),
+                    next_seq: 0,
+                    next_packet_seq: 0,
+                    next_tid: 0,
                     agents: FastHashMap::default(),
+                })
+            })
+            .collect();
+        let shards = (0..map.shard_count())
+            .map(|s| {
+                let mut shard = Shard::new(s);
+                for id in map.nodes_of(s) {
+                    shard
+                        .nodes
+                        .push(slots[id.0 as usize].take().expect("node assigned twice"));
                 }
+                shard
             })
             .collect();
         Self {
-            channel_rng: derive_rng(cfg.seed, "channel"),
             routing: RoutingTable::new(&topology),
+            mail: MailboxGrid::new(map.shard_count()),
+            lookahead: cfg.link_model.min_transit_delay(),
+            map,
             topology,
             cfg,
-            nodes,
-            // Steady state holds at most a few events per node in flight.
-            queue: EventQueue::with_capacity(256),
+            shards,
             time: SimTime::ZERO,
-            next_packet_id: 0,
-            next_tid: 0,
             link_load: LinkLoad::new(),
-            flood_seen: FastHashSet::default(),
-            active_timers: FastHashMap::default(),
-            protocol_events: Vec::new(),
-            stats: SimStats::default(),
-            events_executed: 0,
             obs_published: SimStats::default(),
             obs_published_events: 0,
         }
+    }
+
+    // ---- node plumbing ---------------------------------------------------
+
+    fn node(&self, id: NodeId) -> &SimNode {
+        &self.shards[self.map.shard_of(id)].nodes[self.map.local_index(id)]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut SimNode {
+        let Self { shards, map, .. } = self;
+        &mut shards[map.shard_of(id)].nodes[map.local_index(id)]
+    }
+
+    /// Runs `f` over every node, in global id order.
+    fn for_each_node(&mut self, mut f: impl FnMut(&mut SimNode)) {
+        let Self { shards, map, .. } = self;
+        for i in 0..map.node_count() {
+            let id = NodeId(i as u16);
+            f(&mut shards[map.shard_of(id)].nodes[map.local_index(id)]);
+        }
+    }
+
+    /// Dispatches an agent callback from *outside* the event loop (install,
+    /// NodeManager commands): the owning shard's clock is first advanced to
+    /// the global reference time.
+    fn dispatch_external(
+        &mut self,
+        node: NodeId,
+        port: Port,
+        f: impl FnOnce(&mut dyn Agent, &mut AgentCtx),
+    ) {
+        let time = self.time;
+        let Self {
+            shards,
+            mail,
+            cfg,
+            routing,
+            map,
+            link_load,
+            ..
+        } = self;
+        let ctx = SimCtx {
+            cfg,
+            routing,
+            map,
+            link_load,
+        };
+        let shard = &mut shards[map.shard_of(node)];
+        shard.time = shard.time.max(time);
+        shard.dispatch(&ctx, mail, node, port, f);
     }
 
     // ---- inspection -----------------------------------------------------
@@ -372,25 +1024,56 @@ impl Simulator {
         &self.topology
     }
 
-    /// The precomputed routing table (paths and adjacency shared as
-    /// `Arc<[NodeId]>`; built once, the topology is static).
+    /// The routing table (paths resolved lazily per source, adjacency
+    /// shared as `Arc<[NodeId]>`; the topology is static).
     pub fn routing(&self) -> &RoutingTable {
         &self.routing
     }
 
-    /// Transport statistics so far.
+    /// Transport statistics so far (merged across shards).
     pub fn stats(&self) -> SimStats {
-        self.stats
+        let mut total = SimStats::default();
+        for sh in &self.shards {
+            total.merge(sh.stats);
+        }
+        total
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.topology.len()
+    }
+
+    /// Number of spatial shards this simulator executes with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The deterministic node → shard assignment.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Events executed per shard (diagnostics; deterministic for a fixed
+    /// shard count).
+    pub fn events_per_shard(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.events_executed).collect()
+    }
+
+    /// Total events that crossed a shard boundary through the mailbox grid.
+    pub fn mailbox_crossings(&self) -> u64 {
+        self.shards.iter().map(|s| s.crossings_out).sum()
+    }
+
+    /// The conservative lookahead window width (minimum cross-shard link
+    /// delay).
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
     }
 
     /// The local clock of a node.
     pub fn clock(&self, node: NodeId) -> NodeClock {
-        self.nodes[node.0 as usize].clock
+        self.node(node).clock
     }
 
     /// Local clock reading of `node` at the current reference time.
@@ -403,18 +1086,18 @@ impl Simulator {
     /// Installs an agent at `(node, port)` and invokes its `on_start`.
     /// Replaces any previous agent on that port.
     pub fn install_agent(&mut self, node: NodeId, port: Port, agent: Box<dyn Agent>) {
-        self.nodes[node.0 as usize].agents.insert(port, agent);
-        self.dispatch(node, port, |agent, ctx| agent.on_start(ctx));
+        self.node_mut(node).agents.insert(port, agent);
+        self.dispatch_external(node, port, |agent, ctx| agent.on_start(ctx));
     }
 
     /// Removes the agent at `(node, port)`, returning it if present.
     pub fn remove_agent(&mut self, node: NodeId, port: Port) -> Option<Box<dyn Agent>> {
-        self.nodes[node.0 as usize].agents.remove(&port)
+        self.node_mut(node).agents.remove(&port)
     }
 
     /// True if an agent is installed at `(node, port)`.
     pub fn has_agent(&self, node: NodeId, port: Port) -> bool {
-        self.nodes[node.0 as usize].agents.contains_key(&port)
+        self.node(node).agents.contains_key(&port)
     }
 
     /// Runs `f` against the agent at `(node, port)` with a live context —
@@ -430,7 +1113,7 @@ impl Simulator {
     ) -> Option<R> {
         let mut out = None;
         let captured = &mut out;
-        self.dispatch(node, port, |agent, ctx| {
+        self.dispatch_external(node, port, |agent, ctx| {
             *captured = Some(f(agent, ctx));
         });
         out
@@ -440,32 +1123,28 @@ impl Simulator {
 
     /// Installs a fault-injection rule on a node.
     pub fn install_filter(&mut self, node: NodeId, rule: FilterRule) -> RuleId {
-        self.nodes[node.0 as usize].filters.install(rule)
+        self.node_mut(node).filters.install(rule)
     }
 
     /// Removes a fault-injection rule.
     pub fn remove_filter(&mut self, node: NodeId, id: RuleId) -> bool {
-        self.nodes[node.0 as usize].filters.remove(id)
+        self.node_mut(node).filters.remove(id)
     }
 
     /// Removes all rules from all nodes (run clean-up).
     pub fn clear_all_filters(&mut self) {
-        for n in &mut self.nodes {
-            n.filters.clear();
-        }
+        self.for_each_node(|n| n.filters.clear());
     }
 
     /// Sets the *drop-all* environment manipulation on one node: the node
     /// stops receiving, sending and forwarding experiment packets (§IV-D2).
     pub fn set_drop_all(&mut self, node: NodeId, drop: bool) {
-        self.nodes[node.0 as usize].drop_all = drop;
+        self.node_mut(node).drop_all = drop;
     }
 
     /// Applies *drop-all* to every node.
     pub fn set_drop_all_everywhere(&mut self, drop: bool) {
-        for n in &mut self.nodes {
-            n.drop_all = drop;
-        }
+        self.for_each_node(|n| n.drop_all = drop);
     }
 
     // ---- measurement ------------------------------------------------------
@@ -476,36 +1155,42 @@ impl Simulator {
     /// (seed, node, draw count) does not depend on when other nodes are
     /// measured.
     pub fn measure_sync(&mut self, node: NodeId) -> SyncMeasurement {
-        let n = &mut self.nodes[node.0 as usize];
-        let err = if self.cfg.max_sync_error_ns > 0 {
-            n.sync_rng
-                .gen_range(-self.cfg.max_sync_error_ns..=self.cfg.max_sync_error_ns)
+        let time = self.time;
+        let max_err = self.cfg.max_sync_error_ns;
+        let n = self.node_mut(node);
+        let err = if max_err > 0 {
+            n.sync_rng.gen_range(-max_err..=max_err)
         } else {
             0
         };
-        SyncMeasurement::measure(&n.clock, self.time, err)
+        SyncMeasurement::measure(&n.clock, time, err)
     }
 
     /// Capture buffer of a node.
     pub fn captures(&self, node: NodeId) -> &[CaptureRecord] {
-        self.nodes[node.0 as usize].captures.records()
+        self.node(node).captures.records()
     }
 
     /// Drains the capture buffer of a node (collection phase).
     pub fn drain_captures(&mut self, node: NodeId) -> Vec<CaptureRecord> {
-        self.nodes[node.0 as usize].captures.drain()
+        self.node_mut(node).captures.drain()
     }
 
     /// Clears all capture buffers (run preparation).
     pub fn clear_all_captures(&mut self) {
-        for n in &mut self.nodes {
-            n.captures.clear();
-        }
+        self.for_each_node(|n| n.captures.clear());
     }
 
-    /// Drains protocol events emitted by agents since the last call.
+    /// Drains protocol events emitted by agents since the last call, in
+    /// global `(time, origin key)` order — a total order over events that
+    /// is identical for every shard count.
     pub fn drain_protocol_events(&mut self) -> Vec<ProtocolEvent> {
-        std::mem::take(&mut self.protocol_events)
+        let mut all: Vec<(SimTime, u64, ProtocolEvent)> = Vec::new();
+        for sh in &mut self.shards {
+            all.append(&mut sh.protocol_events);
+        }
+        all.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        all.into_iter().map(|(_, _, e)| e).collect()
     }
 
     /// Records a protocol event on behalf of `node` (stamped with that
@@ -517,13 +1202,22 @@ impl Simulator {
         name: impl Into<EventName>,
         params: impl Into<EventParams>,
     ) {
-        let local_time = self.nodes[node.0 as usize].clock.local_time(self.time);
-        self.protocol_events.push(ProtocolEvent {
-            node,
-            local_time,
-            name: name.into(),
-            params: params.into(),
-        });
+        let time = self.time;
+        let Self { shards, map, .. } = self;
+        let shard = &mut shards[map.shard_of(node)];
+        let n = &mut shard.nodes[map.local_index(node)];
+        let local_time = n.clock.local_time(time);
+        let key = n.next_key();
+        shard.protocol_events.push((
+            time,
+            key,
+            ProtocolEvent {
+                node,
+                local_time,
+                name: name.into(),
+                params: params.into(),
+            },
+        ));
     }
 
     /// Hop count between two nodes (the paper's topology measurement).
@@ -558,51 +1252,176 @@ impl Simulator {
     /// Sends a packet from `node` as if an agent on `port` had sent it.
     /// Useful for tests and environment processes.
     pub fn send_from(&mut self, node: NodeId, port: Port, dst: Destination, payload: Payload) {
-        self.process_send(node, dst, port, payload);
+        let time = self.time;
+        let Self {
+            shards,
+            mail,
+            cfg,
+            routing,
+            map,
+            link_load,
+            ..
+        } = self;
+        let ctx = SimCtx {
+            cfg,
+            routing,
+            map,
+            link_load,
+        };
+        let shard = &mut shards[map.shard_of(node)];
+        shard.time = shard.time.max(time);
+        shard.process_send(&ctx, mail, node, dst, port, payload);
     }
 
     // ---- execution -----------------------------------------------------------
 
-    /// Executes a single queued event. Returns `false` if the queue is empty.
+    /// Moves every mailed event into its destination shard's queue.
+    fn drain_mail(shards: &mut [Shard], mail: &MailboxGrid<Ev>) {
+        for dst in 0..shards.len() {
+            let shard = &mut shards[dst];
+            let q = &mut shard.queue;
+            let depth = mail.drain_to(dst, |o| q.schedule_with_key(o.due, o.key, o.payload));
+            if depth > 0 {
+                shard.note_mailbox_depth(depth);
+            }
+        }
+    }
+
+    /// Index of the shard holding the globally earliest `(time, key)`
+    /// event, if any. Keys are globally unique, so the order is total.
+    fn earliest(shards: &[Shard]) -> Option<usize> {
+        let mut best: Option<((SimTime, u64), usize)> = None;
+        for (i, sh) in shards.iter().enumerate() {
+            if let Some(tk) = sh.queue.peek() {
+                if best.map_or(true, |(b, _)| tk < b) {
+                    best = Some((tk, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Serial-merged execution: one event at a time across all shard
+    /// queues, in global `(time, key)` order — the reference semantics the
+    /// parallel path must reproduce, and the fallback when the lookahead
+    /// is zero. Returns the number of events executed.
+    fn run_serial_merged(
+        shards: &mut [Shard],
+        mail: &MailboxGrid<Ev>,
+        ctx: &SimCtx,
+        deadline: Option<SimTime>,
+        budget: u64,
+    ) -> u64 {
+        let mut executed = 0;
+        while executed < budget {
+            Self::drain_mail(shards, mail);
+            let Some(s) = Self::earliest(shards) else {
+                break;
+            };
+            if deadline.is_some_and(|d| {
+                shards[s].queue.peek_time().expect("peeked above") > d
+            }) {
+                break;
+            }
+            shards[s].process_one(ctx, mail);
+            executed += 1;
+        }
+        // Invariant on exit: mailboxes were drained after the last
+        // processed event, so every pending event sits in a shard queue.
+        executed
+    }
+
+    /// Parallel windowed execution (see [`crate::shard::run_windows`]).
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel(
+        shards: &mut [Shard],
+        mail: &MailboxGrid<Ev>,
+        ctx: &SimCtx,
+        lookahead: SimDuration,
+        deadline: Option<SimTime>,
+        budget: u64,
+        obs: bool,
+    ) -> u64 {
+        let drain = |shard: &mut Shard| {
+            let id = shard.id;
+            let q = &mut shard.queue;
+            let depth = mail.drain_to(id, |o| q.schedule_with_key(o.due, o.key, o.payload));
+            if depth > 0 {
+                shard.note_mailbox_depth(depth);
+            }
+        };
+        let process = |shard: &mut Shard, end: SimTime, inclusive: bool| {
+            shard.process_window(ctx, mail, end, inclusive)
+        };
+        run_windows(shards, lookahead, deadline, budget, obs, drain, process)
+    }
+
+    /// Executes the single globally earliest queued event. Returns `false`
+    /// if no event is pending.
     pub fn step(&mut self) -> bool {
-        let Some((due, ev)) = self.queue.pop() else {
+        let Self {
+            shards,
+            mail,
+            cfg,
+            routing,
+            map,
+            link_load,
+            time,
+            ..
+        } = self;
+        let ctx = SimCtx {
+            cfg,
+            routing,
+            map,
+            link_load,
+        };
+        Self::drain_mail(shards, mail);
+        let Some(s) = Self::earliest(shards) else {
             return false;
         };
-        debug_assert!(due >= self.time, "time must be monotone");
-        self.time = due;
-        self.events_executed += 1;
-        match ev {
-            Ev::UnicastTransit {
-                packet,
-                from,
-                to,
-                path,
-                next,
-            } => self.handle_unicast_transit(packet, from, to, path, next),
-            Ev::FloodTransit { packet, from, to } => self.handle_flood_transit(packet, from, to),
-            Ev::Deliver { packet, at } => self.deliver(packet, at),
-            Ev::Timer {
-                node,
-                port,
-                token,
-                tid,
-            } => self.handle_timer(node, port, token, tid),
-        }
+        shards[s].process_one(&ctx, mail);
+        *time = (*time).max(shards[s].time);
         true
     }
 
     /// Runs until the queue is empty or `deadline` is reached; the clock
     /// always advances to `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
+        let obs = excovery_obs::enabled();
+        let Self {
+            shards,
+            mail,
+            cfg,
+            routing,
+            map,
+            link_load,
+            time,
+            lookahead,
+            ..
+        } = self;
+        let ctx = SimCtx {
+            cfg,
+            routing,
+            map,
+            link_load,
+        };
+        if shards.len() == 1 {
+            // Single shard: every event is local; the mailbox can only hold
+            // nothing (all destinations are shard 0), but drain defensively.
+            Self::drain_mail(shards, mail);
+            let shard = &mut shards[0];
+            while shard.queue.peek_time().is_some_and(|t| t <= deadline) {
+                shard.process_one(&ctx, mail);
             }
-            self.step();
+        } else if lookahead.as_nanos() == 0 {
+            Self::run_serial_merged(shards, mail, &ctx, Some(deadline), u64::MAX);
+        } else {
+            Self::run_parallel(shards, mail, &ctx, *lookahead, Some(deadline), u64::MAX, obs);
         }
-        if self.time < deadline {
-            self.time = deadline;
+        for sh in shards.iter_mut() {
+            sh.time = sh.time.max(deadline);
         }
+        *time = (*time).max(deadline);
     }
 
     /// Runs for `d` of simulated time.
@@ -611,28 +1430,143 @@ impl Simulator {
         self.run_until(deadline);
     }
 
-    /// Runs until no events remain, up to `max_events` (storm guard).
-    /// Returns the number of events executed.
+    /// Runs until no events remain, up to roughly `max_events` (storm
+    /// guard; with parallel shards the cap is enforced at window
+    /// granularity, so slightly more events may execute). Returns the
+    /// number of events executed.
     pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
-        let mut n = 0;
-        while n < max_events && self.step() {
-            n += 1;
+        let obs = excovery_obs::enabled();
+        let Self {
+            shards,
+            mail,
+            cfg,
+            routing,
+            map,
+            link_load,
+            time,
+            lookahead,
+            ..
+        } = self;
+        let ctx = SimCtx {
+            cfg,
+            routing,
+            map,
+            link_load,
+        };
+        let executed = if shards.len() == 1 {
+            Self::drain_mail(shards, mail);
+            let shard = &mut shards[0];
+            let mut n = 0;
+            while n < max_events && shard.process_one(&ctx, mail) {
+                n += 1;
+            }
+            n
+        } else if lookahead.as_nanos() == 0 {
+            Self::run_serial_merged(shards, mail, &ctx, None, max_events)
+        } else {
+            Self::run_parallel(shards, mail, &ctx, *lookahead, None, max_events, obs)
+        };
+        // Normalize shard clocks to the global frontier. Safe under a
+        // budget stop: execution is conservative, so every still-pending
+        // event is due at or after the last processed window/event.
+        let frontier = shards
+            .iter()
+            .map(|s| s.time)
+            .max()
+            .unwrap_or(*time)
+            .max(*time);
+        for sh in shards.iter_mut() {
+            sh.time = frontier;
         }
-        n
+        *time = frontier;
+        // Unless the event budget cut execution short, idleness means every
+        // cross-shard mailbox has been drained — in-flight events would be
+        // lost work, not pending work.
+        debug_assert!(
+            executed == max_events || mail.is_empty(),
+            "idle simulator with undelivered cross-shard events"
+        );
+        executed
     }
 
-    /// Number of pending events (diagnostics).
+    /// Number of pending events (diagnostics), including any still in
+    /// cross-shard mailboxes.
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.shards.iter().map(|s| s.queue.len()).sum::<usize>() + self.mail.pending()
     }
 
-    /// Total queued events executed since construction (diagnostics).
+    /// Total queued events executed since construction (diagnostics;
+    /// invariant across shard counts).
     pub fn events_executed(&self) -> u64 {
-        self.events_executed
+        self.shards.iter().map(|s| s.events_executed).sum()
     }
 
-    /// Publishes transport counters, event-queue depth and per-link
-    /// background load into the global observability registry.
+    /// Deterministic digest of the externally observable platform state:
+    /// reference time, executed-event count, transport counters and every
+    /// node's complete capture buffer (timestamps, packet identity,
+    /// addressing, payload bytes) in node-id order.
+    ///
+    /// This is the equivalence oracle of the sharded executor — the value
+    /// must be bit-identical for every shard count (and with observability
+    /// on or off), because per-node capture order only depends on that
+    /// node's event order, never on which shard executed it.
+    pub fn state_digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn fold(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(PRIME)
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fold(h, self.now().as_nanos());
+        h = fold(h, self.events_executed());
+        let stats = self.stats();
+        for v in [
+            stats.sent,
+            stats.delivered,
+            stats.dropped_filter,
+            stats.dropped_loss,
+            stats.duplicates,
+            stats.forwarded,
+        ] {
+            h = fold(h, v);
+        }
+        for id in 0..self.map.node_count() {
+            let node = self.node(NodeId(id as u16));
+            h = fold(h, node.captures.len() as u64);
+            for rec in node.captures.records() {
+                h = fold(h, rec.local_time.as_nanos());
+                h = fold(h, rec.packet_id.0);
+                h = fold(h, u64::from(rec.tag));
+                h = fold(h, u64::from(rec.src.0));
+                h = fold(
+                    h,
+                    match rec.dst {
+                        Destination::Unicast(n) => u64::from(n.0),
+                        Destination::Multicast => 1 << 32,
+                        Destination::Broadcast => 2 << 32,
+                    },
+                );
+                h = fold(h, u64::from(rec.port));
+                h = fold(h, rec.payload.as_bytes().len() as u64);
+                for b in rec.payload.as_bytes() {
+                    h = fold(h, u64::from(*b));
+                }
+                h = fold(
+                    h,
+                    match rec.kind {
+                        crate::capture::CaptureKind::Sent => 0,
+                        crate::capture::CaptureKind::Received => 1,
+                        crate::capture::CaptureKind::Forwarded => 2,
+                    },
+                );
+            }
+        }
+        h
+    }
+
+    /// Publishes transport counters, event-queue depth, per-link background
+    /// load and per-shard sharding metrics (events, mailbox crossings,
+    /// windows, barrier waits, mailbox depth histogram) into the global
+    /// observability registry.
     ///
     /// Deliberately *batch*: callers invoke it at run boundaries (the
     /// engine after each run, the bench harness after each workload) and
@@ -645,9 +1579,10 @@ impl Simulator {
             return;
         }
         let reg = excovery_obs::global();
-        let (cur, last) = (self.stats, self.obs_published);
+        let (cur, last) = (self.stats(), self.obs_published);
+        let events = self.events_executed();
         reg.counter("netsim_events_executed_total", &[])
-            .add(self.events_executed - self.obs_published_events);
+            .add(events - self.obs_published_events);
         reg.counter("netsim_packets_sent_total", &[])
             .add(cur.sent - last.sent);
         reg.counter("netsim_packets_delivered_total", &[])
@@ -661,9 +1596,42 @@ impl Simulator {
         reg.counter("netsim_flood_duplicates_total", &[])
             .add(cur.duplicates - last.duplicates);
         self.obs_published = cur;
-        self.obs_published_events = self.events_executed;
+        self.obs_published_events = events;
+        // Per-shard sharding metrics, labelled by shard index.
+        for sh in &mut self.shards {
+            let sid = sh.id.to_string();
+            let labels: [(&str, &str); 1] = [("shard", &sid)];
+            reg.counter("netsim_shard_events_total", &labels)
+                .add(sh.events_executed - sh.obs_events_published);
+            sh.obs_events_published = sh.events_executed;
+            reg.counter("netsim_mailbox_crossings_total", &labels)
+                .add(sh.crossings_out - sh.obs_crossings_published);
+            sh.obs_crossings_published = sh.crossings_out;
+            reg.counter("netsim_shard_windows_total", &labels)
+                .add(sh.windows - sh.obs_windows_published);
+            sh.obs_windows_published = sh.windows;
+            reg.counter("netsim_barrier_wait_ns_total", &labels)
+                .add(sh.barrier_wait_ns - sh.obs_barrier_ns_published);
+            sh.obs_barrier_ns_published = sh.barrier_wait_ns;
+            for (b, (&cur, pub_)) in sh
+                .mailbox_depth_hist
+                .iter()
+                .zip(sh.obs_depth_published.iter_mut())
+                .enumerate()
+            {
+                if cur > *pub_ {
+                    let bucket = b.to_string();
+                    reg.counter(
+                        "netsim_mailbox_depth_bucket_total",
+                        &[("shard", &sid), ("le_pow2", &bucket)],
+                    )
+                    .add(cur - *pub_);
+                    *pub_ = cur;
+                }
+            }
+        }
         reg.gauge("netsim_pending_events", &[])
-            .set(self.queue.len() as i64);
+            .set(self.pending_events() as i64);
         let link_load = reg.histogram("netsim_link_load_kbps", &[]);
         for (_, kbps) in self.link_load.entries() {
             link_load.observe(kbps as u64);
@@ -689,376 +1657,35 @@ impl Simulator {
     /// (like a real testbed's wall clock) as long as no run outlives the
     /// epoch spacing.
     pub fn reset_for_run(&mut self, run_id: u64) {
-        self.queue.clear();
-        self.flood_seen.clear();
-        self.active_timers.clear();
-        self.link_load.clear();
-        self.protocol_events.clear();
         let run_seed = crate::rng::derive_seed_indexed(self.cfg.seed, "run", run_id);
-        for (i, n) in self.nodes.iter_mut().enumerate() {
-            n.filters.clear();
-            n.captures.clear();
-            n.drop_all = false;
-            n.agents.clear();
-            n.tagger = Tagger::new();
-            n.rng = derive_rng_indexed(run_seed, "agent", i as u64);
-            n.sync_rng = derive_rng_indexed(run_seed, "sync", i as u64);
-        }
-        self.channel_rng = derive_rng(run_seed, "channel");
+        self.link_load.clear();
+        self.mail.clear();
         let epoch = SimTime::ZERO + Self::RUN_EPOCH.saturating_mul(run_id);
+        for sh in &mut self.shards {
+            sh.queue.clear();
+            // Release event-storm capacity: one pathological run must not
+            // pin its peak allocation for the rest of a campaign.
+            sh.queue.shrink_to_fit();
+            sh.flood_seen.clear();
+            sh.active_timers.clear();
+            sh.protocol_events.clear();
+            sh.time = sh.time.max(epoch);
+            for n in &mut sh.nodes {
+                let i = u64::from(n.id.0);
+                n.filters.clear();
+                n.captures.clear();
+                n.drop_all = false;
+                n.agents.clear();
+                n.tagger = Tagger::new();
+                n.rng = derive_rng_indexed(run_seed, "agent", i);
+                n.sync_rng = derive_rng_indexed(run_seed, "sync", i);
+                n.channel_rng = derive_rng_indexed(run_seed, "channel", i);
+                n.next_seq = 0;
+                n.next_packet_seq = 0;
+                n.next_tid = 0;
+            }
+        }
         self.time = self.time.max(epoch);
-    }
-
-    // ---- internals ---------------------------------------------------------
-
-    /// Runs `f` on the agent at `(node, port)` with a fresh context, then
-    /// applies the actions the agent requested.
-    fn dispatch(
-        &mut self,
-        node: NodeId,
-        port: Port,
-        f: impl FnOnce(&mut dyn Agent, &mut AgentCtx),
-    ) {
-        let Some(mut agent) = self.nodes[node.0 as usize].agents.remove(&port) else {
-            return;
-        };
-        let local_now = self.nodes[node.0 as usize].clock.local_time(self.time);
-        let mut ctx = AgentCtx {
-            now: self.time,
-            local_now,
-            node,
-            actions: Vec::new(),
-            events: Vec::new(),
-            rng: &mut self.nodes[node.0 as usize].rng,
-        };
-        f(agent.as_mut(), &mut ctx);
-        let AgentCtx {
-            actions, events, ..
-        } = ctx;
-        // Reinstall unless the agent replaced/removed itself meanwhile
-        // (it cannot — only the simulator mutates the map — so insert).
-        self.nodes[node.0 as usize].agents.insert(port, agent);
-        self.protocol_events.extend(events);
-        for action in actions {
-            match action {
-                Action::Send {
-                    dst,
-                    port: p,
-                    payload,
-                } => self.process_send(node, dst, p, payload),
-                Action::SetTimer { delay, token } => {
-                    let tid = self.next_tid;
-                    self.next_tid += 1;
-                    self.active_timers
-                        .entry((node.0, port, token))
-                        .or_default()
-                        .insert(tid);
-                    self.queue.schedule(
-                        self.time + delay,
-                        Ev::Timer {
-                            node,
-                            port,
-                            token,
-                            tid,
-                        },
-                    );
-                }
-                Action::CancelTimer { token } => {
-                    self.active_timers.remove(&(node.0, port, token));
-                }
-            }
-        }
-    }
-
-    fn handle_timer(&mut self, node: NodeId, port: Port, token: u64, tid: u64) {
-        let key = (node.0, port, token);
-        let live = match self.active_timers.get_mut(&key) {
-            Some(set) => set.remove(&tid),
-            None => false,
-        };
-        if let Some(set) = self.active_timers.get(&key) {
-            if set.is_empty() {
-                self.active_timers.remove(&key);
-            }
-        }
-        if live {
-            self.dispatch(node, port, |agent, ctx| agent.on_timer(ctx, token));
-        }
-    }
-
-    fn alloc_packet(
-        &mut self,
-        src: NodeId,
-        dst: Destination,
-        port: Port,
-        payload: Payload,
-    ) -> Packet {
-        let id = PacketId(self.next_packet_id);
-        self.next_packet_id += 1;
-        let tag = self.nodes[src.0 as usize].tagger.stamp();
-        Packet {
-            id,
-            tag,
-            src,
-            dst,
-            port,
-            size_bytes: Packet::wire_size(&payload),
-            payload,
-            sent_at: self.time,
-        }
-    }
-
-    fn capture(&mut self, node: NodeId, packet: &Packet, kind: CaptureKind) {
-        let local_time = self.nodes[node.0 as usize].clock.local_time(self.time);
-        self.nodes[node.0 as usize].captures.record(CaptureRecord {
-            node,
-            local_time,
-            packet_id: packet.id,
-            tag: packet.tag,
-            src: packet.src,
-            dst: packet.dst,
-            port: packet.port,
-            payload: packet.payload.clone(),
-            kind,
-        });
-    }
-
-    fn process_send(&mut self, src: NodeId, dst: Destination, port: Port, payload: Payload) {
-        self.stats.sent += 1;
-        let packet = self.alloc_packet(src, dst, port, payload);
-        // The sender observes its own transmission attempt even if egress
-        // filters subsequently drop it — exactly what a local capture on a
-        // faulty interface would show.
-        self.capture(src, &packet, CaptureKind::Sent);
-        if self.nodes[src.0 as usize].drop_all {
-            self.stats.dropped_filter += 1;
-            return;
-        }
-        // Egress filter: path rules match against the final unicast peer.
-        let peer = match dst {
-            Destination::Unicast(d) => Some(d),
-            _ => None,
-        };
-        let verdict = self.nodes[src.0 as usize].filters.evaluate(
-            Direction::Transmit,
-            peer,
-            &mut self.channel_rng,
-        );
-        let extra = match verdict {
-            Verdict::Drop => {
-                self.stats.dropped_filter += 1;
-                return;
-            }
-            Verdict::Pass { extra_delay } => extra_delay,
-        };
-        match dst {
-            Destination::Unicast(final_dst) => {
-                if final_dst == src {
-                    // Loopback: deliver immediately without touching the medium.
-                    self.deliver(packet, src);
-                    return;
-                }
-                let Some(path) = self.routing.path(src, final_dst) else {
-                    self.stats.dropped_loss += 1; // unroutable
-                    return;
-                };
-                // path = [src, h1, ..., final]; transmit to h1. The route is
-                // a shared slice from the routing cache — no per-packet copy.
-                let path = Arc::clone(path);
-                let first = path[1];
-                self.transmit_hop(packet, src, first, path, 2, extra);
-            }
-            Destination::Multicast | Destination::Broadcast => {
-                self.flood_seen.insert((packet.id, src.0));
-                self.flood_from(packet, src, None, extra);
-            }
-        }
-    }
-
-    /// Attempts one unicast link crossing `from → to`; on success schedules
-    /// the transit-complete event. `path`/`next` index the shared route:
-    /// `path[next]` is the hop after `to` (`next == path.len()` at the end).
-    fn transmit_hop(
-        &mut self,
-        packet: Packet,
-        from: NodeId,
-        to: NodeId,
-        path: Arc<[NodeId]>,
-        next: usize,
-        extra_delay: SimDuration,
-    ) {
-        let load = self.link_load.get(from.0, to.0);
-        let p = self.cfg.link_model.loss_probability(load);
-        if self.channel_rng.gen::<f64>() < p {
-            self.stats.dropped_loss += 1;
-            return;
-        }
-        let base = self.cfg.link_model.hop_delay(load);
-        let jitter_draw = self.channel_rng.gen::<f64>();
-        let delay = self.cfg.link_model.jittered(base, jitter_draw)
-            + self.cfg.link_model.serialization_delay(packet.size_bytes)
-            + extra_delay;
-        self.queue.schedule(
-            self.time + delay,
-            Ev::UnicastTransit {
-                packet,
-                from,
-                to,
-                path,
-                next,
-            },
-        );
-    }
-
-    fn handle_unicast_transit(
-        &mut self,
-        packet: Packet,
-        _from: NodeId,
-        to: NodeId,
-        path: Arc<[NodeId]>,
-        next: usize,
-    ) {
-        if self.nodes[to.0 as usize].drop_all {
-            self.stats.dropped_filter += 1;
-            return;
-        }
-        if next >= path.len() {
-            // Final hop: ingress filters, then delivery.
-            let verdict = self.nodes[to.0 as usize].filters.evaluate(
-                Direction::Receive,
-                Some(packet.src),
-                &mut self.channel_rng,
-            );
-            match verdict {
-                Verdict::Drop => self.stats.dropped_filter += 1,
-                Verdict::Pass { extra_delay } if extra_delay > SimDuration::ZERO => {
-                    // Defer the (already filter-approved) delivery.
-                    self.queue
-                        .schedule(self.time + extra_delay, Ev::Deliver { packet, at: to });
-                }
-                Verdict::Pass { .. } => self.deliver(packet, to),
-            }
-        } else {
-            // Relay: a node with a downed interface cannot forward.
-            if self.relay_blocked(to) {
-                self.stats.dropped_filter += 1;
-                return;
-            }
-            self.capture(to, &packet, CaptureKind::Forwarded);
-            self.stats.forwarded += 1;
-            // Advance the index into the shared route — no allocation.
-            let hop = path[next];
-            self.transmit_hop(packet, to, hop, path, next + 1, SimDuration::ZERO);
-        }
-    }
-
-    /// True if `node`'s filters prevent it from relaying traffic
-    /// (interface fault in any direction blocks the shared radio).
-    fn relay_blocked(&self, node: NodeId) -> bool {
-        let n = &self.nodes[node.0 as usize];
-        // Fault-free fast path: nothing installed can block the relay.
-        if !n.drop_all && n.filters.is_empty() {
-            return false;
-        }
-        // Probe with a max-output RNG: `gen::<f64>()` yields ≈1.0, so
-        // probabilistic loss rules (p < 1) never fire and only deterministic
-        // blocks (InterfaceDown, total loss) force a Drop verdict.
-        let mut probe_rng = rand::rngs::mock::StepRng::new(u64::MAX, 0);
-        n.drop_all
-            || matches!(
-                n.filters
-                    .evaluate(Direction::Transmit, None, &mut probe_rng),
-                Verdict::Drop
-            )
-            || matches!(
-                n.filters.evaluate(Direction::Receive, None, &mut probe_rng),
-                Verdict::Drop
-            )
-    }
-
-    fn flood_from(
-        &mut self,
-        packet: Packet,
-        at: NodeId,
-        came_from: Option<NodeId>,
-        extra_delay: SimDuration,
-    ) {
-        // Shared adjacency slice from the routing cache — no per-fan-out
-        // copy; the Arc clone detaches the borrow from `self`.
-        let neighbors = Arc::clone(self.routing.neighbors(at));
-        for &nb in neighbors.iter() {
-            if Some(nb) == came_from {
-                continue;
-            }
-            let load = self.link_load.get(at.0, nb.0);
-            let p = self.cfg.link_model.loss_probability(load);
-            if self.channel_rng.gen::<f64>() < p {
-                self.stats.dropped_loss += 1;
-                continue;
-            }
-            let base = self.cfg.link_model.hop_delay(load);
-            let jitter_draw = self.channel_rng.gen::<f64>();
-            let delay = self.cfg.link_model.jittered(base, jitter_draw)
-                + self.cfg.link_model.serialization_delay(packet.size_bytes)
-                + extra_delay;
-            self.queue.schedule(
-                self.time + delay,
-                Ev::FloodTransit {
-                    packet: packet.clone(),
-                    from: at,
-                    to: nb,
-                },
-            );
-        }
-    }
-
-    fn handle_flood_transit(&mut self, packet: Packet, from: NodeId, to: NodeId) {
-        if !self.flood_seen.insert((packet.id, to.0)) {
-            self.stats.duplicates += 1;
-            return;
-        }
-        if self.nodes[to.0 as usize].drop_all {
-            self.stats.dropped_filter += 1;
-            return;
-        }
-        // Ingress filter at every receiving node.
-        let verdict = self.nodes[to.0 as usize].filters.evaluate(
-            Direction::Receive,
-            Some(packet.src),
-            &mut self.channel_rng,
-        );
-        let deliverable = match verdict {
-            Verdict::Drop => {
-                self.stats.dropped_filter += 1;
-                false
-            }
-            Verdict::Pass { .. } => true,
-        };
-        let subscribed = self.nodes[to.0 as usize].agents.contains_key(&packet.port);
-        if deliverable {
-            if subscribed {
-                self.deliver(packet.clone(), to);
-            } else {
-                self.capture(to, &packet, CaptureKind::Forwarded);
-            }
-        }
-        // Relaying continues regardless of local subscription, unless the
-        // node's radio is down. Note a Receive-dropped packet was still
-        // heard by the radio in reality only probabilistically; we model
-        // fault-filtered packets as consumed (not relayed) to make the
-        // interface fault actually partition the flood.
-        if deliverable && !self.relay_blocked(to) {
-            self.stats.forwarded += 1;
-            self.flood_from(packet, to, Some(from), SimDuration::ZERO);
-        }
-    }
-
-    fn deliver(&mut self, packet: Packet, at: NodeId) {
-        self.capture(at, &packet, CaptureKind::Received);
-        if self.nodes[at.0 as usize].agents.contains_key(&packet.port) {
-            self.stats.delivered += 1;
-            self.dispatch(at, packet.port, |agent, ctx| agent.on_packet(ctx, &packet));
-        }
     }
 }
 
@@ -1414,6 +2041,78 @@ mod tests {
         assert_eq!(l1, l2);
         let (s3, _) = run(43);
         assert!(s1 != s3 || s1.sent == s3.sent, "different seed may differ");
+    }
+
+    /// The tentpole property in miniature: identical transport outcome for
+    /// every shard count. (The full cross-preset matrix lives in
+    /// `tests/shard_equivalence.rs` at the workspace root.)
+    #[test]
+    fn shard_count_does_not_change_outcome() {
+        fn run(shards: usize) -> (SimStats, u64, Vec<usize>, Vec<String>) {
+            let cfg = SimulatorConfig::default().with_seed(99).with_shards(shards);
+            let mut s = Simulator::new(Topology::grid(4, 4), cfg);
+            let log = Arc::new(Mutex::new(vec![]));
+            for n in 0..16u16 {
+                s.install_agent(
+                    NodeId(n),
+                    5353,
+                    Box::new(Probe {
+                        log: Arc::clone(&log),
+                        reply_to: None,
+                    }),
+                );
+            }
+            s.send_from(NodeId(0), 5353, Destination::Multicast, Payload::from("q"));
+            s.send_from(NodeId(5), 5353, Destination::Unicast(NodeId(15)), Payload::from("u"));
+            s.send_from(NodeId(10), 5353, Destination::Multicast, Payload::from("r"));
+            s.run_until_idle(1_000_000);
+            let caps: Vec<usize> = (0..16u16).map(|n| s.captures(NodeId(n)).len()).collect();
+            let mut log = log.lock().unwrap().clone();
+            // Callback interleaving across nodes is shard-dependent (two
+            // agents at the same instant may run on different threads);
+            // per-node order is not. Sort for a shard-invariant view.
+            log.sort();
+            (s.stats(), s.events_executed(), caps, log)
+        }
+        let serial = run(1);
+        for shards in [2, 4, 8] {
+            assert_eq!(run(shards), serial, "diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn shard_queues_partition_events() {
+        let cfg = SimulatorConfig {
+            link_model: quiet_model(),
+            ..SimulatorConfig::perfect_clocks(5)
+        }
+        .with_shards(4);
+        let mut s = Simulator::new(Topology::grid(4, 4), cfg);
+        assert_eq!(s.shard_count(), 4);
+        s.send_from(NodeId(0), 9, Destination::Multicast, Payload::from("q"));
+        s.run_until_idle(100_000);
+        let per_shard = s.events_per_shard();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard.iter().sum::<u64>(), s.events_executed());
+        // A flood over a connected 4×4 grid reaches every stripe.
+        assert!(per_shard.iter().all(|&n| n > 0), "{per_shard:?}");
+        assert!(s.mailbox_crossings() > 0);
+        assert_eq!(s.pending_events(), 0);
+    }
+
+    #[test]
+    fn packet_ids_compose_source_and_sequence() {
+        let mut s = sim(2, 16);
+        for _ in 0..2 {
+            s.send_from(
+                NodeId(1),
+                9,
+                Destination::Unicast(NodeId(0)),
+                Payload::from("x"),
+            );
+        }
+        let ids: Vec<u64> = s.captures(NodeId(1)).iter().map(|c| c.packet_id.0).collect();
+        assert_eq!(ids, vec![(1 << 32), (1 << 32) + 1]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::sim::NodeId;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A static mesh topology over `n` nodes.
 #[derive(Debug, Clone)]
@@ -22,14 +22,51 @@ pub struct Topology {
 
 impl Topology {
     /// Builds a topology from explicit positions and a radio range.
+    ///
+    /// Adjacency is built with a uniform grid of `range`-sized buckets —
+    /// each node only checks the 9 surrounding cells — so construction is
+    /// `O(n)` for bounded-density deployments instead of `O(n²)`. The
+    /// result (including per-node neighbor order, ascending by id) is
+    /// identical to the exhaustive pairwise scan, which remains as the
+    /// fallback for degenerate ranges.
     pub fn from_positions(positions: Vec<(f64, f64)>, range: f64) -> Self {
         let n = positions.len();
         let mut adjacency = vec![Vec::new(); n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if dist(positions[i], positions[j]) <= range {
-                    adjacency[i].push(NodeId(j as u16));
-                    adjacency[j].push(NodeId(i as u16));
+        if range.is_finite() && range > 0.0 && n > 1 {
+            let cell_of = |p: (f64, f64)| -> (i64, i64) {
+                ((p.0 / range).floor() as i64, (p.1 / range).floor() as i64)
+            };
+            let mut buckets: crate::fasthash::FastHashMap<(i64, i64), Vec<u32>> =
+                crate::fasthash::FastHashMap::default();
+            for (i, &p) in positions.iter().enumerate() {
+                buckets.entry(cell_of(p)).or_default().push(i as u32);
+            }
+            for (i, &p) in positions.iter().enumerate() {
+                let (cx, cy) = cell_of(p);
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        let Some(cell) = buckets.get(&(cx + dx, cy + dy)) else {
+                            continue;
+                        };
+                        for &j in cell {
+                            let j = j as usize;
+                            if j != i && dist(p, positions[j]) <= range {
+                                adjacency[i].push(NodeId(j as u16));
+                            }
+                        }
+                    }
+                }
+                // Bucket visit order is hash-dependent; the contract
+                // (ascending node id, matching the pairwise scan) is not.
+                adjacency[i].sort_unstable();
+            }
+        } else {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if dist(positions[i], positions[j]) <= range {
+                        adjacency[i].push(NodeId(j as u16));
+                        adjacency[j].push(NodeId(i as u16));
+                    }
                 }
             }
         }
@@ -201,14 +238,21 @@ fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
     ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
 }
 
-/// Precomputed all-pairs routing for a static [`Topology`].
+/// Lazily precomputed all-pairs routing for a static [`Topology`].
 ///
 /// The simulator used to run a BFS per unicast send and clone neighbor
 /// `Vec`s per flood fan-out. A topology never changes during an experiment,
-/// so both are computed once here: every shortest path and every adjacency
-/// list is materialized as a shared `Arc<[NodeId]>` slice. In-flight packets
-/// hold an `Arc` clone of their route — forwarding advances an index into
-/// the shared slice and never allocates.
+/// so both are cached here: every shortest path and every adjacency list is
+/// materialized as a shared `Arc<[NodeId]>` slice. In-flight packets hold an
+/// `Arc` clone of their route — forwarding advances an index into the shared
+/// slice and never allocates.
+///
+/// Rows are built *on first use*, one source node at a time, behind a
+/// [`OnceLock`]: a flood-only experiment on a 100×100 grid never pays for
+/// (or stores) 10⁸ unicast paths, while a unicast sweep amortizes each BFS
+/// across every packet from that source. `OnceLock` keeps lookups `&self`,
+/// so concurrent shard workers share the table without coordination beyond
+/// the first builder of a row winning the publish.
 ///
 /// Paths are bit-identical to [`Topology::shortest_path`]: both derive from
 /// a FIFO BFS that scans neighbors in increasing id order, so the parent
@@ -218,71 +262,72 @@ fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     n: usize,
-    /// Row-major `n × n`: `paths[src * n + dst]`.
-    paths: Vec<Option<Arc<[NodeId]>>>,
+    /// One lazily-built row per source node: `rows[src][dst]`.
+    rows: Vec<OnceLock<Box<[Option<Arc<[NodeId]>>]>>>,
     /// Shared adjacency lists, same order as [`Topology::neighbors`].
     neighbors: Vec<Arc<[NodeId]>>,
 }
 
 impl RoutingTable {
-    /// Builds the table with one full BFS per source node.
+    /// Builds the table shell; per-source BFS rows are computed on demand.
     pub fn new(topology: &Topology) -> Self {
         let n = topology.len();
-        let mut paths: Vec<Option<Arc<[NodeId]>>> = vec![None; n * n];
-        let mut parent: Vec<Option<NodeId>> = vec![None; n];
-        let mut seen = vec![false; n];
-        let mut queue = VecDeque::new();
-        let mut scratch: Vec<NodeId> = Vec::new();
-        for s in 0..n {
-            let src = NodeId(s as u16);
-            parent.iter_mut().for_each(|p| *p = None);
-            seen.iter_mut().for_each(|s| *s = false);
-            queue.clear();
-            seen[s] = true;
-            queue.push_back(src);
-            while let Some(u) = queue.pop_front() {
-                for &v in topology.neighbors(u) {
-                    if !seen[v.0 as usize] {
-                        seen[v.0 as usize] = true;
-                        parent[v.0 as usize] = Some(u);
-                        queue.push_back(v);
-                    }
-                }
-            }
-            for d in 0..n {
-                let dst = NodeId(d as u16);
-                if d == s {
-                    paths[s * n + d] = Some(Arc::from([src] as [NodeId; 1]));
-                    continue;
-                }
-                if !seen[d] {
-                    continue; // unreachable
-                }
-                scratch.clear();
-                let mut cur = dst;
-                scratch.push(cur);
-                while let Some(p) = parent[cur.0 as usize] {
-                    scratch.push(p);
-                    cur = p;
-                }
-                scratch.reverse();
-                paths[s * n + d] = Some(Arc::from(scratch.as_slice()));
-            }
-        }
         let neighbors = (0..n)
             .map(|i| Arc::from(topology.neighbors(NodeId(i as u16))))
             .collect();
         Self {
             n,
-            paths,
+            rows: (0..n).map(|_| OnceLock::new()).collect(),
             neighbors,
         }
+    }
+
+    /// One full BFS from `src`, reconstructing the path to every node.
+    fn build_row(&self, src: NodeId) -> Box<[Option<Arc<[NodeId]>>]> {
+        let n = self.n;
+        let s = src.0 as usize;
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::new();
+        seen[s] = true;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors[u.0 as usize].iter() {
+                if !seen[v.0 as usize] {
+                    seen[v.0 as usize] = true;
+                    parent[v.0 as usize] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        let mut row: Vec<Option<Arc<[NodeId]>>> = vec![None; n];
+        let mut scratch: Vec<NodeId> = Vec::new();
+        for d in 0..n {
+            if d == s {
+                row[d] = Some(Arc::from([src] as [NodeId; 1]));
+                continue;
+            }
+            if !seen[d] {
+                continue; // unreachable
+            }
+            scratch.clear();
+            let mut cur = NodeId(d as u16);
+            scratch.push(cur);
+            while let Some(p) = parent[cur.0 as usize] {
+                scratch.push(p);
+                cur = p;
+            }
+            scratch.reverse();
+            row[d] = Some(Arc::from(scratch.as_slice()));
+        }
+        row.into_boxed_slice()
     }
 
     /// Cached shortest path from `a` to `b` (inclusive); `None` if
     /// disconnected. Identical to [`Topology::shortest_path`].
     pub fn path(&self, a: NodeId, b: NodeId) -> Option<&Arc<[NodeId]>> {
-        self.paths[a.0 as usize * self.n + b.0 as usize].as_ref()
+        let row = self.rows[a.0 as usize].get_or_init(|| self.build_row(a));
+        row[b.0 as usize].as_ref()
     }
 
     /// Shared adjacency list of `node`, same order as

@@ -1,12 +1,41 @@
 //! Property tests for the simulator substrate: determinism over random
-//! workloads, topology invariants, tagger stream reconstruction.
+//! workloads, topology invariants, tagger stream reconstruction, and the
+//! event queue's ordering contract against a `BTreeMap` model.
 
+use excovery_netsim::event::EventQueue;
 use excovery_netsim::sim::{SimStats, Simulator, SimulatorConfig};
 use excovery_netsim::tagger::{analyze_stream, Tagger};
+use excovery_netsim::time::SimTime;
 use excovery_netsim::topology::Topology;
 use excovery_netsim::{Destination, NodeId, Payload};
 use proptest::prelude::*;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Reference model: a `BTreeMap` keyed `(time, key)` pops in exactly the
+/// order the queue promises (same checker as the in-crate LCG test).
+fn check_queue_against_model(pairs: &[(u64, u64)], pop_every: usize) {
+    let mut q = EventQueue::new();
+    let mut model: BTreeMap<(SimTime, u64), usize> = BTreeMap::new();
+    for (i, &(t, k)) in pairs.iter().enumerate() {
+        let due = SimTime::from_nanos(t);
+        q.schedule_with_key(due, k, i);
+        model.insert((due, k), i);
+        if pop_every > 0 && i % pop_every == 0 {
+            if let Some((due, payload)) = q.pop() {
+                let (&mk, &mv) = model.iter().next().expect("model empty but queue popped");
+                model.remove(&mk);
+                assert_eq!((due, payload), (mk.0, mv));
+            }
+        }
+    }
+    while let Some((due, payload)) = q.pop() {
+        let (&mk, &mv) = model.iter().next().expect("model empty but queue popped");
+        model.remove(&mk);
+        assert_eq!((due, payload), (mk.0, mv));
+    }
+    assert!(model.is_empty(), "queue drained before the model");
+}
 
 fn run_workload(seed: u64, sends: &[(u16, u8)], nodes: u16) -> (SimStats, Vec<(u64, String)>) {
     let topo = Topology::grid(nodes as usize, 2);
@@ -35,6 +64,19 @@ fn run_workload(seed: u64, sends: &[(u16, u8)], nodes: u16) -> (SimStats, Vec<(u
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The event queue's pop order equals the `BTreeMap` model for random
+    /// `(time, key)` workloads with heavy time collisions.
+    #[test]
+    fn push_pop_order_equals_btreemap_model(
+        times in prop::collection::vec(0u64..32, 1..256),
+        pop_every in 0usize..5,
+    ) {
+        // Unique keys derived from the index keep the order total.
+        let pairs: Vec<(u64, u64)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+        check_queue_against_model(&pairs, pop_every);
+    }
 
     /// Identical seeds and workloads produce bit-identical stats and
     /// capture streams; this is the platform property ExCovery's

@@ -139,6 +139,23 @@ impl EventRow {
             .collect()
     }
 
+    /// Reads all events of a run in recording (insertion) order.
+    ///
+    /// `read_run` orders by conditioned common time, which can swap two
+    /// causally ordered cross-node events whose true gap is smaller than
+    /// the sync-error residual left by conditioning. Causal assertions
+    /// must use this order instead.
+    pub fn read_run_recorded(db: &Database, run_id: u64) -> Result<Vec<Self>, StoreError> {
+        db.table("Events")?
+            .select(
+                &Predicate::Eq("RunID".into(), SqlValue::Int(run_id as i64)),
+                None,
+            )?
+            .into_iter()
+            .map(Self::from_row)
+            .collect()
+    }
+
     /// Reads all events, ordered by run then common time.
     pub fn read_all(db: &Database) -> Result<Vec<Self>, StoreError> {
         let mut all: Vec<Self> = db

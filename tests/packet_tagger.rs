@@ -47,10 +47,29 @@ fn injected_flows_appear_in_the_packets_table() {
 
 #[test]
 fn tag_gap_analysis_detects_fault_injected_loss() {
-    // Add a 30% message-loss fault on the SM node (which also carries a
-    // CBR flow endpoint in this small platform); the tag-gap estimate for
-    // streams through that node must reflect substantial loss.
+    // Add a heavy message-loss fault on the SM node and route the CBR
+    // flow between the acting nodes (choice=1), so the flow is guaranteed
+    // to cross the faulted node's filter regardless of which pair the
+    // traffic seed would draw; the tag-gap estimate for streams through
+    // that node must reflect substantial loss. Smaller packets give a
+    // denser tag stream while discovery is being delayed by the fault.
     let mut desc = description_with_injection(100);
+    for env in &mut desc.env_processes {
+        for action in &mut env.actions {
+            if let ProcessAction::Invoke { name, params } = action {
+                if name == "env_traffic_start" {
+                    for (key, value) in params.iter_mut() {
+                        if key == "choice" {
+                            *value = ValueRef::int(1);
+                        }
+                        if key == "packet_size" {
+                            *value = ValueRef::int(100);
+                        }
+                    }
+                }
+            }
+        }
+    }
     let sm = desc
         .node_processes
         .iter_mut()
@@ -62,7 +81,7 @@ fn tag_gap_analysis_detects_fault_injected_loss() {
             "fault_message_loss_start",
             [(
                 "probability".to_string(),
-                ValueRef::Lit(excovery::desc::LevelValue::Float(0.5)),
+                ValueRef::Lit(excovery::desc::LevelValue::Float(0.8)),
             )],
         ),
     );
