@@ -31,8 +31,9 @@ use excovery_netsim::topology::Topology;
 use excovery_netsim::traffic::{PairChoice, TrafficGenerator, TrafficSpec};
 use excovery_netsim::{NodeId, SimDuration, SimTime, Simulator};
 use excovery_rpc::{
-    Channel, ChaosOptions, ChaosTransport, NodeProxy, RpcError, ServerRegistry, TcpOptions,
-    TcpRpcServer, TcpTransport, Transport, Value,
+    relay_registry, Channel, ChaosOptions, ChaosTransport, NodeCall, NodeProxy, Reactor,
+    ReactorEndpoint, RetryConfig, RpcError, ServerRegistry, TcpOptions, TcpRpcServer, TcpTransport,
+    Transport, Value,
 };
 use excovery_sd::{Architecture, SdConfig};
 use excovery_store::level2::Level2Store;
@@ -106,6 +107,41 @@ impl std::fmt::Display for TransportKind {
         match self {
             TransportKind::Memory => write!(f, "memory"),
             TransportKind::Tcp => write!(f, "tcp"),
+        }
+    }
+}
+
+/// Control-plane dispatch model for the per-phase lifecycle fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum DispatcherKind {
+    /// One scoped thread per node per phase (the original model; simple
+    /// and fine at small node counts).
+    #[default]
+    Threaded,
+    /// Every NodeManager link multiplexed on the calling thread by a
+    /// non-blocking readiness loop ([`excovery_rpc::Reactor`]), with
+    /// batched frames through sub-master relays when
+    /// [`EngineConfig::fanout_tree`] is set — the testbed-scale path.
+    Reactor,
+}
+
+impl DispatcherKind {
+    /// Parses a CLI-style name (`threaded` or `reactor`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "threaded" => Some(DispatcherKind::Threaded),
+            "reactor" => Some(DispatcherKind::Reactor),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DispatcherKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatcherKind::Threaded => write!(f, "threaded"),
+            DispatcherKind::Reactor => write!(f, "reactor"),
         }
     }
 }
@@ -196,6 +232,14 @@ pub struct EngineConfig {
     pub max_runs: Option<u64>,
     /// Control-channel backend between master and NodeManagers.
     pub transport: TransportKind,
+    /// Control-plane dispatch model for the per-phase lifecycle fan-out.
+    pub dispatcher: DispatcherKind,
+    /// Width of the hierarchical fan-out tree: `Some(w)` groups the
+    /// NodeManagers under sub-master relays of at most `w` members each
+    /// and sends one batched lifecycle frame per relay and phase.
+    /// Requires [`DispatcherKind::Reactor`]; `None` keeps the flat
+    /// per-node fan-out.
+    pub fanout_tree: Option<usize>,
     /// Socket options for the TCP backend (ignored by the memory channel).
     pub tcp: TcpOptions,
     /// Bounded retry with backoff for every control-channel call.
@@ -301,6 +345,19 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Selects the control-plane dispatch model.
+    pub fn dispatcher(mut self, d: DispatcherKind) -> Self {
+        self.cfg.dispatcher = d;
+        self
+    }
+
+    /// Enables the hierarchical fan-out tree with relays of at most
+    /// `width` members (requires the reactor dispatcher).
+    pub fn fanout_tree(mut self, width: usize) -> Self {
+        self.cfg.fanout_tree = Some(width);
+        self
+    }
+
     /// Sets the socket options of the TCP backend.
     pub fn tcp(mut self, opts: TcpOptions) -> Self {
         self.cfg.tcp = opts;
@@ -353,6 +410,8 @@ impl EngineConfig {
             resume: false,
             max_runs: None,
             transport: TransportKind::default(),
+            dispatcher: DispatcherKind::default(),
+            fanout_tree: None,
             tcp: TcpOptions::default(),
             retry: RetryPolicy::default(),
             chaos: None,
@@ -431,6 +490,11 @@ pub struct ExperimentOutcome {
     /// trace here — and **only** here: the experiment data must not
     /// depend on it (see [`Self::digest`]).
     pub control_retries: u64,
+    /// Dispatch model the control plane ran on. Metadata like
+    /// [`Self::control_retries`]: deliberately excluded from
+    /// [`Self::digest`], because the dispatcher must not influence what
+    /// the experiment recorded.
+    pub dispatcher: DispatcherKind,
 }
 
 impl ExperimentOutcome {
@@ -737,6 +801,14 @@ pub struct ExperiMaster {
     /// The registry behind each TCP server, shared so a halted node can be
     /// revived with its state (including the idempotency cache) intact.
     tcp_registries: HashMap<String, Arc<Mutex<ServerRegistry>>>,
+    /// The multiplexed dispatcher when `cfg.dispatcher` is
+    /// [`DispatcherKind::Reactor`] (behind a lock only because the
+    /// lifecycle fan-out takes `&self`; dispatches never overlap).
+    reactor: Option<Mutex<Reactor>>,
+    /// Running sub-master relay servers for a TCP fan-out tree (dropping
+    /// them stops the accept loops).
+    #[allow(dead_code)]
+    relay_servers: Vec<TcpRpcServer>,
     /// Idempotency-key sequence; each logical call draws one number.
     call_seq: AtomicU64,
     /// Control-channel retries performed (reported in the outcome).
@@ -762,6 +834,18 @@ impl ExperiMaster {
     /// Builds a master for a validated description on the given platform.
     pub fn new(desc: ExperimentDescription, cfg: EngineConfig) -> Result<Self, EngineError> {
         validate_strict(&desc).map_err(|e| EngineError::Config(e.to_string()))?;
+        if let Some(width) = cfg.fanout_tree {
+            if width == 0 {
+                return Err(EngineError::Config(
+                    "fanout_tree width must be at least 1".into(),
+                ));
+            }
+            if cfg.dispatcher != DispatcherKind::Reactor {
+                return Err(EngineError::Config(
+                    "fanout_tree requires the reactor dispatcher".into(),
+                ));
+            }
+        }
         let binding = Arc::new(
             PlatformBinding::new(&desc.platform, cfg.topology.len())
                 .map_err(EngineError::Config)?,
@@ -780,6 +864,7 @@ impl ExperiMaster {
         let mut tcp_servers = HashMap::new();
         let mut tcp_addrs = HashMap::new();
         let mut tcp_registries = HashMap::new();
+        let mut mem_registries: HashMap<String, Arc<Mutex<ServerRegistry>>> = HashMap::new();
         // Each node's control channel draws its own fault schedule, seeded
         // from the campaign chaos seed and the platform id — replaying the
         // campaign seed replays every node's schedule.
@@ -824,10 +909,79 @@ impl ExperiMaster {
                         tcp_registries.insert(pid.clone(), registry);
                         wrap(&pid, transport, node_chaos(&pid))
                     }
-                    _ => wrap(&pid, Channel::new(registry), node_chaos(&pid)),
+                    _ => {
+                        let channel = Channel::new(registry);
+                        mem_registries.insert(pid.clone(), channel.server());
+                        wrap(&pid, channel, node_chaos(&pid))
+                    }
                 };
             proxies.insert(pid, proxy);
         }
+        // The reactor reuses the per-node registries (memory) or server
+        // addresses (TCP) the proxies were built on, so dedup caches and
+        // kill/revive semantics are shared between both dispatchers.
+        let mut relay_servers = Vec::new();
+        let reactor = match cfg.dispatcher {
+            DispatcherKind::Reactor => {
+                let node_registry = |pid: &String| match cfg.transport {
+                    TransportKind::Tcp => Arc::clone(&tcp_registries[pid]),
+                    _ => Arc::clone(&mem_registries[pid]),
+                };
+                let mut reactor = Reactor::new();
+                let mut pids: Vec<String> = proxies.keys().cloned().collect();
+                pids.sort();
+                match cfg.fanout_tree {
+                    Some(width) => {
+                        for group in pids.chunks(width) {
+                            let children: Vec<(String, Arc<Mutex<ServerRegistry>>)> = group
+                                .iter()
+                                .map(|pid| (pid.clone(), node_registry(pid)))
+                                .collect();
+                            let members: Vec<(String, Option<ChaosOptions>)> = group
+                                .iter()
+                                .map(|pid| (pid.clone(), node_chaos(pid)))
+                                .collect();
+                            let relay = Arc::new(Mutex::new(relay_registry(children)));
+                            let endpoint = match cfg.transport {
+                                // A TCP tree binds one loopback server per
+                                // relay, so the batch frames travel a real
+                                // socket like any other lifecycle call.
+                                TransportKind::Tcp => {
+                                    let server =
+                                        TcpRpcServer::bind("127.0.0.1:0", Arc::clone(&relay))
+                                            .map_err(|e| EngineError::Transport {
+                                                node: group[0].clone(),
+                                                detail: format!("relay bind: {e}"),
+                                            })?;
+                                    let addr = server.local_addr();
+                                    relay_servers.push(server);
+                                    ReactorEndpoint::Tcp {
+                                        addr,
+                                        opts: cfg.tcp.clone(),
+                                    }
+                                }
+                                _ => ReactorEndpoint::Memory(relay),
+                            };
+                            reactor.add_relay(endpoint, members);
+                        }
+                    }
+                    None => {
+                        for pid in &pids {
+                            let endpoint = match cfg.transport {
+                                TransportKind::Tcp => ReactorEndpoint::Tcp {
+                                    addr: tcp_addrs[pid],
+                                    opts: cfg.tcp.clone(),
+                                },
+                                _ => ReactorEndpoint::Memory(node_registry(pid)),
+                            };
+                            reactor.add_node(pid.clone(), endpoint, node_chaos(pid));
+                        }
+                    }
+                }
+                Some(Mutex::new(reactor))
+            }
+            _ => None,
+        };
         Ok(Self {
             desc,
             cfg,
@@ -837,6 +991,8 @@ impl ExperiMaster {
             tcp_servers,
             tcp_addrs,
             tcp_registries,
+            reactor,
+            relay_servers,
             call_seq: AtomicU64::new(0),
             control_retries: AtomicU64::new(0),
             obs_clock: excovery_obs::span::WallClock::new(),
@@ -906,19 +1062,68 @@ impl ExperiMaster {
         )
     }
 
-    /// Dispatches one lifecycle procedure to every node in `nodes`
-    /// concurrently and waits for all of them (the per-phase barrier).
-    /// Every per-node call goes through [`Self::retry_call`].
+    /// Dispatches one lifecycle procedure to every node in `nodes` and
+    /// waits for all of them (the per-phase barrier). Every per-node call
+    /// is idempotent (key `run:epoch:seq`, drawn in `nodes` order) and
+    /// retried under the engine [`RetryPolicy`] by the dispatcher
+    /// [`EngineConfig::dispatcher`] selects:
+    ///
+    /// * [`DispatcherKind::Threaded`] — [`Self::dispatch_threaded`], one
+    ///   scoped thread per node per phase;
+    /// * [`DispatcherKind::Reactor`] — [`Self::dispatch_reactor`], every
+    ///   link multiplexed on this thread, batched through relays when a
+    ///   fan-out tree is configured.
     ///
     /// Results come back in `nodes` order; so does error reporting — the
     /// first failing node in that deterministic order wins, regardless of
-    /// scheduling, keeping engine behaviour reproducible.
+    /// scheduling, keeping engine behaviour reproducible across both
+    /// dispatchers.
     fn fan_out(
         &self,
         nodes: &[String],
         method: &str,
         params: &[Value],
     ) -> Result<Vec<Value>, EngineError> {
+        let phase_timer = excovery_obs::enabled().then(|| {
+            excovery_obs::span::SpanTimer::start(&self.obs_clock, format!("fan_out:{method}"))
+        });
+        let results = match self.cfg.dispatcher {
+            DispatcherKind::Reactor => self.dispatch_reactor(nodes, method, params),
+            _ => self.dispatch_threaded(nodes, method, params),
+        };
+        if let Some(timer) = phase_timer {
+            let dur = timer.finish(&self.obs_clock, excovery_obs::global_tracer());
+            excovery_obs::global()
+                .histogram("master_phase_duration_ns", &[("phase", method)])
+                .observe(dur);
+        }
+        nodes
+            .iter()
+            .zip(results)
+            .map(|(pid, r)| {
+                r.map_err(|e| match EngineError::from_rpc(pid.clone(), e) {
+                    EngineError::Node { node, detail } => EngineError::Node {
+                        node,
+                        detail: format!("{method}: {detail}"),
+                    },
+                    EngineError::Transport { node, detail } => EngineError::Transport {
+                        node,
+                        detail: format!("{method}: {detail}"),
+                    },
+                    other => other,
+                })
+            })
+            .collect()
+    }
+
+    /// The original dispatcher: one scoped thread per node, joined as the
+    /// phase barrier.
+    fn dispatch_threaded(
+        &self,
+        nodes: &[String],
+        method: &str,
+        params: &[Value],
+    ) -> Vec<Result<Value, RpcError>> {
         // Borrow only the thread-shareable pieces: plugin closures (in
         // `self`) are not `Sync`, so the spawned threads must not capture
         // the master itself. Keys are drawn in `nodes` order *before*
@@ -928,10 +1133,7 @@ impl ExperiMaster {
         let epoch = self.cfg.epoch;
         let retries = &self.control_retries;
         let proxies = &self.proxies;
-        let phase_timer = excovery_obs::enabled().then(|| {
-            excovery_obs::span::SpanTimer::start(&self.obs_clock, format!("fan_out:{method}"))
-        });
-        let results: Vec<Result<Value, RpcError>> = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = nodes
                 .iter()
                 .map(|pid| {
@@ -960,28 +1162,57 @@ impl ExperiMaster {
                         .unwrap_or_else(|_| Err(RpcError::Io("dispatch thread panicked".into())))
                 })
                 .collect()
-        });
-        if let Some(timer) = phase_timer {
-            let dur = timer.finish(&self.obs_clock, excovery_obs::global_tracer());
-            excovery_obs::global()
-                .histogram("master_phase_duration_ns", &[("phase", method)])
-                .observe(dur);
-        }
-        nodes
+        })
+    }
+
+    /// The multiplexed dispatcher: one [`NodeCall`] per node with its key
+    /// drawn from the shared sequence, the whole fan-out driven by the
+    /// [`Reactor`] on this thread. Retries the reactor absorbed are
+    /// folded into `control_retries` exactly like the threaded path's.
+    fn dispatch_reactor(
+        &self,
+        nodes: &[String],
+        method: &str,
+        params: &[Value],
+    ) -> Vec<Result<Value, RpcError>> {
+        let calls: Vec<NodeCall> = nodes
             .iter()
-            .zip(results)
-            .map(|(pid, r)| {
-                r.map_err(|e| match EngineError::from_rpc(pid.clone(), e) {
-                    EngineError::Node { node, detail } => EngineError::Node {
-                        node,
-                        detail: format!("{method}: {detail}"),
-                    },
-                    EngineError::Transport { node, detail } => EngineError::Transport {
-                        node,
-                        detail: format!("{method}: {detail}"),
-                    },
-                    other => other,
-                })
+            .map(|pid| NodeCall {
+                node_id: pid.clone(),
+                method: method.to_string(),
+                params: params.to_vec(),
+                idem_key: format!(
+                    "{}:{}:{}",
+                    self.run_id,
+                    self.cfg.epoch,
+                    self.call_seq.fetch_add(1, Ordering::Relaxed)
+                ),
+            })
+            .collect();
+        let retry = RetryConfig {
+            max_attempts: self.cfg.retry.max_attempts,
+            backoff_initial: self.cfg.retry.backoff_initial,
+            backoff_max: self.cfg.retry.backoff_max,
+        };
+        let outcomes = self
+            .reactor
+            .as_ref()
+            .expect("reactor built for this dispatcher")
+            .lock()
+            .dispatch(calls, &retry);
+        outcomes
+            .into_iter()
+            .map(|o| {
+                self.control_retries.fetch_add(o.retries, Ordering::Relaxed);
+                if excovery_obs::enabled() {
+                    excovery_obs::global()
+                        .histogram(
+                            "master_node_call_duration_ns",
+                            &[("node", o.node_id.as_str())],
+                        )
+                        .observe(o.duration_ns);
+                }
+                o.result
             })
             .collect()
     }
@@ -1118,6 +1349,7 @@ impl ExperiMaster {
             runs: outcomes,
             l2_root,
             control_retries: self.control_retries.load(Ordering::Relaxed),
+            dispatcher: self.cfg.dispatcher,
         })
     }
 

@@ -11,7 +11,7 @@
 //! epoch must reproduce exactly the runs that were incomplete, and only
 //! those: a run whose completion marker landed is never executed again.
 
-use excovery_core::{EngineConfig, ExperiMaster, ExperimentOutcome, RetryPolicy};
+use excovery_core::{DispatcherKind, EngineConfig, ExperiMaster, ExperimentOutcome, RetryPolicy};
 use excovery_desc::process::{EventSelector, ProcessAction};
 use excovery_desc::ExperimentDescription;
 use excovery_netsim::link::LinkModel;
@@ -78,10 +78,8 @@ fn execute(desc: ExperimentDescription, cfg: EngineConfig) -> ExperimentOutcome 
     master.execute().unwrap()
 }
 
-/// The ≥3 seeds × ≥3 eventually-clearing schedules acceptance matrix.
-#[test]
-fn eventually_clearing_chaos_leaves_the_digest_unchanged() {
-    let schedules: Vec<(&str, ChaosOptions)> = vec![
+fn schedules() -> Vec<(&'static str, ChaosOptions)> {
+    vec![
         ("moderate", ChaosOptions::flaky(0xC0FFEE, 0.4, 60)),
         (
             "heavy",
@@ -97,27 +95,94 @@ fn eventually_clearing_chaos_leaves_the_digest_unchanged() {
                 ..ChaosOptions::flaky(0xDEAD, 0.2, 30)
             },
         ),
-    ];
+    ]
+}
+
+/// The ≥3 seeds × ≥3 eventually-clearing schedules acceptance matrix,
+/// run on the given control-plane dispatcher. The fault-free baseline is
+/// always threaded: the digest must be invariant across chaos *and*
+/// dispatcher at once.
+fn chaos_matrix(dispatcher: DispatcherKind, fanout: Option<usize>) {
     for master_seed in [11u64, 42, 1337] {
         let baseline = execute(desc_with_seed(2, master_seed), base_config("base"));
         assert!(baseline.runs.iter().all(|r| r.completed));
         assert_eq!(baseline.control_retries, 0, "fault-free run never retries");
         let want = baseline.digest();
-        for (name, schedule) in &schedules {
+        for (name, schedule) in &schedules() {
             let mut cfg = base_config(name);
+            cfg.dispatcher = dispatcher;
+            cfg.fanout_tree = fanout;
             cfg.chaos = Some(schedule.clone());
             cfg.retry = ample_retry(schedule);
             let chaotic = execute(desc_with_seed(2, master_seed), cfg);
             assert_eq!(
                 chaotic.digest(),
                 want,
-                "seed {master_seed}, schedule '{name}': chaos changed the results"
+                "seed {master_seed}, schedule '{name}', {dispatcher}: chaos changed the results"
             );
             assert!(
                 chaotic.control_retries > 0,
-                "seed {master_seed}, schedule '{name}': chaos was never exercised"
+                "seed {master_seed}, schedule '{name}', {dispatcher}: chaos was never exercised"
             );
         }
+    }
+}
+
+#[test]
+fn eventually_clearing_chaos_leaves_the_digest_unchanged() {
+    chaos_matrix(DispatcherKind::Threaded, None);
+}
+
+/// The identical matrix on the multiplexed dispatcher: the reactor draws
+/// per-node verdicts from the same pure schedule and absorbs them with
+/// the same bounded idempotent retry, so the digests must not move.
+#[test]
+fn eventually_clearing_chaos_is_invisible_on_the_reactor_dispatcher() {
+    chaos_matrix(DispatcherKind::Reactor, None);
+}
+
+/// And once more through sub-master relays: a fault on one member fails
+/// only that member's batch entry, whose retry rides a later batch.
+#[test]
+fn eventually_clearing_chaos_is_invisible_through_the_fanout_tree() {
+    chaos_matrix(DispatcherKind::Reactor, Some(2));
+}
+
+/// A member crashing mid-batch fails only its own entry, and with no
+/// retry budget the engine surfaces that entry as
+/// [`excovery_core::EngineError::Transport`] naming the node — in bounded
+/// wall time, not after waiting out the whole batch.
+#[test]
+fn member_crash_mid_batch_surfaces_as_transport_error_naming_the_node() {
+    use std::time::{Duration, Instant};
+    let mut cfg = base_config("batch-crash");
+    cfg.dispatcher = DispatcherKind::Reactor;
+    cfg.fanout_tree = Some(2);
+    cfg.retry = RetryPolicy::none();
+    cfg.chaos = Some(ChaosOptions {
+        crash_windows: vec![(0, u64::MAX)],
+        ..ChaosOptions::quiet(11)
+    });
+    let mut master = ExperiMaster::new(desc_with_seed(1, 5), cfg).unwrap();
+    let managed = master.node_ids();
+    let started = Instant::now();
+    let err = match master.execute() {
+        Ok(_) => panic!("a crashed member must fail the run"),
+        Err(e) => e,
+    };
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "diagnosis took {:?}",
+        started.elapsed()
+    );
+    match err {
+        excovery_core::EngineError::Transport { node, detail } => {
+            // The error names the crashed member itself, with the chaos
+            // wording — not the relay, not a generic batch failure.
+            assert!(managed.contains(&node), "unknown node '{node}': {detail}");
+            assert!(detail.contains("chaos: node crashed"), "{detail}");
+        }
+        other => panic!("expected EngineError::Transport, got {other:?}"),
     }
 }
 

@@ -29,17 +29,29 @@
 //! [`NodeProxy`] wraps any transport with the per-node lock the paper
 //! mandates, and [`RpcError`] classifies failures (server fault vs. codec
 //! vs. timeout/disconnect) so the engine can decide what is recoverable.
+//!
+//! For testbed-scale fan-out, [`reactor`] multiplexes every NodeManager
+//! link on one thread with a hand-rolled readiness loop, and [`batch`]
+//! packs many per-node lifecycle calls (each with its own `__idem` key)
+//! into a single frame served by sub-master relays — see DESIGN.md §13.
 
+pub mod batch;
 pub mod chaos;
 pub mod error;
 pub mod message;
+pub mod reactor;
 pub mod tcp;
 pub mod transport;
 pub mod value;
 
+pub use batch::{
+    pack_batch, pack_batch_response, relay_registry, unpack_batch, unpack_batch_response,
+    BatchEntry, BATCH_METHOD,
+};
 pub use chaos::{fault_at, ChaosOptions, ChaosStats, ChaosTransport, FaultAction};
 pub use error::{RpcError, FAULT_INTERNAL_ERROR, FAULT_NO_SUCH_METHOD, FAULT_PARSE_ERROR};
 pub use message::{Fault, MethodCall, MethodResponse};
+pub use reactor::{DispatchOutcome, NodeCall, Reactor, ReactorEndpoint, RetryConfig};
 pub use tcp::{TcpOptions, TcpRpcServer, TcpTransport};
 pub use transport::{
     response_to_result, Channel, NodeProxy, ServerRegistry, Transport, IDEMPOTENCY_MEMBER,

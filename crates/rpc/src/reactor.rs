@@ -1,0 +1,960 @@
+//! Non-blocking multiplexed dispatcher for the master's per-phase fan-out.
+//!
+//! The threaded dispatcher spawns one scoped thread per NodeManager per
+//! lifecycle phase — fine at 8 nodes, a wall at 1k+. The [`Reactor`]
+//! replaces that with a hand-rolled readiness loop on the *calling*
+//! thread: every node link (in-memory registry or framed-TCP socket) is
+//! driven as a small state machine, TCP sockets run non-blocking with
+//! partial-write/partial-read resumption, and at most one wire operation
+//! is in flight per link at a time (mirroring `NodeProxy`'s per-node call
+//! lock). No poll/mio, no extra threads: one sweep services every link
+//! that is ready and sleeps only when nothing can progress.
+//!
+//! Links come in two shapes:
+//!
+//! * **direct** — one NodeManager per link; each call travels as an
+//!   ordinary idempotent single-method frame, byte-identical to what
+//!   `NodeProxy::call_idempotent` would send. In-memory links skip the
+//!   XML wire format entirely and dispatch against the registry, which is
+//!   safe because idempotency/dedup live in `ServerRegistry::dispatch`
+//!   itself.
+//! * **relay** — a sub-master ([`crate::batch::relay_registry`]) owning a
+//!   group of NodeManagers; all currently-ready member calls are packed
+//!   into one [`crate::batch::BATCH_METHOD`] frame per sweep. Entries keep
+//!   their per-node `__idem` keys, so a retried batch re-runs only the
+//!   entries that never executed.
+//!
+//! Retry and chaos semantics match the threaded path call for call: the
+//! per-node chaos verdict is drawn from the same pure
+//! [`fault_at`] schedule (one draw per attempt, injected error strings
+//! identical to `ChaosTransport`), retries are bounded with the same
+//! exponential backoff shape, and each retry reuses the call's idempotency
+//! key so a replayed request is exactly-once per node. Backoffs and chaos
+//! delays are deadlines inside the loop, not sleeps — other nodes keep
+//! making progress while one backs off.
+
+use crate::batch::{pack_batch, unpack_batch_response, BatchEntry};
+use crate::chaos::{fault_at, ChaosOptions, FaultAction};
+use crate::error::RpcError;
+use crate::message::{MethodCall, MethodResponse};
+use crate::tcp::{TcpOptions, MAX_FRAME_BYTES};
+use crate::transport::{response_to_result, ServerRegistry, IDEMPOTENCY_MEMBER};
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Where a reactor link terminates: an in-process registry or a framed-TCP
+/// server address (connected lazily, reconnected after failures).
+pub enum ReactorEndpoint {
+    /// Shared server registry, dispatched synchronously in-process.
+    Memory(Arc<Mutex<ServerRegistry>>),
+    /// Framed-TCP server; `opts` supplies connect/call deadlines and the
+    /// reconnect backoff, exactly as for `TcpTransport`.
+    Tcp {
+        /// Server socket address.
+        addr: SocketAddr,
+        /// Deadline and reconnect-backoff knobs.
+        opts: TcpOptions,
+    },
+}
+
+/// Retry budget for one [`Reactor::dispatch`], mirroring the master's
+/// `RetryPolicy`: bounded attempts, exponential backoff between them, only
+/// [`RpcError::is_retryable`] errors retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Total attempts per call (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub backoff_initial: Duration,
+    /// Backoff ceiling (doubling is capped here).
+    pub backoff_max: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            backoff_initial: Duration::from_millis(2),
+            backoff_max: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// A single attempt, no retries.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// One logical control call: target node, method, parameters and the
+/// idempotency key reused across every retry of this call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCall {
+    /// Platform id of the target NodeManager.
+    pub node_id: String,
+    /// Procedure name.
+    pub method: String,
+    /// Parameters, without the trailing idempotency struct.
+    pub params: Vec<Value>,
+    /// Idempotency key (`{run_id}:{epoch}:{seq}`).
+    pub idem_key: String,
+}
+
+/// Result of one [`NodeCall`] after retries, aligned with the input order
+/// of [`Reactor::dispatch`].
+#[derive(Debug)]
+pub struct DispatchOutcome {
+    /// Platform id the call was addressed to.
+    pub node_id: String,
+    /// Final result after the retry budget.
+    pub result: Result<Value, RpcError>,
+    /// Transient failures absorbed by retry for this call.
+    pub retries: u64,
+    /// Wall time from dispatch start to this call's completion.
+    pub duration_ns: u64,
+}
+
+struct ChaosState {
+    opts: ChaosOptions,
+    next_call: u64,
+}
+
+enum Link {
+    Memory(Arc<Mutex<ServerRegistry>>),
+    Tcp {
+        addr: SocketAddr,
+        opts: TcpOptions,
+        stream: Option<TcpStream>,
+    },
+}
+
+struct Group {
+    relay: bool,
+    link: Link,
+}
+
+/// The multiplexed dispatcher: node → link routing plus per-node chaos
+/// schedules, driven by [`Reactor::dispatch`] on the caller's thread.
+pub struct Reactor {
+    groups: Vec<Group>,
+    node_group: HashMap<String, usize>,
+    chaos: HashMap<String, ChaosState>,
+}
+
+/// Chaos verdict for one attempt that reached the wire: deliver the
+/// response, drop it (the server still executed), or delay its delivery.
+#[derive(Clone, Copy)]
+enum Post {
+    Deliver,
+    DropResponse,
+    Delay(u64),
+}
+
+enum Phase {
+    Ready,
+    Waiting(Instant),
+    InFlight,
+    Delayed {
+        until: Instant,
+        result: Result<Value, RpcError>,
+    },
+    Done(Result<Value, RpcError>),
+}
+
+struct CallState {
+    attempts: u32,
+    retries: u64,
+    backoff: Duration,
+    started: Instant,
+    duration_ns: u64,
+    phase: Phase,
+}
+
+struct WireOp {
+    group: usize,
+    /// `(call index, chaos post-action)` for every entry riding this op.
+    entries: Vec<(usize, Post)>,
+    call: MethodCall,
+    method: String,
+    frame: Vec<u8>,
+    sent: usize,
+    in_buf: Vec<u8>,
+    deadline: Instant,
+    connect_attempts: u32,
+    connect_backoff: Duration,
+    next_connect_at: Instant,
+}
+
+enum Step {
+    Pending,
+    Complete(MethodResponse),
+    Failed(RpcError),
+}
+
+fn finish(state: &mut CallState, result: Result<Value, RpcError>) {
+    state.duration_ns = state.started.elapsed().as_nanos() as u64;
+    state.phase = Phase::Done(result);
+}
+
+/// One attempt failed: retry retryable errors while budget remains (same
+/// predicate and backoff shape as the master's `retry_call_on`), otherwise
+/// the error is final.
+fn fail_attempt(state: &mut CallState, method: &str, err: RpcError, retry: &RetryConfig) {
+    state.attempts += 1;
+    if err.is_retryable() && state.attempts < retry.max_attempts.max(1) {
+        state.retries += 1;
+        if excovery_obs::enabled() {
+            excovery_obs::global()
+                .counter("rpc_client_retries_total", &[("method", method)])
+                .inc();
+        }
+        state.phase = Phase::Waiting(Instant::now() + state.backoff);
+        state.backoff = state.backoff.saturating_mul(2).min(retry.backoff_max);
+    } else {
+        finish(state, Err(err));
+    }
+}
+
+fn settle_attempt(
+    state: &mut CallState,
+    method: &str,
+    result: Result<Value, RpcError>,
+    retry: &RetryConfig,
+) {
+    match result {
+        Ok(v) => finish(state, Ok(v)),
+        Err(e) => fail_attempt(state, method, e, retry),
+    }
+}
+
+fn apply_post(
+    state: &mut CallState,
+    method: &str,
+    post: Post,
+    result: Result<Value, RpcError>,
+    retry: &RetryConfig,
+) {
+    match post {
+        Post::Deliver => settle_attempt(state, method, result, retry),
+        // The server executed; only the response is lost. The retry will
+        // replay the recorded response under the same idempotency key.
+        Post::DropResponse => fail_attempt(
+            state,
+            method,
+            RpcError::Timeout {
+                method: method.to_string(),
+                after_ms: 0,
+            },
+            retry,
+        ),
+        Post::Delay(ms) => {
+            state.phase = Phase::Delayed {
+                until: Instant::now() + Duration::from_millis(ms),
+                result,
+            }
+        }
+    }
+}
+
+/// Tries to decode one length-prefixed response frame from the read
+/// buffer. `None` means more bytes are needed.
+fn decode_frame(in_buf: &[u8]) -> Option<Step> {
+    if in_buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes([in_buf[0], in_buf[1], in_buf[2], in_buf[3]]);
+    if len > MAX_FRAME_BYTES {
+        return Some(Step::Failed(RpcError::Codec(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        ))));
+    }
+    let len = len as usize;
+    if in_buf.len() < 4 + len {
+        return None;
+    }
+    Some(match std::str::from_utf8(&in_buf[4..4 + len]) {
+        Ok(xml) => match MethodResponse::from_xml(xml) {
+            Ok(response) => Step::Complete(response),
+            Err(e) => Step::Failed(RpcError::Codec(e.to_string())),
+        },
+        Err(_) => Step::Failed(RpcError::Codec("response frame is not UTF-8".into())),
+    })
+}
+
+/// Advances one wire op as far as it can go without blocking.
+fn step_op(link: &mut Link, op: &mut WireOp, now: Instant) -> Step {
+    match link {
+        Link::Memory(registry) => Step::Complete(registry.lock().dispatch(&op.call)),
+        Link::Tcp { addr, opts, stream } => {
+            if now >= op.deadline {
+                return Step::Failed(RpcError::Timeout {
+                    method: op.method.clone(),
+                    after_ms: opts.call_timeout.as_millis() as u64,
+                });
+            }
+            if stream.is_none() {
+                if now < op.next_connect_at {
+                    return Step::Pending;
+                }
+                match TcpStream::connect_timeout(addr, opts.connect_timeout) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        if let Err(e) = s.set_nonblocking(true) {
+                            return Step::Failed(RpcError::Io(format!("set_nonblocking: {e}")));
+                        }
+                        *stream = Some(s);
+                    }
+                    Err(e) => {
+                        op.connect_attempts += 1;
+                        if op.connect_attempts >= opts.max_connect_attempts.max(1) {
+                            return Step::Failed(RpcError::Disconnected(format!(
+                                "{addr} unreachable after {} attempts: {e}",
+                                op.connect_attempts
+                            )));
+                        }
+                        op.next_connect_at = now + op.connect_backoff;
+                        op.connect_backoff =
+                            op.connect_backoff.saturating_mul(2).min(opts.backoff_max);
+                        return Step::Pending;
+                    }
+                }
+            }
+            let s = stream.as_mut().expect("stream just ensured");
+            while op.sent < op.frame.len() {
+                match s.write(&op.frame[op.sent..]) {
+                    Ok(0) => {
+                        return Step::Failed(RpcError::Disconnected(
+                            "server closed the connection mid-call".into(),
+                        ))
+                    }
+                    Ok(n) => op.sent += n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return Step::Pending,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        return Step::Failed(RpcError::Disconnected(format!(
+                            "write to {addr}: {e}"
+                        )))
+                    }
+                }
+            }
+            if let Some(step) = decode_frame(&op.in_buf) {
+                return step;
+            }
+            let mut buf = [0u8; 4096];
+            loop {
+                match s.read(&mut buf) {
+                    Ok(0) => {
+                        return Step::Failed(RpcError::Disconnected(
+                            "server closed the connection mid-call".into(),
+                        ))
+                    }
+                    Ok(n) => {
+                        op.in_buf.extend_from_slice(&buf[..n]);
+                        if let Some(step) = decode_frame(&op.in_buf) {
+                            return step;
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        break
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        return Step::Failed(RpcError::Disconnected(format!(
+                            "read from {addr}: {e}"
+                        )))
+                    }
+                }
+            }
+            Step::Pending
+        }
+    }
+}
+
+impl Reactor {
+    /// An empty reactor; add links with [`Reactor::add_node`] /
+    /// [`Reactor::add_relay`].
+    pub fn new() -> Self {
+        Self {
+            groups: Vec::new(),
+            node_group: HashMap::new(),
+            chaos: HashMap::new(),
+        }
+    }
+
+    /// Registers a directly-linked NodeManager with an optional per-node
+    /// chaos schedule (drawn per attempt, like `ChaosTransport`).
+    pub fn add_node(
+        &mut self,
+        node_id: impl Into<String>,
+        endpoint: ReactorEndpoint,
+        chaos: Option<ChaosOptions>,
+    ) {
+        let node_id = node_id.into();
+        self.groups.push(Group {
+            relay: false,
+            link: Self::link(endpoint),
+        });
+        self.node_group
+            .insert(node_id.clone(), self.groups.len() - 1);
+        if let Some(opts) = chaos {
+            self.chaos
+                .insert(node_id, ChaosState { opts, next_call: 0 });
+        }
+    }
+
+    /// Registers a sub-master relay serving `members`; calls to any member
+    /// are batched onto the relay's single link. Chaos stays per member
+    /// node: a crashed member fails its own entries, not the batch.
+    pub fn add_relay(
+        &mut self,
+        endpoint: ReactorEndpoint,
+        members: Vec<(String, Option<ChaosOptions>)>,
+    ) {
+        self.groups.push(Group {
+            relay: true,
+            link: Self::link(endpoint),
+        });
+        let g = self.groups.len() - 1;
+        for (node_id, chaos) in members {
+            self.node_group.insert(node_id.clone(), g);
+            if let Some(opts) = chaos {
+                self.chaos
+                    .insert(node_id, ChaosState { opts, next_call: 0 });
+            }
+        }
+    }
+
+    fn link(endpoint: ReactorEndpoint) -> Link {
+        match endpoint {
+            ReactorEndpoint::Memory(registry) => Link::Memory(registry),
+            ReactorEndpoint::Tcp { addr, opts } => Link::Tcp {
+                addr,
+                opts,
+                stream: None,
+            },
+        }
+    }
+
+    /// Nodes this reactor can reach (members of relays included).
+    pub fn node_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.node_group.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Draws the chaos verdict for the next attempt against `node_id`.
+    /// `Ok` actions reach the wire (with a post-action), `Err` actions
+    /// fail the attempt before any wire work — both with the exact error
+    /// strings `ChaosTransport` injects.
+    fn chaos_verdict(&mut self, node_id: &str, method: &str) -> Result<Post, RpcError> {
+        let Some(chaos) = self.chaos.get_mut(node_id) else {
+            return Ok(Post::Deliver);
+        };
+        let index = chaos.next_call;
+        chaos.next_call += 1;
+        let action = fault_at(&chaos.opts, index);
+        if excovery_obs::enabled() && action != FaultAction::Pass {
+            excovery_obs::global()
+                .counter("rpc_chaos_injections_total", &[("kind", action.label())])
+                .inc();
+        }
+        match action {
+            FaultAction::Pass => Ok(Post::Deliver),
+            FaultAction::DropResponse => Ok(Post::DropResponse),
+            FaultAction::Delay(ms) => Ok(Post::Delay(ms)),
+            FaultAction::DropRequest => Err(RpcError::Io(format!(
+                "chaos: request '{method}' dropped at call #{index}"
+            ))),
+            FaultAction::InjectTimeout => Err(RpcError::Timeout {
+                method: method.to_string(),
+                after_ms: 0,
+            }),
+            FaultAction::InjectDisconnected => Err(RpcError::Disconnected(format!(
+                "chaos: link to server lost at call #{index}"
+            ))),
+            FaultAction::Crash => Err(RpcError::Disconnected(format!(
+                "chaos: node crashed (window hit at call #{index})"
+            ))),
+        }
+    }
+
+    /// Builds the wire op for one link's ready entries: a plain idempotent
+    /// single-method frame on direct links, a batch frame on relays.
+    fn make_op(
+        &self,
+        g: usize,
+        entries: Vec<(usize, Post)>,
+        calls: &[NodeCall],
+        now: Instant,
+    ) -> Result<WireOp, (Vec<(usize, Post)>, RpcError)> {
+        let group = &self.groups[g];
+        let method = calls[entries[0].0].method.clone();
+        let call = if group.relay {
+            let batch: Vec<BatchEntry> = entries
+                .iter()
+                .map(|&(i, _)| BatchEntry {
+                    node_id: calls[i].node_id.clone(),
+                    method: calls[i].method.clone(),
+                    params: calls[i].params.clone(),
+                    idem_key: calls[i].idem_key.clone(),
+                })
+                .collect();
+            pack_batch(&batch)
+        } else {
+            let c = &calls[entries[0].0];
+            let mut params = c.params.clone();
+            params.push(Value::Struct(vec![(
+                IDEMPOTENCY_MEMBER.into(),
+                Value::str(c.idem_key.clone()),
+            )]));
+            MethodCall::new(c.method.clone(), params)
+        };
+        let (frame, deadline, connect_backoff) = match &group.link {
+            // Memory ops complete synchronously on the next step; the
+            // deadline is never consulted.
+            Link::Memory(_) => (Vec::new(), now + Duration::from_secs(3600), Duration::ZERO),
+            Link::Tcp { opts, .. } => {
+                let xml = call.to_xml();
+                if xml.len() as u64 > u64::from(MAX_FRAME_BYTES) {
+                    return Err((
+                        entries,
+                        RpcError::Codec(format!(
+                            "request frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                            xml.len()
+                        )),
+                    ));
+                }
+                let mut frame = Vec::with_capacity(4 + xml.len());
+                frame.extend_from_slice(&(xml.len() as u32).to_be_bytes());
+                frame.extend_from_slice(xml.as_bytes());
+                (frame, now + opts.call_timeout, opts.backoff_initial)
+            }
+        };
+        if excovery_obs::enabled() {
+            let reg = excovery_obs::global();
+            let link = match &group.link {
+                Link::Memory(_) => "memory",
+                Link::Tcp { .. } => "tcp",
+            };
+            reg.counter("rpc_reactor_wire_ops_total", &[("link", link)])
+                .inc();
+            if group.relay {
+                reg.counter("rpc_reactor_batched_calls_total", &[])
+                    .add(entries.len() as u64);
+            }
+        }
+        Ok(WireOp {
+            group: g,
+            entries,
+            call,
+            method,
+            frame,
+            sent: 0,
+            in_buf: Vec::new(),
+            deadline,
+            connect_attempts: 0,
+            connect_backoff,
+            next_connect_at: now,
+        })
+    }
+
+    /// Drives every call to completion and returns outcomes aligned with
+    /// the input order. The whole fan-out runs on the calling thread; a
+    /// sweep services every link that is ready and the loop sleeps (≤ 1 ms)
+    /// only when no link, backoff or delay gate can progress.
+    pub fn dispatch(&mut self, calls: Vec<NodeCall>, retry: &RetryConfig) -> Vec<DispatchOutcome> {
+        let started = Instant::now();
+        if excovery_obs::enabled() {
+            excovery_obs::global()
+                .counter("rpc_reactor_dispatches_total", &[])
+                .inc();
+        }
+        let mut states: Vec<CallState> = calls
+            .iter()
+            .map(|_| CallState {
+                attempts: 0,
+                retries: 0,
+                backoff: retry.backoff_initial,
+                started,
+                duration_ns: 0,
+                phase: Phase::Ready,
+            })
+            .collect();
+        for (i, call) in calls.iter().enumerate() {
+            if !self.node_group.contains_key(&call.node_id) {
+                finish(
+                    &mut states[i],
+                    Err(RpcError::Io(format!(
+                        "no NodeManager for '{}'",
+                        call.node_id
+                    ))),
+                );
+            }
+        }
+        let mut ops: Vec<WireOp> = Vec::new();
+        let mut busy = vec![false; self.groups.len()];
+
+        loop {
+            let mut progressed = false;
+            let now = Instant::now();
+
+            // Expired timers: backoffs become ready, delay gates deliver.
+            for i in 0..states.len() {
+                match &states[i].phase {
+                    Phase::Waiting(until) if now >= *until => {
+                        states[i].phase = Phase::Ready;
+                        progressed = true;
+                    }
+                    Phase::Delayed { until, .. } if now >= *until => {
+                        let Phase::Delayed { result, .. } =
+                            std::mem::replace(&mut states[i].phase, Phase::Ready)
+                        else {
+                            unreachable!()
+                        };
+                        settle_attempt(&mut states[i], &calls[i].method, result, retry);
+                        progressed = true;
+                    }
+                    _ => {}
+                }
+            }
+
+            // Start new attempts: draw the chaos verdict per call in input
+            // order, group survivors by link (relays batch all currently
+            // ready members), one op in flight per link.
+            let mut forming: Vec<Vec<(usize, Post)>> = vec![Vec::new(); self.groups.len()];
+            for i in 0..calls.len() {
+                if !matches!(states[i].phase, Phase::Ready) {
+                    continue;
+                }
+                let Some(&g) = self.node_group.get(&calls[i].node_id) else {
+                    continue;
+                };
+                if busy[g]
+                    || forming[g]
+                        .iter()
+                        .any(|&(j, _)| calls[j].node_id == calls[i].node_id)
+                {
+                    continue; // link occupied, or duplicate call to the node
+                }
+                match self.chaos_verdict(&calls[i].node_id, &calls[i].method) {
+                    Ok(post) => {
+                        states[i].phase = Phase::InFlight;
+                        forming[g].push((i, post));
+                    }
+                    Err(err) => {
+                        fail_attempt(&mut states[i], &calls[i].method, err, retry);
+                        progressed = true;
+                    }
+                }
+            }
+            for (g, entries) in forming.into_iter().enumerate() {
+                if entries.is_empty() {
+                    continue;
+                }
+                progressed = true;
+                match self.make_op(g, entries, &calls, now) {
+                    Ok(op) => {
+                        busy[g] = true;
+                        ops.push(op);
+                    }
+                    Err((entries, err)) => {
+                        for (i, _) in entries {
+                            fail_attempt(&mut states[i], &calls[i].method, err.clone(), retry);
+                        }
+                    }
+                }
+            }
+
+            // Advance in-flight ops.
+            let mut k = 0;
+            while k < ops.len() {
+                let g = ops[k].group;
+                match step_op(&mut self.groups[g].link, &mut ops[k], now) {
+                    Step::Pending => k += 1,
+                    Step::Complete(response) => {
+                        let op = ops.swap_remove(k);
+                        busy[g] = false;
+                        progressed = true;
+                        self.complete_op(op, response, &calls, &mut states, retry);
+                    }
+                    Step::Failed(err) => {
+                        let op = ops.swap_remove(k);
+                        busy[g] = false;
+                        progressed = true;
+                        // Like TcpTransport: a failed exchange poisons the
+                        // connection; reconnect lazily on the next attempt.
+                        if let Link::Tcp { stream, .. } = &mut self.groups[g].link {
+                            *stream = None;
+                        }
+                        for &(i, _) in &op.entries {
+                            fail_attempt(&mut states[i], &calls[i].method, err.clone(), retry);
+                        }
+                    }
+                }
+            }
+
+            if states.iter().all(|s| matches!(s.phase, Phase::Done(_))) {
+                break;
+            }
+            if !progressed {
+                let timers = states.iter().filter_map(|s| match &s.phase {
+                    Phase::Waiting(until) | Phase::Delayed { until, .. } => Some(*until),
+                    _ => None,
+                });
+                let wake = timers
+                    .chain(ops.iter().flat_map(|op| [op.deadline, op.next_connect_at]))
+                    .min();
+                let pause = wake
+                    .map(|w| w.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(1))
+                    .clamp(Duration::from_micros(50), Duration::from_millis(1));
+                std::thread::sleep(pause);
+            }
+        }
+
+        calls
+            .into_iter()
+            .zip(states)
+            .map(|(call, state)| {
+                let Phase::Done(result) = state.phase else {
+                    unreachable!("dispatch loop exited with work pending")
+                };
+                DispatchOutcome {
+                    node_id: call.node_id,
+                    result,
+                    retries: state.retries,
+                    duration_ns: state.duration_ns,
+                }
+            })
+            .collect()
+    }
+
+    /// Distributes a completed wire response to the op's entries.
+    fn complete_op(
+        &self,
+        op: WireOp,
+        response: MethodResponse,
+        calls: &[NodeCall],
+        states: &mut [CallState],
+        retry: &RetryConfig,
+    ) {
+        if !self.groups[op.group].relay {
+            let (i, post) = op.entries[0];
+            let result = response_to_result(response);
+            apply_post(&mut states[i], &calls[i].method, post, result, retry);
+            return;
+        }
+        match response_to_result(response).and_then(|v| unpack_batch_response(&v)) {
+            Ok(results) if results.len() == op.entries.len() => {
+                for (&(i, post), (_, outcome)) in op.entries.iter().zip(results) {
+                    let result = outcome.map_err(RpcError::from);
+                    apply_post(&mut states[i], &calls[i].method, post, result, retry);
+                }
+            }
+            Ok(results) => {
+                let err = RpcError::Codec(format!(
+                    "batch response carries {} results for {} entries",
+                    results.len(),
+                    op.entries.len()
+                ));
+                for &(i, _) in &op.entries {
+                    fail_attempt(&mut states[i], &calls[i].method, err.clone(), retry);
+                }
+            }
+            Err(err) => {
+                for &(i, _) in &op.entries {
+                    fail_attempt(&mut states[i], &calls[i].method, err.clone(), retry);
+                }
+            }
+        }
+    }
+}
+
+impl Default for Reactor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::relay_registry;
+    use crate::tcp::TcpRpcServer;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn counting_registry(count: Arc<AtomicU64>, tag: i32) -> Arc<Mutex<ServerRegistry>> {
+        let mut reg = ServerRegistry::new();
+        reg.register("run_init", move |params: &[Value]| {
+            count.fetch_add(1, Ordering::Relaxed);
+            Ok(Value::Int(tag + params.len() as i32))
+        });
+        Arc::new(Mutex::new(reg))
+    }
+
+    fn call(node: &str, seq: u64) -> NodeCall {
+        NodeCall {
+            node_id: node.into(),
+            method: "run_init".into(),
+            params: vec![],
+            idem_key: format!("0:0:{seq}"),
+        }
+    }
+
+    #[test]
+    fn memory_fanout_returns_results_in_input_order() {
+        let mut reactor = Reactor::new();
+        let counts: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        for (i, count) in counts.iter().enumerate() {
+            reactor.add_node(
+                format!("p{i}"),
+                ReactorEndpoint::Memory(counting_registry(Arc::clone(count), i as i32 * 10)),
+                None,
+            );
+        }
+        let calls = vec![call("p2", 1), call("p0", 2), call("p1", 3)];
+        let outcomes = reactor.dispatch(calls, &RetryConfig::default());
+        let got: Vec<(String, Value)> = outcomes
+            .into_iter()
+            .map(|o| (o.node_id, o.result.unwrap()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("p2".to_string(), Value::Int(20)),
+                ("p0".to_string(), Value::Int(0)),
+                ("p1".to_string(), Value::Int(10)),
+            ]
+        );
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn unknown_nodes_fail_without_touching_known_ones() {
+        let mut reactor = Reactor::new();
+        let count = Arc::new(AtomicU64::new(0));
+        reactor.add_node(
+            "p0",
+            ReactorEndpoint::Memory(counting_registry(Arc::clone(&count), 0)),
+            None,
+        );
+        let outcomes = reactor.dispatch(
+            vec![call("ghost", 1), call("p0", 2)],
+            &RetryConfig::default(),
+        );
+        match &outcomes[0].result {
+            Err(RpcError::Io(msg)) => assert!(msg.contains("ghost")),
+            other => panic!("{other:?}"),
+        }
+        assert!(outcomes[1].result.is_ok());
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn crash_window_is_absorbed_by_retry_with_the_chaos_error_string() {
+        let schedule = ChaosOptions {
+            crash_windows: vec![(0, 1)],
+            ..ChaosOptions::quiet(0)
+        };
+        // With retries: the crashed attempt is retried past the window.
+        let count = Arc::new(AtomicU64::new(0));
+        let mut reactor = Reactor::new();
+        reactor.add_node(
+            "p0",
+            ReactorEndpoint::Memory(counting_registry(Arc::clone(&count), 0)),
+            Some(schedule.clone()),
+        );
+        let outcomes = reactor.dispatch(vec![call("p0", 1)], &RetryConfig::default());
+        assert_eq!(outcomes[0].result.as_ref().unwrap(), &Value::Int(0));
+        assert_eq!(outcomes[0].retries, 1);
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+
+        // Without retries: the injected error is final and carries the
+        // ChaosTransport wording.
+        let mut reactor = Reactor::new();
+        reactor.add_node(
+            "p0",
+            ReactorEndpoint::Memory(counting_registry(Arc::new(AtomicU64::new(0)), 0)),
+            Some(schedule),
+        );
+        let outcomes = reactor.dispatch(vec![call("p0", 2)], &RetryConfig::none());
+        match &outcomes[0].result {
+            Err(RpcError::Disconnected(msg)) => {
+                assert!(msg.contains("chaos: node crashed"), "{msg}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn relay_batches_members_and_replays_on_identical_keys() {
+        let c0 = Arc::new(AtomicU64::new(0));
+        let c1 = Arc::new(AtomicU64::new(0));
+        let relay = relay_registry(vec![
+            ("p0".into(), counting_registry(Arc::clone(&c0), 0)),
+            ("p1".into(), counting_registry(Arc::clone(&c1), 10)),
+        ]);
+        let mut reactor = Reactor::new();
+        reactor.add_relay(
+            ReactorEndpoint::Memory(Arc::new(Mutex::new(relay))),
+            vec![("p0".into(), None), ("p1".into(), None)],
+        );
+        let calls = vec![call("p0", 1), call("p1", 2)];
+        let first = reactor.dispatch(calls.clone(), &RetryConfig::default());
+        // The `__idem` member is stripped before the handler runs, so each
+        // handler sees its original (empty) parameter list.
+        assert_eq!(first[0].result.as_ref().unwrap(), &Value::Int(0));
+        assert_eq!(first[1].result.as_ref().unwrap(), &Value::Int(10));
+        // Same keys again: the relay forwards, the nodes replay — handlers
+        // must not run a second time.
+        let second = reactor.dispatch(calls, &RetryConfig::default());
+        assert!(second.iter().all(|o| o.result.is_ok()));
+        assert_eq!(c0.load(Ordering::Relaxed), 1);
+        assert_eq!(c1.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn tcp_link_roundtrips_and_surfaces_a_killed_server() {
+        let count = Arc::new(AtomicU64::new(0));
+        let registry = counting_registry(Arc::clone(&count), 0);
+        let server = TcpRpcServer::bind("127.0.0.1:0", Arc::clone(&registry)).unwrap();
+        let addr = server.local_addr();
+        let opts = TcpOptions {
+            connect_timeout: Duration::from_millis(250),
+            call_timeout: Duration::from_millis(500),
+            max_connect_attempts: 2,
+            backoff_initial: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(20),
+        };
+        let mut reactor = Reactor::new();
+        reactor.add_node("p0", ReactorEndpoint::Tcp { addr, opts }, None);
+
+        let outcomes = reactor.dispatch(vec![call("p0", 1)], &RetryConfig::none());
+        assert_eq!(outcomes[0].result.as_ref().unwrap(), &Value::Int(0));
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+
+        server.shutdown();
+        // The connection thread polls the stop flag between 50 ms reads; a
+        // request sent before it notices would still be served. Wait until
+        // it has closed our stream so the next call hits a dead link.
+        std::thread::sleep(Duration::from_millis(200));
+        let started = Instant::now();
+        let outcomes = reactor.dispatch(vec![call("p0", 2)], &RetryConfig::none());
+        match &outcomes[0].result {
+            Err(RpcError::Disconnected(_) | RpcError::Io(_) | RpcError::Timeout { .. }) => {}
+            other => panic!("expected a transport error, got {other:?}"),
+        }
+        assert!(started.elapsed() < Duration::from_secs(10));
+    }
+}

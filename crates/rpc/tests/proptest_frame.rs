@@ -1,0 +1,157 @@
+//! Property tests for the framed-TCP codec and the batch-frame codec:
+//! arbitrary payloads survive the length-prefixed wire (including split
+//! and partial reads), oversized frames are rejected at the 16 MiB cap,
+//! and batch pack/unpack are inverse functions. Runs fully offline.
+
+use excovery_obs::frame::{read_frame, write_frame};
+use excovery_rpc::tcp::MAX_FRAME_BYTES;
+use excovery_rpc::{
+    pack_batch, pack_batch_response, unpack_batch, unpack_batch_response, BatchEntry, Fault,
+    MethodCall, Value,
+};
+use proptest::prelude::*;
+use std::io::{Cursor, Read};
+
+/// A reader that hands out at most `chunk` bytes per `read` call — the
+/// shape of a socket delivering a frame in arbitrary fragments.
+struct Trickle<R> {
+    inner: R,
+    chunk: usize,
+}
+
+impl<R: Read> Read for Trickle<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let cap = buf.len().min(self.chunk);
+        self.inner.read(&mut buf[..cap])
+    }
+}
+
+fn leaf_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+        "[ -~]{0,16}".prop_map(Value::String),
+        (-1e9f64..1e9).prop_map(Value::Double),
+    ]
+}
+
+fn entry_strategy() -> impl Strategy<Value = BatchEntry> {
+    (
+        "[a-z][a-z0-9_]{0,8}",
+        "[a-z][a-z0-9_]{0,12}",
+        prop::collection::vec(leaf_value(), 0..3),
+        "[0-9]{1,4}:[0-9]{1,2}:[0-9]{1,6}",
+    )
+        .prop_map(|(node_id, method, params, idem_key)| BatchEntry {
+            node_id,
+            method,
+            params,
+            idem_key,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any payload sequence round-trips frame for frame, ending in a
+    /// clean EOF at the frame boundary.
+    #[test]
+    fn frames_roundtrip(payloads in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..512), 1..5)
+    ) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for p in &payloads {
+            prop_assert_eq!(&read_frame(&mut cursor).unwrap().unwrap(), p);
+        }
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    /// Fragmented delivery — down to one byte per read — never corrupts
+    /// a frame; `read_frame` reassembles exactly what was written.
+    #[test]
+    fn split_and_partial_reads_reassemble(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        chunk in 1usize..17,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut trickle = Trickle { inner: Cursor::new(buf), chunk };
+        prop_assert_eq!(read_frame(&mut trickle).unwrap().unwrap(), payload);
+        prop_assert!(read_frame(&mut trickle).unwrap().is_none());
+    }
+
+    /// A length prefix above the cap is rejected before any allocation,
+    /// whatever follows the header.
+    #[test]
+    fn oversized_lengths_are_rejected_at_the_cap(
+        excess in 1u32..1024,
+        trailer in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut buf = (MAX_FRAME_BYTES + excess).to_be_bytes().to_vec();
+        buf.extend_from_slice(&trailer);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        prop_assert!(err.to_string().contains("exceeds"), "{}", err);
+    }
+
+    /// Truncating a written frame anywhere inside the payload surfaces as
+    /// an error (or, cut inside the header, as clean EOF) — never a
+    /// short, silently-wrong payload.
+    #[test]
+    fn truncated_frames_never_yield_wrong_payloads(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let cut = (buf.len() as f64 * cut_frac) as usize;
+        let mut cursor = Cursor::new(buf[..cut].to_vec());
+        match read_frame(&mut cursor) {
+            Ok(Some(got)) => prop_assert_eq!(got, payload),
+            Ok(None) => prop_assert!(cut < 4, "EOF only inside the header"),
+            Err(_) => prop_assert!(cut >= 4, "errors only inside the payload"),
+        }
+    }
+
+    /// `unpack_batch` is the left inverse of `pack_batch`, both directly
+    /// and through the actual XML wire format.
+    #[test]
+    fn batch_pack_unpack_inverse(entries in prop::collection::vec(entry_strategy(), 0..5)) {
+        let call = pack_batch(&entries);
+        prop_assert_eq!(unpack_batch(&call).unwrap(), entries.clone());
+        let rewired = MethodCall::from_xml(&call.to_xml()).unwrap();
+        prop_assert_eq!(unpack_batch(&rewired).unwrap(), entries);
+    }
+
+    /// `unpack_batch_response` is the left inverse of
+    /// `pack_batch_response` for any mix of per-node values and faults.
+    #[test]
+    fn batch_response_pack_unpack_inverse(
+        results in prop::collection::vec(
+            (
+                "[a-z][a-z0-9_]{0,8}",
+                prop_oneof![
+                    leaf_value().prop_map(Ok),
+                    (any::<i32>(), "[ -~]{0,24}")
+                        .prop_map(|(code, msg)| Err(Fault::new(code, msg))),
+                ],
+            ),
+            0..5,
+        )
+    ) {
+        let packed = pack_batch_response(&results);
+        prop_assert_eq!(unpack_batch_response(&packed).unwrap(), results);
+    }
+
+    /// The batch unpacker is total over arbitrary parameter lists: it
+    /// rejects malformed entries with a fault, never a panic.
+    #[test]
+    fn batch_unpack_total(params in prop::collection::vec(leaf_value(), 0..4)) {
+        let call = MethodCall::new("__batch", params);
+        let _ = unpack_batch(&call);
+    }
+}

@@ -1,0 +1,189 @@
+//! The control-plane dispatcher must be invisible to the experiment: the
+//! same description on the same platform preset and seed yields a
+//! bit-equal [`ExperimentOutcome::digest`] whether the lifecycle fan-out
+//! runs on one scoped thread per node ([`DispatcherKind::Threaded`]) or
+//! multiplexed on the master's thread ([`DispatcherKind::Reactor`]),
+//! flat or through a sub-master fan-out tree, over either transport.
+
+use excovery::desc::process::{EventSelector, ProcessAction};
+use excovery::desc::ExperimentDescription;
+use excovery::engine::{
+    DispatcherKind, EngineConfig, ExperiMaster, ExperimentOutcome, TransportKind,
+};
+
+const SEEDS: [u64; 3] = [1, 7, 1914];
+
+type Preset = (&'static str, fn() -> EngineConfig);
+
+fn presets() -> Vec<Preset> {
+    vec![
+        ("grid_default", EngineConfig::grid_default),
+        ("wired_lan", EngineConfig::wired_lan),
+        ("lossy_mesh", EngineConfig::lossy_mesh),
+    ]
+}
+
+/// Same trimmed two-party SD experiment the golden-digest suite pins, so a
+/// dispatcher that drifts would also be caught against the golden table.
+fn desc(seed: u64) -> ExperimentDescription {
+    let mut d = ExperimentDescription::paper_two_party_sd(2);
+    d.factors
+        .factors
+        .retain(|f| f.id != "fact_bw" && f.id != "fact_pairs");
+    d.env_processes[0].actions = vec![
+        ProcessAction::EventFlag {
+            value: "ready_to_init".into(),
+        },
+        ProcessAction::WaitForEvent(EventSelector::named("done")),
+    ];
+    d.seed = seed;
+    d
+}
+
+fn execute(
+    preset: fn() -> EngineConfig,
+    seed: u64,
+    transport: TransportKind,
+    dispatcher: DispatcherKind,
+    fanout: Option<usize>,
+    tag: &str,
+) -> ExperimentOutcome {
+    let mut cfg = preset();
+    cfg.transport = transport;
+    cfg.dispatcher = dispatcher;
+    cfg.fanout_tree = fanout;
+    cfg.l2_root = Some(std::env::temp_dir().join(format!(
+        "excovery-dispatch-eq-{tag}-{seed}-{transport}-{dispatcher}-p{}",
+        std::process::id()
+    )));
+    let mut master = ExperiMaster::new(desc(seed), cfg).unwrap();
+    master.execute().unwrap()
+}
+
+fn assert_equivalent(threaded: &ExperimentOutcome, reactor: &ExperimentOutcome, what: &str) {
+    assert_eq!(
+        threaded.digest(),
+        reactor.digest(),
+        "{what}: digests diverged between dispatchers"
+    );
+    assert_eq!(threaded.runs, reactor.runs, "{what}");
+    assert!(threaded.runs.iter().all(|r| r.completed), "{what}");
+    // Fault-free: neither dispatcher has anything to retry, so the retry
+    // accounting agrees exactly.
+    assert_eq!(
+        threaded.control_retries, reactor.control_retries,
+        "{what}: retry accounting diverged"
+    );
+    assert_eq!(threaded.control_retries, 0, "{what}");
+    assert_eq!(threaded.dispatcher, DispatcherKind::Threaded);
+    assert_eq!(reactor.dispatcher, DispatcherKind::Reactor);
+}
+
+#[test]
+fn reactor_matches_threaded_on_every_preset_and_seed_over_memory() {
+    for (name, preset) in presets() {
+        for seed in SEEDS {
+            let threaded = execute(
+                preset,
+                seed,
+                TransportKind::Memory,
+                DispatcherKind::Threaded,
+                None,
+                name,
+            );
+            let reactor = execute(
+                preset,
+                seed,
+                TransportKind::Memory,
+                DispatcherKind::Reactor,
+                None,
+                name,
+            );
+            assert_equivalent(&threaded, &reactor, &format!("{name}/seed {seed}/memory"));
+        }
+    }
+}
+
+#[test]
+fn reactor_matches_threaded_on_every_preset_and_seed_over_tcp() {
+    for (name, preset) in presets() {
+        for seed in SEEDS {
+            let threaded = execute(
+                preset,
+                seed,
+                TransportKind::Tcp,
+                DispatcherKind::Threaded,
+                None,
+                name,
+            );
+            let reactor = execute(
+                preset,
+                seed,
+                TransportKind::Tcp,
+                DispatcherKind::Reactor,
+                None,
+                name,
+            );
+            assert_equivalent(&threaded, &reactor, &format!("{name}/seed {seed}/tcp"));
+        }
+    }
+}
+
+/// The hierarchical fan-out tree (batched frames through sub-master
+/// relays) is equally invisible, at widths that exercise both multi-node
+/// relays and a ragged last group — over both transports.
+#[test]
+fn fanout_tree_matches_the_flat_threaded_path() {
+    let seed = SEEDS[0];
+    for transport in [TransportKind::Memory, TransportKind::Tcp] {
+        let threaded = execute(
+            EngineConfig::grid_default,
+            seed,
+            transport,
+            DispatcherKind::Threaded,
+            None,
+            "tree-base",
+        );
+        for width in [2usize, 4] {
+            let tree = execute(
+                EngineConfig::grid_default,
+                seed,
+                transport,
+                DispatcherKind::Reactor,
+                Some(width),
+                &format!("tree-w{width}"),
+            );
+            assert_equivalent(
+                &threaded,
+                &tree,
+                &format!("fan-out tree width {width} over {transport}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fanout_tree_requires_the_reactor_dispatcher() {
+    let mut cfg = EngineConfig::grid_default();
+    cfg.fanout_tree = Some(4);
+    let err = match ExperiMaster::new(desc(SEEDS[0]), cfg) {
+        Ok(_) => panic!("fanout_tree without the reactor dispatcher must be rejected"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("reactor"),
+        "unexpected error: {err}"
+    );
+
+    let mut cfg = EngineConfig::grid_default();
+    cfg.dispatcher = DispatcherKind::Reactor;
+    cfg.fanout_tree = Some(0);
+    let err = match ExperiMaster::new(desc(SEEDS[0]), cfg) {
+        Ok(_) => panic!("fanout_tree width 0 must be rejected"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("at least 1"),
+        "unexpected error: {err}"
+    );
+}
