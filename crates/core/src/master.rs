@@ -482,8 +482,16 @@ pub struct RunOutcome {
 pub struct ExperimentOutcome {
     /// The level-3 database (Table I schema) with all conditioned data.
     pub database: Database,
-    /// Per-run outcomes in execution order.
+    /// Per-run outcomes in execution order. On a resumed execution this
+    /// includes the outcomes of runs completed by earlier incarnations,
+    /// restored from the level-2 journal — so the vector (and hence
+    /// [`Self::digest`]) is identical to an uninterrupted execution.
     pub runs: Vec<RunOutcome>,
+    /// How many leading entries of [`Self::runs`] were restored from the
+    /// journal rather than executed by this incarnation. Provenance
+    /// metadata like [`Self::control_retries`]: excluded from
+    /// [`Self::digest`].
+    pub restored_runs: u64,
     /// Level-2 root used (removed unless `keep_l2`).
     pub l2_root: PathBuf,
     /// Control-channel retries the master performed. Chaos leaves its
@@ -684,6 +692,47 @@ fn measurements_from_json(v: &JsonValue) -> Option<Vec<(String, String, Vec<u8>)
             ))
         })
         .collect()
+}
+
+/// Serialized form of a [`RunOutcome`] as journalled to level 2
+/// (`runs/<id>/_master/outcome.json`), written before the run's completion
+/// marker so a resumed master can restore the summaries of runs it never
+/// executed and [`ExperimentOutcome::digest`] stays crash-invariant.
+fn outcome_to_json(o: &RunOutcome) -> JsonValue {
+    JsonValue::Object(vec![
+        ("run_id".into(), JsonValue::Int(o.run_id as i64)),
+        ("replicate".into(), JsonValue::Int(o.replicate as i64)),
+        ("treatment_key".into(), JsonValue::str(&o.treatment_key)),
+        ("completed".into(), JsonValue::Bool(o.completed)),
+        (
+            "failures".into(),
+            JsonValue::Array(o.failures.iter().map(JsonValue::str).collect()),
+        ),
+        ("events".into(), JsonValue::Int(o.events as i64)),
+        ("packets".into(), JsonValue::Int(o.packets as i64)),
+        (
+            "duration_ns".into(),
+            JsonValue::Int(o.duration.as_nanos() as i64),
+        ),
+    ])
+}
+
+fn outcome_from_json(v: &JsonValue) -> Option<RunOutcome> {
+    Some(RunOutcome {
+        run_id: v.get("run_id")?.as_u64()?,
+        replicate: v.get("replicate")?.as_u64()?,
+        treatment_key: v.get("treatment_key")?.as_str()?.to_string(),
+        completed: v.get("completed")?.as_bool()?,
+        failures: v
+            .get("failures")?
+            .as_array()?
+            .iter()
+            .map(|f| Some(f.as_str()?.to_string()))
+            .collect::<Option<Vec<_>>>()?,
+        events: v.get("events")?.as_u64()? as usize,
+        packets: v.get("packets")?.as_u64()? as usize,
+        duration: SimDuration::from_nanos(v.get("duration_ns")?.as_u64()?),
+    })
 }
 
 fn captures_to_json(captures: &[CaptureSer]) -> JsonValue {
@@ -1311,7 +1360,25 @@ impl ExperiMaster {
             .map(|m| (first + m).min(total))
             .unwrap_or(total);
 
+        // Restore the summaries of runs completed by earlier incarnations:
+        // the outcome vector of a resumed campaign must equal the
+        // uninterrupted one (the digest covers it). Trees written before
+        // the outcome journal existed lack the file; those runs stay
+        // restored-but-unsummarised rather than failing the resume.
         let mut outcomes = Vec::new();
+        let mut restored_runs = 0u64;
+        for run_id in 0..first {
+            let Ok(raw) = l2.get_run(run_id, "_master", "outcome.json") else {
+                continue;
+            };
+            let outcome = JsonValue::parse_bytes(&raw)
+                .ok()
+                .as_ref()
+                .and_then(outcome_from_json)
+                .ok_or_else(|| EngineError::Storage(format!("run {run_id}: bad outcome.json")))?;
+            outcomes.push(outcome);
+            restored_runs += 1;
+        }
         for run in &plan.runs[first as usize..last as usize] {
             let outcome = self.execute_run(run, &l2)?;
             outcomes.push(outcome);
@@ -1324,7 +1391,7 @@ impl ExperiMaster {
 
         let database = self.package(&l2)?;
         // Tear the node side down everywhere (concurrently, like the other
-        // lifecycle phases) — after packaging, which still reads node logs.
+        // lifecycle phases).
         let managed: Vec<String> = self
             .binding
             .managed_platform_ids()
@@ -1347,6 +1414,7 @@ impl ExperiMaster {
         Ok(ExperimentOutcome {
             database,
             runs: outcomes,
+            restored_runs,
             l2_root,
             control_retries: self.control_retries.load(Ordering::Relaxed),
             dispatcher: self.cfg.dispatcher,
@@ -1662,6 +1730,20 @@ impl ExperiMaster {
                 .map_err(|e| EngineError::Storage(e.to_string()))?;
             }
         }
+        // Drain each node's action-log segment for this run into level 2
+        // (a fan-out like the other lifecycle phases, so it rides the
+        // configured dispatcher). Draining per run — rather than reading
+        // the cumulative log at packaging time — makes the Logs table
+        // crash-durable: a master killed after this run's completion
+        // marker lands can be resumed by a fresh incarnation — with
+        // fresh, empty NodeManagers — and the packaged Logs still cover
+        // every run, byte-identically.
+        let segments = self.fan_out(&managed, "collect_log", &[Value::Bool(true)])?;
+        for (pid, segment) in managed.iter().zip(segments) {
+            let segment = segment.as_str().map(str::to_string).unwrap_or_default();
+            l2.put_run(run.run_id, pid, "node_log.txt", segment.as_bytes())
+                .map_err(|e| EngineError::Storage(e.to_string()))?;
+        }
         // Per-run observability summary: flush the data plane's batched
         // counters, then persist the registry snapshot plus the spans of
         // this run under the reserved `_obs` node. `package` only ingests
@@ -1678,9 +1760,6 @@ impl ExperiMaster {
             l2.put_run(run.run_id, "_obs", "summary.jsonl", summary.as_bytes())
                 .map_err(|e| EngineError::Storage(e.to_string()))?;
         }
-        l2.mark_run_complete(run.run_id)
-            .map_err(|e| EngineError::Storage(e.to_string()))?;
-
         let failures: Vec<String> = procs
             .iter()
             .filter_map(|p| match &p.state {
@@ -1688,7 +1767,7 @@ impl ExperiMaster {
                 _ => None,
             })
             .collect();
-        Ok(RunOutcome {
+        let outcome = RunOutcome {
             run_id: run.run_id,
             replicate: run.replicate,
             treatment_key: run.treatment.key(),
@@ -1697,7 +1776,20 @@ impl ExperiMaster {
             events: run_events.len(),
             packets: packets_total,
             duration: run_end.saturating_since(run_start),
-        })
+        };
+        // The summary journal must land before the completion marker: a
+        // run is only "complete" once a resumed master can restore its
+        // outcome without re-executing it.
+        l2.put_run(
+            run.run_id,
+            "_master",
+            "outcome.json",
+            outcome_to_json(&outcome).to_string().as_bytes(),
+        )
+        .map_err(|e| EngineError::Storage(e.to_string()))?;
+        l2.mark_run_complete(run.run_id)
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
+        Ok(outcome)
     }
 
     /// Conditions level-2 data onto the common time base and packages the
@@ -1855,18 +1947,25 @@ impl ExperiMaster {
             }
         }
 
-        // Logs: the raw per-node action log every NodeManager accumulated
-        // over the whole experiment (one row per node, §IV-F).
+        // Logs: the raw per-node action log (one row per node, §IV-F),
+        // reassembled from the per-run segments each run drained into
+        // level 2. Reading level 2 instead of the NodeManagers' live
+        // memory makes the table identical whether the campaign ran in
+        // one master incarnation or was killed and resumed: the in-memory
+        // log dies with a crashed master, the journalled segments do not.
+        let run_ids = l2
+            .run_ids()
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
         for pid in self.binding.managed_platform_ids() {
-            let log = self
-                .retry_call(pid, "collect_log", vec![])
-                .ok()
-                .and_then(|v| v.as_str().map(str::to_string))
-                .unwrap_or_default();
-            let content = format!(
-                "node {pid}: experiment '{}' executed by {EE_VERSION}\n{log}",
+            let mut content = format!(
+                "node {pid}: experiment '{}' executed by {EE_VERSION}\n",
                 self.desc.name
             );
+            for &run_id in &run_ids {
+                if let Ok(segment) = l2.get_run(run_id, pid, "node_log.txt") {
+                    content.push_str(&String::from_utf8_lossy(&segment));
+                }
+            }
             db.insert("Logs", vec![pid.into(), content.into_bytes().into()])
                 .map_err(|e| EngineError::Storage(e.to_string()))?;
         }
@@ -2214,8 +2313,12 @@ mod tests {
         cfg.resume = true;
         let mut master = ExperiMaster::new(desc, cfg).unwrap();
         let second = master.execute().unwrap();
-        assert_eq!(second.runs.len(), 2);
-        assert_eq!(second.runs[0].run_id, 2);
+        // The outcome vector covers all four runs — the first two restored
+        // from the level-2 journal, the last two freshly executed.
+        assert_eq!(second.runs.len(), 4);
+        assert_eq!(second.restored_runs, 2);
+        assert_eq!(&second.runs[..2], &first.runs[..]);
+        assert_eq!(second.runs[2].run_id, 2);
         // The packaged database now holds all four runs (levels merged).
         assert_eq!(
             RunInfoRow::run_ids(&second.database).unwrap(),

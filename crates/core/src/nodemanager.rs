@@ -73,6 +73,10 @@ impl NodeManager {
 
         // Raw per-node action log: every RPC is appended with the node's
         // local clock reading (the content of the Logs table, §IV-F).
+        // `collect_log` itself is excluded: the master drains the log at
+        // run boundaries, and recording the drain would make the segment
+        // depend on when (and how often) collection happened rather than
+        // on what the run did.
         let log: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
         {
             let sim = Arc::clone(&sim);
@@ -89,6 +93,9 @@ impl NodeManager {
                         )
                         .inc();
                 }
+                if call.method == "collect_log" {
+                    return;
+                }
                 let local = {
                     let s = sim.lock();
                     s.clock(node).local_time(s.now())
@@ -101,9 +108,20 @@ impl NodeManager {
             });
         }
         {
+            // `collect_log(true)` drains: it returns the segment accumulated
+            // since the previous drain and clears it, so the master can
+            // persist disjoint per-run segments to level 2. Dedup replay of
+            // a retried drain returns the recorded segment without clearing
+            // twice, keeping the drain exactly-once under chaos.
             let log = Arc::clone(&log);
-            reg.register("collect_log", move |_params| {
-                Ok(Value::str(log.lock().clone()))
+            reg.register("collect_log", move |params| {
+                let drain = params.first().and_then(Value::as_bool).unwrap_or(false);
+                let mut l = log.lock();
+                if drain {
+                    Ok(Value::str(std::mem::take(&mut *l)))
+                } else {
+                    Ok(Value::str(l.clone()))
+                }
             });
         }
 

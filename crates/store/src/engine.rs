@@ -16,8 +16,10 @@ use std::path::Path;
 /// Writes `data` to `path` atomically: the bytes land in a dot-prefixed
 /// temp file in the same directory, which is then renamed into place.
 /// Readers (and a crash at any instant) observe either the old content or
-/// the complete new content — never a torn write.
-pub(crate) fn atomic_write(path: &Path, data: &[u8]) -> Result<(), StoreError> {
+/// the complete new content — never a torn write. Every journal in the
+/// repository stack (level-2 run journal, the server's L4 queue journal)
+/// goes through this primitive.
+pub fn atomic_write(path: &Path, data: &[u8]) -> Result<(), StoreError> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
     let parent = path

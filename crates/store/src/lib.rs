@@ -26,7 +26,8 @@ pub mod schema;
 pub mod warehouse;
 
 pub use engine::{
-    Aggregate, Column, ColumnType, Database, Predicate, Row, SqlValue, StoreError, Table,
+    atomic_write, Aggregate, Column, ColumnType, Database, Predicate, Row, SqlValue, StoreError,
+    Table,
 };
 pub use json::JsonValue;
 pub use records::{EventRow, ExperimentInfo, PacketRow, RunInfoRow};

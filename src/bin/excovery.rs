@@ -64,6 +64,10 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "model" => cmd_model(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
+        "results" => cmd_results(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -94,7 +98,13 @@ fn print_usage() {
          \x20 excovery repo <dir> add <id> <results.expdb>\n\
          \x20 excovery repo <dir> compare\n\
          \x20 excovery schema                      # print the description XSD\n\
-         \x20 excovery model --hops H --loss P     # analytic responsiveness"
+         \x20 excovery model --hops H --loss P     # analytic responsiveness\n\
+         \x20 excovery serve <root> [--addr H:P] [--workers N] [--slice-runs N]\n\
+         \x20          [--once]                    # drain the queue, then exit\n\
+         \x20 excovery submit <root|addr> <desc.xml> --tenant T [--preset P] [--key K]\n\
+         \x20 excovery status <root|addr> [--job N]\n\
+         \x20 excovery results <root|addr> --job N [--out pkg.expdb] [--tables]\n\
+         \x20          [--table T [--group-by C,..] [--count] [--sort-by C]]"
     );
 }
 
@@ -445,6 +455,197 @@ fn cmd_responsiveness(args: &[String]) -> Result<(), String> {
                 }
             }
         }
+    }
+    Ok(())
+}
+
+// ---- server verbs ----------------------------------------------------------
+
+/// `<root|addr>`: a `host:port` connects directly, anything else is a
+/// repository root whose daemon published its address in `root/endpoint`.
+fn connect_target(target: &str) -> Result<ServerClient, String> {
+    let looks_like_addr = target
+        .rsplit_once(':')
+        .is_some_and(|(_, port)| !port.is_empty() && port.bytes().all(|b| b.is_ascii_digit()));
+    let client = if looks_like_addr {
+        ServerClient::connect(target)
+    } else {
+        ServerClient::connect_root(std::path::Path::new(target))
+    };
+    client.map_err(|e| format!("connect {target}: {e}"))
+}
+
+fn print_status(s: &excovery::rpc::JobStatus) {
+    let digest = s
+        .digest
+        .map(|d| format!("  digest {d:#018x}"))
+        .unwrap_or_default();
+    let error = s
+        .error
+        .as_deref()
+        .map(|e| format!("  error: {e}"))
+        .unwrap_or_default();
+    println!(
+        "job {:>4}  {:<10} {:<12} {:>4}/{:<4} {:<12} {}{digest}{error}",
+        s.job_id, s.tenant, s.state, s.runs_completed, s.runs_total, s.preset, s.name
+    );
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let root = positional(args, "repository root")?;
+    let mut cfg = excovery::server::ServerConfig::default();
+    if let Some(addr) = flag_value(args, "--addr") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(w) = flag_value(args, "--workers") {
+        cfg.scheduler.workers = w.parse().map_err(|_| format!("bad --workers '{w}'"))?;
+    }
+    if let Some(s) = flag_value(args, "--slice-runs") {
+        cfg.scheduler.slice_runs = s.parse().map_err(|_| format!("bad --slice-runs '{s}'"))?;
+    }
+    let mut server =
+        excovery::server::ExperimentServer::start(root, cfg).map_err(|e| e.to_string())?;
+    eprintln!("serving {} at {}", root, server.addr());
+    if flag_present(args, "--once") {
+        loop {
+            let report = server.tick().map_err(|e| e.to_string())?;
+            if report.is_idle() {
+                return Ok(());
+            }
+        }
+    }
+    server.run().map_err(|e| e.to_string())
+}
+
+/// Positional arguments: everything that is neither a flag nor the value
+/// of a value-taking flag.
+fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = value_flags.contains(&a.as_str());
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let pos = positionals(args, &["--tenant", "--preset", "--key"]);
+    let target = *pos.first().ok_or("missing server root or address")?;
+    let desc_path = *pos.get(1).ok_or("missing description path")?;
+    let tenant = flag_value(args, "--tenant").unwrap_or("default");
+    let preset = flag_value(args, "--preset").unwrap_or("grid_default");
+    let xml = std::fs::read_to_string(desc_path).map_err(|e| format!("read {desc_path}: {e}"))?;
+    // Default submit key: content hash of (tenant, preset, description),
+    // so an accidental re-submission dedups to the original job.
+    let key = match flag_value(args, "--key") {
+        Some(k) => k.to_string(),
+        None => {
+            let mut h = 0xcbf29ce484222325u64;
+            for b in tenant
+                .bytes()
+                .chain(preset.bytes())
+                .chain([0u8])
+                .chain(xml.bytes())
+            {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            format!("auto-{h:016x}")
+        }
+    };
+    let client = connect_target(target)?;
+    let req = excovery::rpc::SubmitRequest {
+        tenant: tenant.to_string(),
+        preset: preset.to_string(),
+        description_xml: xml,
+        submit_key: key,
+    };
+    let (job_id, created) = client.submit(&req).map_err(|e| e.to_string())?;
+    if created {
+        println!("job {job_id} submitted");
+    } else {
+        println!("job {job_id} (existing submission with this key)");
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let target = positional(args, "server root or address")?;
+    let client = connect_target(target)?;
+    match flag_value(args, "--job") {
+        Some(id) => {
+            let id = id.parse().map_err(|_| format!("bad --job '{id}'"))?;
+            print_status(&client.status(id).map_err(|e| e.to_string())?);
+        }
+        None => {
+            for s in client.list().map_err(|e| e.to_string())? {
+                print_status(&s);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_results(args: &[String]) -> Result<(), String> {
+    let target = positional(args, "server root or address")?;
+    let client = connect_target(target)?;
+    let id: u64 = flag_value(args, "--job")
+        .ok_or("missing --job")?
+        .parse()
+        .map_err(|_| "bad --job")?;
+    if flag_present(args, "--tables") {
+        for t in client.tables(id).map_err(|e| e.to_string())? {
+            println!("{t}");
+        }
+        return Ok(());
+    }
+    if let Some(table) = flag_value(args, "--table") {
+        let mut plan = excovery::rpc::PlanSpec {
+            table: table.to_string(),
+            ..Default::default()
+        };
+        if let Some(group) = flag_value(args, "--group-by") {
+            plan.group_by = group.split(',').map(str::to_string).collect();
+        }
+        if flag_present(args, "--count") {
+            plan.aggs = vec![excovery::rpc::AggSpec {
+                op: excovery::rpc::AggOp::Count,
+                column: None,
+                name: None,
+            }];
+        }
+        if let Some(sort) = flag_value(args, "--sort-by") {
+            plan.sort_by = Some(sort.to_string());
+        }
+        let frame = client.query(id, &plan).map_err(|e| e.to_string())?;
+        println!("{}", frame.columns.join("\t"));
+        for row in &frame.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| match c {
+                    excovery::rpc::CellValue::Null => "null".to_string(),
+                    excovery::rpc::CellValue::I64(v) => v.to_string(),
+                    excovery::rpc::CellValue::F64(v) => v.to_string(),
+                    excovery::rpc::CellValue::Str(s) => s.clone(),
+                    excovery::rpc::CellValue::Bytes(b) => format!("<{} bytes>", b.len()),
+                })
+                .collect();
+            println!("{}", cells.join("\t"));
+        }
+        return Ok(());
+    }
+    let results = client.results(id).map_err(|e| e.to_string())?;
+    print_status(&results.status);
+    if let Some(out) = flag_value(args, "--out") {
+        std::fs::write(out, &results.package).map_err(|e| format!("write {out}: {e}"))?;
+        println!("package: {out} ({} bytes)", results.package.len());
     }
     Ok(())
 }

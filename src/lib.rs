@@ -21,6 +21,9 @@
 //!   (typed column slabs, predicate pushdown, deterministic group-by),
 //! * [`analysis`] — conditioning, metrics (responsiveness, t_R) and
 //!   timeline visualization,
+//! * [`server`] — the experiment server: level-4 campaign repository,
+//!   fair-share scheduler and remote analysis over the rpc protocol
+//!   (see DESIGN.md §14),
 //! * [`obs`] — the observability subsystem: lock-free metrics,
 //!   clock-agnostic spans, Prometheus/JSONL exporters and the framed
 //!   scrape endpoint (see DESIGN.md §10).
@@ -51,6 +54,7 @@ pub use excovery_obs as obs;
 pub use excovery_query as query;
 pub use excovery_rpc as rpc;
 pub use excovery_sd as sd;
+pub use excovery_server as server;
 pub use excovery_store as store;
 pub use excovery_xml as xml;
 
@@ -83,5 +87,6 @@ pub mod prelude {
     pub use excovery_desc::ExperimentDescription;
     pub use excovery_netsim::CampaignConfig;
     pub use excovery_query::{col, lit, Agg, Dataset, Frame, QueryError};
+    pub use excovery_server::{ExperimentServer, ServerClient, ServerConfig, ServerError};
     pub use excovery_store::{Database, Repository, StoreError};
 }

@@ -222,3 +222,133 @@ fn missing_files_produce_clean_errors() {
     let out = cli(&["inspect", "/nonexistent/db.expdb"]);
     assert!(!out.status.success());
 }
+
+/// The trimmed two-party description the server suites use: one run per
+/// replication, fast enough for a bounded round-trip.
+fn write_server_description(dir: &std::path::Path) -> PathBuf {
+    use excovery::desc::process::{EventSelector, ProcessAction};
+    let mut desc = excovery::desc::ExperimentDescription::paper_two_party_sd(2);
+    desc.factors
+        .factors
+        .retain(|f| f.id != "fact_bw" && f.id != "fact_pairs");
+    desc.env_processes[0].actions = vec![
+        ProcessAction::EventFlag {
+            value: "ready_to_init".into(),
+        },
+        ProcessAction::WaitForEvent(EventSelector::named("done")),
+    ];
+    desc.seed = 2014;
+    let path = dir.join("server-desc.xml");
+    std::fs::write(&path, excovery::desc::xmlio::to_xml(&desc)).unwrap();
+    path
+}
+
+#[test]
+fn serve_submit_status_results_round_trip() {
+    use std::time::{Duration, Instant};
+
+    let dir = workdir("server-round-trip");
+    let root = dir.join("l4");
+    let desc = write_server_description(&dir);
+    let root_str = root.to_str().unwrap();
+
+    let mut serve = std::process::Command::new(env!("CARGO_BIN_EXE_excovery"))
+        .args(["serve", root_str, "--workers", "1", "--slice-runs", "1"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let wait_for = |what: &str, deadline: Instant, f: &mut dyn FnMut() -> bool| {
+        while !f() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+
+    // Submit through the CLI once the daemon has published its endpoint.
+    wait_for("endpoint file", deadline, &mut || {
+        root.join("endpoint").exists()
+    });
+    let out = cli(&[
+        "submit",
+        root_str,
+        desc.to_str().unwrap(),
+        "--tenant",
+        "alice",
+        "--key",
+        "cli-key",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("job 1 submitted"), "{}", stdout(&out));
+
+    // A duplicate CLI submission reports the original job.
+    let out = cli(&[
+        "submit",
+        root_str,
+        desc.to_str().unwrap(),
+        "--tenant",
+        "alice",
+        "--key",
+        "cli-key",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("job 1 (existing"), "{}", stdout(&out));
+
+    // Status flips to completed within the bound.
+    wait_for("campaign completion", deadline, &mut || {
+        let out = cli(&["status", root_str, "--job", "1"]);
+        out.status.success() && stdout(&out).contains("completed")
+    });
+    let out = cli(&["status", root_str]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let listing = stdout(&out);
+    assert!(
+        listing.contains("alice") && listing.contains("2/2"),
+        "{listing}"
+    );
+
+    // Results: table listing, a remote group-by plan, package download.
+    let out = cli(&["results", root_str, "--job", "1", "--tables"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("Events"), "{}", stdout(&out));
+
+    let out = cli(&[
+        "results",
+        root_str,
+        "--job",
+        "1",
+        "--table",
+        "RunInfos",
+        "--group-by",
+        "RunID",
+        "--count",
+        "--sort-by",
+        "RunID",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let frame = stdout(&out);
+    assert_eq!(
+        frame.lines().count(),
+        3,
+        "header + one row per run: {frame}"
+    );
+
+    let pkg = dir.join("downloaded.expdb");
+    let out = cli(&[
+        "results",
+        root_str,
+        "--job",
+        "1",
+        "--out",
+        pkg.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let db = excovery::store::Database::load(&pkg).expect("downloaded package loads");
+    assert!(db.table_names().contains(&"RunInfos"));
+
+    serve.kill().expect("stop serve");
+    serve.wait().expect("reap serve");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -131,8 +131,11 @@ fn crash_recovery_resumes_aborted_experiment() {
     cfg.max_runs = Some(2);
     cfg.keep_l2 = true;
     let second = ExperiMaster::new(desc, cfg).unwrap().execute().unwrap();
+    // The outcome vector covers the whole campaign: the two journalled
+    // runs restored in front, execution resumed at the first incomplete.
+    assert_eq!(second.restored_runs, 2);
     assert_eq!(
-        second.runs[0].run_id, 2,
+        second.runs[2].run_id, 2,
         "resumed at the first incomplete run"
     );
     // The final package integrates runs from both sessions.
