@@ -7,7 +7,7 @@
 //! to the row engine's sequential `f64` summation) for every total below
 //! 2⁵³, far beyond any Table-I scale.
 
-use crate::column::{CellRef, Value};
+use crate::column::{CellRef, Slab, Value};
 use excovery_obs::metrics::{bucket_index, bucket_upper_bound, HISTOGRAM_BUCKETS};
 
 /// One aggregate of a scan: an output column name plus the function.
@@ -232,6 +232,50 @@ impl AggPartial {
                 buckets[bucket_index(v)] += 1;
                 *count += 1;
             }
+        }
+    }
+
+    /// Folds a whole column slab in, row order preserved — used by the
+    /// constant-group-key fast path, where every row of a partition
+    /// lands in the same group. Equivalent to calling
+    /// [`update`](AggPartial::update) on `slab.get(0..len)` in order
+    /// (float accumulation visits cells in the identical sequence, so
+    /// the result is bit-identical), just without the per-row dispatch.
+    pub(crate) fn update_slab(&mut self, slab: &Slab) {
+        match (&mut *self, slab) {
+            (AggPartial::Count(n), _) => *n += slab.len() as u64,
+            (AggPartial::SumI { sum, count }, Slab::I64 { vals, nulls, .. })
+                if nulls.count_ones() == 0 =>
+            {
+                let mut s: i128 = 0;
+                for &v in vals {
+                    s += v as i128;
+                }
+                *sum += s;
+                *count += vals.len() as u64;
+            }
+            (AggPartial::SumF { sum, count }, Slab::F64 { vals, nulls })
+                if nulls.count_ones() == 0 =>
+            {
+                for &v in vals {
+                    *sum += v;
+                }
+                *count += vals.len() as u64;
+            }
+            _ => {
+                for i in 0..slab.len() {
+                    self.update(slab.get(i));
+                }
+            }
+        }
+    }
+
+    /// Folds `rows` input-less updates in (a `count` aggregate sees one
+    /// per row; every other aggregate ignores the `Null` cell it would
+    /// have been fed).
+    pub(crate) fn update_rows(&mut self, rows: usize) {
+        if let AggPartial::Count(n) = self {
+            *n += rows as u64;
         }
     }
 

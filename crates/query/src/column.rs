@@ -33,6 +33,32 @@ impl Bitmap {
         self.len += 1;
     }
 
+    /// Appends `n` copies of one bit, word-at-a-time — the RLE decode
+    /// path appends whole runs, where per-bit `push` dominates.
+    pub fn push_n(&mut self, set: bool, n: usize) {
+        if !set {
+            self.len += n;
+            self.words.resize(self.len.div_ceil(64), 0);
+            return;
+        }
+        let mut remaining = n;
+        while remaining > 0 {
+            let bit = self.len % 64;
+            if self.len / 64 == self.words.len() {
+                self.words.push(0);
+            }
+            let take = (64 - bit).min(remaining);
+            let mask = if take == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << take) - 1) << bit
+            };
+            self.words[self.len / 64] |= mask;
+            self.len += take;
+            remaining -= take;
+        }
+    }
+
     /// Reads bit `i`.
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
@@ -52,6 +78,19 @@ impl Bitmap {
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Rebuilds a bitmap from its packed words (slab-file decode path).
+    /// Bits past `len` in the last word must be zero, as `push` leaves
+    /// them — `PartialEq` compares words directly.
+    pub(crate) fn from_raw(words: Vec<u64>, len: usize) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        Self { words, len }
+    }
+
+    /// The packed 64-bit words (slab-file encode path).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 

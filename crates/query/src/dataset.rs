@@ -97,8 +97,11 @@ pub struct Dataset {
     pub(crate) pool: StringPool,
     pub(crate) partitions: Vec<Partition>,
     pub(crate) schemas: BTreeMap<String, TableSchema>,
-    partition_column: String,
-    experiments: Vec<String>,
+    pub(crate) partition_column: String,
+    pub(crate) experiments: Vec<String>,
+    /// On-disk partition store; when set, `partitions` is empty and every
+    /// partition loads lazily through the spill layer (see `spill.rs`).
+    pub(crate) spill: Option<std::sync::Arc<crate::spill::SpillStore>>,
 }
 
 impl Dataset {
@@ -112,6 +115,7 @@ impl Dataset {
                 schemas: BTreeMap::new(),
                 partition_column: DEFAULT_PARTITION_COLUMN.to_string(),
                 experiments: Vec::new(),
+                spill: None,
             },
         }
     }
@@ -155,9 +159,13 @@ impl Dataset {
         &self.partition_column
     }
 
-    /// Number of partitions (including meta partitions).
+    /// Number of partitions (including meta partitions and partitions
+    /// that currently live on disk).
     pub fn partition_count(&self) -> usize {
-        self.partitions.len()
+        match &self.spill {
+            Some(store) => store.partition_count(),
+            None => self.partitions.len(),
+        }
     }
 
     /// The schema of an ingested table.
@@ -167,9 +175,14 @@ impl Dataset {
             .ok_or_else(|| QueryError::NoSuchTable(table.to_string()))
     }
 
-    /// Total ingested rows of `table` across all partitions.
+    /// Total ingested rows of `table` across all partitions. For spilled
+    /// datasets this is answered from footer statistics alone — no
+    /// partition is loaded.
     pub fn table_rows(&self, table: &str) -> Result<usize, QueryError> {
         self.schema(table)?;
+        if let Some(store) = &self.spill {
+            return Ok(store.table_rows(table));
+        }
         Ok(self
             .partitions
             .iter()
@@ -203,70 +216,15 @@ impl DatasetBuilder {
     pub fn add_package(mut self, experiment: &str, db: &Database) -> Result<Self, QueryError> {
         let exp_index = self.dataset.experiments.len();
         self.dataset.experiments.push(experiment.to_string());
-        // Partition key → table name → slabs; BTreeMap keeps keys in
-        // ascending order with the meta (None) partition first, which is
-        // exactly `ORDER BY RunID` order under cmp_sql (NULL first).
-        let mut parts: BTreeMap<Option<i64>, BTreeMap<String, ColumnTable>> = BTreeMap::new();
-        for name in db.table_names() {
-            let table = db.table(name)?;
-            let schema = TableSchema {
-                names: table.columns.iter().map(|c| c.name.clone()).collect(),
-                kinds: table.columns.iter().map(|c| c.ctype).collect(),
-            };
-            if let Some(existing) = self.dataset.schemas.get(name) {
-                if existing.names != schema.names || existing.kinds != schema.kinds {
-                    return Err(QueryError::Unsupported(format!(
-                        "table {name:?} has a different schema in package {experiment:?}"
-                    )));
-                }
-            } else {
-                self.dataset
-                    .schemas
-                    .insert(name.to_string(), schema.clone());
-            }
-            let part_col = schema
-                .names
-                .iter()
-                .position(|n| n == &self.partition_column)
-                .filter(|&i| schema.kinds[i] == ColumnType::Integer);
-            for row in table.rows() {
-                let key = part_col.and_then(|i| row[i].as_int());
-                let dest = parts
-                    .entry(key)
-                    .or_default()
-                    .entry(name.to_string())
-                    .or_insert_with(|| {
-                        ColumnTable::new(schema.names.clone(), schema.empty_slabs())
-                    });
-                for (cell, slab) in row.iter().zip(dest.slabs.iter_mut()) {
-                    match cell {
-                        SqlValue::Null => slab.push_null(),
-                        SqlValue::Int(v) => match slab {
-                            // Integers stored into a Real column widen,
-                            // matching `SqlValue::as_real` and keeping
-                            // cmp_sql's numeric kind class intact.
-                            Slab::F64 { .. } => slab.push_f64(*v as f64),
-                            _ => slab.push_i64(*v),
-                        },
-                        SqlValue::Real(v) => slab.push_f64(*v),
-                        SqlValue::Text(s) => {
-                            let id = self.dataset.pool.intern(s);
-                            slab.push_str(id);
-                        }
-                        SqlValue::Blob(b) => slab.push_bytes(b),
-                    }
-                }
-                dest.rows += 1;
-            }
-        }
-        for (key, tables) in parts {
-            self.dataset.partitions.push(Partition {
-                experiment: experiment.to_string(),
-                experiment_index: exp_index,
-                key,
-                tables,
-            });
-        }
+        let parts = ingest_package(
+            &mut self.dataset.pool,
+            &mut self.dataset.schemas,
+            &self.partition_column,
+            experiment,
+            exp_index,
+            db,
+        )?;
+        self.dataset.partitions.extend(parts);
         Ok(self)
     }
 
@@ -274,6 +232,82 @@ impl DatasetBuilder {
     pub fn build(self) -> Dataset {
         self.dataset
     }
+}
+
+/// Splits one package into partitions, interning strings into `pool` and
+/// checking `schemas` for cross-package consistency. Shared by the
+/// in-memory [`DatasetBuilder`], the streaming spill builder and the
+/// incremental standing-query layer, so all three produce byte-identical
+/// slabs for the same rows.
+pub(crate) fn ingest_package(
+    pool: &mut StringPool,
+    schemas: &mut BTreeMap<String, TableSchema>,
+    partition_column: &str,
+    experiment: &str,
+    exp_index: usize,
+    db: &Database,
+) -> Result<Vec<Partition>, QueryError> {
+    // Partition key → table name → slabs; BTreeMap keeps keys in
+    // ascending order with the meta (None) partition first, which is
+    // exactly `ORDER BY RunID` order under cmp_sql (NULL first).
+    let mut parts: BTreeMap<Option<i64>, BTreeMap<String, ColumnTable>> = BTreeMap::new();
+    for name in db.table_names() {
+        let table = db.table(name)?;
+        let schema = TableSchema {
+            names: table.columns.iter().map(|c| c.name.clone()).collect(),
+            kinds: table.columns.iter().map(|c| c.ctype).collect(),
+        };
+        if let Some(existing) = schemas.get(name) {
+            if existing.names != schema.names || existing.kinds != schema.kinds {
+                return Err(QueryError::Unsupported(format!(
+                    "table {name:?} has a different schema in package {experiment:?}"
+                )));
+            }
+        } else {
+            schemas.insert(name.to_string(), schema.clone());
+        }
+        let part_col = schema
+            .names
+            .iter()
+            .position(|n| n == partition_column)
+            .filter(|&i| schema.kinds[i] == ColumnType::Integer);
+        for row in table.rows() {
+            let key = part_col.and_then(|i| row[i].as_int());
+            let dest = parts
+                .entry(key)
+                .or_default()
+                .entry(name.to_string())
+                .or_insert_with(|| ColumnTable::new(schema.names.clone(), schema.empty_slabs()));
+            for (cell, slab) in row.iter().zip(dest.slabs.iter_mut()) {
+                match cell {
+                    SqlValue::Null => slab.push_null(),
+                    SqlValue::Int(v) => match slab {
+                        // Integers stored into a Real column widen,
+                        // matching `SqlValue::as_real` and keeping
+                        // cmp_sql's numeric kind class intact.
+                        Slab::F64 { .. } => slab.push_f64(*v as f64),
+                        _ => slab.push_i64(*v),
+                    },
+                    SqlValue::Real(v) => slab.push_f64(*v),
+                    SqlValue::Text(s) => {
+                        let id = pool.intern(s);
+                        slab.push_str(id);
+                    }
+                    SqlValue::Blob(b) => slab.push_bytes(b),
+                }
+            }
+            dest.rows += 1;
+        }
+    }
+    Ok(parts
+        .into_iter()
+        .map(|(key, tables)| Partition {
+            experiment: experiment.to_string(),
+            experiment_index: exp_index,
+            key,
+            tables,
+        })
+        .collect())
 }
 
 #[cfg(test)]

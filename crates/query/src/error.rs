@@ -31,6 +31,12 @@ pub enum QueryError {
     /// A plan shape the executor does not support (e.g. comparing two
     /// columns to each other).
     Unsupported(String),
+    /// A slab file could not be read or written (the underlying
+    /// `std::io::Error`, stringified so the error stays `Clone + Eq`).
+    Io(String),
+    /// A slab file failed validation: bad magic, truncated section,
+    /// impossible lengths or a dangling dictionary reference.
+    Corrupt(String),
 }
 
 impl fmt::Display for QueryError {
@@ -45,6 +51,8 @@ impl fmt::Display for QueryError {
                 write!(f, "query: column {column:?} is not {expected}")
             }
             QueryError::Unsupported(what) => write!(f, "query: unsupported plan: {what}"),
+            QueryError::Io(e) => write!(f, "query: slab io: {e}"),
+            QueryError::Corrupt(what) => write!(f, "query: corrupt slab file: {what}"),
         }
     }
 }

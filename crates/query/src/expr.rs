@@ -135,6 +135,22 @@ impl Expr {
         Expr::Not(Box::new(self))
     }
 
+    /// Accumulates every column name the expression references, for the
+    /// executor's projected-decode column set.
+    pub(crate) fn collect_columns(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Expr::Col(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Lit(_) => {}
+            Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(e) => e.collect_columns(out),
+        }
+    }
+
     /// Binds the expression against one partition's column layout,
     /// resolving column names to slab indices and pre-interning string
     /// literals for the id-equality fast path.

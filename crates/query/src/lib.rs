@@ -32,7 +32,11 @@ pub mod dataset;
 pub mod error;
 mod exec;
 pub mod expr;
+pub mod incremental;
 pub mod plan;
+pub mod slab_io;
+pub mod spec;
+pub mod spill;
 pub mod warehouse;
 
 pub use agg::{Agg, AggSpec};
@@ -40,7 +44,19 @@ pub use column::{Bitmap, CellRef, ColumnTable, IntStats, Slab, StringPool, Value
 pub use dataset::{Dataset, DatasetBuilder, Partition, TableSchema, DEFAULT_PARTITION_COLUMN};
 pub use error::QueryError;
 pub use expr::{col, lit, null, CmpOp, Expr};
+pub use incremental::StandingQuery;
 pub use plan::{Frame, Scan};
+pub use slab_io::{read_footer, PartitionFooter, SLAB_FILE_EXTENSION};
+pub use spec::{
+    agg_to_spec, cell_to_value, expr_to_spec, frame_to_wire, spec_to_agg, spec_to_expr,
+    value_to_cell, wire_to_frame,
+};
+pub use spill::{SpillBuilder, SpillStore, DEFAULT_MEMORY_BUDGET, MEMORY_BUDGET_ENV};
+
+/// The one serializable logical-plan vocabulary, re-exported from the
+/// rpc crate: [`Scan::to_spec`] lowers into it, [`Dataset::run_spec`]
+/// executes it, and the server ships it over `query.run`.
+pub use excovery_rpc::{ExprSpec, PlanSpec};
 
 #[cfg(test)]
 mod tests {

@@ -506,6 +506,12 @@ impl FilterOp {
 }
 
 /// A remote filter: `column <op> literal`.
+///
+/// Superseded by [`ExprSpec`], which composes the same comparisons into
+/// arbitrary `and`/`or`/`not` trees. Kept only so pre-tree clients keep
+/// parsing; [`unpack_plan`] folds the legacy `filter` member into a
+/// single-node predicate tree.
+#[deprecated(since = "0.1.0", note = "use the `ExprSpec` predicate tree")]
 #[derive(Debug, Clone, PartialEq)]
 pub struct FilterSpec {
     /// Column the predicate reads.
@@ -514,6 +520,121 @@ pub struct FilterSpec {
     pub op: FilterOp,
     /// Literal to compare against.
     pub value: CellValue,
+}
+
+/// A serializable filter predicate: comparisons composed with boolean
+/// connectives, the wire twin of the query crate's `Expr` tree. SQL
+/// three-valued NULL semantics are the executor's business; the wire
+/// form just names columns, operators and literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprSpec {
+    /// `column <op> literal`.
+    Cmp {
+        /// Column the comparison reads.
+        column: String,
+        /// Comparison operator.
+        op: FilterOp,
+        /// Literal to compare against.
+        value: CellValue,
+    },
+    /// Both sides must hold.
+    And(Box<ExprSpec>, Box<ExprSpec>),
+    /// Either side must hold.
+    Or(Box<ExprSpec>, Box<ExprSpec>),
+    /// The inner predicate must not hold.
+    Not(Box<ExprSpec>),
+}
+
+impl ExprSpec {
+    /// A `column <op> literal` leaf.
+    pub fn cmp(column: impl Into<String>, op: FilterOp, value: CellValue) -> Self {
+        ExprSpec::Cmp {
+            column: column.into(),
+            op,
+            value,
+        }
+    }
+
+    /// `self AND rhs`.
+    pub fn and(self, rhs: ExprSpec) -> Self {
+        ExprSpec::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self OR rhs`.
+    pub fn or(self, rhs: ExprSpec) -> Self {
+        ExprSpec::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        ExprSpec::Not(Box::new(self))
+    }
+}
+
+/// Depth cap for predicate trees on the wire: deep enough for any plan a
+/// builder chain produces, shallow enough that recursive decoding of a
+/// hostile frame cannot exhaust the stack.
+pub const MAX_EXPR_DEPTH: usize = 64;
+
+fn pack_expr(e: &ExprSpec) -> Value {
+    match e {
+        ExprSpec::Cmp { column, op, value } => Value::Struct(vec![
+            ("t".into(), Value::str("cmp")),
+            ("column".into(), Value::str(column.clone())),
+            ("op".into(), Value::str(op.as_str())),
+            ("value".into(), pack_cell(value)),
+        ]),
+        ExprSpec::And(a, b) => Value::Struct(vec![
+            ("t".into(), Value::str("and")),
+            ("lhs".into(), pack_expr(a)),
+            ("rhs".into(), pack_expr(b)),
+        ]),
+        ExprSpec::Or(a, b) => Value::Struct(vec![
+            ("t".into(), Value::str("or")),
+            ("lhs".into(), pack_expr(a)),
+            ("rhs".into(), pack_expr(b)),
+        ]),
+        ExprSpec::Not(a) => Value::Struct(vec![
+            ("t".into(), Value::str("not")),
+            ("arg".into(), pack_expr(a)),
+        ]),
+    }
+}
+
+fn unpack_expr(v: &Value, depth: usize) -> Result<ExprSpec, Fault> {
+    let ctx = "query predicate";
+    if depth > MAX_EXPR_DEPTH {
+        return Err(parse_fault(format!(
+            "{ctx}: tree deeper than {MAX_EXPR_DEPTH}"
+        )));
+    }
+    let branch = |name: &str| -> Result<Box<ExprSpec>, Fault> {
+        let inner = v
+            .member(name)
+            .ok_or_else(|| parse_fault(format!("{ctx}: missing member '{name}'")))?;
+        Ok(Box::new(unpack_expr(inner, depth + 1)?))
+    };
+    let tag = str_member(v, "t", ctx)?;
+    match tag.as_str() {
+        "cmp" => {
+            let op_str = str_member(v, "op", ctx)?;
+            Ok(ExprSpec::Cmp {
+                column: str_member(v, "column", ctx)?,
+                op: FilterOp::parse(&op_str)
+                    .ok_or_else(|| parse_fault(format!("{ctx}: unknown op '{op_str}'")))?,
+                value: unpack_cell(
+                    v.member("value")
+                        .ok_or_else(|| parse_fault(format!("{ctx}: cmp without value")))?,
+                )
+                .map_err(parse_fault)?,
+            })
+        }
+        "and" => Ok(ExprSpec::And(branch("lhs")?, branch("rhs")?)),
+        "or" => Ok(ExprSpec::Or(branch("lhs")?, branch("rhs")?)),
+        "not" => Ok(ExprSpec::Not(branch("arg")?)),
+        other => Err(parse_fault(format!("{ctx}: unknown node tag '{other}'"))),
+    }
 }
 
 /// Aggregate operator of a remote plan.
@@ -529,6 +650,9 @@ pub enum AggOp {
     Min,
     /// Maximum of an input column.
     Max,
+    /// Approximate quantile of an input column; the quantile rank rides
+    /// in [`AggSpec::q`].
+    Quantile,
 }
 
 impl AggOp {
@@ -540,6 +664,7 @@ impl AggOp {
             AggOp::Mean => "mean",
             AggOp::Min => "min",
             AggOp::Max => "max",
+            AggOp::Quantile => "quantile",
         }
     }
 
@@ -551,13 +676,15 @@ impl AggOp {
             "mean" => Some(AggOp::Mean),
             "min" => Some(AggOp::Min),
             "max" => Some(AggOp::Max),
+            "quantile" => Some(AggOp::Quantile),
             _ => None,
         }
     }
 }
 
 /// One aggregate of a remote plan: operator, optional input column
-/// ([`AggOp::Count`] takes none), optional output name.
+/// ([`AggOp::Count`] takes none), optional output name, and the
+/// quantile rank for [`AggOp::Quantile`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct AggSpec {
     /// Aggregate operator.
@@ -566,17 +693,22 @@ pub struct AggSpec {
     pub column: Option<String>,
     /// Output column name override.
     pub name: Option<String>,
+    /// Quantile rank in `[0, 1]`; required for (and only meaningful
+    /// with) [`AggOp::Quantile`].
+    pub q: Option<f64>,
 }
 
-/// A serializable query plan: the remote twin of the query crate's
-/// `Scan` builder chain, executed server-side against a completed
-/// campaign's warehouse.
+/// The one serializable logical-plan type: local `Scan` builder chains
+/// lower into it (`Scan::to_spec`), the server executes it
+/// (`Dataset::run_spec`), and standing queries refresh from it — a
+/// single plan vocabulary end-to-end instead of parallel local/remote
+/// dialects.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PlanSpec {
     /// Table to scan.
     pub table: String,
-    /// Optional filter predicate.
-    pub filter: Option<FilterSpec>,
+    /// Optional filter predicate tree.
+    pub predicate: Option<ExprSpec>,
     /// Group-by key columns.
     pub group_by: Vec<String>,
     /// Aggregates over the groups (or the whole table).
@@ -588,17 +720,24 @@ pub struct PlanSpec {
 }
 
 /// Encodes a [`PlanSpec`] as the [`QUERY_RUN`] plan parameter.
+///
+/// A single-comparison predicate is emitted as the legacy flat `filter`
+/// member (readable by pre-tree servers); anything deeper ships as the
+/// `where` tree. [`unpack_plan`] accepts both, so either shape
+/// round-trips to the same [`PlanSpec`].
 pub fn pack_plan(p: &PlanSpec) -> Value {
     let mut members = vec![("table".into(), Value::str(p.table.clone()))];
-    if let Some(f) = &p.filter {
-        members.push((
+    match &p.predicate {
+        None => {}
+        Some(ExprSpec::Cmp { column, op, value }) => members.push((
             "filter".into(),
             Value::Struct(vec![
-                ("column".into(), Value::str(f.column.clone())),
-                ("op".into(), Value::str(f.op.as_str())),
-                ("value".into(), pack_cell(&f.value)),
+                ("column".into(), Value::str(column.clone())),
+                ("op".into(), Value::str(op.as_str())),
+                ("value".into(), pack_cell(value)),
             ]),
-        ));
+        )),
+        Some(tree) => members.push(("where".into(), pack_expr(tree))),
     }
     members.push((
         "group_by".into(),
@@ -616,6 +755,9 @@ pub fn pack_plan(p: &PlanSpec) -> Value {
                     }
                     if let Some(n) = &a.name {
                         m.push(("name".into(), Value::str(n.clone())));
+                    }
+                    if let Some(q) = a.q {
+                        m.push(("q".into(), Value::Double(q)));
                     }
                     Value::Struct(m)
                 })
@@ -649,11 +791,13 @@ fn str_array(v: &Value, name: &str, ctx: &str) -> Result<Vec<String>, Fault> {
 /// [`FAULT_PARSE_ERROR`] (they arrive inside a [`QUERY_RUN`] request).
 pub fn unpack_plan(v: &Value) -> Result<PlanSpec, Fault> {
     let ctx = "query plan";
-    let filter = match v.member("filter") {
-        None => None,
-        Some(f) => {
+    // `where` (the tree) wins; the legacy flat `filter` member folds
+    // into a single-comparison tree so old clients keep working.
+    let predicate = match (v.member("where"), v.member("filter")) {
+        (Some(tree), _) => Some(unpack_expr(tree, 0)?),
+        (None, Some(f)) => {
             let op_str = str_member(f, "op", ctx)?;
-            Some(FilterSpec {
+            Some(ExprSpec::Cmp {
                 column: str_member(f, "column", ctx)?,
                 op: FilterOp::parse(&op_str)
                     .ok_or_else(|| parse_fault(format!("{ctx}: unknown filter op '{op_str}'")))?,
@@ -664,6 +808,7 @@ pub fn unpack_plan(v: &Value) -> Result<PlanSpec, Fault> {
                 .map_err(parse_fault)?,
             })
         }
+        (None, None) => None,
     };
     let aggs = v
         .member("aggs")
@@ -672,20 +817,32 @@ pub fn unpack_plan(v: &Value) -> Result<PlanSpec, Fault> {
         .iter()
         .map(|a| {
             let op_str = str_member(a, "op", ctx)?;
+            let op = AggOp::parse(&op_str)
+                .ok_or_else(|| parse_fault(format!("{ctx}: unknown agg op '{op_str}'")))?;
+            let q = match a.member("q") {
+                None => None,
+                Some(Value::Double(q)) => Some(*q),
+                Some(_) => {
+                    return Err(parse_fault(format!("{ctx}: agg 'q' must be a double")));
+                }
+            };
+            if op == AggOp::Quantile && q.is_none() {
+                return Err(parse_fault(format!("{ctx}: quantile agg without 'q'")));
+            }
             Ok(AggSpec {
-                op: AggOp::parse(&op_str)
-                    .ok_or_else(|| parse_fault(format!("{ctx}: unknown agg op '{op_str}'")))?,
+                op,
                 column: a
                     .member("column")
                     .and_then(Value::as_str)
                     .map(str::to_string),
                 name: a.member("name").and_then(Value::as_str).map(str::to_string),
+                q,
             })
         })
         .collect::<Result<Vec<_>, Fault>>()?;
     Ok(PlanSpec {
         table: str_member(v, "table", ctx)?,
-        filter,
+        predicate,
         group_by: str_array(v, "group_by", ctx)?,
         aggs,
         select: str_array(v, "select", ctx)?,
@@ -793,28 +950,92 @@ mod tests {
         assert_eq!(unpack_plan(&pack_plan(&bare)).unwrap(), bare);
         let full = PlanSpec {
             table: "Events".into(),
-            filter: Some(FilterSpec {
-                column: "RunID".into(),
-                op: FilterOp::Le,
-                value: CellValue::I64(4),
-            }),
+            predicate: Some(ExprSpec::cmp("RunID", FilterOp::Le, CellValue::I64(4))),
             group_by: vec!["Type".into()],
             aggs: vec![
                 AggSpec {
                     op: AggOp::Count,
                     column: None,
                     name: Some("n".into()),
+                    q: None,
                 },
                 AggSpec {
                     op: AggOp::Mean,
                     column: Some("Time".into()),
                     name: None,
+                    q: None,
+                },
+                AggSpec {
+                    op: AggOp::Quantile,
+                    column: Some("Time".into()),
+                    name: Some("p95".into()),
+                    q: Some(0.95),
                 },
             ],
             select: vec!["Type".into(), "n".into()],
             sort_by: Some("Type".into()),
         };
         assert_eq!(unpack_plan(&pack_plan(&full)).unwrap(), full);
+    }
+
+    #[test]
+    fn predicate_trees_roundtrip_and_single_cmp_stays_legacy() {
+        let tree = ExprSpec::cmp("RunID", FilterOp::Ge, CellValue::I64(2))
+            .and(ExprSpec::cmp("Service", FilterOp::Eq, CellValue::Str("p".into())).not())
+            .or(ExprSpec::cmp("Time", FilterOp::Lt, CellValue::F64(0.5)));
+        let plan = PlanSpec {
+            table: "Events".into(),
+            predicate: Some(tree),
+            ..PlanSpec::default()
+        };
+        let packed = pack_plan(&plan);
+        assert!(packed.member("where").is_some());
+        assert!(packed.member("filter").is_none());
+        assert_eq!(unpack_plan(&packed).unwrap(), plan);
+
+        // A lone comparison ships in the pre-tree wire shape.
+        let flat = PlanSpec {
+            table: "Events".into(),
+            predicate: Some(ExprSpec::cmp("RunID", FilterOp::Le, CellValue::I64(4))),
+            ..PlanSpec::default()
+        };
+        let packed = pack_plan(&flat);
+        assert!(packed.member("where").is_none());
+        assert!(packed.member("filter").is_some());
+        assert_eq!(unpack_plan(&packed).unwrap(), flat);
+    }
+
+    #[test]
+    fn over_deep_predicates_fault_instead_of_recursing() {
+        let mut e = ExprSpec::cmp("a", FilterOp::Eq, CellValue::I64(0));
+        for _ in 0..(MAX_EXPR_DEPTH + 1) {
+            e = e.not();
+        }
+        let packed = Value::Struct(vec![
+            ("table".into(), Value::str("Events")),
+            ("where".into(), pack_expr(&e)),
+            ("group_by".into(), Value::Array(vec![])),
+            ("aggs".into(), Value::Array(vec![])),
+            ("select".into(), Value::Array(vec![])),
+        ]);
+        assert_eq!(unpack_plan(&packed).unwrap_err().code, FAULT_PARSE_ERROR);
+    }
+
+    #[test]
+    fn quantile_aggs_require_a_rank() {
+        let packed = Value::Struct(vec![
+            ("table".into(), Value::str("Events")),
+            ("group_by".into(), Value::Array(vec![])),
+            (
+                "aggs".into(),
+                Value::Array(vec![Value::Struct(vec![
+                    ("op".into(), Value::str("quantile")),
+                    ("column".into(), Value::str("Time")),
+                ])]),
+            ),
+            ("select".into(), Value::Array(vec![])),
+        ]);
+        assert_eq!(unpack_plan(&packed).unwrap_err().code, FAULT_PARSE_ERROR);
     }
 
     #[test]

@@ -54,10 +54,13 @@ pub use error::{RpcError, FAULT_INTERNAL_ERROR, FAULT_NO_SUCH_METHOD, FAULT_PARS
 pub use job::{
     pack_frame, pack_plan, pack_results_page, pack_status, pack_status_list, pack_submit,
     pack_submit_response, unpack_frame, unpack_plan, unpack_results_page, unpack_status,
-    unpack_status_list, unpack_submit, unpack_submit_response, AggOp, AggSpec, CellValue, FilterOp,
-    FilterSpec, JobId, JobResults, JobState, JobStatus, PlanSpec, ResultsPage, SubmitRequest,
-    WireFrame, JOB_LIST, JOB_RESULTS, JOB_STATUS, JOB_SUBMIT, QUERY_RUN, QUERY_TABLES,
+    unpack_status_list, unpack_submit, unpack_submit_response, AggOp, AggSpec, CellValue, ExprSpec,
+    FilterOp, JobId, JobResults, JobState, JobStatus, PlanSpec, ResultsPage, SubmitRequest,
+    WireFrame, JOB_LIST, JOB_RESULTS, JOB_STATUS, JOB_SUBMIT, MAX_EXPR_DEPTH, QUERY_RUN,
+    QUERY_TABLES,
 };
+#[allow(deprecated)]
+pub use job::FilterSpec;
 pub use message::{Fault, MethodCall, MethodResponse};
 pub use reactor::{DispatchOutcome, NodeCall, Reactor, ReactorEndpoint, RetryConfig};
 pub use tcp::{TcpOptions, TcpRpcServer, TcpTransport};

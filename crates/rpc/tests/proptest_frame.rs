@@ -162,8 +162,8 @@ use excovery_rpc::{
     pack_frame, pack_plan, pack_results_page, pack_status, pack_status_list, pack_submit,
     pack_submit_response, unpack_frame, unpack_plan, unpack_results_page, unpack_status,
     unpack_status_list, unpack_submit, unpack_submit_response, AggOp, AggSpec, CellValue, Channel,
-    FilterOp, FilterSpec, JobState, JobStatus, PlanSpec, ResultsPage, ServerRegistry,
-    SubmitRequest, WireFrame, JOB_SUBMIT,
+    ExprSpec, FilterOp, JobState, JobStatus, PlanSpec, ResultsPage, ServerRegistry, SubmitRequest,
+    WireFrame, JOB_SUBMIT,
 };
 
 /// Re-serializes a value through the actual XML wire format.
@@ -236,24 +236,33 @@ fn frame_strategy() -> impl Strategy<Value = WireFrame> {
     })
 }
 
-fn filter_strategy() -> impl Strategy<Value = FilterSpec> {
-    (
-        "[A-Za-z]{1,8}",
+fn cmp_op_strategy() -> impl Strategy<Value = FilterOp> {
+    prop_oneof![
+        Just(FilterOp::Eq),
+        Just(FilterOp::Ne),
+        Just(FilterOp::Lt),
+        Just(FilterOp::Le),
+        Just(FilterOp::Gt),
+        Just(FilterOp::Ge),
+    ]
+}
+
+/// Arbitrary predicate trees: comparison leaves composed with
+/// `and`/`or`/`not` up to a few levels deep.
+fn expr_strategy() -> impl Strategy<Value = ExprSpec> {
+    let leaf = ("[A-Za-z]{1,8}", cmp_op_strategy(), cell_strategy())
+        .prop_map(|(column, op, value)| ExprSpec::Cmp { column, op, value });
+    leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
-            Just(FilterOp::Eq),
-            Just(FilterOp::Ne),
-            Just(FilterOp::Lt),
-            Just(FilterOp::Le),
-            Just(FilterOp::Gt),
-            Just(FilterOp::Ge),
-        ],
-        cell_strategy(),
-    )
-        .prop_map(|(column, op, value)| FilterSpec { column, op, value })
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(ExprSpec::not),
+        ]
+    })
 }
 
 fn agg_strategy() -> impl Strategy<Value = AggSpec> {
-    (
+    let plain = (
         prop_oneof![
             Just(AggOp::Count),
             Just(AggOp::Sum),
@@ -264,22 +273,39 @@ fn agg_strategy() -> impl Strategy<Value = AggSpec> {
         prop::option::of("[A-Za-z]{1,8}"),
         prop::option::of("[a-z]{1,8}"),
     )
-        .prop_map(|(op, column, name)| AggSpec { op, column, name })
+        .prop_map(|(op, column, name)| AggSpec {
+            op,
+            column,
+            name,
+            q: None,
+        });
+    let quantile = (
+        prop::option::of("[A-Za-z]{1,8}"),
+        prop::option::of("[a-z]{1,8}"),
+        0.0f64..1.0,
+    )
+        .prop_map(|(column, name, q)| AggSpec {
+            op: AggOp::Quantile,
+            column,
+            name,
+            q: Some(q),
+        });
+    prop_oneof![4 => plain, 1 => quantile]
 }
 
 fn plan_strategy() -> impl Strategy<Value = PlanSpec> {
     (
         "[A-Za-z]{1,10}",
-        prop::option::of(filter_strategy()),
+        prop::option::of(expr_strategy()),
         prop::collection::vec("[A-Za-z]{1,6}", 0..3),
         prop::collection::vec(agg_strategy(), 0..3),
         prop::collection::vec("[A-Za-z]{1,6}", 0..3),
         prop::option::of("[A-Za-z]{1,6}"),
     )
         .prop_map(
-            |(table, filter, group_by, aggs, select, sort_by)| PlanSpec {
+            |(table, predicate, group_by, aggs, select, sort_by)| PlanSpec {
                 table,
-                filter,
+                predicate,
                 group_by,
                 aggs,
                 select,

@@ -1,106 +1,35 @@
-//! Bridges between the rpc wire types and the query crate: cell values,
-//! result frames, and server-side execution of serialized query plans.
+//! Bridges between the rpc wire types and the query crate.
+//!
+//! Historically this module hand-mapped a second plan dialect
+//! (`FilterSpec`, a private `AggOp` match) onto the query builder; that
+//! duplicate vocabulary is gone. [`excovery_rpc::PlanSpec`] is the one
+//! serializable logical-plan type, and the query crate itself owns every
+//! conversion — this module only re-exports them and adapts error types,
+//! so the server cannot drift from local execution semantics.
 
-use excovery_query::{col, lit, Agg, Dataset, Expr, Frame, Value as QueryValue};
-use excovery_rpc::{AggOp, AggSpec, CellValue, FilterOp, FilterSpec, PlanSpec, WireFrame};
+use excovery_query::Dataset;
+use excovery_rpc::{PlanSpec, WireFrame};
 use excovery_store::Database;
 
 use crate::ServerError;
 
-/// Wire cell → query value.
-pub fn cell_to_value(c: &CellValue) -> QueryValue {
-    match c {
-        CellValue::Null => QueryValue::Null,
-        CellValue::I64(v) => QueryValue::I64(*v),
-        CellValue::F64(v) => QueryValue::F64(*v),
-        CellValue::Str(s) => QueryValue::Str(s.clone()),
-        CellValue::Bytes(b) => QueryValue::Bytes(b.clone()),
-    }
-}
+/// Wire cell → query value (the query crate's canonical conversion).
+pub use excovery_query::cell_to_value;
+/// Query value → wire cell (the query crate's canonical conversion).
+pub use excovery_query::value_to_cell;
 
-/// Query value → wire cell.
-pub fn value_to_cell(v: &QueryValue) -> CellValue {
-    match v {
-        QueryValue::Null => CellValue::Null,
-        QueryValue::I64(i) => CellValue::I64(*i),
-        QueryValue::F64(f) => CellValue::F64(*f),
-        QueryValue::Str(s) => CellValue::Str(s.clone()),
-        QueryValue::Bytes(b) => CellValue::Bytes(b.clone()),
-    }
-}
-
-/// Query frame → wire frame (row-major copy).
-pub fn frame_to_wire(f: &Frame) -> WireFrame {
-    WireFrame {
-        columns: f.columns.clone(),
-        rows: f
-            .rows
-            .iter()
-            .map(|r| r.iter().map(value_to_cell).collect())
-            .collect(),
-    }
-}
-
-fn filter_expr(f: &FilterSpec) -> Expr {
-    let lhs = col(&f.column);
-    let rhs = lit(cell_to_value(&f.value));
-    match f.op {
-        FilterOp::Eq => lhs.eq(rhs),
-        FilterOp::Ne => lhs.ne(rhs),
-        FilterOp::Lt => lhs.lt(rhs),
-        FilterOp::Le => lhs.le(rhs),
-        FilterOp::Gt => lhs.gt(rhs),
-        FilterOp::Ge => lhs.ge(rhs),
-    }
-}
-
-fn agg_of(a: &AggSpec) -> Result<Agg, ServerError> {
-    let input = || {
-        a.column
-            .clone()
-            .ok_or_else(|| ServerError::Query(format!("{} needs an input column", a.op.as_str())))
-    };
-    let agg = match a.op {
-        AggOp::Count => Agg::count(),
-        AggOp::Sum => Agg::sum(input()?),
-        AggOp::Mean => Agg::mean(input()?),
-        AggOp::Min => Agg::min(input()?),
-        AggOp::Max => Agg::max(input()?),
-    };
-    Ok(match &a.name {
-        Some(n) => agg.named(n),
-        None => agg,
-    })
-}
+/// Query frame → wire frame, cell for cell: floats keep their bit
+/// patterns, so wire digest equality ⇔ frame digest equality.
+pub use excovery_query::frame_to_wire;
 
 /// Executes a serialized plan against a level-3 package: the server side
-/// of `query.run`. The plan maps 1:1 onto the query crate's `Scan`
-/// builder chain.
+/// of `query.run` for completed jobs. One thin call into the unified
+/// plan API — the exact code path `Scan::collect` and standing queries
+/// use, so a remote frame is bit-identical to a local one.
 pub fn run_plan(db: &Database, plan: &PlanSpec) -> Result<WireFrame, ServerError> {
     let dataset = Dataset::from_database(db).map_err(|e| ServerError::Query(e.to_string()))?;
-    let mut scan = dataset.scan(&plan.table);
-    if let Some(f) = &plan.filter {
-        scan = scan.filter(filter_expr(f));
-    }
-    if !plan.group_by.is_empty() {
-        scan = scan.group_by(plan.group_by.iter().map(String::as_str));
-    }
-    if !plan.aggs.is_empty() {
-        let aggs = plan
-            .aggs
-            .iter()
-            .map(agg_of)
-            .collect::<Result<Vec<_>, _>>()?;
-        scan = scan.agg(aggs);
-    }
-    if !plan.select.is_empty() {
-        scan = scan.select(plan.select.iter().map(String::as_str));
-    }
-    if let Some(s) = &plan.sort_by {
-        scan = scan.sort_by(s);
-    }
-    let frame = scan
-        .collect()
+    let frame = dataset
+        .run_spec(plan)
         .map_err(|e| ServerError::Query(e.to_string()))?;
     Ok(frame_to_wire(&frame))
 }

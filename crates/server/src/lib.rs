@@ -31,25 +31,32 @@
 //! * [`server`] — the rpc front: `job.submit`/`job.status`/`job.list`/
 //!   `job.results` plus `query.tables`/`query.run`, which executes
 //!   serialized query plans server-side and ships `Frame`s back over the
-//!   wire.
+//!   wire. `query.run` against a *running* job answers from the standing
+//!   registry — a live, incrementally refreshed view of the campaign.
+//! * [`standing`] — [`StandingRegistry`]: per-job
+//!   [`excovery_query::StandingQuery`] instances the scheduler refreshes
+//!   after every slice, giving clients progress frames bit-identical to
+//!   a one-shot scan of the runs completed so far.
 //! * [`client`] — [`ServerClient`], the typed client used by the
 //!   `excovery` CLI verbs (`serve`, `submit`, `status`, `results`) and
 //!   the integration tests.
-//! * [`convert`] — the bridge between the rpc wire types
-//!   ([`excovery_rpc::PlanSpec`], [`excovery_rpc::WireFrame`]) and the
-//!   query crate's `Scan`/`Frame`.
+//! * [`convert`] — thin adapters over the query crate's canonical
+//!   wire conversions; [`excovery_rpc::PlanSpec`] is the one
+//!   serializable plan vocabulary end-to-end.
 
 pub mod client;
 pub mod convert;
 pub mod repo;
 pub mod scheduler;
 pub mod server;
+pub mod standing;
 
 pub use client::ServerClient;
 pub use convert::{cell_to_value, frame_to_wire, run_plan, value_to_cell};
-pub use repo::{is_terminal, JobRecord, ServerRepo, SliceOutcome};
+pub use repo::{is_terminal, JobRecord, ServerRepo, SliceOutcome, DEFAULT_EXPERIMENT};
 pub use scheduler::{preset_config, RoundReport, Scheduler, SchedulerConfig, SliceReport};
 pub use server::{read_endpoint, ExperimentServer, ServerConfig};
+pub use standing::StandingRegistry;
 
 /// Engine presets a submission may name (see
 /// [`scheduler::preset_config`]).

@@ -36,6 +36,12 @@ pub fn is_terminal(state: JobState) -> bool {
     matches!(state, JobState::Completed | JobState::Failed)
 }
 
+/// Experiment id a single job's package is ingested under — the same id
+/// `Dataset::from_database` uses, so frames computed from a standing
+/// query and from a one-shot scan of the packaged database agree bit
+/// for bit.
+pub const DEFAULT_EXPERIMENT: &str = "default";
+
 /// One journalled campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {

@@ -32,6 +32,7 @@ use excovery_rpc::{JobId, JobState};
 use parking_lot::Mutex;
 
 use crate::repo::{is_terminal, ServerRepo, SliceOutcome};
+use crate::standing::StandingRegistry;
 use crate::ServerError;
 
 /// Resolves a preset name from [`crate::PRESETS`] to its engine
@@ -149,17 +150,35 @@ pub struct Scheduler {
     cfg: SchedulerConfig,
     rotation: usize,
     metrics: SchedulerMetrics,
+    standing: Arc<StandingRegistry>,
 }
 
 impl Scheduler {
-    /// Creates a scheduler over `repo`.
+    /// Creates a scheduler over `repo` with its own (private) standing
+    /// registry.
     pub fn new(repo: Arc<Mutex<ServerRepo>>, cfg: SchedulerConfig) -> Self {
+        Self::with_standing(repo, cfg, Arc::new(StandingRegistry::new()))
+    }
+
+    /// Creates a scheduler that feeds completed slices into a shared
+    /// standing registry (the rpc front serves live frames from it).
+    pub fn with_standing(
+        repo: Arc<Mutex<ServerRepo>>,
+        cfg: SchedulerConfig,
+        standing: Arc<StandingRegistry>,
+    ) -> Self {
         Scheduler {
             repo,
             cfg,
             rotation: 0,
             metrics: SchedulerMetrics::new(),
+            standing,
         }
+    }
+
+    /// The standing registry this scheduler refreshes.
+    pub fn standing(&self) -> &Arc<StandingRegistry> {
+        &self.standing
     }
 
     /// Executes one scheduling round; returns what ran. An empty report
@@ -171,14 +190,20 @@ impl Scheduler {
             return Ok(RoundReport::default());
         }
         let slice_runs = self.cfg.slice_runs;
+        let standing = self.standing.as_ref();
         let outcomes = run_indexed(self.cfg.workers, plans.len(), |i| {
-            execute_slice(&plans[i], slice_runs)
+            execute_slice(&plans[i], slice_runs, standing)
         });
         let mut slices = Vec::with_capacity(plans.len());
         {
             let mut repo = self.repo.lock();
             for (plan, outcome) in plans.iter().zip(&outcomes) {
                 repo.record_slice(plan.job_id, outcome)?;
+                if is_terminal(outcome.state) {
+                    // Terminal jobs are served from their packaged
+                    // database; standing state is no longer needed.
+                    self.standing.retire(plan.job_id);
+                }
                 match outcome.state {
                     JobState::Completed => self.metrics.completed.inc(),
                     JobState::Failed => self.metrics.failed.inc(),
@@ -288,8 +313,8 @@ fn resolve_workers(workers: usize) -> usize {
 
 /// Runs one slice; an engine failure becomes a `Failed` outcome rather
 /// than an error, so one broken campaign never wedges the round.
-fn execute_slice(plan: &SlicePlan, slice_runs: u64) -> SliceOutcome {
-    match run_slice(plan, slice_runs) {
+fn execute_slice(plan: &SlicePlan, slice_runs: u64, standing: &StandingRegistry) -> SliceOutcome {
+    match run_slice(plan, slice_runs, standing) {
         Ok(outcome) => outcome,
         Err(e) => SliceOutcome {
             runs_completed: plan.runs_before,
@@ -300,7 +325,11 @@ fn execute_slice(plan: &SlicePlan, slice_runs: u64) -> SliceOutcome {
     }
 }
 
-fn run_slice(plan: &SlicePlan, slice_runs: u64) -> Result<SliceOutcome, ServerError> {
+fn run_slice(
+    plan: &SlicePlan,
+    slice_runs: u64,
+    standing: &StandingRegistry,
+) -> Result<SliceOutcome, ServerError> {
     let xml = std::fs::read_to_string(&plan.description_path)
         .map_err(|e| ServerError::Storage(format!("read description: {e}")))?;
     let desc = xmlio::from_xml(&xml).map_err(|e| ServerError::Description(e.to_string()))?;
@@ -327,6 +356,9 @@ fn run_slice(plan: &SlicePlan, slice_runs: u64) -> Result<SliceOutcome, ServerEr
             error: None,
         })
     } else {
+        // Feed the cumulative snapshot into the job's standing queries:
+        // each rescans only partitions (runs) it has not seen yet.
+        standing.refresh(plan.job_id, &outcome.database)?;
         Ok(SliceOutcome {
             runs_completed: done,
             state: JobState::Running,

@@ -16,6 +16,7 @@ use parking_lot::Mutex;
 use crate::convert::run_plan;
 use crate::repo::ServerRepo;
 use crate::scheduler::{RoundReport, Scheduler, SchedulerConfig};
+use crate::standing::StandingRegistry;
 use crate::ServerError;
 
 /// Daemon knobs.
@@ -51,6 +52,7 @@ impl Default for ServerConfig {
 pub struct ExperimentServer {
     repo: Arc<Mutex<ServerRepo>>,
     scheduler: Scheduler,
+    standing: Arc<StandingRegistry>,
     rpc: TcpRpcServer,
     poll: Duration,
 }
@@ -63,17 +65,24 @@ impl ExperimentServer {
     pub fn start(root: impl Into<PathBuf>, cfg: ServerConfig) -> Result<Self, ServerError> {
         let root = root.into();
         let repo = Arc::new(Mutex::new(ServerRepo::open(&root)?));
-        let registry = build_registry(Arc::clone(&repo), cfg.results_page_bytes.max(1));
+        let standing = Arc::new(StandingRegistry::new());
+        let registry = build_registry(
+            Arc::clone(&repo),
+            Arc::clone(&standing),
+            cfg.results_page_bytes.max(1),
+        );
         let rpc = TcpRpcServer::bind(cfg.addr.as_str(), registry)
             .map_err(|e| ServerError::Storage(format!("bind {}: {e}", cfg.addr)))?;
         atomic_write(
             &ServerRepo::endpoint_path(&root),
             rpc.local_addr().to_string().as_bytes(),
         )?;
-        let scheduler = Scheduler::new(Arc::clone(&repo), cfg.scheduler);
+        let scheduler =
+            Scheduler::with_standing(Arc::clone(&repo), cfg.scheduler, Arc::clone(&standing));
         Ok(ExperimentServer {
             repo,
             scheduler,
+            standing,
             rpc,
             poll: cfg.poll,
         })
@@ -87,6 +96,11 @@ impl ExperimentServer {
     /// The shared repository handle (introspection, tests).
     pub fn repo(&self) -> &Arc<Mutex<ServerRepo>> {
         &self.repo
+    }
+
+    /// The standing-query registry serving live campaign frames.
+    pub fn standing(&self) -> &Arc<StandingRegistry> {
+        &self.standing
     }
 
     /// Executes one scheduler round (deterministic drive).
@@ -152,7 +166,11 @@ fn completed_package(repo: &ServerRepo, id: JobId) -> Result<(PathBuf, JobState)
     Ok((repo.package_path(id), rec.state))
 }
 
-fn build_registry(repo: Arc<Mutex<ServerRepo>>, page_bytes: u64) -> Arc<Mutex<ServerRegistry>> {
+fn build_registry(
+    repo: Arc<Mutex<ServerRepo>>,
+    standing: Arc<StandingRegistry>,
+    page_bytes: u64,
+) -> Arc<Mutex<ServerRegistry>> {
     let mut reg = ServerRegistry::new();
 
     let r = Arc::clone(&repo);
@@ -238,13 +256,27 @@ fn build_registry(repo: Arc<Mutex<ServerRepo>>, page_bytes: u64) -> Arc<Mutex<Se
             )
         })?;
         let plan = unpack_plan(plan_value)?;
-        let path = {
+        let state = {
             let repo = r.lock();
-            completed_package(&repo, id).map_err(fault_of)?.0
+            repo.job(id).map_err(fault_of)?.state
         };
-        let db =
-            Database::load(&path).map_err(|e| fault_of(ServerError::Storage(e.to_string())))?;
-        let frame = run_plan(&db, &plan).map_err(fault_of)?;
+        let frame = match state {
+            // Completed jobs answer from the packaged level-3 database.
+            JobState::Completed => {
+                let path = {
+                    let repo = r.lock();
+                    completed_package(&repo, id).map_err(fault_of)?.0
+                };
+                let db = Database::load(&path)
+                    .map_err(|e| fault_of(ServerError::Storage(e.to_string())))?;
+                run_plan(&db, &plan).map_err(fault_of)?
+            }
+            JobState::Failed => return Err(fault_of(ServerError::NotCompleted(id))),
+            // Queued/running jobs answer from the standing registry:
+            // a live, incrementally refreshed view of the campaign so
+            // far (empty until the first slice lands).
+            _ => standing.frame(id, &plan).map_err(fault_of)?,
+        };
         Ok(pack_frame(&frame))
     });
 

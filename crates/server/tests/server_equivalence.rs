@@ -223,6 +223,78 @@ fn obs_recording_does_not_influence_digests() {
 }
 
 #[test]
+fn standing_queries_serve_live_campaign_progress() {
+    let root = unique_root("standing");
+    let cfg = ServerConfig {
+        scheduler: SchedulerConfig {
+            workers: 1,
+            slice_runs: 1,
+        },
+        ..ServerConfig::default()
+    };
+    let mut server = ExperimentServer::start(&root, cfg).expect("start");
+    let client = ServerClient::connect_root(&root).expect("connect");
+    let (job_id, _) = client
+        .submit(&SubmitRequest {
+            tenant: "alice".into(),
+            preset: "grid_default".into(),
+            description_xml: xmlio::to_xml(&desc_with_seed(3, 99)),
+            submit_key: "standing-key".into(),
+        })
+        .expect("submit");
+    let plan = PlanSpec {
+        table: "RunInfos".into(),
+        group_by: vec!["RunID".into()],
+        aggs: vec![excovery_rpc::AggSpec {
+            op: excovery_rpc::AggOp::Count,
+            column: None,
+            name: Some("nodes".into()),
+            q: None,
+        }],
+        sort_by: Some("RunID".into()),
+        ..Default::default()
+    };
+    // Queued, nothing executed: an empty frame, not a fault.
+    let empty = client.query(job_id, &plan).expect("query queued job");
+    assert!(empty.columns.is_empty() && empty.rows.is_empty(), "{empty:?}");
+    // Poll the live view after every slice; each frame must have one
+    // group per completed run.
+    let mut live_rows = Vec::new();
+    loop {
+        server.tick().expect("tick");
+        let status = client.status(job_id).expect("status");
+        if status.state != JobState::Running {
+            break;
+        }
+        let frame = client.query(job_id, &plan).expect("query running job");
+        assert_eq!(
+            frame.rows.len() as u64,
+            status.runs_completed,
+            "one group per completed run: {frame:?}"
+        );
+        live_rows = frame.rows.clone();
+    }
+    assert_eq!(client.status(job_id).unwrap().state, JobState::Completed);
+    assert_eq!(
+        server.standing().query_count(job_id),
+        0,
+        "completed jobs retire their standing state"
+    );
+    // The completed package's answer extends the last live frame — the
+    // runs both views saw agree cell for cell.
+    let final_frame = client.query(job_id, &plan).expect("query completed job");
+    assert_eq!(final_frame.rows.len(), 3);
+    assert!(!live_rows.is_empty(), "the campaign was observed mid-flight");
+    assert_eq!(
+        &final_frame.rows[..live_rows.len()],
+        &live_rows[..],
+        "live frames are a prefix of the final frame"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn rpc_round_trip_submits_queries_and_downloads() {
     let root = unique_root("rpc");
     // A tiny results page forces the package download through many
@@ -282,6 +354,7 @@ fn rpc_round_trip_submits_queries_and_downloads() {
                     op: excovery_rpc::AggOp::Count,
                     column: None,
                     name: Some("nodes".into()),
+                    q: None,
                 }],
                 sort_by: Some("RunID".into()),
                 ..Default::default()

@@ -211,6 +211,46 @@ impl Level2Store {
             .unwrap_or(total_runs)
     }
 
+    /// Directory for columnar partition slabs derived from this
+    /// experiment's runs. The slab files themselves are written and read
+    /// by the query layer (this crate sits below it and only owns the
+    /// location): one `*.slab` file per completed-run partition, placed
+    /// here by the spill builder so the warehouse can reopen the
+    /// experiment without re-ingesting level-3 packages.
+    pub fn slab_dir(&self) -> PathBuf {
+        self.root.join("slabs")
+    }
+
+    /// Creates (if necessary) and returns the slab directory.
+    pub fn ensure_slab_dir(&self) -> Result<PathBuf, StoreError> {
+        let dir = self.slab_dir();
+        fs::create_dir_all(&dir).map_err(|e| StoreError(format!("create slab dir: {e}")))?;
+        Ok(dir)
+    }
+
+    /// Paths of the stored slab partition files, sorted by file name
+    /// (in-flight atomic-writer temp files are dot-prefixed and skipped).
+    /// Empty when no slab directory exists yet.
+    pub fn slab_files(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let dir = self.slab_dir();
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(Vec::new()),
+        };
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError(e.to_string()))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') || !name.ends_with(".slab") {
+                continue;
+            }
+            out.push(entry.path());
+        }
+        out.sort();
+        Ok(out)
+    }
+
     /// Removes the whole hierarchy (after successful packaging to level 3).
     pub fn destroy(self) -> Result<(), StoreError> {
         fs::remove_dir_all(&self.root).map_err(|e| StoreError(format!("destroy: {e}")))
@@ -335,6 +375,25 @@ mod tests {
             entries.iter().all(|(_, name)| !name.starts_with('.')),
             "{entries:?}"
         );
+        s.destroy().unwrap();
+    }
+
+    #[test]
+    fn slab_dir_lists_only_committed_slab_files() {
+        let s = temp_store("slabs");
+        assert!(s.slab_files().unwrap().is_empty(), "no dir yet is fine");
+        let dir = s.ensure_slab_dir().unwrap();
+        fs::write(dir.join("p-0001.slab"), b"x").unwrap();
+        fs::write(dir.join("p-0000.slab"), b"x").unwrap();
+        fs::write(dir.join(".p-0002.slab.tmp-1-0"), b"torn").unwrap();
+        fs::write(dir.join("notes.txt"), b"not a slab").unwrap();
+        let files: Vec<String> = s
+            .slab_files()
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(files, vec!["p-0000.slab", "p-0001.slab"]);
         s.destroy().unwrap();
     }
 

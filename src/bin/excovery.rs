@@ -619,6 +619,7 @@ fn cmd_results(args: &[String]) -> Result<(), String> {
                 op: excovery::rpc::AggOp::Count,
                 column: None,
                 name: None,
+                q: None,
             }];
         }
         if let Some(sort) = flag_value(args, "--sort-by") {
